@@ -1,0 +1,150 @@
+// Command debugtuner runs the end-to-end DebugTuner workflow (§III):
+// load the test suite, build the per-pass disable matrix, rank the
+// passes, construct Ox-dy configurations, and report the debuggability /
+// performance trade-off.
+//
+// Usage:
+//
+//	debugtuner [flags]
+//
+//	-compiler gcc|clang   profile to tune (default gcc)
+//	-level O1|O2|...      level to tune (default O2)
+//	-dy 3,5,7,9           configuration sizes
+//	-top 10               ranking rows to print
+//	-perf                 also measure SPEC speedups per configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"debugtuner/internal/pipeline"
+	"debugtuner/internal/specsuite"
+	"debugtuner/internal/testsuite"
+	"debugtuner/internal/tuner"
+)
+
+func main() {
+	compiler := flag.String("compiler", "gcc", "profile to tune")
+	level := flag.String("level", "O2", "optimization level to tune")
+	dyArg := flag.String("dy", "3,5,7,9", "Ox-dy sizes, comma separated")
+	top := flag.Int("top", 10, "ranking rows to print")
+	perf := flag.Bool("perf", false, "measure SPEC speedups per configuration")
+	execs := flag.Int("execs", 400, "fuzzing executions per harness")
+	greedy := flag.Int("greedy", 0, "also run a greedy subset search up to N passes")
+	flag.Parse()
+
+	profile := pipeline.Profile(*compiler)
+	var dys []int
+	for _, s := range strings.Split(*dyArg, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fail(err)
+		}
+		dys = append(dys, n)
+	}
+
+	fmt.Printf("loading test suite (%d programs, %d execs per harness)...\n",
+		len(testsuite.Names), *execs)
+	subjects, err := testsuite.LoadAll(testsuite.CorpusOptions{Execs: *execs})
+	if err != nil {
+		fail(err)
+	}
+	progs := testsuite.Programs(subjects)
+
+	fmt.Printf("analyzing %s-%s: one rebuild per pass per program...\n", profile, *level)
+	la, err := tuner.AnalyzeLevel(progs, profile, *level)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\npass ranking for %s-%s (%d toggles; %d improve, %d neutral, %d degrade)\n",
+		profile, *level, len(la.Ranking), la.Positive, la.Neutral, la.Negative)
+	fmt.Printf("%-3s %-28s %10s %9s\n", "#", "pass", "avg rank", "Δ%")
+	for i, rp := range la.Ranking {
+		if i >= *top {
+			break
+		}
+		name := rp.Display
+		if rp.Backend {
+			name += " *"
+		}
+		fmt.Printf("%-3d %-28s %10.2f %+8.2f\n", i+1, name, rp.AvgRank, rp.GeoIncrementPct)
+	}
+
+	fmt.Printf("\nconfigurations (suite-average hybrid product metric)\n")
+	ref := 0.0
+	for _, p := range progs {
+		m, err := p.Product(pipeline.Config{Profile: profile, Level: *level})
+		if err != nil {
+			fail(err)
+		}
+		ref += m
+	}
+	ref /= float64(len(progs))
+	fmt.Printf("%-10s product=%.4f", *level, ref)
+	if *perf {
+		_, spd, err := specsuite.SuiteSpeedup(pipeline.Config{Profile: profile, Level: *level}, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("  speedup=%.2fx", spd)
+	}
+	fmt.Println()
+	for _, cfg := range la.Configs(dys) {
+		sum := 0.0
+		for _, p := range progs {
+			m, err := p.Product(cfg)
+			if err != nil {
+				fail(err)
+			}
+			sum += m
+		}
+		avg := sum / float64(len(progs))
+		fmt.Printf("%-10s product=%.4f (%+.2f%%)", cfg.Name(), avg, 100*(avg-ref)/ref)
+		if *perf {
+			_, spd, err := specsuite.SuiteSpeedup(cfg, nil)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("  speedup=%.2fx", spd)
+		}
+		fmt.Println()
+		fmt.Printf("           disabled: %s\n", strings.Join(sortedNames(cfg.Disabled), ", "))
+	}
+
+	if *greedy > 0 {
+		fmt.Printf("\ngreedy subset search (<= %d passes)\n", *greedy)
+		steps, gcfg, err := la.GreedySelect(progs, *greedy, 0.0005)
+		if err != nil {
+			fail(err)
+		}
+		for i, s := range steps {
+			fmt.Printf("%2d. disable %-26s -> product %.4f\n", i+1, s.Pass, s.Product)
+		}
+		fmt.Printf("final: %s disabling %s\n", gcfg.Name(),
+			strings.Join(sortedNames(gcfg.Disabled), ", "))
+	}
+}
+
+func sortedNames(m map[string]bool) []string {
+	var out []string
+	for n := range m {
+		out = append(out, n)
+	}
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] < out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "debugtuner:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [flags] [table1 table2 table3 table4 table5 table6 table7
+//	                     fig2 table8 table9 table10 table11 table12
+//	                     fig3 table15 fig4 | all]
+//
+// Flags scale the evaluation; the defaults finish in minutes. Outputs are
+// plain-text tables matching the paper's rows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"debugtuner/internal/experiments"
+)
+
+func main() {
+	opts := experiments.DefaultOptions()
+	flag.IntVar(&opts.SynthCount, "synth", opts.SynthCount,
+		"synthetic programs for Table I (paper: 5000)")
+	flag.IntVar(&opts.CorpusExecs, "execs", opts.CorpusExecs,
+		"fuzzing executions per harness")
+	flag.Int64Var(&opts.SampleEvery, "sample-every", opts.SampleEvery,
+		"AutoFDO sampling period in cycles")
+	quick := flag.Bool("quick", false,
+		"shrink every knob for a fast smoke run")
+	flag.Parse()
+	if *quick {
+		opts.SynthCount = 20
+		opts.CorpusExecs = 120
+		opts.Dy = []int{3, 5}
+		opts.SpecSubset = []string{"505.mcf", "531.deepsjeng", "557.xz"}
+	}
+
+	r := experiments.NewRunner(opts)
+	type exp struct {
+		name string
+		run  func(io.Writer) error
+	}
+	all := []exp{
+		{"table1", r.Table1}, {"table2", r.Table2}, {"table3", r.Table3},
+		{"table4", r.Table4}, {"table5", r.Table5}, {"table6", r.Table6},
+		{"table7", r.Table7}, {"fig2", r.Fig2}, {"table8", r.Table8},
+		{"table9", r.Table9}, {"table10", r.Table10},
+		{"table11", r.Table11}, {"table12", r.Table12},
+		{"fig3", r.Fig3}, {"table15", r.Table15}, {"fig4", r.Fig4},
+	}
+	want := flag.Args()
+	if len(want) == 0 || (len(want) == 1 && want[0] == "all") {
+		want = nil
+		for _, e := range all {
+			want = append(want, e.name)
+		}
+	}
+	byName := map[string]exp{}
+	for _, e := range all {
+		byName[e.name] = e
+	}
+	for _, name := range want {
+		e, ok := byName[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Printf("==== %s ====\n", e.name)
+		if err := e.run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,132 @@
+// Command mdb is the MiniC source-level debugger used for trace
+// extraction, exposed as a small CLI.
+//
+// Usage:
+//
+//	mdb [flags] file.mc
+//
+//	-profile gcc|clang, -O <level>, -fno <pass>: build configuration
+//	-entry <func>        entry function (default main)
+//	-trace               run a full temporary-breakpoint session and
+//	                     print the per-line trace (line: variables)
+//	-break <line>        stop at the first hit of a line and print the
+//	                     visible variables with values
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"debugtuner/internal/debugger"
+	"debugtuner/internal/pipeline"
+	"debugtuner/internal/sema"
+	"debugtuner/internal/vm"
+)
+
+func main() {
+	profile := flag.String("profile", "gcc", "compiler profile")
+	level := flag.String("O", "0", "optimization level")
+	var disabled []string
+	flag.Func("fno", "disable a pass (repeatable)", func(v string) error {
+		disabled = append(disabled, v)
+		return nil
+	})
+	entry := flag.String("entry", "main", "entry function")
+	trace := flag.Bool("trace", false, "print the full debug trace")
+	breakLine := flag.Int("break", 0, "inspect variables at this line")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mdb [flags] file.mc")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	cfg := pipeline.Config{
+		Profile:  pipeline.Profile(*profile),
+		Level:    "O" + strings.ToUpper(*level),
+		Disabled: map[string]bool{},
+	}
+	if *level == "g" {
+		cfg.Level = "Og"
+	}
+	for _, d := range disabled {
+		cfg.Disabled[d] = true
+	}
+	bin, info, err := pipeline.CompileSource(flag.Arg(0), src, cfg)
+	if err != nil {
+		fail(err)
+	}
+	sess, err := debugger.NewSession(bin)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("loaded %s (%s): %d steppable lines\n",
+		flag.Arg(0), cfg.Name(), sess.SteppableLines())
+
+	if *breakLine > 0 {
+		inspectAt(sess, bin, *entry, *breakLine, info)
+		return
+	}
+	if *trace {
+		tr, err := sess.TraceMain(*entry, 1<<32)
+		if err != nil {
+			fail(err)
+		}
+		names := info.SymbolNames()
+		for _, line := range tr.Lines() {
+			var vars []string
+			for id := range tr.Avail[line] {
+				vars = append(vars, names[id])
+			}
+			sort.Strings(vars)
+			fmt.Printf("line %4d: %s\n", line, strings.Join(vars, " "))
+		}
+		fmt.Printf("stepped %d of %d steppable lines\n", len(tr.Stepped), tr.Steppable)
+	}
+}
+
+// inspectAt stops at the first address of the line and prints variables.
+func inspectAt(sess *debugger.Session, bin *vm.Binary, entry string, line int, info *sema.Info) {
+	names := info.SymbolNames()
+	addrs := sess.Table.BreakAddrs()[line]
+	if len(addrs) == 0 {
+		fail(fmt.Errorf("line %d is not steppable in this build", line))
+	}
+	m := vm.New(bin)
+	m.StepBudget = 1 << 32
+	m.Breaks = map[int]bool{}
+	for _, a := range addrs {
+		m.Breaks[int(a)] = true
+	}
+	hit := false
+	m.OnBreak = func(m *vm.Machine, addr int) {
+		if hit {
+			return
+		}
+		hit = true
+		fmt.Printf("stopped at line %d (address %d)\n", line, addr)
+		for id, name := range names {
+			if v, ok := sess.ReadVar(m, name, uint32(addr)); ok {
+				fmt.Printf("  %s = %d\n", name, v)
+			}
+			_ = id
+		}
+		m.Breaks = nil
+	}
+	if _, err := m.Call(entry); err != nil {
+		fail(err)
+	}
+	if !hit {
+		fmt.Println("line never reached")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mdb:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,139 @@
+// Command minicc is the MiniC compiler driver.
+//
+// Usage:
+//
+//	minicc [flags] file.mc
+//
+//	-profile gcc|clang   compiler personality (default gcc)
+//	-O 0|g|1|2|3         optimization level (default 0)
+//	-fno-<pass>          disable one pass (repeatable), e.g. -fno-inline
+//	-fdebug-info-for-profiling
+//	-run [func]          execute the named function (default main) and
+//	                     print the output and cycle count
+//	-emit-ir             print the optimized IR instead of compiling
+//	-dump-debug          print the debug-information section
+//	-text-hash           print the .text identity hash
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"debugtuner/internal/debuginfo"
+	"debugtuner/internal/passes"
+	"debugtuner/internal/pipeline"
+	"debugtuner/internal/vm"
+)
+
+// disabledFlags collects repeated -fno-<pass> style toggles.
+type disabledFlags map[string]bool
+
+func (d disabledFlags) String() string {
+	var names []string
+	for n := range d {
+		names = append(names, n)
+	}
+	return strings.Join(names, ",")
+}
+
+func (d disabledFlags) Set(v string) error {
+	if passes.Lookup(v) == nil {
+		return fmt.Errorf("unknown pass %q", v)
+	}
+	d[v] = true
+	return nil
+}
+
+func main() {
+	profile := flag.String("profile", "gcc", "compiler profile: gcc or clang")
+	level := flag.String("O", "0", "optimization level: 0, g, 1, 2, 3")
+	disabled := disabledFlags{}
+	flag.Var(disabled, "fno", "disable a pass by name (repeatable)")
+	forProfiling := flag.Bool("fdebug-info-for-profiling", false,
+		"emit extra debug info for sample profiling")
+	run := flag.String("run", "", "execute this function after compiling")
+	emitIR := flag.Bool("emit-ir", false, "print the optimized IR")
+	dumpDebug := flag.Bool("dump-debug", false, "print the debug section")
+	textHash := flag.Bool("text-hash", false, "print the .text hash")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minicc [flags] file.mc")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	cfg := pipeline.Config{
+		Profile:      pipeline.Profile(*profile),
+		Level:        "O" + strings.ToUpper(*level),
+		Disabled:     disabled,
+		ForProfiling: *forProfiling,
+	}
+	if *level == "g" {
+		cfg.Level = "Og"
+	}
+	info, err := pipeline.Frontend(flag.Arg(0), src)
+	if err != nil {
+		fail(err)
+	}
+	ir0, err := pipeline.BuildIR(info)
+	if err != nil {
+		fail(err)
+	}
+	if *emitIR {
+		prog, _ := pipeline.OptimizeIR(ir0, cfg)
+		for _, f := range prog.Funcs {
+			fmt.Print(f.String())
+		}
+		return
+	}
+	bin := pipeline.Build(ir0, cfg)
+	if *textHash {
+		fmt.Printf("%016x\n", bin.TextHash())
+	}
+	if *dumpDebug {
+		table, err := debuginfo.Decode(bin.Debug)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("functions: %d, line rows: %d, variables: %d\n",
+			len(table.Funcs), len(table.Lines), len(table.Vars))
+		for _, f := range table.Funcs {
+			fmt.Printf("func %-16s [%d,%d) start line %d prologue end %d\n",
+				f.Name, f.Start, f.End, f.StartLine, f.PrologueEnd)
+		}
+		for _, v := range table.Vars {
+			fmt.Printf("var %-12s sym=%d func=%d entries=%d\n",
+				v.Name, v.SymID, v.FuncIdx, len(v.Entries))
+			for _, e := range v.Entries {
+				fmt.Printf("    [%6d,%6d) %s %d\n", e.Start, e.End, e.Kind, e.Operand)
+			}
+		}
+	}
+	if *run != "" {
+		m := vm.New(bin)
+		m.StepBudget = 1 << 34
+		ret, err := m.Call(*run)
+		if err != nil {
+			fail(err)
+		}
+		for _, v := range m.Output() {
+			fmt.Println(v)
+		}
+		fmt.Fprintf(os.Stderr, "return=%d cycles=%d instructions=%d code=%d\n",
+			ret, m.Cycles, m.Steps, len(bin.Code))
+	}
+	if !*textHash && !*dumpDebug && *run == "" {
+		fmt.Fprintf(os.Stderr, "compiled %s: %d instructions, %d functions (%s)\n",
+			flag.Arg(0), len(bin.Code), len(bin.Funcs), cfg.Name())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "minicc:", err)
+	os.Exit(1)
+}

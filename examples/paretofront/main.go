@@ -1,0 +1,73 @@
+// Paretofront: sweep standard levels and tuned Ox-dy configurations over
+// debuggability (suite product metric) and performance (benchmark
+// speedup), and print the Pareto front — the paper's Figure 2 in
+// miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"debugtuner/internal/pipeline"
+	"debugtuner/internal/specsuite"
+	"debugtuner/internal/testsuite"
+	"debugtuner/internal/tuner"
+)
+
+func main() {
+	// Debuggability axis: three suite programs. Performance axis: three
+	// benchmarks. (cmd/experiments fig2 runs the full sets.)
+	var progs []*tuner.Program
+	for _, name := range []string{"zlib", "wasm3", "libyaml"} {
+		s, err := testsuite.Load(name, testsuite.CorpusOptions{Execs: 200})
+		if err != nil {
+			log.Fatal(err)
+		}
+		progs = append(progs, s.Program)
+	}
+	benches := []string{"505.mcf", "557.xz", "531.deepsjeng"}
+
+	point := func(cfg pipeline.Config) tuner.Point {
+		var dbg float64
+		for _, p := range progs {
+			m, err := p.Product(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			dbg += m
+		}
+		dbg /= float64(len(progs))
+		_, spd, err := specsuite.SuiteSpeedup(cfg, benches)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return tuner.Point{Label: cfg.Name(), Debug: dbg, Speedup: spd}
+	}
+
+	var points []tuner.Point
+	for _, level := range pipeline.Levels(pipeline.GCC) {
+		points = append(points, point(pipeline.Config{Profile: pipeline.GCC, Level: level}))
+		la, err := tuner.AnalyzeLevel(progs, pipeline.GCC, level)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, cfg := range la.Configs([]int{3, 5}) {
+			points = append(points, point(cfg))
+		}
+	}
+
+	fmt.Printf("%-12s %10s %9s  %s\n", "config", "product", "speedup", "front?")
+	for _, p := range points {
+		mark := ""
+		if tuner.OnFront(points, p.Label) {
+			mark = "  *on front*"
+		}
+		fmt.Printf("%-12s %10.4f %8.2fx%s\n", p.Label, p.Debug, p.Speedup, mark)
+	}
+	front := tuner.ParetoFront(points)
+	fmt.Printf("\nPareto front (%d of %d):", len(front), len(points))
+	for _, p := range front {
+		fmt.Printf(" %s", p.Label)
+	}
+	fmt.Println()
+}

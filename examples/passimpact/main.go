@@ -1,0 +1,57 @@
+// Passimpact: the per-pass analysis workflow on real suite programs —
+// which optimization passes cost the most debug information at clang-O2,
+// and what disabling the top three buys (the heart of DebugTuner, §III).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"debugtuner/internal/pipeline"
+	"debugtuner/internal/testsuite"
+	"debugtuner/internal/tuner"
+)
+
+func main() {
+	// Three suite members keep the example fast; cmd/debugtuner runs
+	// all thirteen.
+	var progs []*tuner.Program
+	for _, name := range []string{"zlib", "libpng", "lighttpd"} {
+		s, err := testsuite.Load(name, testsuite.CorpusOptions{Execs: 200})
+		if err != nil {
+			log.Fatal(err)
+		}
+		progs = append(progs, s.Program)
+	}
+
+	la, err := tuner.AnalyzeLevel(progs, pipeline.Clang, "O2")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("top debug-harmful passes at clang-O2 (three-program suite):")
+	for i, rp := range la.Ranking {
+		if i >= 8 {
+			break
+		}
+		mark := ""
+		if rp.Backend {
+			mark = " *"
+		}
+		fmt.Printf("%2d. %-28s avg rank %5.2f  Δ %+6.2f%%\n",
+			i+1, rp.Display+mark, rp.AvgRank, rp.GeoIncrementPct)
+	}
+
+	// Build the O2-d3 configuration and show per-program gains.
+	cfg := la.Configs([]int{3})[0]
+	fmt.Printf("\n%s disables: %v\n", cfg.Name(), la.TopPasses(3, true))
+	for _, p := range progs {
+		ref := la.RefProduct[p.Name]
+		tuned, err := p.Product(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s O2 product %.4f -> %s %.4f (%+.2f%%)\n",
+			p.Name, ref, cfg.Name(), tuned, 100*(tuned-ref)/ref)
+	}
+}

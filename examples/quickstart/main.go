@@ -1,0 +1,89 @@
+// Quickstart: compile a MiniC program at two optimization levels, run it
+// on the VM, trace it under the debugger, and measure how much debug
+// information the optimizer cost — the core DebugTuner measurement in
+// ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"debugtuner/internal/debugger"
+	"debugtuner/internal/metrics"
+	"debugtuner/internal/pipeline"
+	"debugtuner/internal/sema"
+	"debugtuner/internal/vm"
+)
+
+const src = `
+var sum: int = 0;
+
+func digits(n: int): int {
+	var count: int = 0;
+	while (n > 0) {
+		n = n / 10;
+		count = count + 1;
+	}
+	return count;
+}
+func main() {
+	for (var i: int = 1; i <= 1000; i = i * 3) {
+		var d: int = digits(i);
+		sum = sum + d;
+	}
+	print(sum);
+}
+`
+
+func main() {
+	// Front-end once; every build clones the unoptimized IR.
+	info, err := pipeline.Frontend("quickstart.mc", []byte(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ir0, err := pipeline.BuildIR(info)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The -O0 build is the debuggability baseline.
+	baseBin := pipeline.Build(ir0, pipeline.Config{Profile: pipeline.GCC, Level: "O0"})
+	baseSess, err := debugger.NewSession(baseBin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseTrace, err := baseSess.TraceMain("main", 1<<24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dr := sema.ComputeDefRanges(info)
+
+	for _, level := range []string{"O0", "O1", "O2"} {
+		cfg := pipeline.Config{Profile: pipeline.GCC, Level: level}
+		bin := pipeline.Build(ir0, cfg)
+
+		// Run it: output and cycle count.
+		m := vm.New(bin)
+		m.StepBudget = 1 << 24
+		if _, err := m.Call("main"); err != nil {
+			log.Fatal(err)
+		}
+
+		// Debug it: temporary breakpoints on every line.
+		sess, err := debugger.NewSession(bin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := sess.TraceMain("main", 1<<24)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Measure it: the paper's hybrid product metric.
+		score := metrics.Hybrid(tr, baseTrace, dr)
+		fmt.Printf("%-3s output=%v cycles=%-7d stepped %2d/%2d lines  "+
+			"avail=%.3f linecov=%.3f product=%.3f\n",
+			level, m.Output(), m.Cycles, len(tr.Stepped), baseTrace.Steppable,
+			score.Avail, score.LineCov, score.Product)
+	}
+}

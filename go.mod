@@ -1,0 +1,3 @@
+module debugtuner
+
+go 1.22

@@ -1,0 +1,297 @@
+// Package ast defines the MiniC abstract syntax tree.
+//
+// The tree is deliberately small: MiniC has two types (int and int[]),
+// functions, and structured control flow. Every node carries a source
+// position so the semantic analyzer can compute per-line definition
+// ranges — the ingredient the hybrid debug-information metric needs.
+package ast
+
+import "debugtuner/internal/source"
+
+// Type is a MiniC type.
+type Type int
+
+// MiniC types. TypeVoid is only valid as a function result.
+const (
+	TypeInvalid Type = iota
+	TypeInt
+	TypeArray // int[]
+	TypeVoid
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeArray:
+		return "int[]"
+	case TypeVoid:
+		return "void"
+	}
+	return "invalid"
+}
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() source.Pos
+}
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// ---- Expressions ----
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val    int64
+	PosVal source.Pos
+}
+
+// Name is an identifier reference. Sym is filled in by the semantic
+// analyzer.
+type Name struct {
+	Ident  string
+	PosVal source.Pos
+	Sym    *Symbol
+}
+
+// Unary is -x or !x.
+type Unary struct {
+	Op     string // "-" or "!"
+	X      Expr
+	PosVal source.Pos
+}
+
+// Binary is a binary operation. For "&&" and "||" evaluation
+// short-circuits.
+type Binary struct {
+	Op     string
+	X, Y   Expr
+	PosVal source.Pos
+}
+
+// Index is a[i].
+type Index struct {
+	Arr    Expr
+	Idx    Expr
+	PosVal source.Pos
+}
+
+// Call is f(args...).
+type Call struct {
+	Fun    string
+	Args   []Expr
+	PosVal source.Pos
+	Target *FuncDecl // resolved callee
+}
+
+// NewArray is new int[n].
+type NewArray struct {
+	Size   Expr
+	PosVal source.Pos
+}
+
+// LenExpr is len(a).
+type LenExpr struct {
+	Arr    Expr
+	PosVal source.Pos
+}
+
+func (e *IntLit) Pos() source.Pos   { return e.PosVal }
+func (e *Name) Pos() source.Pos     { return e.PosVal }
+func (e *Unary) Pos() source.Pos    { return e.PosVal }
+func (e *Binary) Pos() source.Pos   { return e.PosVal }
+func (e *Index) Pos() source.Pos    { return e.PosVal }
+func (e *Call) Pos() source.Pos     { return e.PosVal }
+func (e *NewArray) Pos() source.Pos { return e.PosVal }
+func (e *LenExpr) Pos() source.Pos  { return e.PosVal }
+
+func (*IntLit) exprNode()   {}
+func (*Name) exprNode()     {}
+func (*Unary) exprNode()    {}
+func (*Binary) exprNode()   {}
+func (*Index) exprNode()    {}
+func (*Call) exprNode()     {}
+func (*NewArray) exprNode() {}
+func (*LenExpr) exprNode()  {}
+
+// ---- Statements ----
+
+// VarDecl declares a variable, optionally with an initializer.
+type VarDecl struct {
+	Name   string
+	Type   Type
+	Init   Expr // may be nil for globals with implicit zero
+	PosVal source.Pos
+	Sym    *Symbol
+}
+
+// Assign assigns to a variable or array element.
+type Assign struct {
+	// Exactly one of Target (a *Name) or (Arr, Idx) is set.
+	Target *Name
+	Arr    Expr
+	Idx    Expr
+	Value  Expr
+	PosVal source.Pos
+}
+
+// ExprStmt evaluates an expression for its effects (calls).
+type ExprStmt struct {
+	X      Expr
+	PosVal source.Pos
+}
+
+// PrintStmt is print(x).
+type PrintStmt struct {
+	X      Expr
+	PosVal source.Pos
+}
+
+// If is a conditional with an optional else branch.
+type If struct {
+	Cond   Expr
+	Then   *Block
+	Else   Stmt // *Block or *If or nil
+	PosVal source.Pos
+}
+
+// While is a pre-tested loop.
+type While struct {
+	Cond   Expr
+	Body   *Block
+	PosVal source.Pos
+}
+
+// For is for(init; cond; post) body. Init may be a VarDecl or Assign,
+// cond/post may be nil.
+type For struct {
+	Init   Stmt
+	Cond   Expr
+	Post   Stmt
+	Body   *Block
+	PosVal source.Pos
+}
+
+// Break exits the innermost loop.
+type Break struct{ PosVal source.Pos }
+
+// Continue jumps to the next iteration of the innermost loop.
+type Continue struct{ PosVal source.Pos }
+
+// Return exits the function, with a value for int-returning functions.
+type Return struct {
+	Value  Expr // nil for void
+	PosVal source.Pos
+}
+
+// Block is { stmts... }. EndPos is the closing brace, used to bound
+// definition ranges of block-scoped variables.
+type Block struct {
+	Stmts  []Stmt
+	PosVal source.Pos
+	EndPos source.Pos
+}
+
+func (s *VarDecl) Pos() source.Pos   { return s.PosVal }
+func (s *Assign) Pos() source.Pos    { return s.PosVal }
+func (s *ExprStmt) Pos() source.Pos  { return s.PosVal }
+func (s *PrintStmt) Pos() source.Pos { return s.PosVal }
+func (s *If) Pos() source.Pos        { return s.PosVal }
+func (s *While) Pos() source.Pos     { return s.PosVal }
+func (s *For) Pos() source.Pos       { return s.PosVal }
+func (s *Break) Pos() source.Pos     { return s.PosVal }
+func (s *Continue) Pos() source.Pos  { return s.PosVal }
+func (s *Return) Pos() source.Pos    { return s.PosVal }
+func (s *Block) Pos() source.Pos     { return s.PosVal }
+
+func (*VarDecl) stmtNode()   {}
+func (*Assign) stmtNode()    {}
+func (*ExprStmt) stmtNode()  {}
+func (*PrintStmt) stmtNode() {}
+func (*If) stmtNode()        {}
+func (*While) stmtNode()     {}
+func (*For) stmtNode()       {}
+func (*Break) stmtNode()     {}
+func (*Continue) stmtNode()  {}
+func (*Return) stmtNode()    {}
+func (*Block) stmtNode()     {}
+
+// ---- Declarations ----
+
+// Param is a function parameter.
+type Param struct {
+	Name   string
+	Type   Type
+	PosVal source.Pos
+	Sym    *Symbol
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Params []*Param
+	Result Type // TypeInt or TypeVoid
+	Body   *Block
+	PosVal source.Pos
+	EndPos source.Pos
+}
+
+func (d *FuncDecl) Pos() source.Pos { return d.PosVal }
+
+// GlobalDecl is a top-level variable.
+type GlobalDecl struct {
+	Decl *VarDecl
+}
+
+func (d *GlobalDecl) Pos() source.Pos { return d.Decl.PosVal }
+
+// Program is a parsed compilation unit.
+type Program struct {
+	File    *source.File
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// SymbolKind distinguishes the storage class of a symbol.
+type SymbolKind int
+
+// Symbol storage classes.
+const (
+	SymLocal SymbolKind = iota
+	SymParam
+	SymGlobal
+)
+
+// Symbol is a resolved variable. The semantic analyzer allocates one per
+// declaration and records its definition range (declaration to end of
+// enclosing scope), which the hybrid metric uses to clip DWARF's inflated
+// whole-scope locations.
+type Symbol struct {
+	Name  string
+	Type  Type
+	Kind  SymbolKind
+	Decl  source.Pos   // declaration position
+	Scope source.Range // definition range in the source
+	Func  string       // owning function, "" for globals
+	ID    int          // unique within the program
+}

@@ -1,0 +1,53 @@
+package ast
+
+import (
+	"testing"
+
+	"debugtuner/internal/source"
+)
+
+func TestTypeStrings(t *testing.T) {
+	cases := map[Type]string{
+		TypeInt: "int", TypeArray: "int[]", TypeVoid: "void",
+		TypeInvalid: "invalid",
+	}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+func TestProgramFuncLookup(t *testing.T) {
+	p := &Program{Funcs: []*FuncDecl{
+		{Name: "a"}, {Name: "b"},
+	}}
+	if p.Func("b") != p.Funcs[1] {
+		t.Error("lookup failed")
+	}
+	if p.Func("missing") != nil {
+		t.Error("missing function should be nil")
+	}
+}
+
+func TestNodePositions(t *testing.T) {
+	pos := source.Pos{Line: 7, Col: 3}
+	nodes := []Node{
+		&IntLit{PosVal: pos}, &Name{PosVal: pos}, &Unary{PosVal: pos},
+		&Binary{PosVal: pos}, &Index{PosVal: pos}, &Call{PosVal: pos},
+		&NewArray{PosVal: pos}, &LenExpr{PosVal: pos},
+		&VarDecl{PosVal: pos}, &Assign{PosVal: pos}, &ExprStmt{PosVal: pos},
+		&PrintStmt{PosVal: pos}, &If{PosVal: pos}, &While{PosVal: pos},
+		&For{PosVal: pos}, &Break{PosVal: pos}, &Continue{PosVal: pos},
+		&Return{PosVal: pos}, &Block{PosVal: pos}, &FuncDecl{PosVal: pos},
+	}
+	for i, n := range nodes {
+		if n.Pos() != pos {
+			t.Errorf("node %d (%T) lost its position", i, n)
+		}
+	}
+	g := &GlobalDecl{Decl: &VarDecl{PosVal: pos}}
+	if g.Pos() != pos {
+		t.Error("global position wrong")
+	}
+}

@@ -1,0 +1,40 @@
+package autofdo
+
+import "debugtuner/internal/ir"
+
+// ApplyToIR installs profile-derived block frequencies and branch
+// probabilities on an optimized IR program, replacing the static
+// guess-branch-probability estimates. The back end's block placement,
+// spill weighting, and shrink-wrapping then work from measured behavior
+// — as accurate as the profile's line coverage allows.
+func ApplyToIR(prog *ir.Program, p *Profile) {
+	if p == nil || len(p.LineSamples) == 0 {
+		return
+	}
+	maxLine := float64(p.MaxLine())
+	for _, f := range prog.Funcs {
+		weight := func(b *ir.Block) float64 {
+			var w int64
+			for _, v := range b.Instrs {
+				if v.Line > 0 {
+					if c := p.LineSamples[v.Line]; c > w {
+						w = c
+					}
+				}
+			}
+			return float64(w)
+		}
+		for _, b := range f.Blocks {
+			w := weight(b)
+			// Scale into the same range the static estimator uses so
+			// downstream consumers need no special casing.
+			b.Freq = 1 + 63*w/maxLine
+			t := b.Term()
+			if t == nil || t.Op != ir.OpBr {
+				continue
+			}
+			w0, w1 := weight(b.Succs[0]), weight(b.Succs[1])
+			b.Prob = (w0 + 1) / (w0 + w1 + 2)
+		}
+	}
+}

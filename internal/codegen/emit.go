@@ -1,0 +1,386 @@
+package codegen
+
+import (
+	"debugtuner/internal/ast"
+	"debugtuner/internal/debuginfo"
+	"debugtuner/internal/ir"
+	"debugtuner/internal/vm"
+)
+
+// Compile lowers an optimized IR program all the way to an executable
+// binary with its debug-information section. The IR program is consumed
+// (critical edges are split in place).
+func Compile(prog *ir.Program, opts Options) *vm.Binary {
+	fidx := map[string]int64{}
+	for i, f := range prog.Funcs {
+		fidx[f.Name] = int64(i)
+	}
+	var mfuncs []*MFunc
+	for _, f := range prog.Funcs {
+		mf := lowerFunc(prog, f, &opts, fidx)
+		if opts.MachineSink {
+			machineSink(mf)
+		}
+		// Register allocation runs on reverse postorder — inlining
+		// appends callee blocks far from their call sites, and the
+		// linear-scan intervals must not be stretched by accidental
+		// block placement. The optional hot-path layout is a post-RA
+		// pass, as in LLVM's MachineBlockPlacement.
+		if opts.Schedule {
+			schedule(mf)
+		}
+		rpoSort(mf)
+		regalloc(mf, &opts)
+		if opts.Layout {
+			layout(mf)
+		}
+		if opts.ShrinkWrap {
+			shrinkWrap(mf)
+		} else {
+			mf.prologBlock = mf.Blocks[0]
+		}
+		if opts.CrossJump {
+			crossJump(mf)
+		}
+		mfuncs = append(mfuncs, mf)
+	}
+	return emit(prog, mfuncs, &opts)
+}
+
+// emit assembles the machine functions into a flat binary and builds the
+// debug tables.
+func emit(prog *ir.Program, mfuncs []*MFunc, opts *Options) *vm.Binary {
+	bin := &vm.Binary{}
+	for _, g := range prog.Globals {
+		bin.Globals = append(bin.Globals, vm.GlobalInfo{
+			Name: g.Name, IsArray: g.IsArray, Init: g.Init,
+		})
+	}
+	dbg := &debuginfo.Table{ForProfiling: opts.ForProfiling}
+
+	type fixup struct {
+		idx    int
+		target *MBlock
+	}
+	for fi, mf := range mfuncs {
+		start := len(bin.Code)
+		var fixups []fixup
+		blockAddr := map[*MBlock]int{}
+
+		// Insert the prologue at the front of its block.
+		if mf.prologBlock != nil {
+			pb := mf.prologBlock
+			pb.Instrs = append([]*MInstr{{
+				Op: vm.OpProlog, A: -1, B: -1, C: -1, D: -1,
+			}}, pb.Instrs...)
+		}
+
+		// Location-list builder state.
+		homeSlot := map[int]int{} // symID -> home slot
+		for slot, sym := range mf.SlotVars {
+			if sym != nil {
+				if _, dup := homeSlot[sym.ID]; !dup {
+					homeSlot[sym.ID] = slot
+				}
+			}
+		}
+		varRec := map[int]*debuginfo.Variable{}
+		getVar := func(sym *ast.Symbol) *debuginfo.Variable {
+			r := varRec[sym.ID]
+			if r == nil {
+				r = &debuginfo.Variable{
+					SymID: int32(sym.ID), Name: sym.Name, FuncIdx: int32(fi),
+				}
+				varRec[sym.ID] = r
+			}
+			return r
+		}
+		open := map[int]*debuginfo.LocEntry{} // symID -> open entry
+		closeEntry := func(symID, addr int) {
+			if e := open[symID]; e != nil {
+				e.End = uint32(addr)
+				delete(open, symID)
+			}
+		}
+		openEntry := func(sym *ast.Symbol, addr int, kind debuginfo.LocKind, operand int64) {
+			closeEntry(sym.ID, addr)
+			r := getVar(sym)
+			r.Entries = append(r.Entries, debuginfo.LocEntry{
+				Start: uint32(addr), End: uint32(addr), Kind: kind, Operand: operand,
+			})
+			open[sym.ID] = &r.Entries[len(r.Entries)-1]
+		}
+		// Precise-policy clobber: close register entries when the
+		// register is overwritten.
+		clobberReg := func(r, addr int) {
+			if opts.OptimisticRanges {
+				return
+			}
+			for sid, e := range open {
+				if e.Kind == debuginfo.LocReg && e.Operand == int64(r) {
+					closeEntry(sid, addr+1)
+				}
+			}
+		}
+		clobberSlot := func(s, addr int) {
+			if opts.OptimisticRanges {
+				return
+			}
+			for sid, e := range open {
+				if e.Kind == debuginfo.LocSpill && e.Operand == int64(s) {
+					closeEntry(sid, addr+1)
+				}
+			}
+		}
+
+		prologueEnd := start
+		var lastEmitted *vm.Instr
+		var pendingPre []vm.OwnerTag
+		for _, b := range mf.Blocks {
+			blockAddr[b] = len(bin.Code)
+			lastEmitted = nil
+			for _, in := range b.Instrs {
+				if in.Op == mDbg {
+					sym := in.Var
+					if _, isHome := homeSlot[sym.ID]; isHome {
+						continue // the -O0 home slot location wins
+					}
+					addr := len(bin.Code)
+					switch in.Sub {
+					case dbgNone:
+						openEntry(sym, addr, debuginfo.LocNone, 0)
+					case dbgVReg:
+						openEntry(sym, addr, debuginfo.LocReg, int64(in.A))
+						tag := vm.OwnerTag{Reg: int8(in.A), Slot: -1, Var: int32(sym.ID) + 1}
+						if lastEmitted != nil {
+							lastEmitted.Own = append(lastEmitted.Own, tag)
+						} else {
+							tag.Pre = true
+							pendingPre = append(pendingPre, tag)
+						}
+					case dbgConst:
+						openEntry(sym, addr, debuginfo.LocConst, in.Imm)
+					case dbgSpill:
+						openEntry(sym, addr, debuginfo.LocSpill, in.Imm)
+						tag := vm.OwnerTag{Reg: -1, Slot: int32(in.Imm), Var: int32(sym.ID) + 1}
+						if lastEmitted != nil {
+							lastEmitted.Own = append(lastEmitted.Own, tag)
+						} else {
+							tag.Pre = true
+							pendingPre = append(pendingPre, tag)
+						}
+					}
+					continue
+				}
+				addr := len(bin.Code)
+				out := vm.Instr{
+					Op: in.Op, Sub: in.Sub, Imm: in.Imm, Line: int32(in.Line),
+				}
+				setReg := func(dst *uint8, v int) {
+					if v >= 0 {
+						*dst = uint8(v)
+					}
+				}
+				setReg(&out.A, in.A)
+				setReg(&out.B, in.B)
+				setReg(&out.C, in.C)
+				setReg(&out.D, in.D)
+				switch in.Op {
+				case vm.OpProlog:
+					prologueEnd = addr + 1
+				case vm.OpJmp:
+					// handled below (fallthrough elision)
+				case vm.OpBr:
+				}
+				if d := defOf(in); d >= 0 {
+					clobberReg(d, addr)
+				}
+				if in.Op == vm.OpStoreSlot {
+					clobberSlot(int(in.Imm), addr)
+				}
+				if in.Op == vm.OpJmp || in.Op == vm.OpBr {
+					// emit with fixup below
+				}
+				if len(pendingPre) > 0 {
+					out.Own = append(out.Own, pendingPre...)
+					pendingPre = nil
+				}
+				bin.Code = append(bin.Code, out)
+				lastEmitted = &bin.Code[len(bin.Code)-1]
+				switch in.Op {
+				case vm.OpJmp:
+					fixups = append(fixups, fixup{addr, b.Succs[0]})
+				case vm.OpBr:
+					fixups = append(fixups, fixup{addr, b.Succs[0]})
+				}
+			}
+			// Control-flow continuation: a Br falls through to Succs[1].
+			// When layout placed the taken side next instead, invert the
+			// branch (jump-if-zero to the false side) so the hot edge
+			// falls through; otherwise append a jump for the false side.
+			if t := b.Term(); t != nil && t.Op == vm.OpBr {
+				next := nextBlock(mf, b)
+				brIdx := len(bin.Code) - 1
+				switch {
+				case next == b.Succs[1]:
+					// natural fallthrough
+				case next == b.Succs[0]:
+					bin.Code[brIdx].Sub = 1
+					fixups[len(fixups)-1].target = b.Succs[1]
+				default:
+					addr := len(bin.Code)
+					bin.Code = append(bin.Code, vm.Instr{Op: vm.OpJmp})
+					fixups = append(fixups, fixup{addr, b.Succs[1]})
+				}
+			}
+		}
+		end := len(bin.Code)
+		// Elide jumps to the immediately following address.
+		// (Done by rewriting to Nop is wasteful; instead patch targets
+		// first, then compact.)
+		for _, fx := range fixups {
+			bin.Code[fx.idx].Imm = int64(blockAddr[fx.target])
+		}
+		compactFallthroughs(bin, start, &end, varRec, dbg)
+
+		bin.Funcs = append(bin.Funcs, vm.FuncInfo{
+			Name: mf.Name, Start: start, End: end,
+			NumSlots: mf.NumSlots, NParams: mf.NParams,
+		})
+		fd := debuginfo.FuncDebug{
+			Name: mf.Name, Start: uint32(start), End: uint32(end),
+			StartLine: int32(mf.StartLine), PrologueEnd: uint32(prologueEnd),
+		}
+		if opts.ForProfiling {
+			fd.LinkageName = mf.Name
+			// -fdebug-info-for-profiling guarantees the entry address
+			// maps to the function's start line even if the first
+			// instruction is artificial.
+			if start < len(bin.Code) && bin.Code[start].Line == 0 {
+				bin.Code[start].Line = int32(mf.StartLine)
+			}
+		}
+		dbg.Funcs = append(dbg.Funcs, fd)
+
+		// Close open entries at function end and register variables.
+		for sid := range open {
+			closeEntry(sid, end)
+		}
+		// Home-slot variables: whole-function slot locations (the DWARF
+		// -O0 whole-scope defect, intentionally reproduced).
+		for slot, sym := range mf.SlotVars {
+			if sym == nil {
+				continue
+			}
+			if homeSlot[sym.ID] != slot {
+				continue
+			}
+			r := getVar(sym)
+			r.Entries = append(r.Entries, debuginfo.LocEntry{
+				Start: uint32(start), End: uint32(end),
+				Kind: debuginfo.LocSlot, Operand: int64(slot),
+			})
+		}
+		// Deterministic variable order: by symbol ID.
+		for sid := 0; sid < len(prog.Symbols); sid++ {
+			if r := varRec[sid]; r != nil && len(r.Entries) > 0 {
+				dbg.Vars = append(dbg.Vars, *r)
+			}
+		}
+	}
+
+	// Globals: static storage, always readable.
+	for _, g := range prog.Globals {
+		if g.Sym == nil {
+			continue
+		}
+		dbg.Vars = append(dbg.Vars, debuginfo.Variable{
+			SymID: int32(g.Sym.ID), Name: g.Name, FuncIdx: -1,
+			Entries: []debuginfo.LocEntry{{
+				Start: 0, End: uint32(len(bin.Code)),
+				Kind: debuginfo.LocGlobal, Operand: int64(g.Index),
+			}},
+		})
+	}
+
+	// Line table: one row per change point.
+	prevLine := int32(-1)
+	for i := range bin.Code {
+		if l := bin.Code[i].Line; l != prevLine {
+			dbg.Lines = append(dbg.Lines, debuginfo.LineEntry{
+				Addr: uint32(i), Line: l,
+			})
+			prevLine = l
+		}
+	}
+	bin.Debug = dbg.Encode()
+	return bin
+}
+
+func nextBlock(mf *MFunc, b *MBlock) *MBlock {
+	for i, x := range mf.Blocks {
+		if x == b && i+1 < len(mf.Blocks) {
+			return mf.Blocks[i+1]
+		}
+	}
+	return nil
+}
+
+// compactFallthroughs removes jumps whose target is the next address,
+// remapping all addresses (jump targets, location entries) accordingly.
+func compactFallthroughs(bin *vm.Binary, start int, end *int, varRec map[int]*debuginfo.Variable, dbg *debuginfo.Table) {
+	n := *end - start
+	drop := make([]bool, n)
+	for i := start; i < *end; i++ {
+		if bin.Code[i].Op == vm.OpJmp && bin.Code[i].Imm == int64(i+1) {
+			// Keep owner tags by migrating them to the next instruction.
+			if len(bin.Code[i].Own) > 0 && i+1 < *end {
+				for _, t := range bin.Code[i].Own {
+					t.Pre = true
+					bin.Code[i+1].Own = append(bin.Code[i+1].Own, t)
+				}
+			}
+			drop[i-start] = true
+		}
+	}
+	// New address mapping within [start, end).
+	remap := make([]int, n+1)
+	w := start
+	for i := 0; i < n; i++ {
+		remap[i] = w
+		if !drop[i] {
+			w++
+		}
+	}
+	remap[n] = w
+	if w == *end {
+		return
+	}
+	mapAddr := func(a int) int {
+		if a < start || a > *end {
+			return a
+		}
+		return remap[a-start]
+	}
+	// Rewrite code.
+	out := bin.Code[:start]
+	for i := start; i < *end; i++ {
+		if drop[i-start] {
+			continue
+		}
+		in := bin.Code[i]
+		if in.Op == vm.OpJmp || in.Op == vm.OpBr {
+			in.Imm = int64(mapAddr(int(in.Imm)))
+		}
+		out = append(out, in)
+	}
+	bin.Code = out
+	// Rewrite open location entries built so far for this function.
+	for _, r := range varRec {
+		for k := range r.Entries {
+			r.Entries[k].Start = uint32(mapAddr(int(r.Entries[k].Start)))
+			r.Entries[k].End = uint32(mapAddr(int(r.Entries[k].End)))
+		}
+	}
+	*end = w
+}

@@ -1,0 +1,380 @@
+package codegen
+
+import (
+	"fmt"
+
+	"debugtuner/internal/ir"
+	"debugtuner/internal/vm"
+)
+
+// binSubFor maps IR binary opcodes to VM sub-operation codes.
+var binSubFor = map[ir.Op]uint8{
+	ir.OpAdd: vm.BinAdd, ir.OpSub: vm.BinSub, ir.OpMul: vm.BinMul,
+	ir.OpDiv: vm.BinDiv, ir.OpRem: vm.BinRem, ir.OpAnd: vm.BinAnd,
+	ir.OpOr: vm.BinOr, ir.OpXor: vm.BinXor, ir.OpShl: vm.BinShl,
+	ir.OpShr: vm.BinShr, ir.OpEq: vm.BinEq, ir.OpNe: vm.BinNe,
+	ir.OpLt: vm.BinLt, ir.OpLe: vm.BinLe, ir.OpGt: vm.BinGt,
+	ir.OpGe: vm.BinGe,
+}
+
+// splitCriticalEdges inserts forwarding blocks on edges from multi-succ
+// predecessors into multi-pred blocks with phis, so phi-elimination moves
+// have a home that affects only their own edge.
+func splitCriticalEdges(f *ir.Func) {
+	for _, s := range append([]*ir.Block(nil), f.Blocks...) {
+		if len(s.Preds) < 2 || len(s.Phis()) == 0 {
+			continue
+		}
+		for pi := 0; pi < len(s.Preds); pi++ {
+			p := s.Preds[pi]
+			if len(p.Succs) < 2 {
+				continue
+			}
+			mid := f.NewBlock()
+			jmp := f.NewValue(mid, ir.OpJmp, 0)
+			mid.Instrs = append(mid.Instrs, jmp)
+			// Rewire exactly this edge occurrence: p's succ entry and
+			// s's pred entry at pi.
+			for si, ps := range p.Succs {
+				if ps == s {
+					p.Succs[si] = mid
+					break
+				}
+			}
+			mid.Preds = append(mid.Preds, p)
+			mid.Succs = append(mid.Succs, s)
+			s.Preds[pi] = mid
+		}
+	}
+}
+
+// lowerer carries per-function lowering state.
+type lowerer struct {
+	prog *ir.Program
+	opts *Options
+	mf   *MFunc
+	vreg []int // ir value ID -> vreg
+	fidx map[string]int64
+}
+
+// lowerFunc converts one IR function to machine IR.
+func lowerFunc(prog *ir.Program, f *ir.Func, opts *Options, fidx map[string]int64) *MFunc {
+	splitCriticalEdges(f)
+	mf := &MFunc{
+		Name: f.Name, NumSlots: f.NumSlots, NParams: f.NParams,
+		StartLine: f.StartLine, Pure: f.Pure,
+	}
+	mf.SlotVars = append(mf.SlotVars, f.SlotVars...)
+	lo := &lowerer{prog: prog, opts: opts, mf: mf, fidx: fidx}
+	lo.vreg = make([]int, f.NumValueIDs())
+	for i := range lo.vreg {
+		lo.vreg[i] = -1
+	}
+
+	blockMap := make(map[*ir.Block]*MBlock, len(f.Blocks))
+	for _, b := range f.Blocks {
+		mb := &MBlock{ID: b.ID, Freq: b.Freq, Prob: b.Prob}
+		blockMap[b] = mb
+		mf.Blocks = append(mf.Blocks, mb)
+	}
+	// Pre-assign vregs for phis so moves can target them.
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			if v.Op == ir.OpPhi {
+				lo.vreg[v.ID] = mf.newVReg()
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		mb := blockMap[b]
+		for _, v := range b.Instrs {
+			if v.Op.IsTerminator() {
+				// Phi moves for each successor happen before the
+				// terminator; on split edges the pred is single-succ.
+				lo.emitPhiMoves(b, mb)
+				lo.lowerTerm(b, mb, v, blockMap)
+				continue
+			}
+			lo.lowerValue(mb, v)
+		}
+	}
+	runTER(mf, opts.TER)
+	mirDCE(mf)
+	return mf
+}
+
+func (lo *lowerer) v(val *ir.Value) int {
+	r := lo.vreg[val.ID]
+	if r < 0 {
+		r = lo.mf.newVReg()
+		lo.vreg[val.ID] = r
+	}
+	return r
+}
+
+func (lo *lowerer) emit(mb *MBlock, in *MInstr) *MInstr {
+	mb.Instrs = append(mb.Instrs, in)
+	return in
+}
+
+func (lo *lowerer) lowerValue(mb *MBlock, v *ir.Value) {
+	line := v.Line
+	switch v.Op {
+	case ir.OpPhi:
+		// materialized by predecessor moves
+	case ir.OpConst:
+		lo.emit(mb, &MInstr{Op: vm.OpConst, D: lo.v(v), Imm: v.AuxInt, Line: line, A: -1, B: -1, C: -1})
+	case ir.OpParam:
+		lo.emit(mb, &MInstr{Op: vm.OpLoadParam, D: lo.v(v), Imm: v.AuxInt, Line: line, A: -1, B: -1, C: -1})
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem, ir.OpAnd,
+		ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr, ir.OpEq, ir.OpNe,
+		ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
+		lo.emit(mb, &MInstr{Op: vm.OpBin, Sub: binSubFor[v.Op],
+			A: lo.v(v.Args[0]), B: lo.v(v.Args[1]), D: lo.v(v), C: -1, Line: line})
+	case ir.OpNeg:
+		lo.emit(mb, &MInstr{Op: vm.OpNeg, A: lo.v(v.Args[0]), D: lo.v(v), B: -1, C: -1, Line: line})
+	case ir.OpNot:
+		lo.emit(mb, &MInstr{Op: vm.OpNot, A: lo.v(v.Args[0]), D: lo.v(v), B: -1, C: -1, Line: line})
+	case ir.OpSelect:
+		lo.emit(mb, &MInstr{Op: vm.OpSelect,
+			A: lo.v(v.Args[0]), B: lo.v(v.Args[1]), C: lo.v(v.Args[2]), D: lo.v(v), Line: line})
+	case ir.OpSlotLoad:
+		lo.emit(mb, &MInstr{Op: vm.OpLoadSlot, D: lo.v(v), Imm: v.AuxInt, A: -1, B: -1, C: -1, Line: line})
+	case ir.OpSlotStore:
+		lo.emit(mb, &MInstr{Op: vm.OpStoreSlot, A: lo.v(v.Args[0]), Imm: v.AuxInt, B: -1, C: -1, D: -1, Line: line})
+	case ir.OpGLoad, ir.OpGArr:
+		lo.emit(mb, &MInstr{Op: vm.OpGLoad, D: lo.v(v), Imm: v.AuxInt, A: -1, B: -1, C: -1, Line: line})
+	case ir.OpGStore:
+		lo.emit(mb, &MInstr{Op: vm.OpGStore, A: lo.v(v.Args[0]), Imm: v.AuxInt, B: -1, C: -1, D: -1, Line: line})
+	case ir.OpNewArray:
+		lo.emit(mb, &MInstr{Op: vm.OpNewArr, A: lo.v(v.Args[0]), D: lo.v(v), B: -1, C: -1, Line: line})
+	case ir.OpALoad:
+		lo.emit(mb, &MInstr{Op: vm.OpALoad, A: lo.v(v.Args[0]), B: lo.v(v.Args[1]), D: lo.v(v), C: -1, Line: line})
+	case ir.OpAStore:
+		lo.emit(mb, &MInstr{Op: vm.OpAStore,
+			A: lo.v(v.Args[0]), B: lo.v(v.Args[1]), C: lo.v(v.Args[2]), D: -1, Line: line})
+	case ir.OpLen:
+		lo.emit(mb, &MInstr{Op: vm.OpLen, A: lo.v(v.Args[0]), D: lo.v(v), B: -1, C: -1, Line: line})
+	case ir.OpVLoad2:
+		lo.emit(mb, &MInstr{Op: vm.OpVLoad2, A: lo.v(v.Args[0]), B: lo.v(v.Args[1]), D: lo.v(v), C: -1, Line: line})
+	case ir.OpVBin:
+		lo.emit(mb, &MInstr{Op: vm.OpVBin, Sub: binSubFor[ir.Op(v.AuxInt)],
+			A: lo.v(v.Args[0]), B: lo.v(v.Args[1]), D: lo.v(v), C: -1, Line: line})
+	case ir.OpVStore2:
+		lo.emit(mb, &MInstr{Op: vm.OpVStore2,
+			A: lo.v(v.Args[0]), B: lo.v(v.Args[1]), C: lo.v(v.Args[2]), D: -1, Line: line})
+	case ir.OpCall:
+		for _, a := range v.Args {
+			lo.emit(mb, &MInstr{Op: vm.OpArg, A: lo.v(a), B: -1, C: -1, D: -1, Line: line})
+		}
+		fi, ok := lo.fidx[v.Aux]
+		if !ok {
+			panic(fmt.Sprintf("codegen: call to unknown function %q", v.Aux))
+		}
+		lo.emit(mb, &MInstr{Op: vm.OpCall, D: lo.v(v), Imm: fi, A: -1, B: -1, C: -1, Line: line})
+	case ir.OpPrint:
+		lo.emit(mb, &MInstr{Op: vm.OpPrint, A: lo.v(v.Args[0]), B: -1, C: -1, D: -1, Line: line})
+	case ir.OpDbgValue:
+		in := &MInstr{Op: mDbg, Var: v.Var, A: -1, B: -1, C: -1, D: -1, Line: line}
+		switch {
+		case len(v.Args) == 0:
+			in.Sub = dbgNone
+		case v.Args[0].Op == ir.OpConst:
+			in.Sub = dbgConst
+			in.Imm = v.Args[0].AuxInt
+		default:
+			in.Sub = dbgVReg
+			in.A = lo.v(v.Args[0])
+		}
+		lo.emit(mb, in)
+	default:
+		panic(fmt.Sprintf("codegen: cannot lower %v", v.Op))
+	}
+}
+
+func (lo *lowerer) lowerTerm(b *ir.Block, mb *MBlock, v *ir.Value, blockMap map[*ir.Block]*MBlock) {
+	switch v.Op {
+	case ir.OpRet:
+		in := &MInstr{Op: vm.OpRet, A: -1, B: -1, C: -1, D: -1, Line: v.Line}
+		if len(v.Args) == 1 {
+			in.Sub = 1
+			in.A = lo.v(v.Args[0])
+		}
+		lo.emit(mb, in)
+	case ir.OpJmp:
+		lo.emit(mb, &MInstr{Op: vm.OpJmp, A: -1, B: -1, C: -1, D: -1, Line: v.Line})
+		mb.Succs = []*MBlock{blockMap[b.Succs[0]]}
+	case ir.OpBr:
+		lo.emit(mb, &MInstr{Op: vm.OpBr, A: lo.v(v.Args[0]), B: -1, C: -1, D: -1, Line: v.Line})
+		mb.Succs = []*MBlock{blockMap[b.Succs[0]], blockMap[b.Succs[1]]}
+	}
+	for _, s := range mb.Succs {
+		s.Preds = append(s.Preds, mb)
+	}
+}
+
+// emitPhiMoves lowers the phi semantics of b's successors into parallel
+// copies at the end of b (before its terminator position — the caller
+// emits the terminator afterwards). Critical edges were split, so when a
+// successor has phis either b is its only predecessor source of conflict
+// or b is a dedicated forwarding block.
+func (lo *lowerer) emitPhiMoves(b *ir.Block, mb *MBlock) {
+	type pair struct{ dst, src int }
+	var pairs []pair
+	for _, s := range b.Succs {
+		pi := -1
+		for i, p := range s.Preds {
+			if p == b {
+				pi = i
+				break
+			}
+		}
+		for _, phi := range s.Instrs {
+			if phi.Op != ir.OpPhi {
+				break
+			}
+			dst := lo.v(phi)
+			src := lo.v(phi.Args[pi])
+			if dst != src {
+				pairs = append(pairs, pair{dst, src})
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		return
+	}
+	// Parallel copy resolution: emit copies whose destination is not a
+	// pending source; break cycles with a temporary.
+	for len(pairs) > 0 {
+		emitted := false
+		for i, p := range pairs {
+			isSrc := false
+			for j, q := range pairs {
+				if i != j && q.src == p.dst {
+					isSrc = true
+					break
+				}
+			}
+			if isSrc {
+				continue
+			}
+			lo.emit(mb, &MInstr{Op: vm.OpMov, D: p.dst, A: p.src, B: -1, C: -1})
+			pairs = append(pairs[:i], pairs[i+1:]...)
+			emitted = true
+			break
+		}
+		if emitted {
+			continue
+		}
+		// Cycle: rotate through a temp.
+		tmp := lo.mf.newVReg()
+		p := pairs[0]
+		lo.emit(mb, &MInstr{Op: vm.OpMov, D: tmp, A: p.src, B: -1, C: -1})
+		for j := range pairs {
+			if pairs[j].src == p.src {
+				pairs[j].src = tmp
+			}
+		}
+	}
+}
+
+// runTER folds constants into immediate operands and lets the now-unused
+// constant loads die — gcc's temporary expression replacement at
+// expansion time. Short immediates (fitting the instruction word) fold
+// unconditionally during lowering, as on any real ISA; the tree-ter
+// toggle extends folding to wide constants, whose materializing loads —
+// and their line-table rows — then disappear.
+func runTER(mf *MFunc, full bool) {
+	constVal := map[int]int64{}
+	for _, b := range mf.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == vm.OpConst {
+				constVal[in.D] = in.Imm
+			}
+		}
+	}
+	foldable := func(c int64) bool {
+		return full || (c >= -64 && c < 64)
+	}
+	for _, b := range mf.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != vm.OpBin {
+				continue
+			}
+			if c, ok := constVal[in.B]; ok && foldable(c) {
+				in.Op = vm.OpBinImm
+				in.Imm = c
+				in.B = -1
+				continue
+			}
+			if c, ok := constVal[in.A]; ok && commutative(in.Sub) && foldable(c) {
+				in.A = in.B
+				in.Op = vm.OpBinImm
+				in.Imm = c
+				in.B = -1
+			}
+		}
+	}
+}
+
+func commutative(sub uint8) bool {
+	switch sub {
+	case vm.BinAdd, vm.BinMul, vm.BinAnd, vm.BinOr, vm.BinXor,
+		vm.BinEq, vm.BinNe:
+		return true
+	}
+	return false
+}
+
+// mirDCE removes pure machine instructions whose destinations are never
+// read. Debug markers referencing a removed constant convert to constant
+// markers; markers referencing other removed values become "optimized
+// out".
+func mirDCE(mf *MFunc) {
+	for {
+		used := map[int]bool{}
+		var reads []int
+		for _, b := range mf.Blocks {
+			for _, in := range b.Instrs {
+				reads = readsOf(in, reads[:0])
+				for _, r := range reads {
+					if r >= 0 && in.Op != mDbg {
+						used[r] = true
+					}
+				}
+			}
+		}
+		changed := false
+		for _, b := range mf.Blocks {
+			kept := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				d := defOf(in)
+				removable := d >= 0 && !used[d] && !hasSideEffect(in)
+				if !removable {
+					kept = append(kept, in)
+					continue
+				}
+				// Fix markers bound to the removed value.
+				for _, bb := range mf.Blocks {
+					for _, mk := range bb.Instrs {
+						if mk.Op == mDbg && mk.Sub == dbgVReg && mk.A == d {
+							if in.Op == vm.OpConst {
+								mk.Sub = dbgConst
+								mk.Imm = in.Imm
+								mk.A = -1
+							} else {
+								mk.Sub = dbgNone
+								mk.A = -1
+							}
+						}
+					}
+				}
+				changed = true
+			}
+			b.Instrs = kept
+		}
+		if !changed {
+			return
+		}
+	}
+}

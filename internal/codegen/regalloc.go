@@ -1,0 +1,412 @@
+package codegen
+
+import (
+	"sort"
+
+	"debugtuner/internal/vm"
+)
+
+// Linear-scan register allocation over the laid-out machine IR.
+//
+// Registers 0..allocatableRegs-1 are assignable; the last three
+// registers are reserved as spill scratch (three-operand instructions
+// like astore/select can have all operands spilled at once). Debug markers never extend live ranges —
+// debug information must not change code generation — which is precisely
+// why a variable's binding can point at a register that has since been
+// reused (and why the runtime materialization check exists).
+const (
+	allocatableRegs = vm.NumRegs - 3
+	scratch0        = vm.NumRegs - 3
+	scratch1        = vm.NumRegs - 2
+	scratch2        = vm.NumRegs - 1
+)
+
+// dbgSpill is the post-RA marker kind for a variable bound to a spilled
+// value; Imm holds the spill slot.
+const dbgSpill = 3
+
+type interval struct {
+	vreg       int
+	start, end int
+	uses       float64 // frequency-weighted use count, for spill choice
+	reg        int     // assigned register, or -1 when spilled
+	spillSlot  int
+	hint       int // move-related vreg for coalescing, or -1
+}
+
+// regalloc assigns physical registers, rewrites the code in place, and
+// records spill slots in mf.spillSlotOf.
+func regalloc(mf *MFunc, opts *Options) {
+	order := mf.Blocks
+	// Linear positions: each instruction gets an index in layout order.
+	// Half-position numbering: instruction k reads at 2k and defines at
+	// 2k+1, so a move's source interval ends strictly before its
+	// destination begins and the two can share a register.
+	pos := map[*MInstr]int{}
+	blockStart := map[*MBlock]int{}
+	blockEnd := map[*MBlock]int{}
+	n := 0
+	for _, b := range order {
+		blockStart[b] = 2 * n
+		for _, in := range b.Instrs {
+			if in.Op == mDbg {
+				continue
+			}
+			pos[in] = n
+			n++
+		}
+		blockEnd[b] = 2 * n
+	}
+
+	liveIn, liveOut := liveness(mf)
+
+	// Build single-range intervals.
+	ivs := map[int]*interval{}
+	get := func(v int) *interval {
+		iv := ivs[v]
+		if iv == nil {
+			iv = &interval{vreg: v, start: 1 << 30, end: -1, reg: -1, hint: -1}
+			ivs[v] = iv
+		}
+		return iv
+	}
+	extend := func(v, from, to int) {
+		iv := get(v)
+		if from < iv.start {
+			iv.start = from
+		}
+		if to > iv.end {
+			iv.end = to
+		}
+	}
+	var reads []int
+	for _, b := range order {
+		for v := range liveIn[b] {
+			extend(v, blockStart[b], blockStart[b])
+		}
+		for v := range liveOut[b] {
+			extend(v, blockStart[b], blockEnd[b])
+		}
+		for _, in := range b.Instrs {
+			if in.Op == mDbg {
+				continue
+			}
+			p := pos[in]
+			if d := defOf(in); d >= 0 {
+				extend(d, 2*p+1, 2*p+1)
+			}
+			reads = readsOf(in, reads[:0])
+			w := 1 + b.Freq
+			for _, r := range reads {
+				if r >= 0 {
+					extend(r, 2*p, 2*p)
+					get(r).uses += w
+				}
+			}
+			if d := defOf(in); d >= 0 {
+				get(d).uses += w
+			}
+			if in.Op == vm.OpMov {
+				// Move-related intervals prefer one register (basic
+				// out-of-SSA coalescing, always on). The CoalesceVars
+				// toggle additionally chains hints across moves,
+				// merging storage of distinct source variables —
+				// gcc's tree-coalesce-vars, with its measured debug
+				// cost.
+				get(in.D).hint = in.A
+				get(in.A).hint = in.D
+			}
+		}
+	}
+
+	if opts.CoalesceVars {
+		// Transitive hint chaining: a->b->c moves all prefer one home.
+		for _, iv := range ivs {
+			seen := map[int]bool{iv.vreg: true}
+			h := iv.hint
+			for h >= 0 && !seen[h] {
+				seen[h] = true
+				next := -1
+				if hv := ivs[h]; hv != nil {
+					next = hv.hint
+				}
+				if next < 0 || seen[next] {
+					break
+				}
+				h = next
+			}
+			if h >= 0 {
+				iv.hint = h
+			}
+		}
+	}
+	list := make([]*interval, 0, len(ivs))
+	for _, iv := range ivs {
+		list = append(list, iv)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].start != list[j].start {
+			return list[i].start < list[j].start
+		}
+		return list[i].vreg < list[j].vreg
+	})
+
+	// Scan.
+	var active []*interval
+	freeRegs := [allocatableRegs]bool{}
+	for i := range freeRegs {
+		freeRegs[i] = true
+	}
+	expire := func(now int) {
+		kept := active[:0]
+		for _, a := range active {
+			if a.end < now {
+				freeRegs[a.reg] = true
+			} else {
+				kept = append(kept, a)
+			}
+		}
+		active = kept
+	}
+	nextSpill := mf.NumSlots
+	var spillEnds []int // per spill slot: end of last occupant's interval
+	assignSlot := func(iv *interval) {
+		if opts.ShareSpillSlots {
+			for s := mf.NumSlots; s < nextSpill; s++ {
+				if spillEnds[s-mf.NumSlots] < iv.start {
+					spillEnds[s-mf.NumSlots] = iv.end
+					iv.spillSlot = s
+					return
+				}
+			}
+		}
+		iv.spillSlot = nextSpill
+		spillEnds = append(spillEnds, iv.end)
+		nextSpill++
+	}
+	for _, iv := range list {
+		expire(iv.start)
+		// Try the coalescing hint first.
+		if iv.hint >= 0 {
+			if h := ivs[iv.hint]; h != nil && h.reg >= 0 && freeRegs[h.reg] {
+				iv.reg = h.reg
+				freeRegs[h.reg] = false
+				active = append(active, iv)
+				continue
+			}
+		}
+		assigned := false
+		for r := 0; r < allocatableRegs; r++ {
+			if freeRegs[r] {
+				iv.reg = r
+				freeRegs[r] = false
+				active = append(active, iv)
+				assigned = true
+				break
+			}
+		}
+		if assigned {
+			continue
+		}
+		// Spill the active interval with the lowest frequency-weighted
+		// use density: long-lived loop-carried values stay in registers
+		// while cold scratch values go to the stack.
+		victim := iv
+		for _, a := range active {
+			if spillScore(a) < spillScore(victim) {
+				victim = a
+			}
+		}
+		if victim == iv {
+			assignSlot(iv)
+			continue
+		}
+		iv.reg = victim.reg
+		victim.reg = -1
+		assignSlot(victim)
+		for k, a := range active {
+			if a == victim {
+				active[k] = iv
+				break
+			}
+		}
+	}
+
+	mf.spillSlotOf = map[int]int{}
+	for _, iv := range list {
+		if iv.reg < 0 {
+			mf.spillSlotOf[iv.vreg] = iv.spillSlot
+		}
+	}
+	mf.NumSlots = nextSpill
+
+	// Rewrite: replace vregs with registers; spilled operands go through
+	// the scratch registers with explicit slot traffic.
+	regOf := func(v int) (int, bool) {
+		iv := ivs[v]
+		if iv == nil {
+			return 0, true // never-used vreg; any register will do
+		}
+		if iv.reg >= 0 {
+			return iv.reg, true
+		}
+		return iv.spillSlot, false
+	}
+	for _, b := range order {
+		out := make([]*MInstr, 0, len(b.Instrs))
+		for _, in := range b.Instrs {
+			if in.Op == mDbg {
+				if in.Sub == dbgVReg {
+					if r, inReg := regOf(in.A); inReg {
+						in.A = r
+					} else {
+						in.Sub = dbgSpill
+						in.Imm = int64(r)
+						in.A = -1
+					}
+				}
+				out = append(out, in)
+				continue
+			}
+			scratches := [3]int{scratch0, scratch1, scratch2}
+			nextScratch := 0
+			mapRead := func(v int) int {
+				if v < 0 {
+					return 0
+				}
+				r, inReg := regOf(v)
+				if inReg {
+					return r
+				}
+				s := scratches[nextScratch]
+				nextScratch++
+				out = append(out, &MInstr{
+					Op: vm.OpLoadSlot, D: s, Imm: int64(r),
+					A: -1, B: -1, C: -1,
+				})
+				return s
+			}
+			var spillStore *MInstr
+			mapDef := func(v int) int {
+				r, inReg := regOf(v)
+				if inReg {
+					return r
+				}
+				spillStore = &MInstr{
+					Op: vm.OpStoreSlot, A: scratch0, Imm: int64(r),
+					B: -1, C: -1, D: -1,
+				}
+				return scratch0
+			}
+			reads = readsOf(in, reads[:0])
+			// Map reads in canonical operand order.
+			switch len(reads) {
+			case 0:
+			default:
+				// Rewrite each read operand field that holds a vreg.
+				switch in.Op {
+				case vm.OpMov, vm.OpNeg, vm.OpNot, vm.OpStoreSlot,
+					vm.OpGStore, vm.OpNewArr, vm.OpLen, vm.OpArg,
+					vm.OpPrint, vm.OpBr, vm.OpBinImm:
+					in.A = mapRead(in.A)
+				case vm.OpBin, vm.OpVBin, vm.OpALoad, vm.OpVLoad2:
+					in.A = mapRead(in.A)
+					in.B = mapRead(in.B)
+				case vm.OpSelect, vm.OpAStore, vm.OpVStore2:
+					in.A = mapRead(in.A)
+					in.B = mapRead(in.B)
+					in.C = mapRead(in.C)
+				case vm.OpRet:
+					if in.Sub != 0 {
+						in.A = mapRead(in.A)
+					}
+				}
+			}
+			if d := defOf(in); d >= 0 {
+				in.D = mapDef(d)
+			} else if in.D >= 0 {
+				in.D = 0
+			}
+			// Identity moves left over by coalescing disappear — but a
+			// spilled-to-spilled move still needs its store: the value
+			// was reloaded into scratch and must reach the destination
+			// slot.
+			if in.Op == vm.OpMov && in.A == in.D {
+				if spillStore != nil {
+					out = append(out, spillStore)
+				}
+				continue
+			}
+			out = append(out, in)
+			if spillStore != nil {
+				out = append(out, spillStore)
+			}
+		}
+		b.Instrs = out
+	}
+}
+
+// spillScore orders spill candidates: fewer weighted uses per covered
+// position means cheaper to spill.
+func spillScore(iv *interval) float64 {
+	length := float64(iv.end-iv.start) + 1
+	return iv.uses / length
+}
+
+// liveness computes per-block live-in/out vreg sets over the machine IR,
+// ignoring debug markers.
+func liveness(mf *MFunc) (liveIn, liveOut map[*MBlock]map[int]bool) {
+	liveIn = map[*MBlock]map[int]bool{}
+	liveOut = map[*MBlock]map[int]bool{}
+	use := map[*MBlock]map[int]bool{}
+	def := map[*MBlock]map[int]bool{}
+	var reads []int
+	for _, b := range mf.Blocks {
+		u, d := map[int]bool{}, map[int]bool{}
+		for _, in := range b.Instrs {
+			if in.Op == mDbg {
+				continue
+			}
+			reads = readsOf(in, reads[:0])
+			for _, r := range reads {
+				if r >= 0 && !d[r] {
+					u[r] = true
+				}
+			}
+			if dd := defOf(in); dd >= 0 {
+				d[dd] = true
+			}
+		}
+		use[b], def[b] = u, d
+		liveIn[b], liveOut[b] = map[int]bool{}, map[int]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(mf.Blocks) - 1; i >= 0; i-- {
+			b := mf.Blocks[i]
+			out := liveOut[b]
+			for _, s := range b.Succs {
+				for v := range liveIn[s] {
+					if !out[v] {
+						out[v] = true
+						changed = true
+					}
+				}
+			}
+			in := liveIn[b]
+			for v := range use[b] {
+				if !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+			for v := range out {
+				if !def[b][v] && !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return liveIn, liveOut
+}

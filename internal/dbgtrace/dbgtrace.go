@@ -1,0 +1,147 @@
+// Package dbgtrace defines debug-session traces: which source lines a
+// debugger stopped on and which variables were readable at each stop.
+// Traces are the raw material of every debuggability metric, and the
+// package also implements the paper's greedy set-cover input pruning
+// (§IV): inputs that step no new lines are discarded.
+package dbgtrace
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// Trace is the outcome of one debug session (one binary, any number of
+// inputs run back to back, temporary breakpoints on every line).
+type Trace struct {
+	// Stepped is the set of lines the debugger stopped on.
+	Stepped map[int]bool
+	// Avail maps each stepped line to the set of variables (symbol IDs)
+	// that were visible with a value at the stop.
+	Avail map[int]map[int]bool
+	// Steppable is the number of distinct lines in the binary's line
+	// table (breakpoint-eligible lines).
+	Steppable int
+}
+
+// NewTrace allocates an empty trace.
+func NewTrace() *Trace {
+	return &Trace{Stepped: map[int]bool{}, Avail: map[int]map[int]bool{}}
+}
+
+// Record adds one stop observation.
+func (t *Trace) Record(line int, vars []int) {
+	t.Stepped[line] = true
+	set := t.Avail[line]
+	if set == nil {
+		set = map[int]bool{}
+		t.Avail[line] = set
+	}
+	for _, v := range vars {
+		set[v] = true
+	}
+}
+
+// Merge unions another trace into this one.
+func (t *Trace) Merge(o *Trace) {
+	for l := range o.Stepped {
+		t.Stepped[l] = true
+	}
+	for l, vars := range o.Avail {
+		set := t.Avail[l]
+		if set == nil {
+			set = map[int]bool{}
+			t.Avail[l] = set
+		}
+		for v := range vars {
+			set[v] = true
+		}
+	}
+	if o.Steppable > t.Steppable {
+		t.Steppable = o.Steppable
+	}
+}
+
+// Lines returns the stepped lines in ascending order.
+func (t *Trace) Lines() []int {
+	out := make([]int, 0, len(t.Stepped))
+	for l := range t.Stepped {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// jsonTrace is the export schema (one object per stepped line), matching
+// the paper's JSON trace export for offline comparison.
+type jsonTrace struct {
+	Steppable int            `json:"steppable_lines"`
+	Lines     []jsonLineStop `json:"lines"`
+}
+
+type jsonLineStop struct {
+	Line int   `json:"line"`
+	Vars []int `json:"vars"`
+}
+
+// MarshalJSON exports the trace deterministically.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	out := jsonTrace{Steppable: t.Steppable}
+	for _, l := range t.Lines() {
+		var vars []int
+		for v := range t.Avail[l] {
+			vars = append(vars, v)
+		}
+		sort.Ints(vars)
+		out.Lines = append(out.Lines, jsonLineStop{Line: l, Vars: vars})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON imports an exported trace.
+func (t *Trace) UnmarshalJSON(data []byte) error {
+	var in jsonTrace
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	t.Stepped = map[int]bool{}
+	t.Avail = map[int]map[int]bool{}
+	t.Steppable = in.Steppable
+	for _, ls := range in.Lines {
+		t.Record(ls.Line, ls.Vars)
+	}
+	return nil
+}
+
+// CoverPrune implements the paper's fast set-cover approximation over
+// per-input traces: inputs are processed in order of most unique stepped
+// lines first, and an input that steps no line beyond those already
+// covered is discarded. It returns the indices of the retained inputs,
+// in processing order.
+func CoverPrune(perInput []*Trace) []int {
+	order := make([]int, len(perInput))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(perInput[order[a]].Stepped) > len(perInput[order[b]].Stepped)
+	})
+	covered := map[int]bool{}
+	var kept []int
+	for _, idx := range order {
+		fresh := false
+		for l := range perInput[idx].Stepped {
+			if !covered[l] {
+				fresh = true
+				break
+			}
+		}
+		if !fresh && len(covered) > 0 {
+			continue
+		}
+		for l := range perInput[idx].Stepped {
+			covered[l] = true
+		}
+		kept = append(kept, idx)
+	}
+	return kept
+}

@@ -1,0 +1,112 @@
+package dbgtrace
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordAndMerge(t *testing.T) {
+	a := NewTrace()
+	a.Record(10, []int{1, 2})
+	a.Record(10, []int{3})
+	a.Record(20, nil)
+	b := NewTrace()
+	b.Record(20, []int{4})
+	b.Record(30, []int{5})
+	b.Steppable = 50
+
+	a.Merge(b)
+	if !reflect.DeepEqual(a.Lines(), []int{10, 20, 30}) {
+		t.Fatalf("lines = %v", a.Lines())
+	}
+	if !a.Avail[10][1] || !a.Avail[10][3] || !a.Avail[20][4] {
+		t.Fatal("availability union broken")
+	}
+	if a.Steppable != 50 {
+		t.Fatalf("steppable = %d", a.Steppable)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := NewTrace()
+	tr.Steppable = 7
+	tr.Record(3, []int{9, 1})
+	tr.Record(1, []int{2})
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Lines(), back.Lines()) ||
+		back.Steppable != 7 || !back.Avail[3][9] {
+		t.Fatalf("round trip: %s", data)
+	}
+	// Deterministic output.
+	data2, _ := json.Marshal(tr)
+	if string(data) != string(data2) {
+		t.Fatal("nondeterministic JSON")
+	}
+}
+
+func TestCoverPruneBasic(t *testing.T) {
+	mk := func(lines ...int) *Trace {
+		tr := NewTrace()
+		for _, l := range lines {
+			tr.Record(l, nil)
+		}
+		return tr
+	}
+	traces := []*Trace{
+		mk(1, 2),       // 0
+		mk(1, 2, 3, 4), // 1: superset of 0
+		mk(5),          // 2: new line
+		mk(2, 3),       // 3: fully covered by 1
+	}
+	kept := CoverPrune(traces)
+	want := map[int]bool{1: true, 2: true}
+	if len(kept) != len(want) {
+		t.Fatalf("kept %v", kept)
+	}
+	for _, k := range kept {
+		if !want[k] {
+			t.Fatalf("kept unexpected input %d", k)
+		}
+	}
+}
+
+// TestCoverPruneProperty (property): pruning preserves the union of
+// stepped lines and never keeps a fully-redundant input after the first.
+func TestCoverPruneProperty(t *testing.T) {
+	check := func(raw [][]uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var traces []*Trace
+		union := map[int]bool{}
+		for _, lines := range raw {
+			tr := NewTrace()
+			for _, l := range lines {
+				tr.Record(int(l%31), nil)
+				union[int(l%31)] = true
+			}
+			traces = append(traces, tr)
+		}
+		kept := CoverPrune(traces)
+		covered := map[int]bool{}
+		for _, k := range kept {
+			for l := range traces[k].Stepped {
+				covered[l] = true
+			}
+		}
+		return reflect.DeepEqual(union, covered) ||
+			(len(union) == 0 && len(covered) == 0)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package debugger implements the source-level debugger used for trace
+// extraction (DebugTuner stage 2, §III.A): it loads a binary's debug
+// information, plants a temporary breakpoint on every line in the line
+// table, runs the program over a set of inputs in one session, and at
+// each stop records which variables are visible with a value.
+//
+// "Visible with a value" is checked against runtime ground truth: a
+// register (or shared spill slot) location only counts when the register
+// still holds that variable's value, and frame-based locations only
+// count once the prologue has run. Locations present in the debug
+// information that fail these checks are exactly the entries static
+// metrics over-count (§II).
+package debugger
+
+import (
+	"fmt"
+
+	"debugtuner/internal/dbgtrace"
+	"debugtuner/internal/debuginfo"
+	"debugtuner/internal/vm"
+)
+
+// Session drives one binary under the debugger.
+type Session struct {
+	Bin   *vm.Binary
+	Table *debuginfo.Table
+
+	// lineAddrs maps each steppable line to its breakpoint addresses.
+	lineAddrs map[int][]uint32
+	// varsByFunc caches the variable records per function index, plus
+	// the globals under index -1.
+	varsByFunc map[int][]*debuginfo.Variable
+}
+
+// NewSession decodes the binary's debug section.
+func NewSession(bin *vm.Binary) (*Session, error) {
+	if bin.Debug == nil {
+		return nil, fmt.Errorf("debugger: binary has no debug information")
+	}
+	table, err := debuginfo.Decode(bin.Debug)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		Bin: bin, Table: table,
+		lineAddrs:  table.BreakAddrs(),
+		varsByFunc: map[int][]*debuginfo.Variable{},
+	}
+	for i := range table.Vars {
+		v := &table.Vars[i]
+		s.varsByFunc[int(v.FuncIdx)] = append(s.varsByFunc[int(v.FuncIdx)], v)
+	}
+	return s, nil
+}
+
+// SteppableLines returns the number of breakpoint-eligible lines.
+func (s *Session) SteppableLines() int { return len(s.lineAddrs) }
+
+// Trace runs the harness over every input in one debug session with
+// temporary breakpoints on all steppable lines, and returns the trace.
+// Each input is an argument vector (array contents); the harness is
+// called as harness(input, len(input)).
+func (s *Session) Trace(harness string, inputs [][]int64, budget int64) (*dbgtrace.Trace, error) {
+	tr := dbgtrace.NewTrace()
+	tr.Steppable = len(s.lineAddrs)
+
+	m := vm.New(s.Bin)
+	m.StepBudget = budget
+	m.Breaks = map[int]bool{}
+	for _, addrs := range s.lineAddrs {
+		for _, a := range addrs {
+			m.Breaks[int(a)] = true
+		}
+	}
+	m.OnBreak = func(m *vm.Machine, addr int) {
+		line := int(s.Table.LineForAddr(uint32(addr)))
+		if line <= 0 {
+			delete(m.Breaks, addr)
+			return
+		}
+		vars := s.availableVars(m, uint32(addr))
+		tr.Record(line, vars)
+		// Temporary breakpoint: once the line is stepped, all of its
+		// addresses are released.
+		for _, a := range s.lineAddrs[line] {
+			delete(m.Breaks, int(a))
+		}
+	}
+	for _, in := range inputs {
+		h := m.NewArray(in)
+		if _, err := m.Call(harness, h, int64(len(in))); err != nil {
+			if err == vm.ErrBudget {
+				// Budget exhaustion truncates the trace but the session
+				// remains valid — matching a debugger session killed by
+				// a watchdog.
+				break
+			}
+			return nil, err
+		}
+		if len(m.Breaks) == 0 {
+			break // every line stepped; later inputs add nothing
+		}
+	}
+	return tr, nil
+}
+
+// TraceMain runs a zero-argument entry point (synthetic programs and
+// examples use main-style entry) under the same temporary-breakpoint
+// session.
+func (s *Session) TraceMain(entry string, budget int64) (*dbgtrace.Trace, error) {
+	tr := dbgtrace.NewTrace()
+	tr.Steppable = len(s.lineAddrs)
+	m := vm.New(s.Bin)
+	m.StepBudget = budget
+	m.Breaks = map[int]bool{}
+	for _, addrs := range s.lineAddrs {
+		for _, a := range addrs {
+			m.Breaks[int(a)] = true
+		}
+	}
+	m.OnBreak = func(m *vm.Machine, addr int) {
+		line := int(s.Table.LineForAddr(uint32(addr)))
+		if line <= 0 {
+			delete(m.Breaks, addr)
+			return
+		}
+		tr.Record(line, s.availableVars(m, uint32(addr)))
+		for _, a := range s.lineAddrs[line] {
+			delete(m.Breaks, int(a))
+		}
+	}
+	if _, err := m.Call(entry); err != nil && err != vm.ErrBudget {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// availableVars evaluates each in-scope variable's location at the stop
+// and returns the symbol IDs that materialize.
+func (s *Session) availableVars(m *vm.Machine, addr uint32) []int {
+	var out []int
+	fr := m.Frame()
+	fd := s.Table.FuncForAddr(addr)
+	if fd != nil && fr != nil {
+		fi := -1
+		for i := range s.Table.Funcs {
+			if &s.Table.Funcs[i] == fd {
+				fi = i
+				break
+			}
+		}
+		for _, v := range s.varsByFunc[fi] {
+			if s.materializes(m, fr, v, addr) {
+				out = append(out, int(v.SymID))
+			}
+		}
+	}
+	for _, v := range s.varsByFunc[-1] { // globals: static storage
+		if e := v.LocAt(addr); e != nil && e.Kind == debuginfo.LocGlobal {
+			out = append(out, int(v.SymID))
+		}
+	}
+	return out
+}
+
+// materializes checks a local variable's location against the frame.
+func (s *Session) materializes(m *vm.Machine, fr *vm.Frame, v *debuginfo.Variable, addr uint32) bool {
+	e := v.LocAt(addr)
+	if e == nil {
+		return false
+	}
+	switch e.Kind {
+	case debuginfo.LocConst:
+		return true
+	case debuginfo.LocReg:
+		r := int(e.Operand)
+		return r >= 0 && r < vm.NumRegs && fr.Owner[r] == v.SymID+1
+	case debuginfo.LocSlot:
+		// Home slots read unconditionally once the frame exists — the
+		// DWARF whole-scope behavior at -O0.
+		return fr.PrologueDone && int(e.Operand) < len(fr.Slots)
+	case debuginfo.LocSpill:
+		sl := int(e.Operand)
+		return fr.PrologueDone && sl >= 0 && sl < len(fr.SlotOwn) &&
+			fr.SlotOwn[sl] == v.SymID+1
+	}
+	return false
+}
+
+// ReadVar returns the variable's value at the current stop, for
+// interactive use (cmd/mdb); ok is false when it does not materialize.
+func (s *Session) ReadVar(m *vm.Machine, name string, addr uint32) (int64, bool) {
+	fr := m.Frame()
+	fd := s.Table.FuncForAddr(addr)
+	if fr == nil || fd == nil {
+		return 0, false
+	}
+	for i := range s.Table.Funcs {
+		if &s.Table.Funcs[i] != fd {
+			continue
+		}
+		for _, v := range s.varsByFunc[i] {
+			if v.Name != name || !s.materializes(m, fr, v, addr) {
+				continue
+			}
+			e := v.LocAt(addr)
+			switch e.Kind {
+			case debuginfo.LocConst:
+				return e.Operand, true
+			case debuginfo.LocReg:
+				return fr.Regs[e.Operand], true
+			case debuginfo.LocSlot, debuginfo.LocSpill:
+				return fr.Slots[e.Operand], true
+			}
+		}
+	}
+	for _, v := range s.varsByFunc[-1] {
+		if v.Name == name {
+			if e := v.LocAt(addr); e != nil && e.Kind == debuginfo.LocGlobal {
+				return m.Globals[e.Operand], true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,142 @@
+package debugger
+
+import (
+	"testing"
+
+	"debugtuner/internal/pipeline"
+)
+
+const dbgSrc = `
+var g: int = 100;
+
+func scale(x: int): int {
+	var factor: int = 3;
+	var scaled: int = x * factor;
+	return scaled + g;
+}
+func main() {
+	var total: int = 0;
+	for (var i: int = 0; i < 4; i = i + 1) {
+		total = total + scale(i);
+	}
+	print(total);
+}
+`
+
+func session(t *testing.T, cfg pipeline.Config) *Session {
+	t.Helper()
+	bin, _, err := pipeline.CompileSource("d.mc", []byte(dbgSrc), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestO0TraceIsComplete(t *testing.T) {
+	s := session(t, pipeline.Config{Profile: pipeline.GCC, Level: "O0"})
+	tr, err := s.TraceMain("main", 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Stepped) != tr.Steppable {
+		t.Fatalf("stepped %d of %d steppable lines at O0",
+			len(tr.Stepped), tr.Steppable)
+	}
+	// At O0, every line inside scale must show factor, scaled (after
+	// decl, via whole-scope home slots), x, and the global g.
+	line6 := tr.Avail[6] // "var scaled: int = x * factor;"
+	if len(line6) < 3 {
+		t.Fatalf("only %d variables visible at line 6: %v", len(line6), line6)
+	}
+}
+
+func TestOptimizedTraceLosesInformation(t *testing.T) {
+	base := session(t, pipeline.Config{Profile: pipeline.GCC, Level: "O0"})
+	baseTr, err := base.TraceMain("main", 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := session(t, pipeline.Config{Profile: pipeline.GCC, Level: "O2"})
+	optTr, err := opt.TraceMain("main", 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(optTr.Stepped) > len(baseTr.Stepped) {
+		t.Fatal("optimized build stepped more lines than O0")
+	}
+	baseVars, optVars := 0, 0
+	for l := range baseTr.Stepped {
+		baseVars += len(baseTr.Avail[l])
+	}
+	for l := range optTr.Stepped {
+		optVars += len(optTr.Avail[l])
+	}
+	if optVars >= baseVars {
+		t.Fatalf("optimization lost no variable visibility: %d vs %d",
+			optVars, baseVars)
+	}
+}
+
+func TestTemporaryBreakpointsFireOnce(t *testing.T) {
+	s := session(t, pipeline.Config{Profile: pipeline.GCC, Level: "O1"})
+	tr, err := s.TraceMain("main", 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loop body line is executed 4 times but recorded once: the
+	// availability set of any single line stays bounded by the symbol
+	// count (a second visit would have to re-add identical IDs anyway;
+	// this asserts the map exists exactly for stepped lines).
+	for l := range tr.Avail {
+		if !tr.Stepped[l] {
+			t.Fatalf("availability recorded for unstepped line %d", l)
+		}
+	}
+}
+
+func TestHarnessTrace(t *testing.T) {
+	src := `
+func fuzz_h(input: int[], n: int) {
+	var seen: int = 0;
+	for (var i: int = 0; i < n; i = i + 1) {
+		if (input[i] > 10) {
+			seen = seen + 1;
+		}
+	}
+	print(seen);
+}`
+	bin, _, err := pipeline.CompileSource("h.mc", []byte(src),
+		pipeline.Config{Profile: pipeline.Clang, Level: "O1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second input reaches the then-branch; one session over both
+	// must cover it.
+	tr, err := s.Trace("fuzz_h", [][]int64{{1, 2}, {50, 60}}, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Stepped[6] {
+		t.Fatalf("then-branch line not stepped: %v", tr.Lines())
+	}
+}
+
+func TestNoDebugSectionRejected(t *testing.T) {
+	bin, _, err := pipeline.CompileSource("d.mc", []byte(dbgSrc),
+		pipeline.Config{Profile: pipeline.GCC, Level: "O0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin.Debug = nil
+	if _, err := NewSession(bin); err == nil {
+		t.Fatal("session without debug info should fail")
+	}
+}

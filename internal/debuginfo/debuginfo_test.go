@@ -1,0 +1,161 @@
+package debuginfo
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTable() *Table {
+	return &Table{
+		ForProfiling: true,
+		Funcs: []FuncDebug{
+			{Name: "main", Start: 0, End: 40, StartLine: 10, PrologueEnd: 1, LinkageName: "main"},
+			{Name: "helper", Start: 40, End: 60, StartLine: 30, PrologueEnd: 41},
+		},
+		Lines: []LineEntry{
+			{Addr: 0, Line: 0}, {Addr: 1, Line: 11}, {Addr: 5, Line: 12},
+			{Addr: 9, Line: 0}, {Addr: 12, Line: 11}, {Addr: 40, Line: 31},
+		},
+		Vars: []Variable{
+			{SymID: 0, Name: "x", FuncIdx: 0, Entries: []LocEntry{
+				{Start: 2, End: 8, Kind: LocReg, Operand: 3},
+				{Start: 8, End: 40, Kind: LocSpill, Operand: 1},
+			}},
+			{SymID: 1, Name: "g", FuncIdx: -1, Entries: []LocEntry{
+				{Start: 0, End: 60, Kind: LocGlobal, Operand: 0},
+			}},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tab := sampleTable()
+	dec, err := Decode(tab.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tab, dec) {
+		t.Fatalf("round trip mismatch:\n%+v\nvs\n%+v", tab, dec)
+	}
+}
+
+func TestLineForAddr(t *testing.T) {
+	tab := sampleTable()
+	cases := map[uint32]int32{
+		0: 0, 1: 11, 4: 11, 5: 12, 8: 12, 9: 0, 11: 0, 12: 11, 39: 11,
+		40: 31, 59: 31,
+	}
+	for addr, want := range cases {
+		if got := tab.LineForAddr(addr); got != want {
+			t.Errorf("LineForAddr(%d) = %d, want %d", addr, got, want)
+		}
+	}
+}
+
+func TestFuncForAddr(t *testing.T) {
+	tab := sampleTable()
+	if f := tab.FuncForAddr(5); f == nil || f.Name != "main" {
+		t.Error("addr 5 should be in main")
+	}
+	if f := tab.FuncForAddr(45); f == nil || f.Name != "helper" {
+		t.Error("addr 45 should be in helper")
+	}
+	if f := tab.FuncForAddr(60); f != nil {
+		t.Error("addr 60 is out of range")
+	}
+}
+
+func TestSteppableAndBreakAddrs(t *testing.T) {
+	tab := sampleTable()
+	lines := tab.SteppableLines()
+	if !lines[11] || !lines[12] || !lines[31] || lines[0] {
+		t.Fatalf("steppable lines = %v", lines)
+	}
+	ba := tab.BreakAddrs()
+	if !reflect.DeepEqual(ba[11], []uint32{1, 12}) {
+		t.Errorf("line 11 addrs = %v", ba[11])
+	}
+}
+
+func TestLocAtLastWins(t *testing.T) {
+	v := Variable{Entries: []LocEntry{
+		{Start: 0, End: 20, Kind: LocSlot, Operand: 1},
+		{Start: 5, End: 10, Kind: LocReg, Operand: 2},
+	}}
+	if e := v.LocAt(7); e == nil || e.Kind != LocReg {
+		t.Error("overlapping refinement should win")
+	}
+	if e := v.LocAt(15); e == nil || e.Kind != LocSlot {
+		t.Error("outside the refinement the base entry applies")
+	}
+	if e := v.LocAt(25); e != nil {
+		t.Error("no entry should cover 25")
+	}
+}
+
+// TestEncodeDecodeProperty (property): arbitrary well-formed tables
+// survive the round trip.
+func TestEncodeDecodeProperty(t *testing.T) {
+	gen := func(seed int64) *Table {
+		rng := rand.New(rand.NewSource(seed))
+		tab := &Table{ForProfiling: rng.Intn(2) == 0}
+		addr := uint32(0)
+		nf := 1 + rng.Intn(4)
+		for i := 0; i < nf; i++ {
+			start := addr
+			addr += uint32(1 + rng.Intn(50))
+			tab.Funcs = append(tab.Funcs, FuncDebug{
+				Name: string(rune('a' + i)), Start: start, End: addr,
+				StartLine: int32(rng.Intn(100)), PrologueEnd: start + 1,
+			})
+		}
+		la := uint32(0)
+		for i := 0; i < rng.Intn(20); i++ {
+			la += uint32(1 + rng.Intn(5))
+			tab.Lines = append(tab.Lines, LineEntry{Addr: la, Line: int32(rng.Intn(50))})
+		}
+		for i := 0; i < rng.Intn(6); i++ {
+			v := Variable{SymID: int32(i), Name: "v", FuncIdx: int32(rng.Intn(nf))}
+			for j := 0; j < rng.Intn(4); j++ {
+				s := uint32(rng.Intn(100))
+				v.Entries = append(v.Entries, LocEntry{
+					Start: s, End: s + uint32(rng.Intn(20)),
+					Kind: LocKind(rng.Intn(6)), Operand: int64(rng.Intn(64) - 16),
+				})
+			}
+			tab.Vars = append(tab.Vars, v)
+		}
+		return tab
+	}
+	check := func(seed int64) bool {
+		tab := gen(seed)
+		dec, err := Decode(tab.Encode())
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(tab, dec)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeRejectsGarbage: corrupt input must error, not panic.
+func TestDecodeRejectsGarbage(t *testing.T) {
+	blob := sampleTable().Encode()
+	if _, err := Decode(nil); err == nil {
+		t.Error("nil input accepted")
+	}
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Error("bad magic accepted")
+	}
+	for cut := 1; cut < len(blob); cut += 7 {
+		if _, err := Decode(blob[:cut]); err == nil {
+			// A truncation can still parse if it lands on a boundary
+			// with zero trailing counts; just ensure no panic happened.
+			continue
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"debugtuner/internal/autofdo"
+	"debugtuner/internal/debugger"
+	"debugtuner/internal/pipeline"
+	"debugtuner/internal/specsuite"
+)
+
+// specsuiteSpeedup is a thin indirection kept for memoization in
+// rankings.go.
+func specsuiteSpeedup(bench string, cfg pipeline.Config) (float64, error) {
+	return specsuite.Speedup(bench, cfg)
+}
+
+// fdoCycles builds the final binary at cfg with the given profile and
+// runs the benchmark.
+func fdoCycles(bench string, cfg pipeline.Config, p *autofdo.Profile) (int64, error) {
+	ir0, err := specsuite.LoadIR(bench)
+	if err != nil {
+		return 0, err
+	}
+	cfg.FDO = p
+	res, err := specsuite.RunBinary(bench, pipeline.Build(ir0, cfg))
+	if err != nil {
+		return 0, err
+	}
+	return res.Cycles, nil
+}
+
+// collectProfile builds the profiling binary at cfg (+ the
+// -fdebug-info-for-profiling analog, as the paper does) and samples the
+// ref workload.
+func (r *Runner) collectProfile(bench string, cfg pipeline.Config) (*autofdo.Profile, int, error) {
+	ir0, err := specsuite.LoadIR(bench)
+	if err != nil {
+		return nil, 0, err
+	}
+	cfg.ForProfiling = true
+	bin := pipeline.Build(ir0, cfg)
+	sess, err := debugger.NewSession(bin)
+	if err != nil {
+		return nil, 0, err
+	}
+	steppable := sess.SteppableLines()
+	p, err := autofdo.Collect(bin, "main", r.Opts.SampleEvery)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, steppable, nil
+}
+
+// Fig3 reproduces the AutoFDO SPEC study (paper Figure 3): for each
+// benchmark, AutoFDO with the best O2-dy profile vs AutoFDO with the O2
+// profile, with plain O2 for context. Table15 extends it with all
+// configurations and the steppable-lines proxy (paper Table XV).
+func (r *Runner) Fig3(w io.Writer) error { return r.autoFDOStudy(w, false) }
+
+// Table15 prints the complete AutoFDO data.
+func (r *Runner) Table15(w io.Writer) error { return r.autoFDOStudy(w, true) }
+
+func (r *Runner) autoFDOStudy(w io.Writer, full bool) error {
+	const profile = pipeline.Clang // "most recent AutoFDO developments target clang"
+	la, err := r.Analysis(profile, "O2")
+	if err != nil {
+		return err
+	}
+	if full {
+		fmt.Fprintln(w, "Table XV — AutoFDO with O2 and O2-dy profiling binaries (speedup over plain O2)")
+	} else {
+		fmt.Fprintln(w, "Figure 3 — AutoFDO: plain O2 and best O2-dy profile vs O2-profile AutoFDO")
+	}
+	o2 := pipeline.Config{Profile: profile, Level: "O2"}
+	var avgBase, avgBest float64
+	n := 0
+	for _, bench := range r.specNames() {
+		plainRes, err := specsuite.Run(bench, o2)
+		if err != nil {
+			return err
+		}
+		plain := plainRes.Cycles
+		baseProf, baseStep, err := r.collectProfile(bench, o2)
+		if err != nil {
+			return err
+		}
+		fdoBase, err := fdoCycles(bench, o2, baseProf)
+		if err != nil {
+			return err
+		}
+		type dyRes struct {
+			y         int
+			cycles    int64
+			stepPct   float64
+			mappedPct float64
+		}
+		var results []dyRes
+		best := fdoBase
+		for _, y := range r.Opts.Dy {
+			cfg := la.Configs([]int{y})[0]
+			prof, step, err := r.collectProfile(bench, cfg)
+			if err != nil {
+				return err
+			}
+			// The final binary is always plain O2; only the profiling
+			// stage changes (§V.C).
+			c, err := fdoCycles(bench, o2, prof)
+			if err != nil {
+				return err
+			}
+			results = append(results, dyRes{
+				y: y, cycles: c,
+				stepPct:   100 * (float64(step) - float64(baseStep)) / float64(baseStep),
+				mappedPct: 100 * prof.MappedFraction(),
+			})
+			if c < best {
+				best = c
+			}
+		}
+		speedup := func(c int64) float64 { return float64(plain) / float64(c) }
+		if full {
+			fmt.Fprintf(w, "%-14s O2-AutoFDO=%6.4f", bench, speedup(fdoBase))
+			for _, dr := range results {
+				fmt.Fprintf(w, "  d%d: spd=%6.4f Δspd=%+5.2f%% Δsteppable=%+5.2f%% mapped=%.1f%%",
+					dr.y, speedup(dr.cycles),
+					100*(float64(fdoBase)-float64(dr.cycles))/float64(dr.cycles),
+					dr.stepPct, dr.mappedPct)
+			}
+			fmt.Fprintln(w)
+		} else {
+			fmt.Fprintf(w, "%-14s plain-O2=%6.4f  best-O2dy-AutoFDO=%6.4f (%+.2f%% vs O2-AutoFDO)\n",
+				bench, 1/speedup(fdoBase),
+				speedup(best)/speedup(fdoBase),
+				100*(float64(fdoBase)-float64(best))/float64(best))
+		}
+		avgBase += speedup(fdoBase)
+		avgBest += speedup(best)
+		n++
+	}
+	fmt.Fprintf(w, "average: O2-AutoFDO %.4f, best O2-dy-AutoFDO %.4f (vs plain O2 = 1.0)\n",
+		avgBase/float64(n), avgBest/float64(n))
+	return nil
+}
+
+// Fig4 reproduces the large-workload study (paper Figure 4): the
+// "self-compilation" stand-in selfcomp, O3 profiles vs O3-dy profiles.
+func (r *Runner) Fig4(w io.Writer) error {
+	const profile = pipeline.Clang
+	const bench = "selfcomp"
+	o3 := pipeline.Config{Profile: profile, Level: "O3"}
+	plainRes, err := specsuite.Run(bench, o3)
+	if err != nil {
+		return err
+	}
+	baseProf, _, err := r.collectProfile(bench, o3)
+	if err != nil {
+		return err
+	}
+	fdoBase, err := fdoCycles(bench, o3, baseProf)
+	if err != nil {
+		return err
+	}
+	la, err := r.Analysis(profile, "O3")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 4 — selfcomp (large workload): O3-dy-AutoFDO vs O3-AutoFDO")
+	fmt.Fprintf(w, "plain O3: %d cycles; O3-AutoFDO: %d cycles (%+.2f%%)\n",
+		plainRes.Cycles, fdoBase,
+		100*(float64(plainRes.Cycles)-float64(fdoBase))/float64(fdoBase))
+	for _, y := range r.Opts.Dy {
+		cfg := la.Configs([]int{y})[0]
+		prof, _, err := r.collectProfile(bench, cfg)
+		if err != nil {
+			return err
+		}
+		c, err := fdoCycles(bench, o3, prof)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "O3-d%d profile: %d cycles (%+.2f%% vs O3-AutoFDO, mapped %.1f%%)\n",
+			y, c, 100*(float64(fdoBase)-float64(c))/float64(c),
+			100*prof.MappedFraction())
+	}
+	return nil
+}

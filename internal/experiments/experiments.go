@@ -1,0 +1,282 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation on the MiniC substrate. Each Table*/Fig* method prints the
+// same rows or series the paper reports; EXPERIMENTS.md records the
+// shape comparison against the original numbers.
+//
+// The Runner caches the expensive intermediates (the loaded test suite,
+// per-level pass analyses, SPEC baselines) so one process can regenerate
+// the whole evaluation.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"debugtuner/internal/dbgtrace"
+	"debugtuner/internal/debugger"
+	"debugtuner/internal/debuginfo"
+	"debugtuner/internal/ir"
+	"debugtuner/internal/metrics"
+	"debugtuner/internal/pipeline"
+	"debugtuner/internal/sema"
+	"debugtuner/internal/specsuite"
+	"debugtuner/internal/synth"
+	"debugtuner/internal/testsuite"
+	"debugtuner/internal/tuner"
+)
+
+// Options scales the evaluation. The defaults regenerate every shape in
+// minutes; the paper-scale knobs are documented per field.
+type Options struct {
+	// SynthCount is the number of synthetic programs for Table I
+	// (paper: 5000). Programs whose reference run exceeds the interpreter
+	// budget are skipped deterministically.
+	SynthCount int
+	// CorpusExecs is the fuzzing budget per harness (§IV).
+	CorpusExecs int
+	// SampleEvery is the AutoFDO sampling period in cycles.
+	SampleEvery int64
+	// Dy lists the Ox-dy sizes to evaluate (paper: 3, 5, 7, 9).
+	Dy []int
+	// SpecSubset restricts performance runs to these benchmarks
+	// (nil = all eight).
+	SpecSubset []string
+}
+
+// DefaultOptions returns the laptop-scale defaults.
+func DefaultOptions() Options {
+	return Options{
+		SynthCount:  120,
+		CorpusExecs: 400,
+		SampleEvery: 997,
+		Dy:          []int{3, 5, 7, 9},
+	}
+}
+
+// Runner executes and caches the evaluation.
+type Runner struct {
+	Opts Options
+
+	mu       sync.Mutex
+	subjects []*testsuite.Subject
+	analyses map[string]*tuner.LevelAnalysis
+	speedups map[string]float64 // config name -> SPEC average speedup
+	o0cycles map[string]int64   // benchmark -> O0 cycles (per profile key)
+}
+
+// NewRunner creates a runner.
+func NewRunner(opts Options) *Runner {
+	return &Runner{
+		Opts:     opts,
+		analyses: map[string]*tuner.LevelAnalysis{},
+		speedups: map[string]float64{},
+		o0cycles: map[string]int64{},
+	}
+}
+
+// Suite loads (once) the 13-program test suite with fuzzed corpora.
+func (r *Runner) Suite() ([]*testsuite.Subject, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.subjects != nil {
+		return r.subjects, nil
+	}
+	subjects, err := testsuite.LoadAll(testsuite.CorpusOptions{Execs: r.Opts.CorpusExecs})
+	if err != nil {
+		return nil, err
+	}
+	r.subjects = subjects
+	return subjects, nil
+}
+
+// Analysis runs (once) the per-pass analysis for a profile/level.
+func (r *Runner) Analysis(p pipeline.Profile, level string) (*tuner.LevelAnalysis, error) {
+	key := string(p) + "/" + level
+	r.mu.Lock()
+	if la := r.analyses[key]; la != nil {
+		r.mu.Unlock()
+		return la, nil
+	}
+	r.mu.Unlock()
+	subjects, err := r.Suite()
+	if err != nil {
+		return nil, err
+	}
+	la, err := tuner.AnalyzeLevel(testsuite.Programs(subjects), p, level)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.analyses[key] = la
+	r.mu.Unlock()
+	return la, nil
+}
+
+// specNames returns the benchmarks under test.
+func (r *Runner) specNames() []string {
+	if r.Opts.SpecSubset != nil {
+		return r.Opts.SpecSubset
+	}
+	return specsuite.Names
+}
+
+// SuiteSpeedup measures (once) the SPEC-average speedup of a config over
+// its profile's O0.
+func (r *Runner) SuiteSpeedup(cfg pipeline.Config) (float64, error) {
+	key := cfg.Name()
+	r.mu.Lock()
+	if s, ok := r.speedups[key]; ok {
+		r.mu.Unlock()
+		return s, nil
+	}
+	r.mu.Unlock()
+	_, avg, err := specsuite.SuiteSpeedup(cfg, r.specNames())
+	if err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	r.speedups[key] = avg
+	r.mu.Unlock()
+	return avg, nil
+}
+
+// SuiteProduct averages the hybrid product metric of a configuration
+// over the 13-program suite.
+func (r *Runner) SuiteProduct(cfg pipeline.Config) (float64, error) {
+	subjects, err := r.Suite()
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, s := range subjects {
+		m, err := s.Product(cfg)
+		if err != nil {
+			return 0, err
+		}
+		sum += m
+	}
+	return sum / float64(len(subjects)), nil
+}
+
+// ---- Synthetic corpus (Table I) ----
+
+// synthProgram is one loaded synthetic subject.
+type synthProgram struct {
+	info *sema.Info
+	dr   *sema.DefRanges
+	ir0  *ir.Program
+	stmt map[int]bool
+	base *dbgtrace.Trace
+}
+
+// synthOptions keeps synthetic programs small enough to trace quickly.
+var synthOptions = synth.Options{
+	Funcs: 3, MaxDepth: 2, MaxStmts: 4, MaxVars: 5,
+	MaxExpr: 4, Arrays: 2, Globals: 3,
+}
+
+// loadSynth deterministically selects the first n runnable synthetic
+// programs.
+func loadSynth(n int) []*synthProgram {
+	var out []*synthProgram
+	for seed := int64(0); len(out) < n && seed < int64(n)*30; seed++ {
+		src := synth.Generate(seed, synthOptions)
+		info, err := pipeline.Frontend(fmt.Sprintf("synth%d", seed), []byte(src))
+		if err != nil {
+			continue
+		}
+		ir0, err := pipeline.BuildIR(info)
+		if err != nil {
+			continue
+		}
+		it := ir.NewInterp(ir0, 1<<21)
+		if _, err := it.Call("main"); err != nil {
+			continue
+		}
+		out = append(out, &synthProgram{
+			info: info, dr: sema.ComputeDefRanges(info), ir0: ir0,
+			stmt: sema.StatementLines(info),
+		})
+	}
+	return out
+}
+
+// methodScores computes the four methods of §II for one build.
+type methodScores struct {
+	static, staticDbg, dynamic, hybrid metrics.Scores
+}
+
+func (sp *synthProgram) measure(cfg pipeline.Config, base *dbgtrace.Trace) (methodScores, error) {
+	var ms methodScores
+	bin := pipeline.Build(sp.ir0, cfg)
+	sess, err := debugger.NewSession(bin)
+	if err != nil {
+		return ms, err
+	}
+	tr, err := sess.TraceMain("main", 1<<22)
+	if err != nil {
+		return ms, err
+	}
+	table, err := debuginfo.Decode(bin.Debug)
+	if err != nil {
+		return ms, err
+	}
+	ms.dynamic = metrics.Dynamic(tr, base)
+	ms.hybrid = metrics.Hybrid(tr, base, sp.dr)
+	ms.static = metrics.Static(table, sp.stmt, sp.dr)
+	ms.staticDbg = metrics.StaticDbg(table, base, sp.dr)
+	return ms, nil
+}
+
+func (sp *synthProgram) baseline() (*dbgtrace.Trace, error) {
+	if sp.base != nil {
+		return sp.base, nil
+	}
+	bin := pipeline.Build(sp.ir0, pipeline.Config{Profile: pipeline.GCC, Level: "O0"})
+	sess, err := debugger.NewSession(bin)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := sess.TraceMain("main", 1<<22)
+	if err != nil {
+		return nil, err
+	}
+	sp.base = tr
+	return tr, nil
+}
+
+// levelsUnderTest enumerates the (profile, level) pairs the paper
+// reports.
+func levelsUnderTest() []pipeline.Config {
+	var out []pipeline.Config
+	for _, l := range pipeline.Levels(pipeline.GCC) {
+		out = append(out, pipeline.Config{Profile: pipeline.GCC, Level: l})
+	}
+	for _, l := range pipeline.Levels(pipeline.Clang) {
+		out = append(out, pipeline.Config{Profile: pipeline.Clang, Level: l})
+	}
+	return out
+}
+
+// geo folds per-program scores into the geometric mean the paper uses.
+func geo(vals []float64) float64 { return metrics.GeoMean(vals) }
+
+// sortedKeys returns map keys sorted for deterministic output.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// hr prints a horizontal rule.
+func hr(w io.Writer, n int) {
+	for i := 0; i < n; i++ {
+		fmt.Fprint(w, "-")
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"debugtuner/internal/pipeline"
+)
+
+// quickRunner shares a tiny-scale runner across the tests.
+var quickRunner = NewRunner(Options{
+	SynthCount:  8,
+	CorpusExecs: 120,
+	SampleEvery: 997,
+	Dy:          []int{3},
+	SpecSubset:  []string{"531.deepsjeng"},
+})
+
+// TestEveryExperimentRuns smoke-tests all sixteen harnesses at minimum
+// scale: each must complete and produce its header row.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cases := map[string]struct {
+		run  func(io.Writer) error
+		want string
+	}{
+		"table1":  {quickRunner.Table1, "Table I"},
+		"table2":  {quickRunner.Table2, "libpng"},
+		"table3":  {quickRunner.Table3, "Table III"},
+		"table4":  {quickRunner.Table4, "Table IV"},
+		"table5":  {quickRunner.Table5, "Table V"},
+		"table6":  {quickRunner.Table6, "Table VI"},
+		"table7":  {quickRunner.Table7, "Table VII"},
+		"fig2":    {quickRunner.Fig2, "Pareto"},
+		"table8":  {quickRunner.Table8, "Table VIII"},
+		"table9":  {quickRunner.Table9, "Table IX"},
+		"table10": {quickRunner.Table10, "Table X"},
+		"table11": {quickRunner.Table11, "Table XI"},
+		"table12": {quickRunner.Table12, "Table XII"},
+		"fig3":    {quickRunner.Fig3, "AutoFDO"},
+		"table15": {quickRunner.Table15, "Table XV"},
+		"fig4":    {quickRunner.Fig4, "Figure 4"},
+	}
+	for name, c := range cases {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := c.run(&buf); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !strings.Contains(buf.String(), c.want) {
+				t.Fatalf("%s output lacks %q:\n%s", name, c.want, buf.String())
+			}
+		})
+	}
+}
+
+// TestRunnerCaching: a second analysis request must return the identical
+// cached object.
+func TestRunnerCaching(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	a, err := quickRunner.Analysis(pipeline.GCC, "Og")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := quickRunner.Analysis(pipeline.GCC, "Og")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("analysis not cached")
+	}
+}
+
+// TestLoadSynthDeterministic: the same options select the same corpus.
+func TestLoadSynthDeterministic(t *testing.T) {
+	a := loadSynth(5)
+	b := loadSynth(5)
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("loaded %d and %d programs", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].info.Program.File.Name != b[i].info.Program.File.Name {
+			t.Fatal("different programs selected")
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"debugtuner/internal/pipeline"
+	"debugtuner/internal/tuner"
+)
+
+// Table5 prints the top-10 critical passes per gcc level (paper Table V);
+// Table6 the clang equivalent (paper Table VI). Back-end passes carry the
+// paper's '*' annotation.
+func (r *Runner) Table5(w io.Writer) error { return r.topPasses(w, pipeline.GCC, "Table V") }
+
+// Table6 prints the clang ranking.
+func (r *Runner) Table6(w io.Writer) error { return r.topPasses(w, pipeline.Clang, "Table VI") }
+
+func (r *Runner) topPasses(w io.Writer, p pipeline.Profile, title string) error {
+	fmt.Fprintf(w, "%s — top 10 critical optimization passes in %s (%% improvement)\n", title, p)
+	var columns [][]tuner.RankedPass
+	levels := pipeline.Levels(p)
+	for _, l := range levels {
+		la, err := r.Analysis(p, l)
+		if err != nil {
+			return err
+		}
+		top := la.Ranking
+		if len(top) > 10 {
+			top = top[:10]
+		}
+		columns = append(columns, top)
+	}
+	fmt.Fprintf(w, "%-3s", "#")
+	for _, l := range levels {
+		fmt.Fprintf(w, " | %-32s", l)
+	}
+	fmt.Fprintln(w)
+	hr(w, 4+36*len(levels))
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(w, "%-3d", i+1)
+		for _, col := range columns {
+			if i < len(col) {
+				name := col[i].Display
+				if col[i].Backend {
+					name += " *"
+				}
+				fmt.Fprintf(w, " | %-25s %6.2f", name, col[i].GeoIncrementPct)
+			} else {
+				fmt.Fprintf(w, " | %-32s", "")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// configPoint measures one configuration on both axes.
+func (r *Runner) configPoint(cfg pipeline.Config) (tuner.Point, error) {
+	debug, err := r.SuiteProduct(cfg)
+	if err != nil {
+		return tuner.Point{}, err
+	}
+	speed, err := r.SuiteSpeedup(cfg)
+	if err != nil {
+		return tuner.Point{}, err
+	}
+	return tuner.Point{Label: cfg.Name(), Debug: debug, Speedup: speed}, nil
+}
+
+// allConfigPoints enumerates standard levels plus every Ox-dy config for
+// a profile.
+func (r *Runner) allConfigPoints(p pipeline.Profile) ([]tuner.Point, error) {
+	var pts []tuner.Point
+	for _, l := range pipeline.Levels(p) {
+		pt, err := r.configPoint(pipeline.Config{Profile: p, Level: l})
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, pt)
+		la, err := r.Analysis(p, l)
+		if err != nil {
+			return nil, err
+		}
+		for _, cfg := range la.Configs(r.Opts.Dy) {
+			pt, err := r.configPoint(cfg)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, pt)
+		}
+	}
+	return pts, nil
+}
+
+// Fig2 prints the debuggability/speedup scatter and its Pareto front for
+// both profiles (paper Figure 2, with Tables XIII/XIV values).
+func (r *Runner) Fig2(w io.Writer) error {
+	for _, p := range []pipeline.Profile{pipeline.GCC, pipeline.Clang} {
+		pts, err := r.allConfigPoints(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Figure 2 (%s) — product metric vs speedup over O0; * = Pareto-optimal\n", p)
+		fmt.Fprintf(w, "%-16s | %10s | %8s\n", "configuration", "product", "speedup")
+		hr(w, 44)
+		for _, pt := range pts {
+			mark := " "
+			if tuner.OnFront(pts, pt.Label) {
+				mark = "*"
+			}
+			fmt.Fprintf(w, "%-16s | %10.4f | %7.2fx %s\n", pt.Label, pt.Debug, pt.Speedup, mark)
+		}
+		front := tuner.ParetoFront(pts)
+		fmt.Fprintf(w, "Pareto-optimal: %d of %d configurations\n\n", len(front), len(pts))
+	}
+	return nil
+}
+
+// Table8 prints the relative debuggability improvement and speedup
+// reduction of every Ox-dy configuration over its reference level
+// (paper Table VIII).
+func (r *Runner) Table8(w io.Writer) error {
+	fmt.Fprintln(w, "Table VIII — Ox-dy vs Ox: Δ debug availability (%) and Δ speedup (%)")
+	fmt.Fprintf(w, "%-6s %-6s", "comp", "config")
+	for _, p := range []pipeline.Profile{pipeline.GCC} {
+		_ = p
+	}
+	fmt.Fprintf(w, " | %22s | %22s\n", "Δ debug per level", "Δ speedup per level")
+	hr(w, 100)
+	for _, p := range []pipeline.Profile{pipeline.GCC, pipeline.Clang} {
+		levels := pipeline.Levels(p)
+		for _, y := range r.Opts.Dy {
+			fmt.Fprintf(w, "%-6s Ox-d%-2d |", p, y)
+			var dbgCells, spdCells string
+			for _, l := range levels {
+				ref, err := r.configPoint(pipeline.Config{Profile: p, Level: l})
+				if err != nil {
+					return err
+				}
+				la, err := r.Analysis(p, l)
+				if err != nil {
+					return err
+				}
+				cfg := la.Configs([]int{y})[0]
+				pt, err := r.configPoint(cfg)
+				if err != nil {
+					return err
+				}
+				dbgCells += fmt.Sprintf(" %s:%+6.2f", l, 100*(pt.Debug-ref.Debug)/ref.Debug)
+				spdCells += fmt.Sprintf(" %s:%+6.2f", l, 100*(pt.Speedup-ref.Speedup)/ref.Speedup)
+			}
+			fmt.Fprintf(w, " debug:%s | speedup:%s\n", dbgCells, spdCells)
+		}
+	}
+	return nil
+}
+
+// Table9 prints per-program products for gcc Ox-dy (paper Table IX);
+// Table10 the clang version (paper Table X).
+func (r *Runner) Table9(w io.Writer) error { return r.perProgramDy(w, pipeline.GCC, "Table IX") }
+
+// Table10 is the clang per-program table.
+func (r *Runner) Table10(w io.Writer) error { return r.perProgramDy(w, pipeline.Clang, "Table X") }
+
+func (r *Runner) perProgramDy(w io.Writer, p pipeline.Profile, title string) error {
+	subjects, err := r.Suite()
+	if err != nil {
+		return err
+	}
+	levels := pipeline.Levels(p)
+	fmt.Fprintf(w, "%s — per-program product metric for %s Ox-dy configurations\n", title, p)
+	for _, y := range r.Opts.Dy {
+		fmt.Fprintf(w, "-- Ox-d%d --\n%-10s |", y, "program")
+		for _, l := range levels {
+			fmt.Fprintf(w, " %6s", l)
+		}
+		fmt.Fprintln(w)
+		sums := make([]float64, len(levels))
+		for _, s := range subjects {
+			fmt.Fprintf(w, "%-10s |", s.Name)
+			for li, l := range levels {
+				la, err := r.Analysis(p, l)
+				if err != nil {
+					return err
+				}
+				cfg := la.Configs([]int{y})[0]
+				m, err := s.Product(cfg)
+				if err != nil {
+					return err
+				}
+				sums[li] += m
+				fmt.Fprintf(w, " %6.4f", m)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "%-10s |", "average")
+		for li := range levels {
+			fmt.Fprintf(w, " %6.4f", sums[li]/float64(len(subjects)))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Table11 prints per-benchmark speedups over O0 for the standard and
+// Ox-dy configurations (paper Table XI); Table12 derives the percentage
+// change against the reference level (paper Table XII).
+func (r *Runner) Table11(w io.Writer) error {
+	fmt.Fprintln(w, "Table XI — SPEC speedups over O0 (standard and Ox-dy)")
+	return r.specTable(w, false)
+}
+
+// Table12 prints the relative variant.
+func (r *Runner) Table12(w io.Writer) error {
+	fmt.Fprintln(w, "Table XII — Ox-dy percentage change vs reference level")
+	return r.specTable(w, true)
+}
+
+func (r *Runner) specTable(w io.Writer, relative bool) error {
+	for _, bench := range r.specNames() {
+		fmt.Fprintf(w, "%s:\n", bench)
+		for _, p := range []pipeline.Profile{pipeline.GCC, pipeline.Clang} {
+			for _, l := range pipeline.Levels(p) {
+				base, err := specSpeedup(bench, pipeline.Config{Profile: p, Level: l})
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "  %-5s %-3s std=%5.2fx", p, l, base)
+				la, err := r.Analysis(p, l)
+				if err != nil {
+					return err
+				}
+				for _, y := range r.Opts.Dy {
+					cfg := la.Configs([]int{y})[0]
+					s, err := specSpeedup(bench, cfg)
+					if err != nil {
+						return err
+					}
+					if relative {
+						fmt.Fprintf(w, "  d%d=%+6.2f%%", y, 100*(s-base)/base)
+					} else {
+						fmt.Fprintf(w, "  d%d=%5.2fx", y, s)
+					}
+				}
+				fmt.Fprintln(w)
+			}
+		}
+	}
+	return nil
+}
+
+var specSpeedupMemo = struct {
+	m map[string]float64
+}{m: map[string]float64{}}
+
+func specSpeedup(bench string, cfg pipeline.Config) (float64, error) {
+	key := bench + "/" + cfg.Name()
+	if s, ok := specSpeedupMemo.m[key]; ok {
+		return s, nil
+	}
+	s, err := specsuiteSpeedup(bench, cfg)
+	if err != nil {
+		return 0, err
+	}
+	specSpeedupMemo.m[key] = s
+	return s, nil
+}

@@ -1,0 +1,207 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// buildDiamond constructs entry -> {left, right} -> join with a phi.
+func buildDiamond() (*Program, *Func) {
+	prog := &Program{}
+	f := &Func{Name: "f", Prog: prog}
+	prog.Funcs = append(prog.Funcs, f)
+	entry := f.NewBlock()
+	left := f.NewBlock()
+	right := f.NewBlock()
+	join := f.NewBlock()
+
+	c := f.NewValue(entry, OpParam, 1)
+	br := f.NewValue(entry, OpBr, 1, c)
+	entry.Instrs = append(entry.Instrs, c, br)
+	AddEdge(entry, left)
+	AddEdge(entry, right)
+
+	l1 := f.NewValue(left, OpConst, 2)
+	l1.AuxInt = 10
+	lj := f.NewValue(left, OpJmp, 2)
+	left.Instrs = append(left.Instrs, l1, lj)
+	AddEdge(left, join)
+
+	r1 := f.NewValue(right, OpConst, 3)
+	r1.AuxInt = 20
+	rj := f.NewValue(right, OpJmp, 3)
+	right.Instrs = append(right.Instrs, r1, rj)
+	AddEdge(right, join)
+
+	phi := f.NewValue(join, OpPhi, 0, l1, r1)
+	ret := f.NewValue(join, OpRet, 4, phi)
+	join.Instrs = append(join.Instrs, phi, ret)
+	return prog, f
+}
+
+func TestVerifyAcceptsWellFormed(t *testing.T) {
+	_, f := buildDiamond()
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	corruptions := []func(f *Func){
+		func(f *Func) { // phi arity mismatch
+			join := f.Blocks[3]
+			join.Instrs[0].Args = join.Instrs[0].Args[:1]
+		},
+		func(f *Func) { // missing terminator
+			join := f.Blocks[3]
+			join.Instrs = join.Instrs[:1]
+		},
+		func(f *Func) { // dangling succ back-pointer
+			f.Blocks[0].Succs[0].Preds = nil
+		},
+		func(f *Func) { // foreign value use
+			other := &Func{Name: "g"}
+			v := other.NewValue(nil, OpConst, 0)
+			f.Blocks[3].Instrs[1].Args[0] = v
+		},
+		func(f *Func) { // resultless value used
+			left := f.Blocks[1]
+			jmp := left.Instrs[1]
+			f.Blocks[3].Instrs[0].Args[0] = jmp
+		},
+	}
+	for i, corrupt := range corruptions {
+		_, f := buildDiamond()
+		corrupt(f)
+		if err := Verify(f); err == nil {
+			t.Errorf("corruption %d not caught", i)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	prog, f := buildDiamond()
+	clone := prog.Clone()
+	cf := clone.Funcs[0]
+	if err := Verify(cf); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the clone must not affect the original.
+	cf.Blocks[1].Instrs[0].AuxInt = 999
+	if f.Blocks[1].Instrs[0].AuxInt == 999 {
+		t.Fatal("clone shares values with the original")
+	}
+	if len(cf.Blocks) != len(f.Blocks) {
+		t.Fatal("clone changed block count")
+	}
+}
+
+func TestDominators(t *testing.T) {
+	_, f := buildDiamond()
+	idom := Dominators(f)
+	entry, left, right, join := f.Blocks[0], f.Blocks[1], f.Blocks[2], f.Blocks[3]
+	if idom[left] != entry || idom[right] != entry || idom[join] != entry {
+		t.Fatalf("idoms wrong: %v", idom)
+	}
+	if !Dominates(idom, entry, join) || Dominates(idom, left, join) {
+		t.Fatal("dominance queries wrong")
+	}
+}
+
+func TestRemoveUnreachable(t *testing.T) {
+	_, f := buildDiamond()
+	// Orphan block with an edge into join.
+	orphan := f.NewBlock()
+	j := f.NewValue(orphan, OpJmp, 0)
+	orphan.Instrs = append(orphan.Instrs, j)
+	AddEdge(orphan, f.Blocks[3])
+	// join's phi gains a column for the new pred.
+	phi := f.Blocks[3].Instrs[0]
+	phi.Args = append(phi.Args, phi.Args[0])
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	if !RemoveUnreachable(f) {
+		t.Fatal("unreachable block not removed")
+	}
+	if err := Verify(f); err != nil {
+		t.Fatalf("verify after removal: %v", err)
+	}
+	if len(f.Blocks) != 4 {
+		t.Fatalf("%d blocks remain, want 4", len(f.Blocks))
+	}
+}
+
+// TestEvalBinTotality (property): EvalBin never panics and division is
+// total.
+func TestEvalBinTotality(t *testing.T) {
+	ops := []Op{OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor,
+		OpShl, OpShr, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	check := func(x, y int64, opIdx uint8) bool {
+		op := ops[int(opIdx)%len(ops)]
+		v := EvalBin(op, x, y)
+		switch op {
+		case OpDiv, OpRem:
+			if y == 0 && v != 0 {
+				return false
+			}
+		case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+			if v != 0 && v != 1 {
+				return false
+			}
+		case OpShl, OpShr:
+			// Masked shifts agree with the explicit mask.
+			if op == OpShl && v != x<<uint(y&63) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvalBinMinIntEdges pins the wrap-around division cases.
+func TestEvalBinMinIntEdges(t *testing.T) {
+	min := int64(-1) << 63
+	if got := EvalBin(OpDiv, min, -1); got != min {
+		t.Errorf("MinInt / -1 = %d, want %d", got, min)
+	}
+	if got := EvalBin(OpRem, min, -1); got != 0 {
+		t.Errorf("MinInt %% -1 = %d, want 0", got)
+	}
+}
+
+func TestEstimateFrequenciesLoopWeighting(t *testing.T) {
+	prog := &Program{}
+	f := &Func{Name: "loop", Prog: prog}
+	prog.Funcs = append(prog.Funcs, f)
+	entry := f.NewBlock()
+	head := f.NewBlock()
+	body := f.NewBlock()
+	exit := f.NewBlock()
+
+	ej := f.NewValue(entry, OpJmp, 0)
+	entry.Instrs = append(entry.Instrs, ej)
+	AddEdge(entry, head)
+	c := f.NewValue(head, OpParam, 0)
+	hb := f.NewValue(head, OpBr, 0, c)
+	head.Instrs = append(head.Instrs, c, hb)
+	AddEdge(head, body)
+	AddEdge(head, exit)
+	bj := f.NewValue(body, OpJmp, 0)
+	body.Instrs = append(body.Instrs, bj)
+	AddEdge(body, head)
+	r := f.NewValue(exit, OpRet, 0)
+	exit.Instrs = append(exit.Instrs, r)
+
+	head.Prob = 0.9
+	EstimateFrequencies(f)
+	if body.Freq <= entry.Freq {
+		t.Errorf("loop body freq %.2f not above entry %.2f", body.Freq, entry.Freq)
+	}
+	if exit.Freq > head.Freq {
+		t.Errorf("exit freq %.2f above header %.2f", exit.Freq, head.Freq)
+	}
+}

@@ -1,0 +1,93 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the function as readable SSA text, used by tests and the
+// -emit-ir mode of the compiler driver.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s (params=%d slots=%d", f.Name, f.NParams, f.NumSlots)
+	if f.Pure {
+		sb.WriteString(" pure")
+	}
+	sb.WriteString(")\n")
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%v:", b)
+		if len(b.Preds) > 0 {
+			sb.WriteString(" <-")
+			for _, p := range b.Preds {
+				fmt.Fprintf(&sb, " %v", p)
+			}
+		}
+		sb.WriteString("\n")
+		for _, v := range b.Instrs {
+			sb.WriteString("  ")
+			sb.WriteString(formatValue(v))
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}
+
+func formatValue(v *Value) string {
+	var sb strings.Builder
+	if v.Op.HasResult() {
+		fmt.Fprintf(&sb, "%v = ", v)
+	}
+	sb.WriteString(v.Op.String())
+	switch v.Op {
+	case OpConst, OpParam, OpSlotLoad, OpSlotStore, OpGLoad, OpGStore, OpGArr:
+		fmt.Fprintf(&sb, " [%d]", v.AuxInt)
+	case OpVBin:
+		fmt.Fprintf(&sb, " [%s]", Op(v.AuxInt))
+	case OpCall:
+		fmt.Fprintf(&sb, " %s", v.Aux)
+	case OpDbgValue:
+		fmt.Fprintf(&sb, " %s", v.Var.Name)
+	}
+	for _, a := range v.Args {
+		fmt.Fprintf(&sb, " %v", a)
+	}
+	if v.Op == OpDbgValue && len(v.Args) == 0 {
+		sb.WriteString(" <optimized out>")
+	}
+	switch v.Op {
+	case OpBr:
+		fmt.Fprintf(&sb, " -> %v %v", v.Block.Succs[0], v.Block.Succs[1])
+	case OpJmp:
+		fmt.Fprintf(&sb, " -> %v", v.Block.Succs[0])
+	}
+	if v.Line > 0 {
+		fmt.Fprintf(&sb, "  ; line %d", v.Line)
+	}
+	return sb.String()
+}
+
+// Stats summarizes a program for quick test assertions.
+type Stats struct {
+	Funcs, Blocks, Instrs, DbgValues, Phis int
+}
+
+// CollectStats tallies program-wide IR statistics.
+func CollectStats(p *Program) Stats {
+	var s Stats
+	s.Funcs = len(p.Funcs)
+	for _, f := range p.Funcs {
+		s.Blocks += len(f.Blocks)
+		for _, b := range f.Blocks {
+			s.Instrs += len(b.Instrs)
+			for _, v := range b.Instrs {
+				switch v.Op {
+				case OpDbgValue:
+					s.DbgValues++
+				case OpPhi:
+					s.Phis++
+				}
+			}
+		}
+	}
+	return s
+}

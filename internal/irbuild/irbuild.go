@@ -1,0 +1,401 @@
+// Package irbuild lowers a type-checked MiniC AST into unoptimized SSA IR.
+//
+// The lowering deliberately mirrors a -O0 clang build: every source
+// variable lives in a stack slot, assignments are slot stores, and reads
+// are slot loads. The mem2reg/SROA pass later promotes slots to SSA
+// values; everything DebugTuner measures about variable availability
+// starts from the OpDbgValue markers this package plants at each
+// source-level assignment.
+package irbuild
+
+import (
+	"fmt"
+
+	"debugtuner/internal/ast"
+	"debugtuner/internal/ir"
+	"debugtuner/internal/sema"
+)
+
+type loopCtx struct {
+	breakTo    *ir.Block
+	continueTo *ir.Block
+}
+
+type builder struct {
+	prog     *ir.Program
+	f        *ir.Func
+	cur      *ir.Block
+	slotOf   map[*ast.Symbol]int
+	globalOf map[*ast.Symbol]*ir.Global
+}
+
+// Build lowers the checked program into IR.
+func Build(info *sema.Info) (*ir.Program, error) {
+	b := &builder{
+		prog:     &ir.Program{Symbols: info.Symbols},
+		globalOf: make(map[*ast.Symbol]*ir.Global),
+	}
+	for _, g := range info.Program.Globals {
+		d := g.Decl
+		ig := &ir.Global{
+			Name: d.Name, Index: len(b.prog.Globals),
+			IsArray: d.Type == ast.TypeArray, Sym: d.Sym,
+		}
+		switch init := d.Init.(type) {
+		case *ast.IntLit:
+			ig.Init = init.Val
+		case *ast.Unary:
+			lit, ok := init.X.(*ast.IntLit)
+			if !ok || init.Op != "-" {
+				return nil, fmt.Errorf("%s: global initializer for %q must be constant", d.PosVal, d.Name)
+			}
+			ig.Init = -lit.Val
+		case *ast.NewArray:
+			sz, ok := init.Size.(*ast.IntLit)
+			if !ok {
+				return nil, fmt.Errorf("%s: global array %q size must be a literal", d.PosVal, d.Name)
+			}
+			ig.Init = sz.Val
+		case nil:
+			// zero scalar
+		}
+		b.prog.Globals = append(b.prog.Globals, ig)
+		b.globalOf[d.Sym] = ig
+	}
+	for _, fd := range info.Program.Funcs {
+		if err := b.buildFunc(fd); err != nil {
+			return nil, err
+		}
+	}
+	return b.prog, nil
+}
+
+func (b *builder) buildFunc(fd *ast.FuncDecl) error {
+	f := &ir.Func{Name: fd.Name, NParams: len(fd.Params), Prog: b.prog, StartLine: fd.PosVal.Line}
+	b.prog.Funcs = append(b.prog.Funcs, f)
+	b.f = f
+	b.slotOf = make(map[*ast.Symbol]int)
+	b.cur = f.NewBlock()
+
+	for i, p := range fd.Params {
+		f.ParamVars = append(f.ParamVars, p.Sym)
+		pv := b.emit(ir.OpParam, fd.PosVal.Line)
+		pv.AuxInt = int64(i)
+		slot := b.newSlot(p.Sym)
+		b.emitStore(slot, pv, fd.PosVal.Line)
+		b.dbgValue(p.Sym, pv, fd.PosVal.Line)
+	}
+	b.buildBlock(fd.Body, nil)
+	if b.cur != nil && b.cur.Term() == nil {
+		line := fd.EndPos.Line
+		if fd.Result == ast.TypeInt {
+			zero := b.emit(ir.OpConst, line)
+			zero.AuxInt = 0
+			b.emit(ir.OpRet, line, zero)
+		} else {
+			b.emit(ir.OpRet, line)
+		}
+	}
+	// Terminate any dangling blocks created after returns.
+	for _, blk := range f.Blocks {
+		if blk.Term() == nil {
+			v := f.NewValue(blk, ir.OpRet, 0)
+			blk.Instrs = append(blk.Instrs, v)
+		}
+	}
+	ir.RemoveUnreachable(f)
+	return ir.Verify(f)
+}
+
+func (b *builder) newSlot(sym *ast.Symbol) int {
+	slot := b.f.NumSlots
+	b.f.NumSlots++
+	b.f.SlotVars = append(b.f.SlotVars, sym)
+	if sym != nil {
+		b.slotOf[sym] = slot
+	}
+	return slot
+}
+
+// emit appends an instruction to the current block.
+func (b *builder) emit(op ir.Op, line int, args ...*ir.Value) *ir.Value {
+	v := b.f.NewValue(b.cur, op, line, args...)
+	b.cur.Instrs = append(b.cur.Instrs, v)
+	return v
+}
+
+func (b *builder) emitConst(c int64, line int) *ir.Value {
+	v := b.emit(ir.OpConst, line)
+	v.AuxInt = c
+	return v
+}
+
+func (b *builder) emitStore(slot int, val *ir.Value, line int) {
+	s := b.emit(ir.OpSlotStore, line, val)
+	s.AuxInt = int64(slot)
+}
+
+func (b *builder) emitLoad(slot int, line int) *ir.Value {
+	v := b.emit(ir.OpSlotLoad, line)
+	v.AuxInt = int64(slot)
+	return v
+}
+
+// dbgValue plants the marker that binds sym to val from this point on.
+func (b *builder) dbgValue(sym *ast.Symbol, val *ir.Value, line int) {
+	v := b.emit(ir.OpDbgValue, line, val)
+	v.Var = sym
+}
+
+// jump terminates the current block with a jump to target.
+func (b *builder) jump(target *ir.Block, line int) {
+	b.emit(ir.OpJmp, line)
+	ir.AddEdge(b.cur, target)
+}
+
+// branch terminates the current block with a conditional branch.
+func (b *builder) branch(cond *ir.Value, then, els *ir.Block, line int) {
+	b.emit(ir.OpBr, line, cond)
+	ir.AddEdge(b.cur, then)
+	ir.AddEdge(b.cur, els)
+}
+
+func (b *builder) buildBlock(blk *ast.Block, loops []loopCtx) {
+	for _, s := range blk.Stmts {
+		b.buildStmt(s, loops)
+	}
+}
+
+func (b *builder) buildStmt(s ast.Stmt, loops []loopCtx) {
+	switch s := s.(type) {
+	case *ast.VarDecl:
+		line := s.PosVal.Line
+		slot := b.newSlot(s.Sym)
+		var val *ir.Value
+		if s.Init != nil {
+			val = b.buildExpr(s.Init, loops)
+		} else {
+			val = b.emitConst(0, line)
+		}
+		b.emitStore(slot, val, line)
+		b.dbgValue(s.Sym, val, line)
+	case *ast.Assign:
+		line := s.PosVal.Line
+		if s.Target != nil {
+			val := b.buildExpr(s.Value, loops)
+			b.assignVar(s.Target.Sym, val, line)
+			return
+		}
+		arr := b.buildExpr(s.Arr, loops)
+		idx := b.buildExpr(s.Idx, loops)
+		val := b.buildExpr(s.Value, loops)
+		b.emit(ir.OpAStore, line, arr, idx, val)
+	case *ast.ExprStmt:
+		b.buildExpr(s.X, loops)
+	case *ast.PrintStmt:
+		val := b.buildExpr(s.X, loops)
+		b.emit(ir.OpPrint, s.PosVal.Line, val)
+	case *ast.If:
+		line := s.PosVal.Line
+		cond := b.buildExpr(s.Cond, loops)
+		then := b.f.NewBlock()
+		var els *ir.Block
+		join := b.f.NewBlock()
+		if s.Else != nil {
+			els = b.f.NewBlock()
+			b.branch(cond, then, els, line)
+		} else {
+			b.branch(cond, then, join, line)
+		}
+		b.cur = then
+		b.buildBlock(s.Then, loops)
+		if b.cur.Term() == nil {
+			b.jump(join, s.Then.EndPos.Line)
+		}
+		if s.Else != nil {
+			b.cur = els
+			b.buildStmt(s.Else, loops)
+			if b.cur.Term() == nil {
+				b.jump(join, line)
+			}
+		}
+		b.cur = join
+	case *ast.While:
+		line := s.PosVal.Line
+		head := b.f.NewBlock()
+		body := b.f.NewBlock()
+		exit := b.f.NewBlock()
+		b.jump(head, line)
+		b.cur = head
+		cond := b.buildExpr(s.Cond, loops)
+		b.branch(cond, body, exit, line)
+		b.cur = body
+		inner := append(loops, loopCtx{breakTo: exit, continueTo: head})
+		for _, st := range s.Body.Stmts {
+			b.buildStmt(st, inner)
+		}
+		if b.cur.Term() == nil {
+			b.jump(head, s.Body.EndPos.Line)
+		}
+		b.cur = exit
+	case *ast.For:
+		line := s.PosVal.Line
+		if s.Init != nil {
+			b.buildStmt(s.Init, loops)
+		}
+		head := b.f.NewBlock()
+		body := b.f.NewBlock()
+		post := b.f.NewBlock()
+		exit := b.f.NewBlock()
+		b.jump(head, line)
+		b.cur = head
+		if s.Cond != nil {
+			cond := b.buildExpr(s.Cond, loops)
+			b.branch(cond, body, exit, line)
+		} else {
+			b.jump(body, line)
+		}
+		b.cur = body
+		inner := append(loops, loopCtx{breakTo: exit, continueTo: post})
+		for _, st := range s.Body.Stmts {
+			b.buildStmt(st, inner)
+		}
+		if b.cur.Term() == nil {
+			b.jump(post, s.Body.EndPos.Line)
+		}
+		b.cur = post
+		if s.Post != nil {
+			b.buildStmt(s.Post, loops)
+		}
+		if b.cur.Term() == nil {
+			b.jump(head, line)
+		}
+		b.cur = exit
+	case *ast.Break:
+		b.jump(loops[len(loops)-1].breakTo, s.PosVal.Line)
+		b.cur = b.f.NewBlock()
+	case *ast.Continue:
+		b.jump(loops[len(loops)-1].continueTo, s.PosVal.Line)
+		b.cur = b.f.NewBlock()
+	case *ast.Return:
+		line := s.PosVal.Line
+		if s.Value != nil {
+			val := b.buildExpr(s.Value, loops)
+			b.emit(ir.OpRet, line, val)
+		} else {
+			b.emit(ir.OpRet, line)
+		}
+		b.cur = b.f.NewBlock()
+	case *ast.Block:
+		for _, st := range s.Stmts {
+			b.buildStmt(st, loops)
+		}
+	}
+}
+
+// assignVar stores val into the variable's storage and plants a DbgValue.
+func (b *builder) assignVar(sym *ast.Symbol, val *ir.Value, line int) {
+	if sym.Kind == ast.SymGlobal {
+		g := b.globalOf[sym]
+		st := b.emit(ir.OpGStore, line, val)
+		st.AuxInt = int64(g.Index)
+		return
+	}
+	slot, ok := b.slotOf[sym]
+	if !ok {
+		slot = b.newSlot(sym)
+	}
+	b.emitStore(slot, val, line)
+	b.dbgValue(sym, val, line)
+}
+
+func (b *builder) readVar(sym *ast.Symbol, line int) *ir.Value {
+	if sym.Kind == ast.SymGlobal {
+		g := b.globalOf[sym]
+		if g.IsArray {
+			v := b.emit(ir.OpGArr, line)
+			v.AuxInt = int64(g.Index)
+			return v
+		}
+		v := b.emit(ir.OpGLoad, line)
+		v.AuxInt = int64(g.Index)
+		return v
+	}
+	return b.emitLoad(b.slotOf[sym], line)
+}
+
+var binOps = map[string]ir.Op{
+	"+": ir.OpAdd, "-": ir.OpSub, "*": ir.OpMul, "/": ir.OpDiv, "%": ir.OpRem,
+	"&": ir.OpAnd, "|": ir.OpOr, "^": ir.OpXor, "<<": ir.OpShl, ">>": ir.OpShr,
+	"==": ir.OpEq, "!=": ir.OpNe, "<": ir.OpLt, "<=": ir.OpLe,
+	">": ir.OpGt, ">=": ir.OpGe,
+}
+
+func (b *builder) buildExpr(e ast.Expr, loops []loopCtx) *ir.Value {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return b.emitConst(e.Val, e.PosVal.Line)
+	case *ast.Name:
+		return b.readVar(e.Sym, e.PosVal.Line)
+	case *ast.Unary:
+		x := b.buildExpr(e.X, loops)
+		if e.Op == "-" {
+			return b.emit(ir.OpNeg, e.PosVal.Line, x)
+		}
+		return b.emit(ir.OpNot, e.PosVal.Line, x)
+	case *ast.Binary:
+		if e.Op == "&&" || e.Op == "||" {
+			return b.buildShortCircuit(e, loops)
+		}
+		x := b.buildExpr(e.X, loops)
+		y := b.buildExpr(e.Y, loops)
+		return b.emit(binOps[e.Op], e.PosVal.Line, x, y)
+	case *ast.Index:
+		arr := b.buildExpr(e.Arr, loops)
+		idx := b.buildExpr(e.Idx, loops)
+		return b.emit(ir.OpALoad, e.PosVal.Line, arr, idx)
+	case *ast.Call:
+		var args []*ir.Value
+		for _, a := range e.Args {
+			args = append(args, b.buildExpr(a, loops))
+		}
+		c := b.emit(ir.OpCall, e.PosVal.Line, args...)
+		c.Aux = e.Fun
+		return c
+	case *ast.NewArray:
+		size := b.buildExpr(e.Size, loops)
+		return b.emit(ir.OpNewArray, e.PosVal.Line, size)
+	case *ast.LenExpr:
+		arr := b.buildExpr(e.Arr, loops)
+		return b.emit(ir.OpLen, e.PosVal.Line, arr)
+	}
+	panic("irbuild: unhandled expression")
+}
+
+// buildShortCircuit lowers && and || with control flow through a
+// temporary slot, the same shape clang emits at -O0. mem2reg turns the
+// slot into a phi.
+func (b *builder) buildShortCircuit(e *ast.Binary, loops []loopCtx) *ir.Value {
+	line := e.PosVal.Line
+	slot := b.newSlot(nil)
+	x := b.buildExpr(e.X, loops)
+	xb := b.emit(ir.OpNe, line, x, b.emitConst(0, line))
+	rhs := b.f.NewBlock()
+	join := b.f.NewBlock()
+	if e.Op == "&&" {
+		// x == 0: result is 0, skip rhs.
+		b.emitStore(slot, xb, line)
+		b.branch(xb, rhs, join, line)
+	} else {
+		// x != 0: result is 1, skip rhs.
+		b.emitStore(slot, xb, line)
+		b.branch(xb, join, rhs, line)
+	}
+	b.cur = rhs
+	y := b.buildExpr(e.Y, loops)
+	yb := b.emit(ir.OpNe, line, y, b.emitConst(0, line))
+	b.emitStore(slot, yb, line)
+	b.jump(join, line)
+	b.cur = join
+	return b.emitLoad(slot, line)
+}

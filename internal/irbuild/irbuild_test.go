@@ -1,0 +1,223 @@
+package irbuild
+
+import (
+	"testing"
+
+	"debugtuner/internal/ir"
+	"debugtuner/internal/parser"
+	"debugtuner/internal/sema"
+)
+
+// compile parses, checks, and lowers a MiniC source string.
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := parser.ParseString("test.mc", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	p, err := Build(info)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if err := ir.VerifyProgram(p); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return p
+}
+
+// run executes fn and returns the print stream.
+func run(t *testing.T, p *ir.Program, fn string, args ...int64) []int64 {
+	t.Helper()
+	in := ir.NewInterp(p, 1<<24)
+	if _, err := in.Call(fn, args...); err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	return in.Output()
+}
+
+func eq(t *testing.T, got, want []int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("output = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("output = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	p := compile(t, `
+func main() {
+	var sum: int = 0;
+	for (var i: int = 1; i <= 10; i = i + 1) {
+		if (i % 2 == 0) {
+			sum = sum + i;
+		}
+	}
+	print(sum); // 2+4+6+8+10 = 30
+	var x: int = 7;
+	while (x > 0) {
+		x = x - 3;
+	}
+	print(x); // 7 -> 4 -> 1 -> -2
+}
+`)
+	eq(t, run(t, p, "main"), []int64{30, -2})
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	p := compile(t, `
+func fib(n: int): int {
+	if (n < 2) {
+		return n;
+	}
+	return fib(n - 1) + fib(n - 2);
+}
+func main() {
+	print(fib(10));
+}
+`)
+	eq(t, run(t, p, "main"), []int64{55})
+}
+
+func TestArraysAndGlobals(t *testing.T) {
+	p := compile(t, `
+var total: int = 0;
+var table: int[] = new int[8];
+
+func fill(n: int) {
+	for (var i: int = 0; i < n; i = i + 1) {
+		table[i] = i * i;
+	}
+}
+func main() {
+	fill(8);
+	for (var i: int = 0; i < len(table); i = i + 1) {
+		total = total + table[i];
+	}
+	print(total); // 0+1+4+9+16+25+36+49 = 140
+	table[100] = 5; // OOB store: no-op
+	print(table[100]); // OOB load: 0
+}
+`)
+	eq(t, run(t, p, "main"), []int64{140, 0})
+}
+
+func TestShortCircuit(t *testing.T) {
+	p := compile(t, `
+var calls: int = 0;
+
+func bump(v: int): int {
+	calls = calls + 1;
+	return v;
+}
+func main() {
+	if (0 && bump(1)) {
+		print(111);
+	}
+	print(calls); // 0: rhs not evaluated
+	if (1 || bump(1)) {
+		print(222);
+	}
+	print(calls); // still 0
+	if (bump(1) && bump(1)) {
+		print(333);
+	}
+	print(calls); // 2
+}
+`)
+	eq(t, run(t, p, "main"), []int64{0, 222, 0, 333, 2})
+}
+
+func TestBreakContinueNested(t *testing.T) {
+	p := compile(t, `
+func main() {
+	var acc: int = 0;
+	for (var i: int = 0; i < 5; i = i + 1) {
+		for (var j: int = 0; j < 5; j = j + 1) {
+			if (j == 3) {
+				break;
+			}
+			if (j == 1) {
+				continue;
+			}
+			acc = acc + 10 * i + j;
+		}
+		if (i == 3) {
+			break;
+		}
+	}
+	print(acc);
+}
+`)
+	// Inner loop adds j in {0, 2} per i, for i in 0..3:
+	// sum over i of (10i+0 + 10i+2) = sum(20i + 2) for i=0..3 = 120+8 = 128
+	eq(t, run(t, p, "main"), []int64{128})
+}
+
+func TestTotalSemantics(t *testing.T) {
+	p := compile(t, `
+func main() {
+	print(7 / 0);      // 0
+	print(7 % 0);      // 0
+	print(1 << 70);    // shift masked to 6 bits: 1 << 6 = 64
+	print(-8 >> 1);    // arithmetic: -4
+	print(0x10 + 'a'); // 16 + 97 = 113
+}
+`)
+	eq(t, run(t, p, "main"), []int64{0, 0, 64, -4, 113})
+}
+
+func TestHarnessDetection(t *testing.T) {
+	prog, err := parser.ParseString("h.mc", `
+func fuzz_one(input: int[], n: int) {
+	var s: int = 0;
+	for (var i: int = 0; i < n; i = i + 1) {
+		s = s + input[i];
+	}
+	print(s);
+}
+func helper(x: int): int { return x; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Harnesses) != 1 || info.Harnesses[0] != "fuzz_one" {
+		t.Fatalf("harnesses = %v, want [fuzz_one]", info.Harnesses)
+	}
+	p, err := Build(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := ir.NewInterp(p, 1<<20)
+	h := in.NewArray([]int64{1, 2, 3, 4})
+	if _, err := in.Call("fuzz_one", h, 4); err != nil {
+		t.Fatal(err)
+	}
+	eq(t, in.Output(), []int64{10})
+}
+
+func TestDbgValuesPresent(t *testing.T) {
+	p := compile(t, `
+func main() {
+	var a: int = 1;
+	var b: int = 2;
+	a = a + b;
+	print(a);
+}
+`)
+	st := ir.CollectStats(p)
+	if st.DbgValues < 3 { // decl a, decl b, assign a
+		t.Fatalf("DbgValues = %d, want >= 3", st.DbgValues)
+	}
+}

@@ -1,0 +1,271 @@
+package lexer
+
+import (
+	"fmt"
+
+	"debugtuner/internal/source"
+)
+
+// Lexer scans a source file into tokens.
+type Lexer struct {
+	file   *source.File
+	src    []byte
+	off    int
+	errors source.ErrorList
+}
+
+// New creates a lexer for the file.
+func New(f *source.File) *Lexer {
+	return &Lexer{file: f, src: f.Content}
+}
+
+// Errors returns the diagnostics produced so far.
+func (l *Lexer) Errors() source.ErrorList { return l.errors }
+
+func (l *Lexer) errorf(off int, format string, args ...any) {
+	l.errors = append(l.errors, &source.Error{
+		File: l.file.Name,
+		Pos:  l.file.PosFor(off),
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (l *Lexer) peek() byte {
+	if l.off < len(l.src) {
+		return l.src[l.off]
+	}
+	return 0
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 < len(l.src) {
+		return l.src[l.off+1]
+	}
+	return 0
+}
+
+func isLetter(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+
+func isHexDigit(b byte) bool {
+	return isDigit(b) || (b >= 'a' && b <= 'f') || (b >= 'A' && b <= 'F')
+}
+
+// skipSpace advances past whitespace and comments.
+func (l *Lexer) skipSpace() {
+	for l.off < len(l.src) {
+		switch b := l.src[l.off]; {
+		case b == ' ' || b == '\t' || b == '\r' || b == '\n':
+			l.off++
+		case b == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.src[l.off] != '\n' {
+				l.off++
+			}
+		case b == '/' && l.peek2() == '*':
+			start := l.off
+			l.off += 2
+			for l.off < len(l.src) && !(l.src[l.off] == '*' && l.peek2() == '/') {
+				l.off++
+			}
+			if l.off >= len(l.src) {
+				l.errorf(start, "unterminated block comment")
+				return
+			}
+			l.off += 2
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token; at end of input it returns EOF forever.
+func (l *Lexer) Next() Token {
+	l.skipSpace()
+	start := l.off
+	pos := l.file.PosFor(start)
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: pos}
+	}
+	b := l.src[l.off]
+	switch {
+	case isLetter(b):
+		for l.off < len(l.src) && (isLetter(l.src[l.off]) || isDigit(l.src[l.off])) {
+			l.off++
+		}
+		text := string(l.src[start:l.off])
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: pos}
+		}
+		return Token{Kind: Ident, Text: text, Pos: pos}
+	case isDigit(b):
+		return l.scanNumber(start, pos)
+	case b == '\'':
+		return l.scanChar(start, pos)
+	}
+	l.off++
+	two := func(k Kind) Token {
+		l.off++
+		return Token{Kind: k, Text: string(l.src[start:l.off]), Pos: pos}
+	}
+	one := func(k Kind) Token {
+		return Token{Kind: k, Text: string(l.src[start:l.off]), Pos: pos}
+	}
+	switch b {
+	case '+':
+		return one(Plus)
+	case '-':
+		return one(Minus)
+	case '*':
+		return one(Star)
+	case '/':
+		return one(Slash)
+	case '%':
+		return one(Percent)
+	case '^':
+		return one(Caret)
+	case '&':
+		if l.peek() == '&' {
+			return two(AmpAmp)
+		}
+		return one(Amp)
+	case '|':
+		if l.peek() == '|' {
+			return two(PipePipe)
+		}
+		return one(Pipe)
+	case '<':
+		if l.peek() == '<' {
+			return two(Shl)
+		}
+		if l.peek() == '=' {
+			return two(Le)
+		}
+		return one(Lt)
+	case '>':
+		if l.peek() == '>' {
+			return two(Shr)
+		}
+		if l.peek() == '=' {
+			return two(Ge)
+		}
+		return one(Gt)
+	case '=':
+		if l.peek() == '=' {
+			return two(EqEq)
+		}
+		return one(Assign)
+	case '!':
+		if l.peek() == '=' {
+			return two(NotEq)
+		}
+		return one(Not)
+	case '(':
+		return one(LParen)
+	case ')':
+		return one(RParen)
+	case '{':
+		return one(LBrace)
+	case '}':
+		return one(RBrace)
+	case '[':
+		return one(LBrack)
+	case ']':
+		return one(RBrack)
+	case ',':
+		return one(Comma)
+	case ';':
+		return one(Semi)
+	case ':':
+		return one(Colon)
+	}
+	l.errorf(start, "unexpected character %q", string(b))
+	return l.Next()
+}
+
+func (l *Lexer) scanNumber(start int, pos source.Pos) Token {
+	var val int64
+	if l.src[l.off] == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.off += 2
+		digStart := l.off
+		for l.off < len(l.src) && isHexDigit(l.src[l.off]) {
+			d := l.src[l.off]
+			var v int64
+			switch {
+			case isDigit(d):
+				v = int64(d - '0')
+			case d >= 'a':
+				v = int64(d-'a') + 10
+			default:
+				v = int64(d-'A') + 10
+			}
+			val = val<<4 | v // wraps silently, matching MiniC's wrapping ints
+			l.off++
+		}
+		if l.off == digStart {
+			l.errorf(start, "malformed hex literal")
+		}
+	} else {
+		for l.off < len(l.src) && isDigit(l.src[l.off]) {
+			val = val*10 + int64(l.src[l.off]-'0')
+			l.off++
+		}
+	}
+	return Token{Kind: Int, Text: string(l.src[start:l.off]), Val: val, Pos: pos}
+}
+
+// scanChar scans a character literal like 'a' or '\n'; its value is the
+// byte value as an int.
+func (l *Lexer) scanChar(start int, pos source.Pos) Token {
+	l.off++ // opening quote
+	var val int64
+	switch {
+	case l.off >= len(l.src):
+		l.errorf(start, "unterminated character literal")
+		return Token{Kind: Int, Pos: pos}
+	case l.src[l.off] == '\\':
+		l.off++
+		if l.off < len(l.src) {
+			switch l.src[l.off] {
+			case 'n':
+				val = '\n'
+			case 't':
+				val = '\t'
+			case 'r':
+				val = '\r'
+			case '0':
+				val = 0
+			case '\\':
+				val = '\\'
+			case '\'':
+				val = '\''
+			default:
+				l.errorf(start, "unknown escape %q", string(l.src[l.off]))
+			}
+			l.off++
+		}
+	default:
+		val = int64(l.src[l.off])
+		l.off++
+	}
+	if l.off < len(l.src) && l.src[l.off] == '\'' {
+		l.off++
+	} else {
+		l.errorf(start, "unterminated character literal")
+	}
+	return Token{Kind: Int, Text: string(l.src[start:l.off]), Val: val, Pos: pos}
+}
+
+// All scans the whole file and returns the token slice ending with EOF.
+func (l *Lexer) All() []Token {
+	var toks []Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks
+		}
+	}
+}

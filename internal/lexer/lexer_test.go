@@ -1,0 +1,107 @@
+package lexer
+
+import (
+	"testing"
+
+	"debugtuner/internal/source"
+)
+
+func scan(t *testing.T, src string) []Token {
+	t.Helper()
+	l := New(source.NewFile("t", []byte(src)))
+	toks := l.All()
+	if err := l.Errors().Err(); err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	return toks
+}
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, 0, len(toks))
+	for _, tk := range toks {
+		out = append(out, tk.Kind)
+	}
+	return out
+}
+
+func TestOperators(t *testing.T) {
+	toks := scan(t, "+ - * / % & | ^ << >> && || ! < <= > >= == != = ( ) { } [ ] , ; :")
+	want := []Kind{Plus, Minus, Star, Slash, Percent, Amp, Pipe, Caret,
+		Shl, Shr, AmpAmp, PipePipe, Not, Lt, Le, Gt, Ge, EqEq, NotEq,
+		Assign, LParen, RParen, LBrace, RBrace, LBrack, RBrack, Comma,
+		Semi, Colon, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	toks := scan(t, "func varx var int if0 if print len news new")
+	want := []Kind{KwFunc, Ident, KwVar, KwInt, Ident, KwIf, KwPrint,
+		KwLen, Ident, KwNew, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	cases := map[string]int64{
+		"0":      0,
+		"42":     42,
+		"0x10":   16,
+		"0xFF":   255,
+		"0Xab":   171,
+		"'a'":    97,
+		"'\\n'":  10,
+		"'\\\\'": 92,
+		"'\\0'":  0,
+	}
+	for src, want := range cases {
+		toks := scan(t, src)
+		if toks[0].Kind != Int || toks[0].Val != want {
+			t.Errorf("%q => (%v, %d), want (Int, %d)", src, toks[0].Kind, toks[0].Val, want)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks := scan(t, "a // line comment\nb /* block\ncomment */ c")
+	got := kinds(toks)
+	want := []Kind{Ident, Ident, Ident, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	// Positions must survive comments.
+	if toks[1].Pos.Line != 2 || toks[2].Pos.Line != 3 {
+		t.Errorf("positions wrong: %v %v", toks[1].Pos, toks[2].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"@", "'x", "/* open", "0x"} {
+		l := New(source.NewFile("t", []byte(src)))
+		l.All()
+		if l.Errors().Err() == nil {
+			t.Errorf("%q: expected a lex error", src)
+		}
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	l := New(source.NewFile("t", []byte("x")))
+	l.Next()
+	for i := 0; i < 3; i++ {
+		if tk := l.Next(); tk.Kind != EOF {
+			t.Fatalf("expected EOF, got %v", tk.Kind)
+		}
+	}
+}

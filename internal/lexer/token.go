@@ -1,0 +1,101 @@
+// Package lexer turns MiniC source text into a token stream.
+//
+// MiniC's lexical grammar is a small C-like one: identifiers, integer
+// literals (decimal, hex, character), the usual arithmetic/logic/relational
+// operators, and line/block comments.
+package lexer
+
+import "debugtuner/internal/source"
+
+// Kind enumerates token kinds.
+type Kind int
+
+// Token kinds. Keyword kinds follow the operator kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Int // integer literal
+
+	// Operators and punctuation.
+	Plus     // +
+	Minus    // -
+	Star     // *
+	Slash    // /
+	Percent  // %
+	Amp      // &
+	Pipe     // |
+	Caret    // ^
+	Shl      // <<
+	Shr      // >>
+	AmpAmp   // &&
+	PipePipe // ||
+	Not      // !
+	Lt       // <
+	Le       // <=
+	Gt       // >
+	Ge       // >=
+	EqEq     // ==
+	NotEq    // !=
+	Assign   // =
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	LBrack   // [
+	RBrack   // ]
+	Comma    // ,
+	Semi     // ;
+	Colon    // :
+
+	// Keywords.
+	KwFunc
+	KwVar
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwBreak
+	KwContinue
+	KwReturn
+	KwInt
+	KwVoid
+	KwNew
+	KwLen
+	KwPrint
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", Int: "integer",
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Amp: "&", Pipe: "|", Caret: "^", Shl: "<<", Shr: ">>",
+	AmpAmp: "&&", PipePipe: "||", Not: "!",
+	Lt: "<", Le: "<=", Gt: ">", Ge: ">=", EqEq: "==", NotEq: "!=",
+	Assign: "=", LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBrack: "[", RBrack: "]", Comma: ",", Semi: ";", Colon: ":",
+	KwFunc: "func", KwVar: "var", KwIf: "if", KwElse: "else",
+	KwWhile: "while", KwFor: "for", KwBreak: "break",
+	KwContinue: "continue", KwReturn: "return", KwInt: "int",
+	KwVoid: "void", KwNew: "new", KwLen: "len", KwPrint: "print",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+var keywords = map[string]Kind{
+	"func": KwFunc, "var": KwVar, "if": KwIf, "else": KwElse,
+	"while": KwWhile, "for": KwFor, "break": KwBreak,
+	"continue": KwContinue, "return": KwReturn, "int": KwInt,
+	"void": KwVoid, "new": KwNew, "len": KwLen, "print": KwPrint,
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Text string // raw text for Ident and Int
+	Val  int64  // decoded value for Int
+	Pos  source.Pos
+}

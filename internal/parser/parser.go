@@ -1,0 +1,436 @@
+// Package parser implements a recursive-descent parser for MiniC.
+//
+// Grammar (informal):
+//
+//	program   = { global | func } .
+//	global    = "var" ident ":" type [ "=" expr ] ";" .
+//	func      = "func" ident "(" [ param { "," param } ] ")" [ ":" rettype ] block .
+//	param     = ident ":" type .
+//	type      = "int" [ "[" "]" ] .
+//	block     = "{" { stmt } "}" .
+//	stmt      = varDecl | assignOrExpr | print | if | while | for
+//	          | "break" ";" | "continue" ";" | "return" [ expr ] ";" | block .
+//	expr      = orExpr .
+//
+// Operator precedence, loosest to tightest:
+// || , && , |, ^, &, == !=, < <= > >=, << >>, + -, * / %, unary - !.
+package parser
+
+import (
+	"fmt"
+
+	"debugtuner/internal/ast"
+	"debugtuner/internal/lexer"
+	"debugtuner/internal/source"
+)
+
+// Parser holds parse state for one file.
+type Parser struct {
+	file   *source.File
+	toks   []lexer.Token
+	pos    int
+	errors source.ErrorList
+}
+
+// Parse lexes and parses the file into a Program. It returns the program
+// together with any diagnostics; the program is nil when parsing could not
+// produce a usable tree.
+func Parse(f *source.File) (*ast.Program, error) {
+	lx := lexer.New(f)
+	toks := lx.All()
+	p := &Parser{file: f, toks: toks}
+	p.errors = append(p.errors, lx.Errors()...)
+	prog := p.parseProgram()
+	if err := p.errors.Err(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// ParseString is a convenience wrapper for tests and tools.
+func ParseString(name, src string) (*ast.Program, error) {
+	return Parse(source.NewFile(name, []byte(src)))
+}
+
+func (p *Parser) cur() lexer.Token { return p.toks[p.pos] }
+func (p *Parser) peek() lexer.Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *Parser) advance() lexer.Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) errorf(pos source.Pos, format string, args ...any) {
+	p.errors = append(p.errors, &source.Error{
+		File: p.file.Name,
+		Pos:  pos,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Parser) expect(k lexer.Kind) lexer.Token {
+	if p.cur().Kind == k {
+		return p.advance()
+	}
+	p.errorf(p.cur().Pos, "expected %s, found %s", k, p.cur().Kind)
+	return lexer.Token{Kind: k, Pos: p.cur().Pos}
+}
+
+func (p *Parser) accept(k lexer.Kind) bool {
+	if p.cur().Kind == k {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// sync skips tokens until a likely statement boundary, bounding error
+// cascades.
+func (p *Parser) sync() {
+	for {
+		switch p.cur().Kind {
+		case lexer.EOF, lexer.RBrace, lexer.KwFunc, lexer.KwVar,
+			lexer.KwIf, lexer.KwWhile, lexer.KwFor, lexer.KwReturn:
+			return
+		case lexer.Semi:
+			p.advance()
+			return
+		}
+		p.advance()
+	}
+}
+
+func (p *Parser) parseProgram() *ast.Program {
+	prog := &ast.Program{File: p.file}
+	for p.cur().Kind != lexer.EOF {
+		switch p.cur().Kind {
+		case lexer.KwVar:
+			d := p.parseVarDecl()
+			prog.Globals = append(prog.Globals, &ast.GlobalDecl{Decl: d})
+		case lexer.KwFunc:
+			prog.Funcs = append(prog.Funcs, p.parseFunc())
+		default:
+			p.errorf(p.cur().Pos, "expected declaration, found %s", p.cur().Kind)
+			// sync stops at statement starters that are not valid at
+			// the top level; always consume at least one token so the
+			// declaration loop makes progress.
+			before := p.pos
+			p.sync()
+			if p.pos == before && p.cur().Kind != lexer.EOF {
+				p.advance()
+			}
+		}
+	}
+	return prog
+}
+
+func (p *Parser) parseType() ast.Type {
+	p.expect(lexer.KwInt)
+	if p.accept(lexer.LBrack) {
+		p.expect(lexer.RBrack)
+		return ast.TypeArray
+	}
+	return ast.TypeInt
+}
+
+// parseVarDecl parses "var name: type [= expr];".
+func (p *Parser) parseVarDecl() *ast.VarDecl {
+	kw := p.expect(lexer.KwVar)
+	name := p.expect(lexer.Ident)
+	p.expect(lexer.Colon)
+	typ := p.parseType()
+	var init ast.Expr
+	if p.accept(lexer.Assign) {
+		init = p.parseExpr()
+	}
+	p.expect(lexer.Semi)
+	return &ast.VarDecl{Name: name.Text, Type: typ, Init: init, PosVal: kw.Pos}
+}
+
+func (p *Parser) parseFunc() *ast.FuncDecl {
+	kw := p.expect(lexer.KwFunc)
+	name := p.expect(lexer.Ident)
+	p.expect(lexer.LParen)
+	var params []*ast.Param
+	for p.cur().Kind != lexer.RParen && p.cur().Kind != lexer.EOF {
+		pn := p.expect(lexer.Ident)
+		p.expect(lexer.Colon)
+		pt := p.parseType()
+		params = append(params, &ast.Param{Name: pn.Text, Type: pt, PosVal: pn.Pos})
+		if !p.accept(lexer.Comma) {
+			break
+		}
+	}
+	p.expect(lexer.RParen)
+	result := ast.TypeVoid
+	if p.accept(lexer.Colon) {
+		if p.accept(lexer.KwVoid) {
+			result = ast.TypeVoid
+		} else {
+			result = p.parseType()
+			if result == ast.TypeArray {
+				p.errorf(name.Pos, "functions cannot return arrays")
+				result = ast.TypeInt
+			}
+		}
+	}
+	body := p.parseBlock()
+	return &ast.FuncDecl{
+		Name: name.Text, Params: params, Result: result, Body: body,
+		PosVal: kw.Pos, EndPos: body.EndPos,
+	}
+}
+
+func (p *Parser) parseBlock() *ast.Block {
+	lb := p.expect(lexer.LBrace)
+	blk := &ast.Block{PosVal: lb.Pos}
+	for p.cur().Kind != lexer.RBrace && p.cur().Kind != lexer.EOF {
+		blk.Stmts = append(blk.Stmts, p.parseStmt())
+	}
+	rb := p.expect(lexer.RBrace)
+	blk.EndPos = rb.Pos
+	return blk
+}
+
+func (p *Parser) parseStmt() ast.Stmt {
+	switch p.cur().Kind {
+	case lexer.KwVar:
+		return p.parseVarDecl()
+	case lexer.KwPrint:
+		kw := p.advance()
+		p.expect(lexer.LParen)
+		x := p.parseExpr()
+		p.expect(lexer.RParen)
+		p.expect(lexer.Semi)
+		return &ast.PrintStmt{X: x, PosVal: kw.Pos}
+	case lexer.KwIf:
+		return p.parseIf()
+	case lexer.KwWhile:
+		kw := p.advance()
+		p.expect(lexer.LParen)
+		cond := p.parseExpr()
+		p.expect(lexer.RParen)
+		body := p.parseBlock()
+		return &ast.While{Cond: cond, Body: body, PosVal: kw.Pos}
+	case lexer.KwFor:
+		return p.parseFor()
+	case lexer.KwBreak:
+		kw := p.advance()
+		p.expect(lexer.Semi)
+		return &ast.Break{PosVal: kw.Pos}
+	case lexer.KwContinue:
+		kw := p.advance()
+		p.expect(lexer.Semi)
+		return &ast.Continue{PosVal: kw.Pos}
+	case lexer.KwReturn:
+		kw := p.advance()
+		var val ast.Expr
+		if p.cur().Kind != lexer.Semi {
+			val = p.parseExpr()
+		}
+		p.expect(lexer.Semi)
+		return &ast.Return{Value: val, PosVal: kw.Pos}
+	case lexer.LBrace:
+		return p.parseBlock()
+	case lexer.Ident:
+		s := p.parseSimpleStmt()
+		p.expect(lexer.Semi)
+		return s
+	}
+	p.errorf(p.cur().Pos, "expected statement, found %s", p.cur().Kind)
+	// Guarantee progress: sync may stop at a token parseStmt cannot
+	// start (e.g. a stray "func" inside a block); consume it so the
+	// enclosing block loop terminates.
+	before := p.pos
+	p.sync()
+	if p.pos == before && p.cur().Kind != lexer.EOF && p.cur().Kind != lexer.RBrace {
+		p.advance()
+	}
+	return &ast.Block{PosVal: p.cur().Pos, EndPos: p.cur().Pos}
+}
+
+// parseSimpleStmt parses an assignment or call statement without the
+// trailing semicolon (shared by statement and for-clause positions).
+func (p *Parser) parseSimpleStmt() ast.Stmt {
+	start := p.cur()
+	// Call statement: ident "(" ...
+	if p.peek().Kind == lexer.LParen {
+		x := p.parseExpr()
+		return &ast.ExprStmt{X: x, PosVal: start.Pos}
+	}
+	// Otherwise an lvalue: name or name[expr]...[expr].
+	nameTok := p.expect(lexer.Ident)
+	name := &ast.Name{Ident: nameTok.Text, PosVal: nameTok.Pos}
+	if p.cur().Kind == lexer.LBrack {
+		p.advance()
+		idx := p.parseExpr()
+		p.expect(lexer.RBrack)
+		p.expect(lexer.Assign)
+		val := p.parseExpr()
+		return &ast.Assign{Arr: name, Idx: idx, Value: val, PosVal: start.Pos}
+	}
+	p.expect(lexer.Assign)
+	val := p.parseExpr()
+	return &ast.Assign{Target: name, Value: val, PosVal: start.Pos}
+}
+
+func (p *Parser) parseIf() ast.Stmt {
+	kw := p.expect(lexer.KwIf)
+	p.expect(lexer.LParen)
+	cond := p.parseExpr()
+	p.expect(lexer.RParen)
+	then := p.parseBlock()
+	var els ast.Stmt
+	if p.accept(lexer.KwElse) {
+		if p.cur().Kind == lexer.KwIf {
+			els = p.parseIf()
+		} else {
+			els = p.parseBlock()
+		}
+	}
+	return &ast.If{Cond: cond, Then: then, Else: els, PosVal: kw.Pos}
+}
+
+func (p *Parser) parseFor() ast.Stmt {
+	kw := p.expect(lexer.KwFor)
+	p.expect(lexer.LParen)
+	var init ast.Stmt
+	if p.cur().Kind != lexer.Semi {
+		if p.cur().Kind == lexer.KwVar {
+			init = p.parseVarDecl() // consumes the semicolon
+		} else {
+			init = p.parseSimpleStmt()
+			p.expect(lexer.Semi)
+		}
+	} else {
+		p.expect(lexer.Semi)
+	}
+	var cond ast.Expr
+	if p.cur().Kind != lexer.Semi {
+		cond = p.parseExpr()
+	}
+	p.expect(lexer.Semi)
+	var post ast.Stmt
+	if p.cur().Kind != lexer.RParen {
+		post = p.parseSimpleStmt()
+	}
+	p.expect(lexer.RParen)
+	body := p.parseBlock()
+	return &ast.For{Init: init, Cond: cond, Post: post, Body: body, PosVal: kw.Pos}
+}
+
+// ---- Expressions ----
+
+// binLevels lists binary operator tiers from loosest to tightest binding.
+var binLevels = [][]lexer.Kind{
+	{lexer.PipePipe},
+	{lexer.AmpAmp},
+	{lexer.Pipe},
+	{lexer.Caret},
+	{lexer.Amp},
+	{lexer.EqEq, lexer.NotEq},
+	{lexer.Lt, lexer.Le, lexer.Gt, lexer.Ge},
+	{lexer.Shl, lexer.Shr},
+	{lexer.Plus, lexer.Minus},
+	{lexer.Star, lexer.Slash, lexer.Percent},
+}
+
+func (p *Parser) parseExpr() ast.Expr { return p.parseBinary(0) }
+
+func (p *Parser) parseBinary(level int) ast.Expr {
+	if level >= len(binLevels) {
+		return p.parseUnary()
+	}
+	x := p.parseBinary(level + 1)
+	for {
+		matched := false
+		for _, k := range binLevels[level] {
+			if p.cur().Kind == k {
+				op := p.advance()
+				y := p.parseBinary(level + 1)
+				x = &ast.Binary{Op: op.Text, X: x, Y: y, PosVal: op.Pos}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return x
+		}
+	}
+}
+
+func (p *Parser) parseUnary() ast.Expr {
+	switch p.cur().Kind {
+	case lexer.Minus:
+		op := p.advance()
+		return &ast.Unary{Op: "-", X: p.parseUnary(), PosVal: op.Pos}
+	case lexer.Not:
+		op := p.advance()
+		return &ast.Unary{Op: "!", X: p.parseUnary(), PosVal: op.Pos}
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() ast.Expr {
+	x := p.parsePrimary()
+	for p.cur().Kind == lexer.LBrack {
+		lb := p.advance()
+		idx := p.parseExpr()
+		p.expect(lexer.RBrack)
+		x = &ast.Index{Arr: x, Idx: idx, PosVal: lb.Pos}
+	}
+	return x
+}
+
+func (p *Parser) parsePrimary() ast.Expr {
+	switch t := p.cur(); t.Kind {
+	case lexer.Int:
+		p.advance()
+		return &ast.IntLit{Val: t.Val, PosVal: t.Pos}
+	case lexer.Ident:
+		if p.peek().Kind == lexer.LParen {
+			p.advance()
+			p.advance() // (
+			var args []ast.Expr
+			for p.cur().Kind != lexer.RParen && p.cur().Kind != lexer.EOF {
+				args = append(args, p.parseExpr())
+				if !p.accept(lexer.Comma) {
+					break
+				}
+			}
+			p.expect(lexer.RParen)
+			return &ast.Call{Fun: t.Text, Args: args, PosVal: t.Pos}
+		}
+		p.advance()
+		return &ast.Name{Ident: t.Text, PosVal: t.Pos}
+	case lexer.KwNew:
+		p.advance()
+		p.expect(lexer.KwInt)
+		p.expect(lexer.LBrack)
+		size := p.parseExpr()
+		p.expect(lexer.RBrack)
+		return &ast.NewArray{Size: size, PosVal: t.Pos}
+	case lexer.KwLen:
+		p.advance()
+		p.expect(lexer.LParen)
+		arr := p.parseExpr()
+		p.expect(lexer.RParen)
+		return &ast.LenExpr{Arr: arr, PosVal: t.Pos}
+	case lexer.LParen:
+		p.advance()
+		x := p.parseExpr()
+		p.expect(lexer.RParen)
+		return x
+	}
+	p.errorf(p.cur().Pos, "expected expression, found %s", p.cur().Kind)
+	p.advance()
+	return &ast.IntLit{PosVal: p.cur().Pos}
+}

@@ -1,0 +1,128 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"debugtuner/internal/ast"
+)
+
+func TestParseFunctionShapes(t *testing.T) {
+	prog, err := ParseString("t", `
+var g: int = 5;
+var a: int[] = new int[10];
+func none() { }
+func one(x: int): int { return x; }
+func two(x: int, a: int[]): void { print(x); }
+func main() {
+	var v: int = one(g) + a[0];
+	if (v > 0) { v = v - 1; } else if (v < 0) { v = 0; } else { print(v); }
+	while (v < 10) { v = v + 1; }
+	for (var i: int = 0; i < 3; i = i + 1) { a[i] = i; }
+	for (; v > 0; ) { v = v - 1; break; }
+	print(v);
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Globals) != 2 || len(prog.Funcs) != 4 {
+		t.Fatalf("got %d globals, %d funcs", len(prog.Globals), len(prog.Funcs))
+	}
+	if prog.Func("one").Result != ast.TypeInt {
+		t.Error("one should return int")
+	}
+	if prog.Func("two").Result != ast.TypeVoid {
+		t.Error("two should return void")
+	}
+	if got := len(prog.Func("main").Body.Stmts); got != 6 {
+		t.Errorf("main has %d statements, want 6", got)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	prog, err := ParseString("t", `func f(): int { return 1 + 2 * 3 == 7 && 4 < 5 | 1; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := prog.Funcs[0].Body.Stmts[0].(*ast.Return)
+	// Top must be && (loosest present).
+	top, ok := ret.Value.(*ast.Binary)
+	if !ok || top.Op != "&&" {
+		t.Fatalf("top operator = %T %v", ret.Value, ret.Value)
+	}
+	lhs := top.X.(*ast.Binary)
+	if lhs.Op != "==" {
+		t.Errorf("lhs of && = %q, want ==", lhs.Op)
+	}
+	mul := lhs.X.(*ast.Binary).Y.(*ast.Binary)
+	if mul.Op != "*" {
+		t.Errorf("inner = %q, want *", mul.Op)
+	}
+	rhs := top.Y.(*ast.Binary)
+	if rhs.Op != "|" {
+		t.Errorf("rhs of && = %q, want |", rhs.Op)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"func f( {}",
+		"func f() { var x int = 1; }",
+		"func f() { x = ; }",
+		"func f() { if x { } }",
+		"var x: float;",
+		"func f(): int[] { }",
+		"}{",
+		"func f() { return 1 }",
+	}
+	for _, src := range bad {
+		if _, err := ParseString("t", src); err == nil {
+			t.Errorf("%q: expected a parse error", src)
+		}
+	}
+}
+
+// TestParserAlwaysTerminates (regression): error recovery must make
+// progress on arbitrarily misplaced tokens — two infinite-loop bugs were
+// found here during development (a stray func inside a block, and
+// statements at the top level).
+func TestParserAlwaysTerminates(t *testing.T) {
+	nasty := []string{
+		"func f() { func g() {} }",
+		"x = 1;\ny = 2;",
+		"return 5;",
+		"if (1) {}",
+		"func f() { } } } }",
+		strings.Repeat("] ", 50),
+		"var v: int = 1; while (v) {}",
+	}
+	for _, src := range nasty {
+		done := make(chan struct{})
+		go func() {
+			ParseString("t", src)
+			close(done)
+		}()
+		select {
+		case <-done:
+		default:
+			// Give it a moment synchronously; channels in tests without
+			// timers would hang the test anyway if the parser loops.
+			<-done
+		}
+	}
+}
+
+func TestPositionsRecorded(t *testing.T) {
+	prog, err := ParseString("t", "func f() {\n\tprint(1);\n}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := prog.Funcs[0].Body.Stmts[0].Pos()
+	if p.Line != 2 {
+		t.Errorf("print at line %d, want 2", p.Line)
+	}
+	if prog.Funcs[0].EndPos.Line != 3 {
+		t.Errorf("closing brace at line %d, want 3", prog.Funcs[0].EndPos.Line)
+	}
+}

@@ -1,0 +1,74 @@
+package passes
+
+import "debugtuner/internal/ir"
+
+// This file registers the remaining pass names the two pipeline profiles
+// reference.
+//
+//   - gcc spellings that alias an existing implementation
+//     (thread-jumps, tree-dominator-opts);
+//   - sccp, a constant-propagation subset of instcombine kept as its own
+//     pipeline entry for fidelity with clang's pass list;
+//   - the back-end pass names. Their transformations live in the codegen
+//     package, which receives the set of enabled names through
+//     pipeline.Config; the registry entries exist so DebugTuner can
+//     toggle them like any other pass. They are annotated Backend, the
+//     paper's '*'.
+func init() {
+	// gcc's RTL jump threading shares the implementation with the
+	// mid-end pass; gcc annotates it as a back-end pass.
+	Register(&Pass{Name: "thread-jumps", Backend: true, RunFunc: runJumpThreading})
+
+	// gcc's tree-dominator-opts combines dominator-based CSE with jump
+	// threading over the dominator tree.
+	Register(&Pass{
+		Name: "tree-dominator-opts",
+		RunFunc: func(ctx *Context, f *ir.Func) bool {
+			c := runCSE(ctx, f, false)
+			c = runJumpThreading(ctx, f) || c
+			return c
+		},
+	})
+
+	// Sparse conditional constant propagation: the constant-folding
+	// subset (plus branch folding) of instcombine.
+	Register(&Pass{
+		Name: "sccp",
+		RunFunc: func(ctx *Context, f *ir.Func) bool {
+			c := combine(ctx, f, false)
+			c = foldConstBranches(ctx, f) || c
+			if c {
+				ir.RemoveUnreachable(f)
+			}
+			return c
+		},
+	})
+
+	// Back-end pass toggles, implemented in internal/codegen.
+	for _, name := range []string{
+		"schedule-insns2", // post-RA list scheduling
+		"reorder-blocks",  // gcc block placement
+		"block-placement", // clang "Branch Prob BB Placement"
+		"crossjumping",    // gcc tail merging
+		"machine-cfg-opt", // clang "Control Flow Optimizer"
+		"machine-sink",    // clang "Machine code sinking"
+		"shrink-wrap",     // late prologue placement
+		"ira-share-spill-slots",
+		"tree-ter",           // forward substitution at expansion
+		"tree-coalesce-vars", // SSA name coalescing at expansion
+	} {
+		Register(&Pass{
+			Name:      name,
+			Backend:   true,
+			RunModule: func(ctx *Context) bool { return false },
+		})
+	}
+
+	// gcc's expensive-optimizations group toggle: pipeline entries
+	// marked as members are skipped when this name is disabled. The
+	// registry entry only reserves the name.
+	Register(&Pass{
+		Name:      "expensive-opts",
+		RunModule: func(ctx *Context) bool { return false },
+	})
+}

@@ -1,0 +1,175 @@
+package passes
+
+import (
+	"fmt"
+
+	"debugtuner/internal/ir"
+)
+
+// The CSE family. early-cse is a dominator-scoped common-subexpression
+// eliminator over pure operations and global loads. gvn additionally
+// value-numbers pure calls and array loads (with conservative
+// invalidation). gcc's tree-fre is registered onto the gvn
+// implementation. In every case, the redundant instruction is replaced
+// through RAUW — so under the gcc-like policy a variable bound to a
+// cross-block redundancy loses its binding, one of the measured loss
+// mechanisms.
+var (
+	earlyCSEPass = Register(&Pass{
+		Name: "early-cse",
+		RunFunc: func(ctx *Context, f *ir.Func) bool {
+			return runCSE(ctx, f, false)
+		},
+	})
+	gvnPass = Register(&Pass{
+		Name: "gvn",
+		RunFunc: func(ctx *Context, f *ir.Func) bool {
+			return runCSE(ctx, f, true)
+		},
+	})
+	treeFREPass = Register(&Pass{
+		Name: "tree-fre",
+		RunFunc: func(ctx *Context, f *ir.Func) bool {
+			return runCSE(ctx, f, true)
+		},
+	})
+)
+
+// cseKey identifies a value-numbering equivalence class.
+type cseKey struct {
+	op   ir.Op
+	aux  string
+	auxi int64
+	a, b int // argument value numbers (b = -1 when unary)
+	c    int
+	gen  int // memory generation for loads/calls
+}
+
+func runCSE(ctx *Context, f *ir.Func, strong bool) bool {
+	ir.RemoveUnreachable(f)
+	idom := ir.Dominators(f)
+	tree := ir.DomTree(f, idom)
+	changed := false
+
+	// available maps a key to the dominating value providing it. Scoping
+	// is handled by recording insertions and undoing on exit.
+	//
+	// Memory-dependent entries (loads) are only valid between clobbers
+	// within a single block: a sibling path between dominator-tree nodes
+	// may clobber memory, so cross-block load reuse would be unsound.
+	// Each block entry therefore starts a fresh memory generation that is
+	// never restored, and loads carry the generation in their key.
+	available := map[cseKey]*ir.Value{}
+	memGen := 0
+
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		type undo struct {
+			key  cseKey
+			prev *ir.Value
+			had  bool
+		}
+		var undos []undo
+		memGen++ // new block: invalidate all load CSE from other blocks
+
+		for _, v := range append([]*ir.Value(nil), b.Instrs...) {
+			key, ok := keyFor(v, strong, memGen, f.Prog)
+			if !ok {
+				// Invalidate memory state on writes and unknown calls.
+				if clobbers(v, f.Prog) {
+					memGen++
+				}
+				continue
+			}
+			if prev, hit := available[key]; hit {
+				RAUW(ctx, f, v, prev)
+				ir.RemoveValue(v)
+				changed = true
+				continue
+			}
+			old, had := available[key]
+			undos = append(undos, undo{key, old, had})
+			available[key] = v
+		}
+		for _, c := range tree[b] {
+			walk(c)
+		}
+		for i := len(undos) - 1; i >= 0; i-- {
+			u := undos[i]
+			if u.had {
+				available[u.key] = u.prev
+			} else {
+				delete(available, u.key)
+			}
+		}
+	}
+	walk(f.Entry())
+	return changed
+}
+
+// keyFor builds the value-numbering key for v, or reports that v is not
+// CSE-able.
+func keyFor(v *ir.Value, strong bool, memGen int, prog *ir.Program) (cseKey, bool) {
+	key := cseKey{op: v.Op, auxi: v.AuxInt, aux: v.Aux, a: -1, b: -1, c: -1}
+	argID := func(i int) int { return v.Args[i].ID }
+	switch {
+	case v.Op == ir.OpConst:
+		return key, true
+	case v.Op.IsPure() && v.Op != ir.OpParam:
+		switch len(v.Args) {
+		case 1:
+			key.a = argID(0)
+		case 2:
+			key.a, key.b = argID(0), argID(1)
+			if v.Op.IsCommutative() && key.a > key.b {
+				key.a, key.b = key.b, key.a
+			}
+		case 3:
+			key.a, key.b, key.c = argID(0), argID(1), argID(2)
+		}
+		return key, true
+	case v.Op == ir.OpGLoad:
+		key.gen = memGen
+		return key, true
+	case strong && v.Op == ir.OpALoad:
+		key.a, key.b = argID(0), argID(1)
+		key.gen = memGen
+		return key, true
+	case strong && v.Op == ir.OpCall:
+		callee := prog.Func(v.Aux)
+		if callee == nil || !callee.Pure {
+			return key, false
+		}
+		switch len(v.Args) {
+		case 0:
+		case 1:
+			key.a = argID(0)
+		case 2:
+			key.a, key.b = argID(0), argID(1)
+		case 3:
+			key.a, key.b, key.c = argID(0), argID(1), argID(2)
+		default:
+			// Hash a digest of the remaining arguments into aux.
+			key.a, key.b, key.c = argID(0), argID(1), argID(2)
+			rest := ""
+			for _, a := range v.Args[3:] {
+				rest += fmt.Sprintf(",%d", a.ID)
+			}
+			key.aux += rest
+		}
+		return key, true
+	}
+	return key, false
+}
+
+// clobbers reports whether v invalidates memory-dependent CSE entries.
+func clobbers(v *ir.Value, prog *ir.Program) bool {
+	switch v.Op {
+	case ir.OpGStore, ir.OpAStore, ir.OpVStore2, ir.OpSlotStore:
+		return true
+	case ir.OpCall:
+		callee := prog.Func(v.Aux)
+		return callee == nil || !callee.Pure
+	}
+	return false
+}

@@ -1,0 +1,97 @@
+package passes
+
+import "debugtuner/internal/ir"
+
+// dce removes instructions whose results are never used by effectful
+// code, using mark-and-sweep from the effect roots (stores, prints,
+// impure calls, terminators) so that dead phi cycles die too. DbgValue
+// references do not keep values alive — matching LLVM — so a variable
+// whose value was only computed for its own sake becomes "optimized out".
+var dcePass = Register(&Pass{
+	Name:    "dce",
+	RunFunc: runDCE,
+})
+
+func runDCE(ctx *Context, f *ir.Func) bool {
+	live := make([]bool, f.NumValueIDs())
+	var work []*ir.Value
+	mark := func(v *ir.Value) {
+		if !live[v.ID] {
+			live[v.ID] = true
+			work = append(work, v)
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			if v.Op == ir.OpDbgValue {
+				continue
+			}
+			if v.Op.IsTerminator() || (!IsRemovable(f.Prog, v) && !v.Op.HasResult()) ||
+				(v.Op == ir.OpCall && !IsRemovable(f.Prog, v)) ||
+				v.Op == ir.OpAStore || v.Op == ir.OpVStore2 || v.Op == ir.OpGStore ||
+				v.Op == ir.OpSlotStore || v.Op == ir.OpPrint {
+				mark(v)
+			}
+		}
+	}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, a := range v.Args {
+			mark(a)
+		}
+	}
+	changed := false
+	for _, b := range f.Blocks {
+		for _, v := range append([]*ir.Value(nil), b.Instrs...) {
+			if v.Op == ir.OpDbgValue || live[v.ID] {
+				continue
+			}
+			DropDefDebug(f, v)
+			// Clear args so dangling references cannot survive.
+			v.Args = nil
+			ir.RemoveValue(v)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// dse removes stores that are overwritten before being observed. For
+// global scalars it is intraprocedural and block-local: a store to global
+// g is dead if the same block stores g again with no intervening load of
+// g, call, or print. The deleted store's line-table entry disappears with
+// it.
+var dsePass = Register(&Pass{
+	Name:    "dse",
+	RunFunc: runDSE,
+})
+
+func runDSE(ctx *Context, f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		// lastStore[g] is a pending store to global g not yet observed.
+		lastStore := map[int64]*ir.Value{}
+		var dead []*ir.Value
+		for _, v := range b.Instrs {
+			switch v.Op {
+			case ir.OpGStore:
+				if prev, ok := lastStore[v.AuxInt]; ok {
+					dead = append(dead, prev)
+				}
+				lastStore[v.AuxInt] = v
+			case ir.OpGLoad:
+				delete(lastStore, v.AuxInt)
+			case ir.OpCall, ir.OpPrint, ir.OpRet:
+				// Calls and returns may observe any global.
+				lastStore = map[int64]*ir.Value{}
+			}
+		}
+		for _, v := range dead {
+			v.Args = nil
+			ir.RemoveValue(v)
+			changed = true
+		}
+	}
+	return changed
+}

@@ -1,0 +1,184 @@
+package passes
+
+import "debugtuner/internal/ir"
+
+// if-conversion turns small branch diamonds and triangles into straight-
+// line code with OpSelect, removing the branch (and its mispredict and
+// taken-branch costs). The speculated arm instructions keep their lines —
+// they still execute — but DbgValues inside the arms are dropped to
+// "optimized out": after speculation both arms' bindings would execute
+// unconditionally, and the compiler cannot express "bound only if the
+// branch would have been taken" in a location list.
+var ifConvPass = Register(&Pass{
+	Name:    "if-conversion",
+	RunFunc: runIfConv,
+})
+
+const maxSpeculated = 4
+
+func runIfConv(ctx *Context, f *ir.Func) bool {
+	changed := false
+	for _, b := range append([]*ir.Block(nil), f.Blocks...) {
+		t := b.Term()
+		if t == nil || t.Op != ir.OpBr {
+			continue
+		}
+		s0, s1 := b.Succs[0], b.Succs[1]
+		if s0 == s1 {
+			continue
+		}
+		// Triangle: b -> {side, join}, side -> join.
+		// Diamond:  b -> {side0, side1}, both -> join.
+		var side0, side1, join *ir.Block
+		switch {
+		case oneWay(s0) && s0.Succs[0] == s1 && len(s0.Preds) == 1:
+			side0, join = s0, s1
+		case oneWay(s1) && s1.Succs[0] == s0 && len(s1.Preds) == 1:
+			side1, join = s1, s0
+		case oneWay(s0) && oneWay(s1) && s0.Succs[0] == s1.Succs[0] &&
+			len(s0.Preds) == 1 && len(s1.Preds) == 1:
+			side0, side1, join = s0, s1, s0.Succs[0]
+		default:
+			continue
+		}
+		if join == b || !speculatable(side0) || !speculatable(side1) {
+			continue
+		}
+		// Move arm instructions into b (before the terminator), dropping
+		// their variable bindings.
+		hoistArm := func(s *ir.Block) {
+			if s == nil {
+				return
+			}
+			for _, v := range append([]*ir.Value(nil), s.Instrs...) {
+				if v.Op.IsTerminator() {
+					continue
+				}
+				if v.Op == ir.OpDbgValue {
+					ir.RemoveValue(v)
+					continue
+				}
+				ir.RemoveValue(v)
+				v.Block = b
+				insertBeforeTerm(b, v)
+			}
+		}
+		hoistArm(side0)
+		hoistArm(side1)
+
+		// Join phis select between the two incoming columns.
+		idxOf := func(p *ir.Block) int { return predIndexOf(join, p) }
+		var i0, i1 int
+		if side0 != nil {
+			i0 = idxOf(side0)
+		} else {
+			i0 = idxOf(b)
+		}
+		if side1 != nil {
+			i1 = idxOf(side1)
+		} else {
+			i1 = idxOf(b)
+		}
+		if i0 < 0 || i1 < 0 {
+			continue
+		}
+		cond := t.Args[0]
+		for _, phi := range append([]*ir.Value(nil), join.Phis()...) {
+			sel := f.NewValue(b, ir.OpSelect, 0, cond, phi.Args[i0], phi.Args[i1])
+			insertBeforeTerm(b, sel)
+			// Temporarily rewrite the phi columns to the select; the
+			// edge collapse below merges them.
+			phi.Args[i0] = sel
+			phi.Args[i1] = sel
+		}
+		// Collapse control flow: b jumps straight to join.
+		for _, s := range []*ir.Block{side0, side1} {
+			if s == nil {
+				continue
+			}
+			if i := predIndexOf(s, b); i >= 0 {
+				ir.RemovePredEdge(s, i)
+			}
+		}
+		// Remove b's own direct edge to join if present (triangle).
+		t.Op = ir.OpJmp
+		t.Args = nil
+		b.Succs = nil
+		// Rebuild: join keeps one edge from b; phi columns for the two
+		// old edges merge into one.
+		mergeJoinEdges(join, b, side0, side1)
+		ir.AddEdge(b, join)
+		changed = true
+	}
+	if changed {
+		ir.RemoveUnreachable(f)
+	}
+	return changed
+}
+
+// mergeJoinEdges removes join's pred columns that came from b, side0, and
+// side1, then the caller re-adds a single b edge. Each phi's merged value
+// was already rewritten to the select, so one surviving column suffices.
+func mergeJoinEdges(join, b, side0, side1 *ir.Block) {
+	drop := func(p *ir.Block) {
+		if p == nil {
+			return
+		}
+		for {
+			i := predIndexOf(join, p)
+			if i < 0 {
+				return
+			}
+			ir.RemovePredEdge(join, i)
+		}
+	}
+	// Record the select values before columns vanish.
+	var sels []*ir.Value
+	for _, phi := range join.Phis() {
+		var sel *ir.Value
+		for _, p := range []*ir.Block{side0, side1, b} {
+			if p == nil {
+				continue
+			}
+			if i := predIndexOf(join, p); i >= 0 {
+				sel = phi.Args[i]
+				break
+			}
+		}
+		sels = append(sels, sel)
+	}
+	drop(side0)
+	drop(side1)
+	drop(b)
+	// The caller adds the b edge back; append the recorded values.
+	for i, phi := range join.Phis() {
+		if sels[i] != nil {
+			phi.Args = append(phi.Args, sels[i])
+		}
+	}
+}
+
+// oneWay reports whether s ends in an unconditional jump.
+func oneWay(s *ir.Block) bool {
+	t := s.Term()
+	return t != nil && t.Op == ir.OpJmp
+}
+
+// speculatable reports whether every instruction in the arm may execute
+// unconditionally: pure and cheap, plus debug markers.
+func speculatable(s *ir.Block) bool {
+	if s == nil {
+		return true
+	}
+	n := 0
+	for _, v := range s.Instrs {
+		switch {
+		case v.Op.IsTerminator(), v.Op == ir.OpDbgValue:
+		case v.Op.IsPure(), v.Op == ir.OpConst:
+			n++
+		default:
+			return false
+		}
+	}
+	return n <= maxSpeculated
+}

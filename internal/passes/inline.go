@@ -1,0 +1,363 @@
+package passes
+
+import "debugtuner/internal/ir"
+
+// The inliner. Pass name "inline" is the master switch (gcc -fno-inline /
+// clang's Inliner); the finer-grained gcc policies are separate toggles
+// consumed through Context flags:
+//
+//   - inline-fncs-called-once: inline any non-recursive callee with a
+//     single call site in the program;
+//   - inline-small-functions: inline callees below the small threshold;
+//   - inline-functions: inline callees below the growth threshold
+//     (enabled at O2/O3).
+//
+// Inlined instructions keep their callee source lines, and callee
+// DbgValues are cloned per call site — so a function inlined at several
+// sites binds the same source variable to several value sets, which is
+// precisely the situation in which downstream passes disrupt debug
+// information (the paper's explanation for the inliner's indirect but
+// top-ranked impact).
+var inlinePass = Register(&Pass{
+	Name:      "inline",
+	RunModule: runInline,
+})
+
+func init() {
+	// The fine-grained gcc inlining toggles are consumed via Context
+	// flags by runInline; registering them gives DebugTuner their
+	// switch names.
+	Register(&Pass{Name: "inline-small-functions", RunModule: func(ctx *Context) bool { return false }})
+	Register(&Pass{Name: "inline-fncs-called-once", RunModule: func(ctx *Context) bool { return false }})
+	Register(&Pass{Name: "inline-functions", RunModule: func(ctx *Context) bool { return false }})
+}
+
+const (
+	smallFuncThreshold = 16
+	callerGrowthCap    = 4096
+	maxInlineRounds    = 4
+)
+
+// funcCost counts code-generating instructions.
+func funcCost(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			if v.Op != ir.OpDbgValue {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// callCounts tallies static call sites per callee name.
+func callCounts(prog *ir.Program) map[string]int {
+	counts := map[string]int{}
+	for _, f := range prog.Funcs {
+		for _, b := range f.Blocks {
+			for _, v := range b.Instrs {
+				if v.Op == ir.OpCall {
+					counts[v.Aux]++
+				}
+			}
+		}
+	}
+	return counts
+}
+
+// isRecursive reports whether f can reach itself through calls.
+func isRecursive(prog *ir.Program, f *ir.Func) bool {
+	seen := map[string]bool{}
+	var visit func(g *ir.Func) bool
+	visit = func(g *ir.Func) bool {
+		if seen[g.Name] {
+			return false
+		}
+		seen[g.Name] = true
+		for _, b := range g.Blocks {
+			for _, v := range b.Instrs {
+				if v.Op != ir.OpCall {
+					continue
+				}
+				if v.Aux == f.Name {
+					return true
+				}
+				if callee := prog.Func(v.Aux); callee != nil && visit(callee) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return visit(f)
+}
+
+func runInline(ctx *Context) bool {
+	prog := ctx.Prog
+	order := map[string]int{}
+	for i, f := range prog.Funcs {
+		order[f.Name] = i
+	}
+	changed := false
+	for round := 0; round < maxInlineRounds; round++ {
+		counts := callCounts(prog)
+		any := false
+		for _, caller := range prog.Funcs {
+			budget := callerGrowthCap - funcCost(caller)
+			var sites []*ir.Value
+			for _, b := range caller.Blocks {
+				for _, v := range b.Instrs {
+					if v.Op == ir.OpCall {
+						sites = append(sites, v)
+					}
+				}
+			}
+			for _, call := range sites {
+				callee := prog.Func(call.Aux)
+				if callee == nil || callee == caller {
+					continue
+				}
+				if !ctx.UnitAtATime && order[callee.Name] > order[caller.Name] {
+					// Without toplevel reordering the compiler behaves
+					// like a single-pass unit: only earlier definitions
+					// are visible as inline candidates.
+					continue
+				}
+				cost := funcCost(callee)
+				if cost > budget {
+					continue
+				}
+				// AutoFDO: a hot call site quadruples the size budget;
+				// a provably-cold one shrinks it (sample-guided
+				// inlining, the profile's second consumer).
+				growth := ctx.InlineBudget
+				single := ctx.InlineBudget
+				switch ctx.CallHeat(call.Line) {
+				case 1:
+					growth *= 4
+					single *= 4
+				case -1:
+					growth /= 4
+					single /= 4
+				}
+				ok := false
+				switch {
+				case ctx.InlineOnce && counts[callee.Name] == 1 && !isRecursive(prog, callee):
+					ok = true
+				case ctx.InlineSmall && cost <= smallFuncThreshold:
+					ok = true
+				case ctx.InlineGrowth && cost <= growth:
+					ok = true
+				case !ctx.InlineSmall && !ctx.InlineGrowth && !ctx.InlineOnce &&
+					single > 0 && cost <= single:
+					// clang-style single-knob inliner.
+					ok = true
+				}
+				if !ok {
+					continue
+				}
+				if isRecursive(prog, callee) && counts[callee.Name] != 1 {
+					// Avoid runaway expansion of recursive cycles; the
+					// called-once case above is safe by construction.
+					if callee.Name == caller.Name {
+						continue
+					}
+					// Allow one level of inlining a recursive callee
+					// only if it does not call the caller back.
+					if reaches(prog, callee, caller.Name) {
+						continue
+					}
+				}
+				inlineCall(caller, call, callee)
+				budget -= cost
+				any = true
+				changed = true
+			}
+		}
+		if !any {
+			break
+		}
+	}
+	return changed
+}
+
+// reaches reports whether from can reach target through calls.
+func reaches(prog *ir.Program, from *ir.Func, target string) bool {
+	seen := map[string]bool{}
+	var visit func(g *ir.Func) bool
+	visit = func(g *ir.Func) bool {
+		if seen[g.Name] {
+			return false
+		}
+		seen[g.Name] = true
+		for _, b := range g.Blocks {
+			for _, v := range b.Instrs {
+				if v.Op != ir.OpCall {
+					continue
+				}
+				if v.Aux == target {
+					return true
+				}
+				if callee := prog.Func(v.Aux); callee != nil && visit(callee) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return visit(from)
+}
+
+// inlineCall splices a clone of callee into caller at the call site.
+func inlineCall(caller *ir.Func, call *ir.Value, callee *ir.Func) {
+	pre := call.Block
+	// Split pre at the call: post gets everything after the call plus
+	// pre's successors.
+	post := caller.NewBlock()
+	callIdx := -1
+	for i, v := range pre.Instrs {
+		if v == call {
+			callIdx = i
+			break
+		}
+	}
+	post.Instrs = append(post.Instrs, pre.Instrs[callIdx+1:]...)
+	for _, v := range post.Instrs {
+		v.Block = post
+	}
+	pre.Instrs = pre.Instrs[:callIdx]
+	post.Succs = pre.Succs
+	pre.Succs = nil
+	for _, s := range post.Succs {
+		for i, p := range s.Preds {
+			if p == pre {
+				s.Preds[i] = post
+			}
+		}
+	}
+
+	// Remap callee slots into fresh caller slots.
+	slotBase := caller.NumSlots
+	caller.NumSlots += callee.NumSlots
+	caller.SlotVars = append(caller.SlotVars, callee.SlotVars...)
+
+	// Clone callee blocks.
+	blockMap := make(map[*ir.Block]*ir.Block, len(callee.Blocks))
+	valueMap := make(map[*ir.Value]*ir.Value)
+	for _, b := range callee.Blocks {
+		nb := caller.NewBlock()
+		nb.Prob, nb.Freq = b.Prob, b.Freq
+		blockMap[b] = nb
+	}
+	type retSite struct {
+		block *ir.Block
+		val   *ir.Value // nil for void returns
+	}
+	var rets []retSite
+	for _, b := range callee.Blocks {
+		nb := blockMap[b]
+		for _, v := range b.Instrs {
+			if v.Op == ir.OpParam {
+				valueMap[v] = call.Args[v.AuxInt]
+				continue
+			}
+			nv := caller.NewValue(nb, v.Op, v.Line)
+			nv.AuxInt = v.AuxInt
+			nv.Aux = v.Aux
+			nv.Var = v.Var
+			if v.Op == ir.OpSlotLoad || v.Op == ir.OpSlotStore {
+				nv.AuxInt += int64(slotBase)
+			}
+			valueMap[v] = nv
+			nb.Instrs = append(nb.Instrs, nv)
+		}
+	}
+	for _, b := range callee.Blocks {
+		nb := blockMap[b]
+		for _, p := range b.Preds {
+			nb.Preds = append(nb.Preds, blockMap[p])
+		}
+		for _, s := range b.Succs {
+			nb.Succs = append(nb.Succs, blockMap[s])
+		}
+		for bi, v := range b.Instrs {
+			if v.Op == ir.OpParam {
+				continue
+			}
+			nv := valueMap[v]
+			for _, a := range v.Args {
+				nv.Args = append(nv.Args, valueMap[a])
+			}
+			_ = bi
+		}
+	}
+	// Rewrite cloned returns as jumps to post.
+	for _, b := range callee.Blocks {
+		nb := blockMap[b]
+		t := nb.Term()
+		if t == nil || t.Op != ir.OpRet {
+			continue
+		}
+		var rv *ir.Value
+		if len(t.Args) == 1 {
+			rv = t.Args[0]
+		}
+		t.Op = ir.OpJmp
+		t.Args = nil
+		ir.AddEdge(nb, post)
+		rets = append(rets, retSite{nb, rv})
+	}
+	// Connect pre to the cloned entry.
+	jmp := caller.NewValue(pre, ir.OpJmp, call.Line)
+	pre.Instrs = append(pre.Instrs, jmp)
+	ir.AddEdge(pre, blockMap[callee.Entry()])
+
+	// Replace the call result with the merged return value.
+	var result *ir.Value
+	switch len(rets) {
+	case 0:
+		// Callee never returns (infinite loop): post is unreachable and
+		// will be pruned by the next simplifycfg.
+	case 1:
+		result = rets[0].val
+	default:
+		phi := caller.NewValue(post, ir.OpPhi, 0)
+		for _, r := range rets {
+			arg := r.val
+			if arg == nil {
+				arg = zeroIn(caller, pre)
+			}
+			phi.Args = append(phi.Args, arg)
+		}
+		post.Instrs = append([]*ir.Value{phi}, post.Instrs...)
+		result = phi
+	}
+	if result == nil {
+		result = zeroIn(caller, pre)
+	}
+	for _, b := range caller.Blocks {
+		for _, v := range b.Instrs {
+			for i, a := range v.Args {
+				if a == call {
+					v.Args[i] = result
+				}
+			}
+		}
+	}
+}
+
+// zeroIn materializes a constant zero at the end of the (already open)
+// pre block, before its terminator.
+func zeroIn(f *ir.Func, pre *ir.Block) *ir.Value {
+	z := f.NewValue(pre, ir.OpConst, 0)
+	n := len(pre.Instrs)
+	if n > 0 && pre.Instrs[n-1].Op.IsTerminator() {
+		pre.Instrs = append(pre.Instrs, nil)
+		copy(pre.Instrs[n:], pre.Instrs[n-1:])
+		pre.Instrs[n-1] = z
+	} else {
+		pre.Instrs = append(pre.Instrs, z)
+	}
+	return z
+}

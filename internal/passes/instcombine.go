@@ -1,0 +1,263 @@
+package passes
+
+import "debugtuner/internal/ir"
+
+// instcombine performs constant folding, algebraic simplification, and
+// canonicalization. When an instruction folds away, its uses are rewired
+// via RAUW under the debug salvage policy; the folded instruction's line
+// survives only if its replacement generates code attributed to it.
+var instCombinePass = Register(&Pass{
+	Name:    "instcombine",
+	RunFunc: runInstCombine,
+})
+
+// forwprop is gcc's tree-forwprop: a weaker forward-propagation pass that
+// applies a subset of the instcombine patterns (identities and constant
+// folds, but no reassociation or strength reduction).
+var forwPropPass = Register(&Pass{
+	Name: "tree-forwprop",
+	RunFunc: func(ctx *Context, f *ir.Func) bool {
+		return combine(ctx, f, false)
+	},
+})
+
+func runInstCombine(ctx *Context, f *ir.Func) bool {
+	return combine(ctx, f, true)
+}
+
+func combine(ctx *Context, f *ir.Func, full bool) bool {
+	changed := false
+	for iter := 0; iter < 10; iter++ {
+		c := false
+		for _, b := range f.Blocks {
+			for _, v := range append([]*ir.Value(nil), b.Instrs...) {
+				if r := simplify(f, v, full); r != nil && r != v {
+					RAUW(ctx, f, v, r)
+					ir.RemoveValue(v)
+					c = true
+				}
+			}
+		}
+		c = canonBranches(ctx, f) || c
+		if !c {
+			break
+		}
+		changed = true
+	}
+	return changed
+}
+
+func isConst(v *ir.Value, c int64) bool { return v.Op == ir.OpConst && v.AuxInt == c }
+
+// newConstBefore materializes a constant just before pos, inheriting its
+// source line (the fold result is still code attributed to that line).
+func newConstBefore(f *ir.Func, pos *ir.Value, c int64) *ir.Value {
+	nv := f.NewValue(pos.Block, ir.OpConst, pos.Line)
+	nv.AuxInt = c
+	ir.InsertBefore(pos, nv)
+	return nv
+}
+
+// simplify returns a replacement value for v, or nil when no rule fires.
+// full enables the stronger instcombine-only rules.
+func simplify(f *ir.Func, v *ir.Value, full bool) *ir.Value {
+	switch v.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem, ir.OpAnd,
+		ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr,
+		ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
+		x, y := v.Args[0], v.Args[1]
+		if x.Op == ir.OpConst && y.Op == ir.OpConst {
+			return newConstBefore(f, v, ir.EvalBin(v.Op, x.AuxInt, y.AuxInt))
+		}
+		// Canonicalize commutative constants to the right.
+		if v.Op.IsCommutative() && x.Op == ir.OpConst && y.Op != ir.OpConst {
+			v.Args[0], v.Args[1] = y, x
+			x, y = v.Args[0], v.Args[1]
+		}
+		switch v.Op {
+		case ir.OpAdd:
+			if isConst(y, 0) {
+				return x
+			}
+			if full && y.Op == ir.OpConst && x.Op == ir.OpAdd && x.Args[1].Op == ir.OpConst {
+				// (a + c1) + c2 -> a + (c1 + c2)
+				nv := f.NewValue(v.Block, ir.OpAdd, v.Line,
+					x.Args[0], newConstBefore(f, v, x.Args[1].AuxInt+y.AuxInt))
+				ir.InsertBefore(v, nv)
+				return nv
+			}
+		case ir.OpSub:
+			if isConst(y, 0) {
+				return x
+			}
+			if x == y {
+				return newConstBefore(f, v, 0)
+			}
+		case ir.OpMul:
+			if isConst(y, 1) {
+				return x
+			}
+			if isConst(y, 0) {
+				return newConstBefore(f, v, 0)
+			}
+			if full && y.Op == ir.OpConst && y.AuxInt > 1 && y.AuxInt&(y.AuxInt-1) == 0 {
+				// Strength-reduce multiply by a power of two.
+				sh := 0
+				for c := y.AuxInt; c > 1; c >>= 1 {
+					sh++
+				}
+				nv := f.NewValue(v.Block, ir.OpShl, v.Line, x, newConstBefore(f, v, int64(sh)))
+				ir.InsertBefore(v, nv)
+				return nv
+			}
+		case ir.OpDiv:
+			if isConst(y, 1) {
+				return x
+			}
+			if isConst(y, 0) {
+				return newConstBefore(f, v, 0)
+			}
+		case ir.OpRem:
+			if isConst(y, 1) || isConst(y, 0) {
+				return newConstBefore(f, v, 0)
+			}
+		case ir.OpAnd:
+			if isConst(y, 0) {
+				return newConstBefore(f, v, 0)
+			}
+			if isConst(y, -1) || x == y {
+				return x
+			}
+		case ir.OpOr:
+			if isConst(y, 0) || x == y {
+				return x
+			}
+			if isConst(y, -1) {
+				return newConstBefore(f, v, -1)
+			}
+		case ir.OpXor:
+			if isConst(y, 0) {
+				return x
+			}
+			if x == y {
+				return newConstBefore(f, v, 0)
+			}
+		case ir.OpShl, ir.OpShr:
+			if isConst(y, 0) {
+				return x
+			}
+		case ir.OpEq, ir.OpLe, ir.OpGe:
+			if x == y {
+				return newConstBefore(f, v, 1)
+			}
+		case ir.OpNe, ir.OpLt, ir.OpGt:
+			if x == y {
+				return newConstBefore(f, v, 0)
+			}
+		}
+		// ne(x, 0) where x is already boolean-valued folds to x.
+		if full && v.Op == ir.OpNe && isConst(y, 0) && isBoolValued(x) {
+			return x
+		}
+		// eq(x, 0) of a comparison inverts it.
+		if full && v.Op == ir.OpEq && isConst(y, 0) {
+			if inv, ok := invertCmp(x.Op); ok {
+				nv := f.NewValue(v.Block, inv, v.Line, x.Args[0], x.Args[1])
+				ir.InsertBefore(v, nv)
+				return nv
+			}
+		}
+	case ir.OpNeg:
+		x := v.Args[0]
+		if x.Op == ir.OpConst {
+			return newConstBefore(f, v, -x.AuxInt)
+		}
+		if full && x.Op == ir.OpNeg {
+			return x.Args[0]
+		}
+	case ir.OpNot:
+		x := v.Args[0]
+		if x.Op == ir.OpConst {
+			if x.AuxInt == 0 {
+				return newConstBefore(f, v, 1)
+			}
+			return newConstBefore(f, v, 0)
+		}
+		if full {
+			if inv, ok := invertCmp(x.Op); ok {
+				nv := f.NewValue(v.Block, inv, v.Line, x.Args[0], x.Args[1])
+				ir.InsertBefore(v, nv)
+				return nv
+			}
+		}
+	case ir.OpSelect:
+		c, a, b := v.Args[0], v.Args[1], v.Args[2]
+		if c.Op == ir.OpConst {
+			if c.AuxInt != 0 {
+				return a
+			}
+			return b
+		}
+		if a == b {
+			return a
+		}
+	case ir.OpLen:
+		if v.Args[0].Op == ir.OpNewArray && v.Args[0].Args[0].Op == ir.OpConst {
+			n := v.Args[0].Args[0].AuxInt
+			if n < 0 {
+				n = 0
+			}
+			return newConstBefore(f, v, n)
+		}
+	}
+	return nil
+}
+
+// isBoolValued reports whether v only produces 0 or 1.
+func isBoolValued(v *ir.Value) bool {
+	switch v.Op {
+	case ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe, ir.OpNot:
+		return true
+	case ir.OpConst:
+		return v.AuxInt == 0 || v.AuxInt == 1
+	}
+	return false
+}
+
+// invertCmp returns the negated comparison opcode.
+func invertCmp(op ir.Op) (ir.Op, bool) {
+	switch op {
+	case ir.OpEq:
+		return ir.OpNe, true
+	case ir.OpNe:
+		return ir.OpEq, true
+	case ir.OpLt:
+		return ir.OpGe, true
+	case ir.OpLe:
+		return ir.OpGt, true
+	case ir.OpGt:
+		return ir.OpLe, true
+	case ir.OpGe:
+		return ir.OpLt, true
+	}
+	return op, false
+}
+
+// canonBranches rewrites br(not(x), a, b) as br(x, b, a) so later passes
+// see canonical conditions.
+func canonBranches(ctx *Context, f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil || t.Op != ir.OpBr {
+			continue
+		}
+		if c := t.Args[0]; c.Op == ir.OpNot {
+			t.Args[0] = c.Args[0]
+			b.Succs[0], b.Succs[1] = b.Succs[1], b.Succs[0]
+			b.Prob = 1 - b.Prob
+			changed = true
+		}
+	}
+	return changed
+}

@@ -1,0 +1,192 @@
+package passes
+
+import (
+	"sort"
+
+	"debugtuner/internal/ir"
+)
+
+// ipa-pure-const discovers functions that are const in gcc's sense: they
+// read and write no memory, produce no output, and call only const
+// functions. Such calls may be value-numbered by GVN and deleted by DCE
+// when their result is unused — optimizations that in turn erase the
+// calls' line-table entries and any variable bound to their results.
+var ipaPureConstPass = Register(&Pass{
+	Name:      "ipa-pure-const",
+	RunModule: runPureConst,
+})
+
+func runPureConst(ctx *Context) bool {
+	prog := ctx.Prog
+	// Optimistic fixpoint: assume const, retract on evidence.
+	pure := map[string]bool{}
+	for _, f := range prog.Funcs {
+		pure[f.Name] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range prog.Funcs {
+			if !pure[f.Name] {
+				continue
+			}
+			ok := true
+		scan:
+			for _, b := range f.Blocks {
+				for _, v := range b.Instrs {
+					switch v.Op {
+					case ir.OpGStore, ir.OpAStore, ir.OpVStore2, ir.OpPrint,
+						ir.OpGLoad, ir.OpALoad, ir.OpVLoad2, ir.OpGArr,
+						ir.OpNewArray, ir.OpLen:
+						ok = false
+						break scan
+					case ir.OpCall:
+						if !pure[v.Aux] {
+							ok = false
+							break scan
+						}
+					}
+				}
+			}
+			if !ok {
+				pure[f.Name] = false
+				changed = true
+			}
+		}
+	}
+	any := false
+	for _, f := range prog.Funcs {
+		if f.Pure != pure[f.Name] {
+			f.Pure = pure[f.Name]
+			any = true
+		}
+	}
+	return any
+}
+
+// toplevel-reorder models gcc's unit-at-a-time top-level reordering: the
+// compiler is free to process and lay out functions in an order of its
+// choosing rather than source order. Concretely it (a) lets the inliner
+// see callees defined later in the file (Context.UnitAtATime) and
+// (b) reorders function emission callee-first, which tightens call
+// locality in the instruction cache. Its large measured debug impact in
+// the paper is therefore indirect, like the inliner's: disabling it
+// suppresses a swath of inlining.
+var toplevelReorderPass = Register(&Pass{
+	Name:      "toplevel-reorder",
+	Backend:   true,
+	RunModule: runToplevelReorder,
+})
+
+func runToplevelReorder(ctx *Context) bool {
+	ctx.UnitAtATime = true
+	prog := ctx.Prog
+	// Callee-first topological order; cycles keep their relative source
+	// order. Deterministic: visit in source order.
+	index := map[string]int{}
+	for i, f := range prog.Funcs {
+		index[f.Name] = i
+	}
+	visited := map[string]bool{}
+	var order []*ir.Func
+	var visit func(f *ir.Func)
+	visit = func(f *ir.Func) {
+		if visited[f.Name] {
+			return
+		}
+		visited[f.Name] = true
+		var callees []*ir.Func
+		seen := map[string]bool{}
+		for _, b := range f.Blocks {
+			for _, v := range b.Instrs {
+				if v.Op != ir.OpCall || seen[v.Aux] {
+					continue
+				}
+				seen[v.Aux] = true
+				if callee := prog.Func(v.Aux); callee != nil {
+					callees = append(callees, callee)
+				}
+			}
+		}
+		sort.Slice(callees, func(i, j int) bool {
+			return index[callees[i].Name] < index[callees[j].Name]
+		})
+		for _, c := range callees {
+			visit(c)
+		}
+		order = append(order, f)
+	}
+	for _, f := range prog.Funcs {
+		visit(f)
+	}
+	changed := false
+	for i := range order {
+		if prog.Funcs[i] != order[i] {
+			changed = true
+		}
+	}
+	prog.Funcs = order
+	return changed
+}
+
+// guess-branch-probability assigns static branch probabilities with the
+// classic Ball–Larus style heuristics: loop back edges are strongly
+// taken, equality tests usually fail, branches leading straight to a
+// return are unlikely. Downstream consumers are block placement and
+// shrink-wrapping; with the pass disabled every branch stays at 0.5 and
+// layout quality drops.
+var branchProbPass = Register(&Pass{
+	Name:    "guess-branch-probability",
+	RunFunc: runBranchProb,
+})
+
+func runBranchProb(ctx *Context, f *ir.Func) bool {
+	ir.RemoveUnreachable(f)
+	idom := ir.Dominators(f)
+	changed := false
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil || t.Op != ir.OpBr {
+			continue
+		}
+		prob := 0.5
+		s0, s1 := b.Succs[0], b.Succs[1]
+		// Loop heuristic: an edge back to a dominator is a loop latch.
+		back0 := ir.Dominates(idom, s0, b)
+		back1 := ir.Dominates(idom, s1, b)
+		switch {
+		case back0 && !back1:
+			prob = 0.9
+		case back1 && !back0:
+			prob = 0.1
+		default:
+			// Return heuristic: falling straight into a return is cold.
+			r0 := isReturnish(s0)
+			r1 := isReturnish(s1)
+			switch {
+			case r0 && !r1:
+				prob = 0.3
+			case r1 && !r0:
+				prob = 0.7
+			default:
+				// Opcode heuristic: equality rarely holds.
+				switch t.Args[0].Op {
+				case ir.OpEq:
+					prob = 0.3
+				case ir.OpNe:
+					prob = 0.7
+				}
+			}
+		}
+		if b.Prob != prob {
+			b.Prob = prob
+			changed = true
+		}
+	}
+	ir.EstimateFrequencies(f)
+	return changed
+}
+
+func isReturnish(b *ir.Block) bool {
+	t := b.Term()
+	return t != nil && t.Op == ir.OpRet && len(b.Instrs) <= 3
+}

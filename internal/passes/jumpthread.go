@@ -1,0 +1,195 @@
+package passes
+
+import "debugtuner/internal/ir"
+
+// jump-threading forwards control flow through blocks whose branch
+// outcome is already determined on some incoming edge. Two classic cases
+// are handled:
+//
+//  1. a block that only tests a phi of constants: predecessors feeding a
+//     constant jump straight to the resolved successor;
+//  2. a branch on a condition that a uniquely-dominating branch already
+//     decided (redundant-test elimination along single-pred chains).
+//
+// Threaded-away branch instructions take their source lines with them;
+// the paper finds this family among the most debug-harmful in both
+// compilers ("thread-jumps" in gcc, "JumpThreading" in clang).
+var jumpThreadingPass = Register(&Pass{
+	Name:    "jump-threading",
+	RunFunc: runJumpThreading,
+})
+
+func runJumpThreading(ctx *Context, f *ir.Func) bool {
+	changed := false
+	for iter := 0; iter < 8; iter++ {
+		c := threadPhiOfConsts(ctx, f)
+		c = threadDominatedTests(ctx, f) || c
+		if !c {
+			break
+		}
+		changed = true
+	}
+	if changed {
+		ir.RemoveUnreachable(f)
+	}
+	return changed
+}
+
+// threadPhiOfConsts retargets predecessors that feed a constant into a
+// block consisting only of phis, debug markers, and a branch on one of
+// those phis.
+func threadPhiOfConsts(ctx *Context, f *ir.Func) bool {
+	changed := false
+	for _, b := range append([]*ir.Block(nil), f.Blocks...) {
+		if b == f.Entry() {
+			continue
+		}
+		t := b.Term()
+		if t == nil || t.Op != ir.OpBr {
+			continue
+		}
+		cond := t.Args[0]
+		if cond.Op != ir.OpPhi || cond.Block != b || b.Succs[0] == b.Succs[1] {
+			continue
+		}
+		// Only phis and debug markers may precede the branch: anything
+		// else would be skipped by the threaded edge.
+		simple := true
+		for _, v := range b.Instrs {
+			if v.Op != ir.OpPhi && v.Op != ir.OpDbgValue && v != t {
+				simple = false
+				break
+			}
+		}
+		if !simple {
+			continue
+		}
+		for pi := len(b.Preds) - 1; pi >= 0; pi-- {
+			if len(b.Preds) <= 1 {
+				break // leave the last edge for simplifycfg to fold
+			}
+			p := b.Preds[pi]
+			cv := cond.Args[pi]
+			if cv.Op != ir.OpConst {
+				continue
+			}
+			target := b.Succs[1]
+			if cv.AuxInt != 0 {
+				target = b.Succs[0]
+			}
+			// The values b contributes to target's phis, as seen from
+			// this incoming edge (phis map to their pi-th argument).
+			var vals []*ir.Value
+			resolvable := true
+			for _, v := range target.Instrs {
+				if v.Op != ir.OpPhi {
+					break
+				}
+				ti := predIndexOf(target, b)
+				arg := v.Args[ti]
+				if arg.Block == b {
+					if arg.Op != ir.OpPhi {
+						resolvable = false
+						break
+					}
+					arg = arg.Args[pi]
+				}
+				vals = append(vals, arg)
+			}
+			if !resolvable {
+				continue
+			}
+			// Capture each of b's phis and the value it would have taken
+			// on the threaded edge: the new p->target path bypasses b,
+			// so uses of those phis beyond b need SSA repair.
+			type phiCol struct {
+				phi *ir.Value
+				val *ir.Value
+			}
+			var cols []phiCol
+			for _, v := range b.Instrs {
+				if v.Op != ir.OpPhi {
+					break
+				}
+				if usedBeyond(f, b, v) {
+					cols = append(cols, phiCol{v, v.Args[pi]})
+				}
+			}
+			ir.ReplaceSucc(p, b, target, vals)
+			for _, c := range cols {
+				repairValue(f, c.phi, []Def{
+					{Block: b, Val: c.phi},
+					{Block: p, Val: c.val, AtEnd: true, OnlyEdgeTo: target},
+				})
+			}
+			changed = true
+		}
+	}
+	return changed
+}
+
+// usedBeyond reports whether v has any use outside block b (including
+// phi arguments of other blocks, whose target-phi remapping does not
+// cover non-target successors).
+func usedBeyond(f *ir.Func, b *ir.Block, v *ir.Value) bool {
+	for _, ub := range f.Blocks {
+		if ub == b {
+			continue
+		}
+		for _, u := range ub.Instrs {
+			for _, a := range u.Args {
+				if a == v {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// threadDominatedTests folds branches whose condition was decided by the
+// terminator of the unique predecessor chain leading here.
+func threadDominatedTests(ctx *Context, f *ir.Func) bool {
+	changed := false
+	// known maps a condition value to its decided truth for the current
+	// chain; rebuilt per chain start.
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil || t.Op != ir.OpBr {
+			continue
+		}
+		cond := t.Args[0]
+		// Walk up unique-pred edges looking for an earlier test of cond.
+		cur := b
+		val, found := 0, false
+		for hops := 0; hops < 8 && len(cur.Preds) == 1; hops++ {
+			p := cur.Preds[0]
+			pt := p.Term()
+			if pt != nil && pt.Op == ir.OpBr && pt.Args[0] == cond {
+				if p.Succs[0] == cur && p.Succs[1] != cur {
+					val, found = 1, true
+				} else if p.Succs[1] == cur && p.Succs[0] != cur {
+					val, found = 0, true
+				}
+				break
+			}
+			cur = p
+		}
+		if !found {
+			continue
+		}
+		// Replace the branch with a jump to the decided successor.
+		taken, dead := b.Succs[0], b.Succs[1]
+		if val == 0 {
+			taken, dead = dead, taken
+		}
+		if i := predIndexOf(dead, b); i >= 0 {
+			ir.RemovePredEdge(dead, i)
+		}
+		t.Op = ir.OpJmp
+		t.Args = nil
+		b.Succs = []*ir.Block{taken}
+		changed = true
+	}
+	return changed
+}

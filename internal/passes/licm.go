@@ -1,0 +1,82 @@
+package passes
+
+import "debugtuner/internal/ir"
+
+// licm hoists loop-invariant pure computations (and loads, when the loop
+// contains no clobbers) into the preheader. Hoisted instructions lose
+// their source line — LLVM's hoist utility does the same to avoid jumpy
+// stepping — which removes the corresponding line-table entries from the
+// loop body.
+//
+// Registered as "licm" (clang) and under gcc's umbrella toggle
+// "tree-loop-optimize", which also runs rotation and strength reduction.
+var licmPass = Register(&Pass{
+	Name:    "licm",
+	RunFunc: runLICM,
+})
+
+func init() {
+	Register(&Pass{
+		Name: "tree-loop-optimize",
+		RunFunc: func(ctx *Context, f *ir.Func) bool {
+			c := runRotate(ctx, f)
+			c = runLICM(ctx, f) || c
+			c = runLSR(ctx, f) || c
+			return c
+		},
+	})
+}
+
+func runLICM(ctx *Context, f *ir.Func) bool {
+	changed := false
+	for _, l := range FindLoops(f) {
+		ph := EnsurePreheader(f, l)
+		if ph == nil {
+			continue
+		}
+		clobbered := l.hasClobber(f.Prog)
+		// Iterate: hoisting one instruction can make another invariant.
+		for pass := 0; pass < 4; pass++ {
+			moved := false
+			for _, b := range l.SortedBlocks() {
+				for _, v := range append([]*ir.Value(nil), b.Instrs...) {
+					if !hoistable(v, l, clobbered, f.Prog) {
+						continue
+					}
+					invariant := true
+					for _, a := range v.Args {
+						if l.definedIn(a) {
+							invariant = false
+							break
+						}
+					}
+					if !invariant {
+						continue
+					}
+					MoveToBlockEnd(v, ph)
+					moved = true
+					changed = true
+				}
+			}
+			if !moved {
+				break
+			}
+		}
+	}
+	return changed
+}
+
+func hoistable(v *ir.Value, l *Loop, clobbered bool, prog *ir.Program) bool {
+	switch {
+	case v.Op == ir.OpPhi, v.Op == ir.OpDbgValue, v.Op.IsTerminator():
+		return false
+	case v.Op.IsPure(), v.Op == ir.OpConst:
+		return true
+	case v.Op == ir.OpGLoad, v.Op == ir.OpALoad:
+		return !clobbered
+	case v.Op == ir.OpCall:
+		callee := prog.Func(v.Aux)
+		return callee != nil && callee.Pure
+	}
+	return false
+}

@@ -1,0 +1,182 @@
+package passes
+
+import (
+	"sort"
+
+	"debugtuner/internal/ir"
+)
+
+// Loop is a natural loop discovered from a back edge.
+type Loop struct {
+	Header *ir.Block
+	Blocks map[*ir.Block]bool
+	// Latch is the unique in-loop predecessor of the header (nil when
+	// there are several; most passes then skip the loop).
+	Latch *ir.Block
+	// Preheader is the unique out-of-loop predecessor of the header.
+	Preheader *ir.Block
+}
+
+// FindLoops discovers natural loops (header dominated by itself through a
+// back edge), innermost first by block count.
+func FindLoops(f *ir.Func) []*Loop {
+	ir.RemoveUnreachable(f)
+	idom := ir.Dominators(f)
+	byHeader := map[*ir.Block]*Loop{}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			if !ir.Dominates(idom, s, b) {
+				continue
+			}
+			// Back edge b -> s: collect the loop body.
+			l := byHeader[s]
+			if l == nil {
+				l = &Loop{Header: s, Blocks: map[*ir.Block]bool{s: true}}
+				byHeader[s] = l
+			}
+			var stack []*ir.Block
+			if !l.Blocks[b] {
+				l.Blocks[b] = true
+				stack = append(stack, b)
+			}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, p := range x.Preds {
+					if !l.Blocks[p] {
+						l.Blocks[p] = true
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+	var loops []*Loop
+	for _, l := range byHeader {
+		var latches []*ir.Block
+		var outsides []*ir.Block
+		for _, p := range l.Header.Preds {
+			if l.Blocks[p] {
+				latches = append(latches, p)
+			} else {
+				outsides = append(outsides, p)
+			}
+		}
+		if len(latches) == 1 {
+			l.Latch = latches[0]
+		}
+		if len(outsides) == 1 {
+			l.Preheader = outsides[0]
+		}
+		loops = append(loops, l)
+	}
+	sort.Slice(loops, func(i, j int) bool {
+		if len(loops[i].Blocks) != len(loops[j].Blocks) {
+			return len(loops[i].Blocks) < len(loops[j].Blocks)
+		}
+		return loops[i].Header.ID < loops[j].Header.ID
+	})
+	return loops
+}
+
+// EnsurePreheader guarantees the loop has a dedicated preheader block
+// whose only successor is the header, creating one when needed. Returns
+// nil if the CFG shape prevents it.
+func EnsurePreheader(f *ir.Func, l *Loop) *ir.Block {
+	if l.Preheader != nil && len(l.Preheader.Succs) == 1 {
+		return l.Preheader
+	}
+	var outsides []*ir.Block
+	for _, p := range l.Header.Preds {
+		if !l.Blocks[p] {
+			outsides = append(outsides, p)
+		}
+	}
+	if len(outsides) == 0 {
+		return nil
+	}
+	ph := f.NewBlock()
+	jmp := f.NewValue(ph, ir.OpJmp, 0)
+	ph.Instrs = append(ph.Instrs, jmp)
+
+	// Phi columns for out-of-loop preds move to a phi in the preheader
+	// when there are several outside preds; with one, the value passes
+	// straight through.
+	outIdx := map[*ir.Block]int{}
+	for i, p := range l.Header.Preds {
+		if !l.Blocks[p] {
+			outIdx[p] = i
+		}
+	}
+	var headerPhis []*ir.Value
+	for _, v := range l.Header.Instrs {
+		if v.Op != ir.OpPhi {
+			break
+		}
+		headerPhis = append(headerPhis, v)
+	}
+	// Build the preheader's incoming values per header phi.
+	var phVals []*ir.Value
+	if len(outsides) == 1 {
+		for _, phi := range headerPhis {
+			phVals = append(phVals, phi.Args[outIdx[outsides[0]]])
+		}
+	} else {
+		for _, phi := range headerPhis {
+			merge := f.NewValue(ph, ir.OpPhi, 0)
+			for _, p := range outsides {
+				merge.Args = append(merge.Args, phi.Args[outIdx[p]])
+			}
+			ph.Instrs = append([]*ir.Value{merge}, ph.Instrs...)
+			phVals = append(phVals, merge)
+		}
+	}
+	// Retarget outside preds to the preheader; their phi columns in the
+	// header disappear as edges are removed.
+	for _, p := range outsides {
+		ir.ReplaceSucc(p, l.Header, ph, nil)
+	}
+	// Fix preheader phi pred order: ReplaceSucc appended preds in the
+	// outsides order, matching merge.Args construction above.
+	ir.AddEdge(ph, l.Header)
+	for i, phi := range headerPhis {
+		phi.Args = append(phi.Args, phVals[i])
+	}
+	l.Preheader = ph
+	return ph
+}
+
+// definedIn reports whether v is defined inside the loop.
+func (l *Loop) definedIn(v *ir.Value) bool { return l.Blocks[v.Block] }
+
+// SortedBlocks returns the loop blocks ordered by ID, so passes that
+// clone or move code visit them deterministically (binary layout and
+// benchmark results must be reproducible run to run).
+func (l *Loop) SortedBlocks() []*ir.Block {
+	blocks := make([]*ir.Block, 0, len(l.Blocks))
+	for b := range l.Blocks {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].ID < blocks[j].ID })
+	return blocks
+}
+
+// hasClobber reports whether the loop contains stores, prints, or calls
+// that could invalidate load hoisting.
+func (l *Loop) hasClobber(prog *ir.Program) bool {
+	for b := range l.Blocks {
+		for _, v := range b.Instrs {
+			switch v.Op {
+			case ir.OpGStore, ir.OpAStore, ir.OpVStore2, ir.OpSlotStore,
+				ir.OpPrint, ir.OpNewArray:
+				return true
+			case ir.OpCall:
+				callee := prog.Func(v.Aux)
+				if callee == nil || !callee.Pure {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

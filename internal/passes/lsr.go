@@ -1,0 +1,109 @@
+package passes
+
+import "debugtuner/internal/ir"
+
+// loop-strength-reduce replaces in-loop multiplications of an induction
+// variable by a loop constant with a second induction variable that is
+// advanced by addition: j = i*c becomes j0 = i0*c in the preheader and
+// j += step*c at the latch. The multiply's users are rewired through
+// RAUW; the replacement phi is artificial (line 0), so when the multiply
+// was the only code for its source line, the line-table entry vanishes —
+// LSR's measured debug cost in the paper.
+//
+// Registered as "loop-strength-reduce" (clang); gcc runs it inside
+// tree-loop-optimize.
+var lsrPass = Register(&Pass{
+	Name:    "loop-strength-reduce",
+	RunFunc: runLSR,
+})
+
+func runLSR(ctx *Context, f *ir.Func) bool {
+	changed := false
+	for _, l := range FindLoops(f) {
+		if l.Latch == nil {
+			continue
+		}
+		h := l.Header
+		ph := EnsurePreheader(f, l)
+		if ph == nil {
+			continue
+		}
+		phIdx := predIndexOf(h, ph)
+		latchIdx := predIndexOf(h, l.Latch)
+		if phIdx < 0 || latchIdx < 0 || len(h.Preds) != 2 {
+			continue
+		}
+		// Find simple induction phis: i = phi(init, i + step) with a
+		// constant step and the update in the loop.
+		type indvar struct {
+			phi  *ir.Value
+			init *ir.Value
+			step int64
+		}
+		var ivs []indvar
+		for _, v := range h.Instrs {
+			if v.Op != ir.OpPhi {
+				break
+			}
+			if len(v.Args) != len(h.Preds) {
+				continue
+			}
+			next := v.Args[latchIdx]
+			if next.Op != ir.OpAdd || !l.Blocks[next.Block] {
+				continue
+			}
+			if next.Args[0] == v && next.Args[1].Op == ir.OpConst {
+				ivs = append(ivs, indvar{v, v.Args[phIdx], next.Args[1].AuxInt})
+			}
+		}
+		for _, iv := range ivs {
+			for _, b := range l.SortedBlocks() {
+				for _, v := range append([]*ir.Value(nil), b.Instrs...) {
+					if v.Op != ir.OpMul {
+						continue
+					}
+					var c *ir.Value
+					switch {
+					case v.Args[0] == iv.phi && v.Args[1].Op == ir.OpConst:
+						c = v.Args[1]
+					case v.Args[1] == iv.phi && v.Args[0].Op == ir.OpConst:
+						c = v.Args[0]
+					default:
+						continue
+					}
+					// j0 = init * c in the preheader.
+					j0 := f.NewValue(ph, ir.OpMul, 0, iv.init, c)
+					insertBeforeTerm(ph, j0)
+					// j = phi(j0, j + step*c) in the header.
+					j := f.NewValue(h, ir.OpPhi, 0)
+					j.Args = make([]*ir.Value, len(h.Preds))
+					stepC := f.NewValue(l.Latch, ir.OpConst, 0)
+					stepC.AuxInt = iv.step * c.AuxInt
+					insertBeforeTerm(l.Latch, stepC)
+					jnext := f.NewValue(l.Latch, ir.OpAdd, 0, j, stepC)
+					insertBeforeTerm(l.Latch, jnext)
+					j.Args[phIdx] = j0
+					j.Args[latchIdx] = jnext
+					h.Instrs = append([]*ir.Value{j}, h.Instrs...)
+					RAUW(ctx, f, v, j)
+					ir.RemoveValue(v)
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// insertBeforeTerm appends v just before the block terminator.
+func insertBeforeTerm(b *ir.Block, v *ir.Value) {
+	v.Block = b
+	n := len(b.Instrs)
+	if n > 0 && b.Instrs[n-1].Op.IsTerminator() {
+		b.Instrs = append(b.Instrs, nil)
+		copy(b.Instrs[n:], b.Instrs[n-1:])
+		b.Instrs[n-1] = v
+	} else {
+		b.Instrs = append(b.Instrs, v)
+	}
+}

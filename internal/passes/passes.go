@@ -1,0 +1,211 @@
+// Package passes implements the MiniC middle-end optimization passes.
+//
+// Each pass transforms SSA IR and carries the same debug-metadata
+// obligations a production compiler pass has:
+//
+//   - replacing a value must rewrite or drop the OpDbgValue markers bound
+//     to it (the salvage policy differs between the gcc-like and
+//     clang-like profiles, which is one source of the paper's
+//     cross-compiler differences in Table IV);
+//   - deleting a value turns its DbgValues into "optimized out";
+//   - moving code across blocks clears the instruction's source line,
+//     exactly as LLVM's hoist/sink utilities do, which removes entries
+//     from the line table.
+//
+// DebugTuner measures the aggregate effect of these obligations being
+// imperfectly dischargeable.
+package passes
+
+import (
+	"fmt"
+
+	"debugtuner/internal/ir"
+)
+
+// Context carries compilation-wide settings into passes.
+type Context struct {
+	Prog *ir.Program
+
+	// Salvage selects the clang-like debug policy: on replace-all-uses,
+	// DbgValues follow the replacement value unconditionally. The
+	// gcc-like policy (false) only follows replacements within the same
+	// block and drops the binding otherwise.
+	Salvage bool
+
+	// InlineBudget is the cost threshold for the general inliner.
+	InlineBudget int
+	// InlineSmall enables inlining of very small callees
+	// (inline-small-functions).
+	InlineSmall bool
+	// InlineOnce enables inlining of functions called exactly once
+	// (inline-fncs-called-once).
+	InlineOnce bool
+	// InlineGrowth enables the aggressive growth inliner
+	// (inline-functions at O2/O3).
+	InlineGrowth bool
+	// UnitAtATime is set by toplevel-reorder: the inliner may inline
+	// callees defined later in the file.
+	UnitAtATime bool
+
+	// UnrollFactor is the partial unroll factor (0 disables partial
+	// unrolling); full unrolling of tiny constant-trip loops is always
+	// considered when loop-unroll runs.
+	UnrollFactor int
+
+	// SampleLines is an AutoFDO line profile: the inliner boosts hot
+	// call sites and shrinks cold ones. Nil without a profile.
+	SampleLines map[int]int64
+	// SampleMax is the hottest line's sample count.
+	SampleMax int64
+}
+
+// CallHeat classifies a call site's line under the sample profile:
+// +1 hot, -1 cold, 0 unknown/no profile.
+func (ctx *Context) CallHeat(line int) int {
+	if ctx.SampleLines == nil || ctx.SampleMax == 0 {
+		return 0
+	}
+	c := ctx.SampleLines[line]
+	switch {
+	case float64(c) >= float64(ctx.SampleMax)/8:
+		return 1
+	case c == 0:
+		return -1
+	}
+	return 0
+}
+
+// Pass is a registered optimization pass.
+type Pass struct {
+	// Name is the toggle name used by optimization levels and by
+	// DebugTuner's pass-disabling machinery.
+	Name string
+	// Backend marks passes that run on the lower-level representation
+	// (annotated '*' in the paper's tables). Backend passes live in the
+	// codegen package; they are registered here for naming only.
+	Backend bool
+	// RunFunc runs the pass on one function and reports whether it
+	// changed anything. Nil for module passes.
+	RunFunc func(ctx *Context, f *ir.Func) bool
+	// RunModule runs the pass once per program.
+	RunModule func(ctx *Context) bool
+}
+
+var registry = map[string]*Pass{}
+
+// Register adds a pass to the registry; duplicate names panic at init.
+func Register(p *Pass) *Pass {
+	if _, dup := registry[p.Name]; dup {
+		panic(fmt.Sprintf("passes: duplicate pass %q", p.Name))
+	}
+	registry[p.Name] = p
+	return p
+}
+
+// Lookup finds a pass by name, or nil.
+func Lookup(name string) *Pass { return registry[name] }
+
+// Run executes the pass over the whole program.
+func (p *Pass) Run(ctx *Context) bool {
+	if p.RunModule != nil {
+		return p.RunModule(ctx)
+	}
+	changed := false
+	for _, f := range ctx.Prog.Funcs {
+		if p.RunFunc(ctx, f) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// ---- Debug metadata helpers ----
+
+// RAUW replaces every use of old with new_, applying the context's debug
+// salvage policy to DbgValue uses: under the clang-like policy the
+// binding follows the replacement; under the gcc-like policy it follows
+// only when the replacement lives in the same block as the old value,
+// and is dropped ("optimized out") otherwise.
+func RAUW(ctx *Context, f *ir.Func, old, new_ *ir.Value) {
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			for i, a := range v.Args {
+				if a != old {
+					continue
+				}
+				if v.Op == ir.OpDbgValue {
+					if ctx.Salvage || new_.Block == old.Block {
+						v.Args[i] = new_
+					} else {
+						v.Args = nil
+					}
+					continue
+				}
+				v.Args[i] = new_
+			}
+		}
+	}
+}
+
+// DropDefDebug marks every DbgValue bound to v as optimized out. Called
+// when v is deleted without a replacement.
+func DropDefDebug(f *ir.Func, v *ir.Value) {
+	for _, b := range f.Blocks {
+		for _, w := range b.Instrs {
+			if w.Op == ir.OpDbgValue && len(w.Args) == 1 && w.Args[0] == v {
+				w.Args = nil
+			}
+		}
+	}
+}
+
+// CodeUseCounts counts uses excluding DbgValue references: debug markers
+// never keep a value alive, mirroring LLVM.
+func CodeUseCounts(f *ir.Func) []int {
+	uses := make([]int, f.NumValueIDs())
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			if v.Op == ir.OpDbgValue {
+				continue
+			}
+			for _, a := range v.Args {
+				uses[a.ID]++
+			}
+		}
+	}
+	return uses
+}
+
+// MoveToBlockEnd moves v before the terminator of dst, clearing its
+// source line when it crosses blocks (the hoist/sink line-drop rule).
+func MoveToBlockEnd(v *ir.Value, dst *ir.Block) {
+	if v.Block == dst {
+		return
+	}
+	ir.RemoveValue(v)
+	v.Block = dst
+	v.Line = 0
+	n := len(dst.Instrs)
+	if n > 0 && dst.Instrs[n-1].Op.IsTerminator() {
+		dst.Instrs = append(dst.Instrs, nil)
+		copy(dst.Instrs[n:], dst.Instrs[n-1:])
+		dst.Instrs[n-1] = v
+	} else {
+		dst.Instrs = append(dst.Instrs, v)
+	}
+}
+
+// IsRemovable reports whether v can be deleted when it has no code uses.
+// Fresh allocations are removable despite being "writes": an unused
+// handle is unobservable under MiniC semantics. Calls are removable only
+// when the callee is known pure.
+func IsRemovable(prog *ir.Program, v *ir.Value) bool {
+	switch {
+	case v.Op.IsPure(), v.Op.IsMemRead(), v.Op == ir.OpNewArray:
+		return true
+	case v.Op == ir.OpCall:
+		callee := prog.Func(v.Aux)
+		return callee != nil && callee.Pure
+	}
+	return false
+}

@@ -1,0 +1,366 @@
+package passes
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"debugtuner/internal/ir"
+	"debugtuner/internal/irbuild"
+	"debugtuner/internal/parser"
+	"debugtuner/internal/sema"
+)
+
+// testPrograms is a corpus of MiniC programs exercising the IR shapes
+// each pass targets. Every program prints enough state that a semantic
+// break is observable.
+var testPrograms = []struct {
+	name string
+	src  string
+}{
+	{"arith", `
+func main() {
+	var a: int = 3;
+	var b: int = 4;
+	var c: int = a * b + a - b;
+	print(c);
+	print(c * 8);
+	print(c / 0 + c % 0);
+}`},
+	{"branches", `
+func classify(x: int): int {
+	if (x < 0) { return 0 - 1; }
+	if (x == 0) { return 0; }
+	if (x > 100) { return 100; }
+	return x;
+}
+func main() {
+	var i: int = 0 - 5;
+	while (i < 120) {
+		print(classify(i));
+		i = i + 17;
+	}
+}`},
+	{"loops", `
+func main() {
+	var sum: int = 0;
+	for (var i: int = 0; i < 10; i = i + 1) {
+		sum = sum + i * 3;
+	}
+	print(sum);
+	var j: int = 20;
+	while (j > 0) {
+		if (j % 4 == 0) { sum = sum + j; }
+		j = j - 3;
+	}
+	print(sum);
+}`},
+	{"nestedloops", `
+func main() {
+	var acc: int = 0;
+	for (var i: int = 0; i < 6; i = i + 1) {
+		for (var j: int = 0; j < 6; j = j + 1) {
+			if (j > i) { break; }
+			if ((i + j) % 2 == 0) { continue; }
+			acc = acc + i * 10 + j;
+		}
+	}
+	print(acc);
+}`},
+	{"calls", `
+var hits: int = 0;
+func square(x: int): int { return x * x; }
+func bump(): int { hits = hits + 1; return hits; }
+func main() {
+	print(square(7));
+	print(square(7));
+	print(bump() + bump());
+	print(hits);
+}`},
+	{"recursion", `
+func gcd(a: int, b: int): int {
+	if (b == 0) { return a; }
+	return gcd(b, a % b);
+}
+func main() {
+	print(gcd(1071, 462));
+	print(gcd(13, 7));
+}`},
+	{"arrays", `
+var buf: int[] = new int[16];
+func main() {
+	for (var i: int = 0; i < 16; i = i + 1) {
+		buf[i] = i * i - 3;
+	}
+	var sum: int = 0;
+	for (var i: int = 0; i < 16; i = i + 1) {
+		sum = sum + buf[i];
+	}
+	print(sum);
+	var local: int[] = new int[4];
+	local[0] = 9; local[1] = 8; local[2] = 7; local[3] = 6;
+	print(local[0] * 1000 + local[1] * 100 + local[2] * 10 + local[3]);
+}`},
+	{"slpshape", `
+func main() {
+	var a: int[] = new int[8];
+	var b: int[] = new int[8];
+	var c: int[] = new int[8];
+	for (var i: int = 0; i < 8; i = i + 1) {
+		b[i] = i * 5; c[i] = i + 2;
+	}
+	a[0] = b[0] + c[0];
+	a[1] = b[1] + c[1];
+	a[2] = b[2] * c[2];
+	a[3] = b[3] * c[3];
+	var s: int = 0;
+	for (var i: int = 0; i < 4; i = i + 1) { s = s + a[i]; }
+	print(s);
+}`},
+	{"shortcircuit", `
+var n: int = 0;
+func tick(v: int): int { n = n + 1; return v; }
+func main() {
+	if (tick(1) && tick(0) && tick(1)) { print(100); }
+	print(n);
+	if (tick(0) || tick(2)) { print(200); }
+	print(n);
+}`},
+	{"diamond", `
+func pick(x: int, y: int): int {
+	var r: int = 0;
+	if (x < y) { r = x * 2; } else { r = y * 3; }
+	return r;
+}
+func main() {
+	print(pick(3, 9));
+	print(pick(9, 3));
+	print(pick(4, 4));
+}`},
+	{"constloop", `
+func main() {
+	var t: int = 1;
+	for (var i: int = 0; i < 5; i = i + 1) {
+		t = t * 2;
+	}
+	print(t);
+}`},
+	{"invariant", `
+func main() {
+	var x: int = 12;
+	var y: int = 5;
+	var s: int = 0;
+	for (var i: int = 0; i < 9; i = i + 1) {
+		s = s + x * y + i;
+	}
+	print(s);
+}`},
+	{"earlyreturns", `
+func find(a: int[], n: int, key: int): int {
+	for (var i: int = 0; i < n; i = i + 1) {
+		if (a[i] == key) { return i; }
+	}
+	return 0 - 1;
+}
+func main() {
+	var a: int[] = new int[5];
+	a[0] = 4; a[1] = 9; a[2] = 16; a[3] = 25; a[4] = 36;
+	print(find(a, 5, 16));
+	print(find(a, 5, 17));
+}`},
+}
+
+// buildProgram compiles MiniC source to O0 IR.
+func buildProgram(t testing.TB, src string) *ir.Program {
+	t.Helper()
+	prog, err := parser.ParseString("t.mc", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	p, err := irbuild.Build(info)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return p
+}
+
+func interpOutput(t testing.TB, p *ir.Program) []int64 {
+	t.Helper()
+	in := ir.NewInterp(p, 1<<24)
+	if _, err := in.Call("main"); err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	return in.Output()
+}
+
+func newCtx(p *ir.Program, salvage bool) *Context {
+	return &Context{
+		Prog: p, Salvage: salvage,
+		InlineBudget: 60, InlineSmall: true, InlineOnce: true,
+		InlineGrowth: true, UnrollFactor: 2,
+	}
+}
+
+// allPassNames lists every registered pass that has a real body.
+func allRunnableNames() []string {
+	names := []string{
+		"sroa", "simplifycfg", "instcombine", "tree-forwprop", "early-cse",
+		"gvn", "tree-fre", "dce", "dse", "inline", "jump-threading",
+		"thread-jumps", "tree-dominator-opts", "sccp", "licm",
+		"tree-loop-optimize", "loop-rotate", "tree-ch", "loop-unroll",
+		"loop-strength-reduce", "sink", "tree-sink", "if-conversion",
+		"ipa-pure-const", "toplevel-reorder", "guess-branch-probability",
+		"tree-slp-vectorize",
+	}
+	return names
+}
+
+// TestEachPassPreservesSemantics runs every pass alone on every program
+// and checks both IR integrity and behavioral equivalence.
+func TestEachPassPreservesSemantics(t *testing.T) {
+	for _, tp := range testPrograms {
+		base := buildProgram(t, tp.src)
+		want := interpOutput(t, base)
+		for _, name := range allRunnableNames() {
+			for _, salvage := range []bool{false, true} {
+				t.Run(fmt.Sprintf("%s/%s/salvage=%v", tp.name, name, salvage), func(t *testing.T) {
+					p := base.Clone()
+					ctx := newCtx(p, salvage)
+					pass := Lookup(name)
+					if pass == nil {
+						t.Fatalf("pass %q not registered", name)
+					}
+					pass.Run(ctx)
+					if err := ir.VerifyProgram(p); err != nil {
+						t.Fatalf("IR broken after %s: %v", name, err)
+					}
+					got := interpOutput(t, p)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("output after %s = %v, want %v", name, got, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPassSequences runs realistic multi-pass sequences, including the
+// canonical sroa-first ordering, and re-checks equivalence.
+func TestPassSequences(t *testing.T) {
+	sequences := [][]string{
+		{"sroa", "simplifycfg", "instcombine", "dce"},
+		{"sroa", "instcombine", "simplifycfg", "early-cse", "dce"},
+		{"toplevel-reorder", "ipa-pure-const", "inline", "sroa", "simplifycfg",
+			"instcombine", "gvn", "dce"},
+		{"sroa", "simplifycfg", "loop-rotate", "licm", "loop-strength-reduce",
+			"instcombine", "dce", "simplifycfg"},
+		{"sroa", "simplifycfg", "loop-unroll", "instcombine", "simplifycfg",
+			"tree-slp-vectorize", "dce"},
+		{"sroa", "jump-threading", "simplifycfg", "if-conversion", "dce"},
+		{"inline", "sroa", "simplifycfg", "instcombine", "gvn", "jump-threading",
+			"simplifycfg", "licm", "sink", "dse", "dce", "simplifycfg",
+			"guess-branch-probability"},
+	}
+	for _, tp := range testPrograms {
+		base := buildProgram(t, tp.src)
+		want := interpOutput(t, base)
+		for si, seq := range sequences {
+			for _, salvage := range []bool{false, true} {
+				t.Run(fmt.Sprintf("%s/seq%d/salvage=%v", tp.name, si, salvage), func(t *testing.T) {
+					p := base.Clone()
+					ctx := newCtx(p, salvage)
+					for _, name := range seq {
+						Lookup(name).Run(ctx)
+						if err := ir.VerifyProgram(p); err != nil {
+							t.Fatalf("IR broken after %s: %v", name, err)
+						}
+					}
+					got := interpOutput(t, p)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("output after seq %v = %v, want %v", seq, got, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPassesReduceWork checks that the optimizer actually optimizes: the
+// full sequence should reduce instruction count on programs with
+// redundancy.
+func TestPassesReduceWork(t *testing.T) {
+	base := buildProgram(t, testPrograms[0].src) // "arith": fully constant
+	before := ir.CollectStats(base).Instrs
+	p := base.Clone()
+	ctx := newCtx(p, true)
+	for _, name := range []string{"sroa", "instcombine", "simplifycfg", "dce"} {
+		Lookup(name).Run(ctx)
+	}
+	after := ir.CollectStats(p).Instrs
+	if after >= before {
+		t.Fatalf("optimizer did not shrink constant program: %d -> %d", before, after)
+	}
+}
+
+// TestMem2RegEliminatesSlots verifies full promotion.
+func TestMem2RegEliminatesSlots(t *testing.T) {
+	for _, tp := range testPrograms {
+		p := buildProgram(t, tp.src)
+		ctx := newCtx(p, true)
+		Lookup("sroa").Run(ctx)
+		for _, f := range p.Funcs {
+			if f.NumSlots != 0 {
+				t.Fatalf("%s: %s still has %d slots", tp.name, f.Name, f.NumSlots)
+			}
+			for _, b := range f.Blocks {
+				for _, v := range b.Instrs {
+					if v.Op == ir.OpSlotLoad || v.Op == ir.OpSlotStore {
+						t.Fatalf("%s: %s still has slot ops", tp.name, f.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSalvagePolicyDiffers demonstrates the gcc/clang debug divergence:
+// with salvage off, RAUW across blocks drops DbgValue bindings.
+func TestSalvagePolicyDiffers(t *testing.T) {
+	src := `
+func main() {
+	var a: int = 0;
+	var i: int = 0;
+	while (i < 4) {
+		a = i * 3;
+		i = i + 1;
+	}
+	var b: int = i * 3;
+	print(a + b);
+}`
+	count := func(salvage bool) int {
+		p := buildProgram(t, src)
+		ctx := newCtx(p, salvage)
+		for _, n := range []string{"sroa", "instcombine", "gvn", "dce", "simplifycfg"} {
+			Lookup(n).Run(ctx)
+		}
+		bound := 0
+		for _, f := range p.Funcs {
+			for _, b := range f.Blocks {
+				for _, v := range b.Instrs {
+					if v.Op == ir.OpDbgValue && len(v.Args) == 1 {
+						bound++
+					}
+				}
+			}
+		}
+		return bound
+	}
+	if count(true) < count(false) {
+		t.Fatalf("salvage=true kept fewer bindings (%d) than salvage=false (%d)",
+			count(true), count(false))
+	}
+}

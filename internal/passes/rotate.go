@@ -1,0 +1,195 @@
+package passes
+
+import "debugtuner/internal/ir"
+
+// Loop rotation turns a while-shaped loop (test in the header) into a
+// guarded do-while: the test is duplicated into the preheader (the
+// guard) and into the latch, and the header's own branch becomes an
+// unconditional jump into the body. The duplicated test instructions are
+// clones and carry line 0 — the rotated copies are artificial, as in
+// LLVM — while the originals usually die, so the condition's line often
+// survives only in the guard.
+//
+// Registered as "loop-rotate" (clang) and "tree-ch" (gcc's loop header
+// copying).
+var loopRotatePass = Register(&Pass{
+	Name:    "loop-rotate",
+	RunFunc: runRotate,
+})
+
+func init() {
+	Register(&Pass{Name: "tree-ch", RunFunc: runRotate})
+}
+
+func runRotate(ctx *Context, f *ir.Func) bool {
+	changed := false
+	for _, l := range FindLoops(f) {
+		if rotateLoop(ctx, f, l) {
+			changed = true
+		}
+	}
+	if changed {
+		ir.RemoveUnreachable(f)
+	}
+	return changed
+}
+
+// rotateLoop rotates one loop if it has the canonical while shape.
+func rotateLoop(ctx *Context, f *ir.Func, l *Loop) bool {
+	h := l.Header
+	if l.Latch == nil {
+		return false
+	}
+	lt := l.Latch.Term()
+	if lt == nil || lt.Op != ir.OpJmp {
+		return false
+	}
+	t := h.Term()
+	if t == nil || t.Op != ir.OpBr {
+		return false
+	}
+	var body, exit *ir.Block
+	switch {
+	case l.Blocks[h.Succs[0]] && !l.Blocks[h.Succs[1]]:
+		body, exit = h.Succs[0], h.Succs[1]
+	case l.Blocks[h.Succs[1]] && !l.Blocks[h.Succs[0]]:
+		body, exit = h.Succs[1], h.Succs[0]
+	default:
+		return false
+	}
+	if exit == h || body == h {
+		return false
+	}
+	// All non-phi header instructions must be pure so both clones are
+	// safe to evaluate speculatively; cloning loads would also raise the
+	// loop's register pressure for marginal gain.
+	var headerPhis, headerBody []*ir.Value
+	for _, v := range h.Instrs {
+		switch {
+		case v.Op == ir.OpPhi:
+			headerPhis = append(headerPhis, v)
+		case v == t:
+		case v.Op == ir.OpDbgValue:
+		case v.Op.IsPure() || v.Op == ir.OpConst:
+			headerBody = append(headerBody, v)
+		default:
+			return false
+		}
+	}
+	if len(headerBody) > 12 {
+		return false // duplication cost guard
+	}
+	ph := EnsurePreheader(f, l)
+	if ph == nil || ph == h {
+		return false
+	}
+	phIdx, latchIdx := -1, -1
+	for i, p := range h.Preds {
+		switch p {
+		case ph:
+			phIdx = i
+		case l.Latch:
+			latchIdx = i
+		}
+	}
+	if phIdx < 0 || latchIdx < 0 || len(h.Preds) != 2 {
+		return false
+	}
+	exitHIdx := predIndexOf(exit, h)
+	if exitHIdx < 0 {
+		return false
+	}
+
+	// cloneInto duplicates the header computation into dst (before its
+	// terminator), substituting each header phi with its incoming value
+	// on the given edge, and returns the value map.
+	cloneInto := func(dst *ir.Block, predIdx int) map[*ir.Value]*ir.Value {
+		m := map[*ir.Value]*ir.Value{}
+		for _, phi := range headerPhis {
+			m[phi] = phi.Args[predIdx]
+		}
+		for _, v := range headerBody {
+			nv := f.NewValue(dst, v.Op, 0)
+			nv.AuxInt, nv.Aux = v.AuxInt, v.Aux
+			for _, a := range v.Args {
+				if r, ok := m[a]; ok {
+					nv.Args = append(nv.Args, r)
+				} else {
+					nv.Args = append(nv.Args, a)
+				}
+			}
+			m[v] = nv
+			// Insert before dst's terminator.
+			n := len(dst.Instrs)
+			dst.Instrs = append(dst.Instrs, nil)
+			copy(dst.Instrs[n:], dst.Instrs[n-1:])
+			dst.Instrs[n-1] = nv
+		}
+		return m
+	}
+	mapped := func(m map[*ir.Value]*ir.Value, v *ir.Value) *ir.Value {
+		if r, ok := m[v]; ok {
+			return r
+		}
+		return v
+	}
+
+	cond := t.Args[0]
+	condInvertedExit := h.Succs[0] == exit // branch taken -> exit
+
+	// Guard in the preheader: replaces its jump with a branch.
+	gm := cloneInto(ph, phIdx)
+	gjmp := ph.Term()
+	gjmp.Op = ir.OpBr
+	gjmp.Args = []*ir.Value{mapped(gm, cond)}
+	if condInvertedExit {
+		ph.Succs = []*ir.Block{exit, h}
+		exit.Preds = append(exit.Preds, ph)
+		// ph already preds h; fix ordering below via columns.
+	} else {
+		ph.Succs = []*ir.Block{h, exit}
+		exit.Preds = append(exit.Preds, ph)
+	}
+
+	// Latch test: the latch's jump becomes the loop's bottom test.
+	lm := cloneInto(l.Latch, latchIdx)
+	lt.Op = ir.OpBr
+	lt.Args = []*ir.Value{mapped(lm, cond)}
+	if condInvertedExit {
+		l.Latch.Succs = []*ir.Block{exit, h}
+		exit.Preds = append(exit.Preds, l.Latch)
+	} else {
+		l.Latch.Succs = []*ir.Block{h, exit}
+		exit.Preds = append(exit.Preds, l.Latch)
+	}
+
+	// The header now falls through into the body unconditionally.
+	t.Op = ir.OpJmp
+	t.Args = nil
+	h.Succs = []*ir.Block{body}
+
+	// Exit phi columns: the old column for pred h is replaced by two new
+	// columns for ph and latch with edge-mapped values.
+	for _, v := range exit.Instrs {
+		if v.Op != ir.OpPhi {
+			break
+		}
+		old := v.Args[exitHIdx]
+		v.Args = append(v.Args, mapped(gm, old), mapped(lm, old))
+	}
+	ir.RemovePredEdge(exit, exitHIdx)
+
+	// The guard edge ph->exit and the latch edge bypass the header, so
+	// header-defined values used beyond the loop are no longer dominated
+	// by their definitions; repair each through SSA-updater phis. The
+	// guard edge carries init-mapped values, the latch edge next-mapped
+	// values.
+	for _, v := range append(append([]*ir.Value(nil), headerPhis...), headerBody...) {
+		repairValue(f, v, []Def{
+			{Block: h, Val: v},
+			{Block: ph, Val: mapped(gm, v), AtEnd: true, OnlyEdgeTo: exit},
+			{Block: l.Latch, Val: mapped(lm, v), AtEnd: true, OnlyEdgeTo: exit},
+		})
+	}
+	return true
+}

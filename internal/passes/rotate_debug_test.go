@@ -1,0 +1,35 @@
+package passes
+
+import (
+	"reflect"
+	"testing"
+
+	"debugtuner/internal/ir"
+)
+
+func TestRotateAfterSROA(t *testing.T) {
+	src := `
+func main() {
+	var t: int = 1;
+	for (var i: int = 0; i < 5; i = i + 1) {
+		t = t * 2;
+	}
+	print(t);
+}`
+	base := buildProgram(t, src)
+	want := interpOutput(t, base)
+	p := base.Clone()
+	ctx := newCtx(p, true)
+	for _, n := range []string{"sroa", "simplifycfg"} {
+		Lookup(n).Run(ctx)
+	}
+	before := p.Funcs[0].String()
+	Lookup("loop-rotate").Run(ctx)
+	if err := ir.VerifyProgram(p); err != nil {
+		t.Fatalf("verify: %v\nbefore:\n%s\nafter:\n%s", err, before, p.Funcs[0].String())
+	}
+	got := interpOutput(t, p)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v\nbefore:\n%s\nafter:\n%s", got, want, before, p.Funcs[0].String())
+	}
+}

@@ -1,0 +1,47 @@
+package passes
+
+import (
+	"reflect"
+	"testing"
+
+	"debugtuner/internal/ir"
+)
+
+func TestRotateGVNUnrollInteraction(t *testing.T) {
+	src := `
+var table: int[] = new int[32];
+func main() {
+	for (var i: int = 0; i < 32; i = i + 1) {
+		table[i] = i * 3;
+	}
+	var j: int = 0;
+	while (j < 4) {
+		print(table[j * 7]);
+		j = j + 1;
+	}
+}`
+	base := buildProgram(t, src)
+	want := interpOutput(t, base)
+	seqs := [][]string{
+		{"sroa", "simplifycfg", "loop-rotate", "gvn", "loop-unroll"},
+		{"sroa", "simplifycfg", "loop-rotate", "loop-unroll"},
+		{"sroa", "simplifycfg", "gvn", "loop-unroll"},
+		{"sroa", "simplifycfg", "loop-rotate", "licm", "loop-strength-reduce",
+			"dce", "simplifycfg", "gvn", "jump-threading", "simplifycfg",
+			"dse", "if-conversion", "simplifycfg", "loop-unroll", "simplifycfg"},
+	}
+	for si, seq := range seqs {
+		p := base.Clone()
+		ctx := newCtx(p, true)
+		for _, n := range seq {
+			Lookup(n).Run(ctx)
+			if err := ir.VerifyProgram(p); err != nil {
+				t.Fatalf("seq%d: IR broken after %s: %v", si, n, err)
+			}
+		}
+		got := interpOutput(t, p)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("seq%d (%v): got %v want %v\n%s", si, seq, got, want, p.Funcs[0].String())
+		}
+	}
+}

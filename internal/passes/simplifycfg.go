@@ -1,0 +1,247 @@
+package passes
+
+import "debugtuner/internal/ir"
+
+// simplifycfg canonicalizes the CFG: it folds branches on constants,
+// removes unreachable blocks, straightens single-pred/single-succ chains,
+// bypasses empty forwarding blocks, and simplifies trivial phis.
+//
+// Debug-information consequences, as in production compilers: code made
+// unreachable loses its line-table entries, a bypassed forwarding block's
+// jump line disappears, and single-entry phi simplification rebinds
+// DbgValues through RAUW under the context's salvage policy.
+var simplifyCFGPass = Register(&Pass{
+	Name:    "simplifycfg",
+	RunFunc: runSimplifyCFG,
+})
+
+func runSimplifyCFG(ctx *Context, f *ir.Func) bool {
+	changed := false
+	for iter := 0; iter < 20; iter++ {
+		c := false
+		c = foldConstBranches(ctx, f) || c
+		c = ir.RemoveUnreachable(f) || c
+		c = simplifyPhis(ctx, f) || c
+		c = mergeChains(ctx, f) || c
+		c = skipEmptyBlocks(ctx, f) || c
+		if !c {
+			break
+		}
+		changed = true
+	}
+	return changed
+}
+
+// foldConstBranches turns br(const) into jmp and merges branches whose
+// two successors are identical.
+func foldConstBranches(ctx *Context, f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil || t.Op != ir.OpBr {
+			continue
+		}
+		if c := t.Args[0]; c.Op == ir.OpConst {
+			taken, dead := b.Succs[0], b.Succs[1]
+			if c.AuxInt == 0 {
+				taken, dead = dead, taken
+			}
+			if i := predIndexOf(dead, b); i >= 0 {
+				ir.RemovePredEdge(dead, i)
+			}
+			t.Op = ir.OpJmp
+			t.Args = nil
+			b.Succs = []*ir.Block{taken}
+			changed = true
+			continue
+		}
+		if b.Succs[0] == b.Succs[1] {
+			s := b.Succs[0]
+			// The block appears twice in s.Preds; drop one edge and its
+			// phi column (both columns carry the same incoming value
+			// only if the phi args agree — otherwise keep the branch).
+			i1, i2 := -1, -1
+			for i, p := range s.Preds {
+				if p == b {
+					if i1 < 0 {
+						i1 = i
+					} else {
+						i2 = i
+					}
+				}
+			}
+			agree := true
+			for _, v := range s.Instrs {
+				if v.Op != ir.OpPhi {
+					break
+				}
+				if v.Args[i1] != v.Args[i2] {
+					agree = false
+					break
+				}
+			}
+			if !agree {
+				continue
+			}
+			ir.RemovePredEdge(s, i2)
+			t.Op = ir.OpJmp
+			t.Args = nil
+			b.Succs = []*ir.Block{s}
+			changed = true
+		}
+	}
+	return changed
+}
+
+// simplifyPhis replaces phis whose incoming values are all identical (or
+// the phi itself) with that value.
+func simplifyPhis(ctx *Context, f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		for _, v := range append([]*ir.Value(nil), b.Phis()...) {
+			var only *ir.Value
+			trivial := true
+			for _, a := range v.Args {
+				if a == v {
+					continue
+				}
+				if only == nil {
+					only = a
+				} else if only != a {
+					trivial = false
+					break
+				}
+			}
+			if !trivial || only == nil {
+				continue
+			}
+			RAUW(ctx, f, v, only)
+			ir.RemoveValue(v)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// mergeChains merges b -> s when b jumps to s and s has exactly one
+// predecessor. Instructions keep their source lines; only the jump
+// disappears.
+func mergeChains(ctx *Context, f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		for {
+			t := b.Term()
+			if t == nil || t.Op != ir.OpJmp {
+				break
+			}
+			s := b.Succs[0]
+			if s == b || len(s.Preds) != 1 {
+				break
+			}
+			// Phis in s have one arg; replace them first.
+			for _, v := range append([]*ir.Value(nil), s.Phis()...) {
+				RAUW(ctx, f, v, v.Args[0])
+				ir.RemoveValue(v)
+			}
+			ir.RemoveValue(t)
+			for _, v := range s.Instrs {
+				v.Block = b
+			}
+			b.Instrs = append(b.Instrs, s.Instrs...)
+			s.Instrs = nil
+			b.Succs = s.Succs
+			for _, ns := range b.Succs {
+				for i, p := range ns.Preds {
+					if p == s {
+						ns.Preds[i] = b
+					}
+				}
+			}
+			s.Succs = nil
+			s.Preds = nil
+			removeBlock(f, s)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// skipEmptyBlocks retargets predecessors of a block containing only an
+// unconditional jump directly to its successor, when phi columns permit.
+func skipEmptyBlocks(ctx *Context, f *ir.Func) bool {
+	changed := false
+	for _, e := range append([]*ir.Block(nil), f.Blocks...) {
+		if e == f.Entry() || len(e.Instrs) != 1 {
+			continue
+		}
+		t := e.Instrs[0]
+		if t.Op != ir.OpJmp {
+			continue
+		}
+		s := e.Succs[0]
+		if s == e {
+			continue
+		}
+		ei := predIndexOf(s, e)
+		if ei < 0 {
+			continue
+		}
+		// The value e contributes to each phi of s.
+		var eVals []*ir.Value
+		for _, v := range s.Instrs {
+			if v.Op != ir.OpPhi {
+				break
+			}
+			eVals = append(eVals, v.Args[ei])
+		}
+		// Retarget preds one at a time; a pred that is already a pred of
+		// s with conflicting phi values must keep going through e.
+		moved := 0
+		for _, p := range append([]*ir.Block(nil), e.Preds...) {
+			if pi := predIndexOf(s, p); pi >= 0 {
+				conflict := false
+				j := 0
+				for _, v := range s.Instrs {
+					if v.Op != ir.OpPhi {
+						break
+					}
+					if v.Args[pi] != eVals[j] {
+						conflict = true
+						break
+					}
+					j++
+				}
+				if conflict {
+					continue
+				}
+			}
+			ir.ReplaceSucc(p, e, s, eVals)
+			moved++
+		}
+		if moved > 0 {
+			changed = true
+		}
+	}
+	if changed {
+		ir.RemoveUnreachable(f)
+	}
+	return changed
+}
+
+func predIndexOf(b, p *ir.Block) int {
+	for i, q := range b.Preds {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}
+
+func removeBlock(f *ir.Func, s *ir.Block) {
+	for i, b := range f.Blocks {
+		if b == s {
+			f.Blocks = append(f.Blocks[:i], f.Blocks[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package passes
+
+import "debugtuner/internal/ir"
+
+// sink moves pure computations into the block containing their only uses,
+// so that paths not needing the value skip it. Sunk instructions lose
+// their source line (LLVM's sink utility drops debug locations when
+// moving across blocks); gcc's equivalent is tree-sink.
+var sinkPass = Register(&Pass{
+	Name:    "sink",
+	RunFunc: runSink,
+})
+
+func init() {
+	Register(&Pass{Name: "tree-sink", RunFunc: runSink})
+}
+
+func runSink(ctx *Context, f *ir.Func) bool {
+	ir.RemoveUnreachable(f)
+	depth := loopDepths(f)
+	changed := false
+	for iter := 0; iter < 4; iter++ {
+		// useBlock[id] is the single block containing all code uses of
+		// the value, blockedVal for phi uses or multiple blocks.
+		useBlock := make([]*ir.Block, f.NumValueIDs())
+		blocked := make([]bool, f.NumValueIDs())
+		for _, ub := range f.Blocks {
+			for _, u := range ub.Instrs {
+				if u.Op == ir.OpDbgValue {
+					continue
+				}
+				for _, a := range u.Args {
+					if u.Op == ir.OpPhi {
+						blocked[a.ID] = true
+						continue
+					}
+					if useBlock[a.ID] == nil {
+						useBlock[a.ID] = ub
+					} else if useBlock[a.ID] != ub {
+						blocked[a.ID] = true
+					}
+				}
+			}
+		}
+		c := false
+		for _, b := range f.Blocks {
+			for _, v := range append([]*ir.Value(nil), b.Instrs...) {
+				if !v.Op.IsPure() || v.Op == ir.OpParam {
+					continue
+				}
+				target := useBlock[v.ID]
+				if blocked[v.ID] || target == nil || target == b || depth[target] > depth[b] {
+					continue
+				}
+				// Move v before its first use in target; crossing blocks
+				// clears the line.
+				ir.RemoveValue(v)
+				v.Block = target
+				v.Line = 0
+				insertBeforeFirstUse(target, v)
+				// DbgValues bound to v in other blocks would now read a
+				// not-yet-computed value; drop the binding, as LLVM does
+				// when it cannot prove the location valid.
+				for _, db := range f.Blocks {
+					if db == target {
+						continue
+					}
+					for _, w := range db.Instrs {
+						if w.Op == ir.OpDbgValue && len(w.Args) == 1 && w.Args[0] == v {
+							w.Args = nil
+						}
+					}
+				}
+				// v now lives in target; uses of v's args moved too, so
+				// recompute on the next iteration rather than chaining.
+				blocked[v.ID] = true
+				c = true
+			}
+		}
+		if !c {
+			break
+		}
+		changed = true
+	}
+	return changed
+}
+
+func insertBeforeFirstUse(b *ir.Block, v *ir.Value) {
+	for i, u := range b.Instrs {
+		if u.Op == ir.OpDbgValue {
+			continue
+		}
+		for _, a := range u.Args {
+			if a == v {
+				b.Instrs = append(b.Instrs, nil)
+				copy(b.Instrs[i+1:], b.Instrs[i:])
+				b.Instrs[i] = v
+				return
+			}
+		}
+	}
+	insertBeforeTerm(b, v)
+}
+
+// loopDepths returns the nesting depth of every block.
+func loopDepths(f *ir.Func) map[*ir.Block]int {
+	depth := map[*ir.Block]int{}
+	for _, l := range FindLoops(f) {
+		for b := range l.Blocks {
+			depth[b]++
+		}
+	}
+	return depth
+}

@@ -1,0 +1,156 @@
+package passes
+
+import "debugtuner/internal/ir"
+
+// tree-slp-vectorize performs basic-block SLP vectorization for the
+// canonical pattern produced by unrolled array loops:
+//
+//	a[i]   = b[i]   OP c[i]
+//	a[i+1] = b[i+1] OP c[i+1]
+//
+// becoming a two-lane VLoad2/VBin/VStore2 group. The fused instructions
+// take the first lane's source line; the second lane's instructions (and
+// their line-table entries) disappear, and any DbgValue bound to an
+// eliminated scalar is dropped — the vectorizer's measured debug cost.
+var slpPass = Register(&Pass{
+	Name:    "tree-slp-vectorize",
+	RunFunc: runSLP,
+})
+
+type slpStore struct {
+	store    *ir.Value // astore(arr, idx, bin)
+	bin      *ir.Value
+	lhs, rhs *ir.Value // aloads
+	pos      int       // index of store within block
+}
+
+func runSLP(ctx *Context, f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		// Gather candidate stores of binop(load, load) in this block.
+		var cands []slpStore
+		uses := CodeUseCounts(f)
+		for pos, v := range b.Instrs {
+			if v.Op != ir.OpAStore {
+				continue
+			}
+			bin := v.Args[2]
+			if bin.Block != b || uses[bin.ID] != 1 {
+				continue
+			}
+			switch bin.Op {
+			case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor:
+			default:
+				continue
+			}
+			l, r := bin.Args[0], bin.Args[1]
+			if l.Op != ir.OpALoad || r.Op != ir.OpALoad ||
+				l.Block != b || r.Block != b ||
+				uses[l.ID] != 1 || uses[r.ID] != 1 {
+				continue
+			}
+			cands = append(cands, slpStore{v, bin, l, r, pos})
+		}
+		// Pair stores with consecutive indices, same arrays, same op.
+		for i := 0; i < len(cands); i++ {
+			for j := i + 1; j < len(cands); j++ {
+				s0, s1 := cands[i], cands[j]
+				if s0.store == nil || s1.store == nil {
+					continue
+				}
+				if s0.bin.Op != s1.bin.Op {
+					continue
+				}
+				if s0.store.Args[0] != s1.store.Args[0] ||
+					s0.lhs.Args[0] != s1.lhs.Args[0] ||
+					s0.rhs.Args[0] != s1.rhs.Args[0] {
+					continue
+				}
+				if !consecutive(s0.store.Args[1], s1.store.Args[1]) ||
+					!consecutive(s0.lhs.Args[1], s1.lhs.Args[1]) ||
+					!consecutive(s0.rhs.Args[1], s1.rhs.Args[1]) {
+					continue
+				}
+				// No foreign clobbers may sit between the group's first
+				// involved instruction and the second store: the fused
+				// loads all execute at the first store's position.
+				if groupClobbered(b, s0, s1) {
+					continue
+				}
+				fuse(f, b, s0, s1)
+				cands[i].store = nil
+				cands[j].store = nil
+				changed = true
+				break
+			}
+		}
+	}
+	return changed
+}
+
+// consecutive reports whether idx1 == idx0 + 1 syntactically: both
+// constants, or idx1 = add(idx0, 1).
+func consecutive(i0, i1 *ir.Value) bool {
+	if i0.Op == ir.OpConst && i1.Op == ir.OpConst {
+		return i1.AuxInt == i0.AuxInt+1
+	}
+	return i1.Op == ir.OpAdd && i1.Args[0] == i0 &&
+		i1.Args[1].Op == ir.OpConst && i1.Args[1].AuxInt == 1
+}
+
+// groupClobbered reports whether any instruction outside the candidate
+// group writes memory (or calls/prints) between the group's first
+// involved instruction and the second store. The fused loads all execute
+// at the first store's position, so the whole span must be clobber-free.
+func groupClobbered(b *ir.Block, s0, s1 slpStore) bool {
+	involved := map[*ir.Value]bool{
+		s0.store: true, s0.bin: true, s0.lhs: true, s0.rhs: true,
+		s1.store: true, s1.bin: true, s1.lhs: true, s1.rhs: true,
+	}
+	first := -1
+	for k, v := range b.Instrs {
+		if involved[v] {
+			first = k
+			break
+		}
+	}
+	if first < 0 {
+		return true
+	}
+	for k := first; k < len(b.Instrs); k++ {
+		v := b.Instrs[k]
+		if v == s1.store {
+			return false
+		}
+		if involved[v] {
+			continue
+		}
+		switch v.Op {
+		case ir.OpAStore, ir.OpGStore, ir.OpVStore2, ir.OpSlotStore,
+			ir.OpCall, ir.OpPrint:
+			return true
+		}
+	}
+	return true
+}
+
+// fuse rewrites the pair into vector ops at the first store's position.
+func fuse(f *ir.Func, b *ir.Block, s0, s1 slpStore) {
+	vl := f.NewValue(b, ir.OpVLoad2, s0.lhs.Line, s0.lhs.Args[0], s0.lhs.Args[1])
+	vr := f.NewValue(b, ir.OpVLoad2, s0.rhs.Line, s0.rhs.Args[0], s0.rhs.Args[1])
+	vb := f.NewValue(b, ir.OpVBin, s0.bin.Line, vl, vr)
+	vb.AuxInt = int64(s0.bin.Op)
+	vs := f.NewValue(b, ir.OpVStore2, s0.store.Line, s0.store.Args[0], s0.store.Args[1], vb)
+	ir.InsertBefore(s0.store, vl)
+	ir.InsertBefore(s0.store, vr)
+	ir.InsertBefore(s0.store, vb)
+	ir.InsertBefore(s0.store, vs)
+	for _, dead := range []*ir.Value{
+		s1.store, s1.bin, s1.lhs, s1.rhs,
+		s0.store, s0.bin, s0.lhs, s0.rhs,
+	} {
+		DropDefDebug(f, dead)
+		dead.Args = nil
+		ir.RemoveValue(dead)
+	}
+}

@@ -1,0 +1,158 @@
+package passes
+
+import "debugtuner/internal/ir"
+
+// SSA repair for passes that duplicate definitions along new paths
+// (rotation's guard/latch tests, unrolling's peeled copies). After such a
+// transform, an original value v may have several "definitions" of the
+// same source-level quantity, and uses no longer dominated by v must be
+// rewired through fresh phis at the iterated dominance frontier — the
+// classic SSA-updater job.
+
+// Def is one definition of the repaired quantity.
+type Def struct {
+	Block *ir.Block
+	Val   *ir.Value
+	// AtEnd marks edge-style definitions: the value takes effect at the
+	// end of Block (e.g. "the induction variable equals its next value
+	// on the latch exit edge") rather than at Val's own position.
+	AtEnd bool
+	// OnlyEdgeTo restricts an AtEnd definition to the single outgoing
+	// edge leading to this block. A rotated latch redefines the quantity
+	// only on its exit edge: re-entering the header must still observe
+	// the previous iteration's value.
+	OnlyEdgeTo *ir.Block
+}
+
+// repairValue rewires all uses of orig so that each observes the correct
+// reaching definition among defs. defs must include orig itself (as an
+// at-instruction def). New phis carry no source line and no variable
+// binding; DbgValue uses are rewired like ordinary uses so the binding
+// stays accurate where a definition reaches.
+func repairValue(f *ir.Func, orig *ir.Value, defs []Def) {
+	idom := ir.Dominators(f)
+	tree := ir.DomTree(f, idom)
+	df := dominanceFrontiers(f, idom)
+
+	// Phi placement at the iterated dominance frontier of def blocks.
+	phiAt := map[*ir.Block]*ir.Value{}
+	var work []*ir.Block
+	inWork := map[*ir.Block]bool{}
+	for _, d := range defs {
+		if !inWork[d.Block] {
+			inWork[d.Block] = true
+			work = append(work, d.Block)
+		}
+	}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, j := range df[b] {
+			if phiAt[j] != nil {
+				continue
+			}
+			phi := f.NewValue(j, ir.OpPhi, 0)
+			phi.Args = make([]*ir.Value, len(j.Preds))
+			j.Instrs = append([]*ir.Value{phi}, j.Instrs...)
+			phiAt[j] = phi
+			if !inWork[j] {
+				inWork[j] = true
+				work = append(work, j)
+			}
+		}
+	}
+
+	type edgeDef struct {
+		val  *ir.Value
+		only *ir.Block
+	}
+	instrDef := map[*ir.Value]bool{}
+	endDef := map[*ir.Block]edgeDef{}
+	for _, d := range defs {
+		if d.AtEnd {
+			endDef[d.Block] = edgeDef{d.Val, d.OnlyEdgeTo}
+		} else {
+			instrDef[d.Val] = true
+		}
+	}
+
+	var zero *ir.Value
+	getZero := func() *ir.Value {
+		if zero == nil {
+			entry := f.Entry()
+			zero = f.NewValue(entry, ir.OpConst, 0)
+			entry.Instrs = append([]*ir.Value{zero}, entry.Instrs...)
+		}
+		return zero
+	}
+
+	var rename func(b *ir.Block, cur *ir.Value)
+	rename = func(b *ir.Block, cur *ir.Value) {
+		if phi := phiAt[b]; phi != nil {
+			cur = phi
+		}
+		for _, v := range b.Instrs {
+			if v.Op != ir.OpPhi && v != orig {
+				for i, a := range v.Args {
+					if a == orig && cur != nil && cur != orig {
+						v.Args[i] = cur
+					}
+				}
+			}
+			if instrDef[v] {
+				cur = v
+			}
+		}
+		ed, hasEd := endDef[b]
+		if hasEd && ed.only == nil {
+			cur = ed.val
+		}
+		seenSucc := map[*ir.Block]bool{}
+		for _, s := range b.Succs {
+			if seenSucc[s] {
+				continue
+			}
+			seenSucc[s] = true
+			edgeCur := cur
+			if hasEd && ed.only == s {
+				edgeCur = ed.val
+			}
+			for pi, p := range s.Preds {
+				if p != b {
+					continue
+				}
+				for _, v := range s.Instrs {
+					if v.Op != ir.OpPhi {
+						break
+					}
+					if v == phiAt[s] {
+						if edgeCur != nil {
+							v.Args[pi] = edgeCur
+						} else {
+							v.Args[pi] = getZero()
+						}
+						continue
+					}
+					if v.Args[pi] == orig && edgeCur != nil && edgeCur != orig {
+						v.Args[pi] = edgeCur
+					}
+				}
+			}
+		}
+		for _, c := range tree[b] {
+			rename(c, cur)
+		}
+	}
+	rename(f.Entry(), nil)
+
+	// Any inserted phi argument still nil sits on a path with no
+	// reaching definition (the value is unused there); zero keeps the
+	// IR well formed.
+	for _, phi := range phiAt {
+		for i, a := range phi.Args {
+			if a == nil {
+				phi.Args[i] = getZero()
+			}
+		}
+	}
+}

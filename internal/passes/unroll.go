@@ -1,0 +1,387 @@
+package passes
+
+import "debugtuner/internal/ir"
+
+// loop-unroll peels iterations of while-shaped loops off the front. For
+// loops whose trip count is a small compile-time constant the loop is
+// fully unrolled (the original loop remains as an immediately-exiting
+// residue that simplifycfg folds once the peeled condition is constant);
+// otherwise one iteration is peeled, as LLVM's peeling heuristics do.
+//
+// Peeling is unconditionally sound: each peeled copy keeps the loop's
+// own exit test, so a wrong trip-count estimate costs code size, never
+// correctness. Peeled instructions keep their source lines (they are
+// genuine copies of user code), but DbgValues are re-bound per copy,
+// multiplying the variable's bindings — later passes then merge or drop
+// them, one of the measured loss mechanisms.
+var loopUnrollPass = Register(&Pass{
+	Name:    "loop-unroll",
+	RunFunc: runUnroll,
+})
+
+const (
+	maxFullUnrollTrips = 16
+	maxUnrolledCost    = 256
+	maxPeelBlocks      = 6
+)
+
+func runUnroll(ctx *Context, f *ir.Func) bool {
+	changed := false
+	// Peeling rewrites the CFG, invalidating every other Loop struct
+	// (an outer loop's block set must include the clones made inside
+	// it), so loops are re-discovered after each transformation.
+	// FindLoops returns innermost loops first, so inner loops unroll
+	// before their parents.
+	processed := map[*ir.Block]bool{}
+	for iter := 0; iter < 64; iter++ {
+		var l *Loop
+		for _, cand := range FindLoops(f) {
+			if !processed[cand.Header] && cand.Latch != nil &&
+				len(cand.Blocks) <= maxPeelBlocks {
+				l = cand
+				break
+			}
+		}
+		if l == nil {
+			break
+		}
+		h := l.Header
+		processed[h] = true
+		trips, known := tripCount(l)
+		cost := 0
+		for _, b := range l.SortedBlocks() {
+			cost += len(b.Instrs)
+		}
+		n := 0
+		full := false
+		switch {
+		case known && trips == 0:
+			// Guard already rejects entry; nothing to peel.
+		case known && trips <= maxFullUnrollTrips && trips*cost <= maxUnrolledCost:
+			n = trips
+			full = true
+		case ctx.UnrollFactor > 1 && cost <= 24:
+			n = 1 // profitable peel of hot small loops
+		}
+		peeled := 0
+		for i := 0; i < n; i++ {
+			if !peelOnce(f, l) {
+				break
+			}
+			peeled++
+			changed = true
+			// The peel invalidated l; re-discover the same loop by its
+			// header block.
+			l = nil
+			for _, cand := range FindLoops(f) {
+				if cand.Header == h {
+					l = cand
+					break
+				}
+			}
+			if l == nil || l.Latch == nil {
+				break
+			}
+		}
+		if full && peeled == n && l != nil {
+			// Every iteration was peeled: the residual loop can never
+			// run again. Rewrite its test to exit unconditionally, as
+			// LLVM's unroller does — plain constant folding cannot
+			// prove a loop-carried phi condition false.
+			if t := h.Term(); t != nil && t.Op == ir.OpBr {
+				enterOnTrue := l.Blocks[h.Succs[0]]
+				c := f.NewValue(h, ir.OpConst, 0)
+				if !enterOnTrue {
+					c.AuxInt = 1
+				}
+				insertBeforeTerm(h, c)
+				t.Args[0] = c
+				changed = true
+			}
+		}
+	}
+	if changed {
+		ir.RemoveUnreachable(f)
+	}
+	return changed
+}
+
+// tripCount recognizes the canonical induction shape: header phi i with a
+// constant init, latch update i' = i + c, and header branch on
+// cmp(i, const). It returns the number of iterations executed, counted by
+// direct evaluation, or ok=false.
+func tripCount(l *Loop) (int, bool) {
+	h := l.Header
+	t := h.Term()
+	if t == nil || t.Op != ir.OpBr {
+		return 0, false
+	}
+	cmp := t.Args[0]
+	if cmp.Block != h {
+		return 0, false
+	}
+	switch cmp.Op {
+	case ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe, ir.OpNe, ir.OpEq:
+	default:
+		return 0, false
+	}
+	iv, bound := cmp.Args[0], cmp.Args[1]
+	if iv.Op != ir.OpPhi && bound.Op == ir.OpPhi {
+		return 0, false
+	}
+	if bound.Op != ir.OpConst {
+		return 0, false
+	}
+	if iv.Op != ir.OpPhi || iv.Block != h {
+		return 0, false
+	}
+	// Identify the init and step columns.
+	var init, next *ir.Value
+	for i, p := range h.Preds {
+		if l.Blocks[p] {
+			next = iv.Args[i]
+		} else {
+			init = iv.Args[i]
+		}
+	}
+	if init == nil || next == nil || init.Op != ir.OpConst {
+		return 0, false
+	}
+	if next.Op != ir.OpAdd && next.Op != ir.OpSub {
+		return 0, false
+	}
+	if next.Args[0] != iv || next.Args[1].Op != ir.OpConst {
+		return 0, false
+	}
+	step := next.Args[1].AuxInt
+	if next.Op == ir.OpSub {
+		step = -step
+	}
+	if step == 0 {
+		return 0, false
+	}
+	// The taken successor must be the in-loop one for "cmp true" to mean
+	// "keep looping".
+	enterOnTrue := l.Blocks[h.Succs[0]]
+	val := init.AuxInt
+	for trips := 0; trips <= maxFullUnrollTrips+1; trips++ {
+		holds := ir.EvalBin(cmp.Op, val, bound.AuxInt) != 0
+		if holds != enterOnTrue {
+			return trips, true
+		}
+		val += step
+	}
+	return 0, false
+}
+
+// peelOnce clones the loop body once ahead of the loop. The preheader is
+// redirected to the peeled copy; the copy's exit test still targets the
+// loop exit, and its latch feeds the original header's init phi columns.
+func peelOnce(f *ir.Func, l *Loop) bool {
+	h := l.Header
+	ph := EnsurePreheader(f, l)
+	if ph == nil {
+		return false
+	}
+	phIdx := predIndexOf(h, ph)
+	if phIdx < 0 {
+		return false
+	}
+	// Clone every loop block in deterministic order.
+	blocks := l.SortedBlocks()
+	bm := map[*ir.Block]*ir.Block{}
+	vm := map[*ir.Value]*ir.Value{}
+	for _, b := range blocks {
+		nb := f.NewBlock()
+		nb.Prob, nb.Freq = b.Prob, b.Freq
+		bm[b] = nb
+	}
+	for _, b := range blocks {
+		nb := bm[b]
+		for _, v := range b.Instrs {
+			if v.Op == ir.OpPhi && b == h {
+				// Header phis in the peel resolve to the preheader value.
+				vm[v] = v.Args[phIdx]
+				continue
+			}
+			nv := f.NewValue(nb, v.Op, v.Line)
+			nv.AuxInt, nv.Aux, nv.Var = v.AuxInt, v.Aux, v.Var
+			vm[v] = nv
+			nb.Instrs = append(nb.Instrs, nv)
+		}
+	}
+	for _, b := range blocks {
+		nb := bm[b]
+		for _, v := range b.Instrs {
+			if v.Op == ir.OpPhi && b == h {
+				continue
+			}
+			nv := vm[v]
+			for _, a := range v.Args {
+				if r, ok := vm[a]; ok {
+					nv.Args = append(nv.Args, r)
+				} else {
+					nv.Args = append(nv.Args, a)
+				}
+			}
+		}
+		// Wire successors: in-loop edges go to clones; the peel's edge
+		// back to the header becomes the loop's real entry; exits stay.
+		for _, s := range b.Succs {
+			switch {
+			case s == h:
+				// handled below after phi fixes: peel latch -> header
+				nb.Succs = append(nb.Succs, h)
+				h.Preds = append(h.Preds, nb)
+				for _, phi := range h.Instrs {
+					if phi.Op != ir.OpPhi {
+						break
+					}
+					// Incoming value from the peeled latch is the
+					// cloned next value.
+					next := phi.Args[predIndexOf(h, b)]
+					if r, ok := vm[next]; ok {
+						phi.Args = append(phi.Args, r)
+					} else {
+						phi.Args = append(phi.Args, next)
+					}
+				}
+			case l.Blocks[s]:
+				ir.AddEdge(nb, bm[s])
+				// Phi columns of the clone align with cloned preds,
+				// which are appended in the same order below.
+			default:
+				// Exit edge: target keeps its phis; append the column.
+				var vals []*ir.Value
+				for _, phi := range s.Instrs {
+					if phi.Op != ir.OpPhi {
+						break
+					}
+					old := phi.Args[predIndexOf(s, b)]
+					if r, ok := vm[old]; ok {
+						vals = append(vals, r)
+					} else {
+						vals = append(vals, old)
+					}
+				}
+				nb.Succs = append(nb.Succs, s)
+				s.Preds = append(s.Preds, nb)
+				j := 0
+				for _, phi := range s.Instrs {
+					if phi.Op != ir.OpPhi {
+						break
+					}
+					phi.Args = append(phi.Args, vals[j])
+					j++
+				}
+			}
+		}
+	}
+	// Fix phi columns of cloned in-loop blocks: cloned preds were added
+	// via AddEdge in source Succs order; rebuild each cloned block's
+	// preds/args to mirror the original's in-loop pred order.
+	for _, b := range blocks {
+		nb := bm[b]
+		if b == h {
+			continue
+		}
+		// Reorder: collect (pred clone, arg) pairs from the original.
+		var preds []*ir.Block
+		argCols := map[*ir.Value][]*ir.Value{}
+		for i, p := range b.Preds {
+			if !l.Blocks[p] {
+				continue // peeled copy is entered only from inside
+			}
+			preds = append(preds, bm[p])
+			for _, phi := range b.Instrs {
+				if phi.Op != ir.OpPhi {
+					break
+				}
+				old := phi.Args[i]
+				nv := old
+				if r, ok := vm[old]; ok {
+					nv = r
+				}
+				argCols[phi] = append(argCols[phi], nv)
+			}
+		}
+		nb.Preds = preds
+		for _, phi := range b.Instrs {
+			if phi.Op != ir.OpPhi {
+				break
+			}
+			vm[phi].Args = argCols[phi]
+		}
+	}
+	// Redirect the preheader into the peeled copy; the header keeps its
+	// other preds, and the column the preheader used to feed is removed.
+	peelEntry := bm[h]
+	// Record the preheader values of the header phis before the column
+	// disappears with the edge.
+	phiInit := map[*ir.Value]*ir.Value{}
+	for _, phi := range h.Instrs {
+		if phi.Op != ir.OpPhi {
+			break
+		}
+		phiInit[phi] = phi.Args[phIdx]
+	}
+	ir.ReplaceSucc(ph, h, peelEntry, nil)
+
+	// SSA repair: paths through the peeled copy bypass the original
+	// definitions, so any loop-defined value with uses outside the loop
+	// needs updater phis. Header phis are "defined" on the ph->peel edge
+	// with their init value; other values have their clone as the second
+	// definition.
+	inside := map[*ir.Block]bool{}
+	for _, b := range blocks {
+		inside[b] = true
+		inside[bm[b]] = true
+	}
+	for _, b := range blocks {
+		for _, v := range append([]*ir.Value(nil), b.Instrs...) {
+			if v.Op == ir.OpDbgValue || v.Op.IsTerminator() || !v.Op.HasResult() {
+				continue
+			}
+			usedOutside := false
+		scan:
+			for _, ub := range f.Blocks {
+				if inside[ub] {
+					continue
+				}
+				for _, u := range ub.Instrs {
+					for _, a := range u.Args {
+						if a == v {
+							usedOutside = true
+							break scan
+						}
+					}
+				}
+			}
+			if !usedOutside {
+				continue
+			}
+			if v.Op == ir.OpPhi && v.Block == h {
+				init, ok := phiInit[v]
+				if !ok {
+					// Inserted by an earlier repairValue call in this
+					// very loop: already globally consistent.
+					continue
+				}
+				repairValue(f, v, []Def{
+					{Block: h, Val: v},
+					{Block: ph, Val: init, AtEnd: true},
+				})
+			} else {
+				clone, ok := vm[v]
+				if !ok {
+					continue // repair-inserted phi, no clone needed
+				}
+				repairValue(f, v, []Def{
+					{Block: v.Block, Val: v},
+					{Block: clone.Block, Val: clone},
+				})
+			}
+		}
+	}
+	return true
+}

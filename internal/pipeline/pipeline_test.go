@@ -1,0 +1,304 @@
+package pipeline
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"debugtuner/internal/debuginfo"
+	"debugtuner/internal/ir"
+	"debugtuner/internal/vm"
+)
+
+// corpus exercises every IR shape the pipelines transform.
+var corpus = []struct {
+	name string
+	src  string
+}{
+	{"mixed", `
+var table: int[] = new int[32];
+var checksum: int = 0;
+
+func hash(x: int): int {
+	x = x ^ (x >> 7);
+	x = x * 31;
+	return x ^ (x >> 11);
+}
+func fill(n: int) {
+	for (var i: int = 0; i < n; i = i + 1) {
+		table[i] = hash(i * 3 + 1);
+	}
+}
+func reduce(n: int): int {
+	var acc: int = 0;
+	for (var i: int = 0; i < n; i = i + 1) {
+		if (table[i] % 2 == 0) {
+			acc = acc + table[i];
+		} else {
+			acc = acc - table[i] / 3;
+		}
+	}
+	return acc;
+}
+func main() {
+	fill(32);
+	checksum = reduce(32);
+	print(checksum);
+	var j: int = 0;
+	while (j < 4) {
+		print(table[j * 7]);
+		j = j + 1;
+	}
+}`},
+	{"recursive", `
+func ack(m: int, n: int): int {
+	if (m == 0) { return n + 1; }
+	if (n == 0) { return ack(m - 1, 1); }
+	return ack(m - 1, ack(m, n - 1));
+}
+func main() {
+	print(ack(2, 3));
+	print(ack(1, 5));
+}`},
+	{"spillheavy", `
+func mixer(a: int, b: int): int {
+	var v0: int = a + b;
+	var v1: int = a - b;
+	var v2: int = a * 3;
+	var v3: int = b * 5;
+	var v4: int = v0 ^ v1;
+	var v5: int = v2 ^ v3;
+	var v6: int = v0 + v2;
+	var v7: int = v1 + v3;
+	var v8: int = v4 * v5;
+	var v9: int = v6 * v7;
+	var va: int = v8 - v9;
+	var vb: int = v8 + v9;
+	var vc: int = va ^ vb;
+	var vd: int = va * 7 + vb * 11;
+	return v0 + v1 + v2 + v3 + v4 + v5 + v6 + v7 + v8 + v9 + va + vb + vc + vd;
+}
+func main() {
+	print(mixer(1234, 567));
+	print(mixer(0 - 9, 88));
+}`},
+	{"breaks", `
+func scan(a: int[], n: int): int {
+	var last: int = 0 - 1;
+	for (var i: int = 0; i < n; i = i + 1) {
+		if (a[i] == 0) { break; }
+		if (a[i] < 0) { continue; }
+		last = i;
+	}
+	return last;
+}
+func main() {
+	var a: int[] = new int[6];
+	a[0] = 3; a[1] = 0 - 2; a[2] = 7; a[3] = 5; a[4] = 0; a[5] = 9;
+	print(scan(a, 6));
+}`},
+	{"shortcalls", `
+var n: int = 0;
+func tick(v: int): int { n = n + 1; return v; }
+func main() {
+	if (tick(3) > 2 && tick(0) == 0 || tick(7) < 5) { print(1); } else { print(2); }
+	print(n);
+}`},
+	{"unrollable", `
+func main() {
+	var a: int[] = new int[8];
+	var b: int[] = new int[8];
+	var c: int[] = new int[8];
+	for (var i: int = 0; i < 8; i = i + 1) {
+		b[i] = i * i; c[i] = 7 - i;
+	}
+	for (var i: int = 0; i < 8; i = i + 1) {
+		a[i] = b[i] + c[i];
+	}
+	var s: int = 0;
+	for (var i: int = 0; i < 8; i = i + 1) { s = s + a[i] * (i + 1); }
+	print(s);
+}`},
+}
+
+// allConfigs enumerates every profile/level.
+func allConfigs() []Config {
+	var out []Config
+	for _, p := range []Profile{GCC, Clang} {
+		out = append(out, Config{Profile: p, Level: "O0"})
+		for _, l := range Levels(p) {
+			out = append(out, Config{Profile: p, Level: l})
+		}
+	}
+	return out
+}
+
+func wantOutput(t *testing.T, src string) []int64 {
+	t.Helper()
+	info, err := Frontend("t.mc", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir0, err := BuildIR(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := ir.NewInterp(ir0, 1<<26)
+	if _, err := in.Call("main"); err != nil {
+		t.Fatal(err)
+	}
+	return in.Output()
+}
+
+func runBinary(t *testing.T, bin *vm.Binary) []int64 {
+	t.Helper()
+	m := vm.New(bin)
+	m.StepBudget = 1 << 26
+	if _, err := m.Call("main"); err != nil {
+		t.Fatalf("vm: %v", err)
+	}
+	return m.Output()
+}
+
+// TestAllLevelsPreserveSemantics is the end-to-end differential test:
+// the VM output of every profile/level build must match the reference
+// interpreter on unoptimized IR.
+func TestAllLevelsPreserveSemantics(t *testing.T) {
+	for _, tp := range corpus {
+		want := wantOutput(t, tp.src)
+		for _, cfg := range allConfigs() {
+			t.Run(tp.name+"/"+cfg.Name(), func(t *testing.T) {
+				bin, _, err := CompileSource("t.mc", []byte(tp.src), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := runBinary(t, bin)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("output = %v, want %v", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestSinglePassDisableSemantics disables each toggle alone at every
+// level and re-checks equivalence — DebugTuner's build matrix must be
+// semantics-preserving by construction.
+func TestSinglePassDisableSemantics(t *testing.T) {
+	for _, tp := range corpus[:3] {
+		want := wantOutput(t, tp.src)
+		for _, p := range []Profile{GCC, Clang} {
+			for _, level := range Levels(p) {
+				for _, pass := range EnabledPasses(p, level) {
+					cfg := Config{
+						Profile: p, Level: level,
+						Disabled: map[string]bool{pass: true},
+					}
+					t.Run(fmt.Sprintf("%s/%s/no-%s", tp.name, cfg.Name(), pass), func(t *testing.T) {
+						bin, _, err := CompileSource("t.mc", []byte(tp.src), cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got := runBinary(t, bin)
+						if !reflect.DeepEqual(got, want) {
+							t.Fatalf("output = %v, want %v", got, want)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestOptimizationImprovesPerformance checks the cost model rewards the
+// optimizer: cycles at O2 must beat O0 substantially on every program.
+func TestOptimizationImprovesPerformance(t *testing.T) {
+	for _, tp := range corpus {
+		cycles := map[string]int64{}
+		for _, cfg := range []Config{
+			{Profile: GCC, Level: "O0"},
+			{Profile: GCC, Level: "O2"},
+			{Profile: Clang, Level: "O0"},
+			{Profile: Clang, Level: "O2"},
+		} {
+			bin, _, err := CompileSource("t.mc", []byte(tp.src), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := vm.New(bin)
+			m.StepBudget = 1 << 26
+			if _, err := m.Call("main"); err != nil {
+				t.Fatal(err)
+			}
+			cycles[cfg.Name()] = m.Cycles
+		}
+		for _, p := range []string{"gcc", "clang"} {
+			o0, o2 := cycles[p+"-O0"], cycles[p+"-O2"]
+			if o2 >= o0 {
+				t.Errorf("%s/%s: O2 (%d cycles) not faster than O0 (%d)", tp.name, p, o2, o0)
+			}
+		}
+	}
+}
+
+// TestDebugInfoWellFormed validates the emitted debug sections: ranges
+// within function bounds, sorted line rows, decodable round trip.
+func TestDebugInfoWellFormed(t *testing.T) {
+	for _, tp := range corpus {
+		for _, cfg := range allConfigs() {
+			bin, _, err := CompileSource("t.mc", []byte(tp.src), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dt, err := debuginfo.Decode(bin.Debug)
+			if err != nil {
+				t.Fatalf("%s/%s: decode: %v", tp.name, cfg.Name(), err)
+			}
+			for i := 1; i < len(dt.Lines); i++ {
+				if dt.Lines[i].Addr <= dt.Lines[i-1].Addr {
+					t.Fatalf("%s/%s: line rows out of order", tp.name, cfg.Name())
+				}
+			}
+			for _, v := range dt.Vars {
+				for _, e := range v.Entries {
+					if e.End < e.Start {
+						t.Fatalf("%s/%s: var %s inverted range [%d,%d)",
+							tp.name, cfg.Name(), v.Name, e.Start, e.End)
+					}
+					if v.FuncIdx >= 0 {
+						f := dt.Funcs[v.FuncIdx]
+						if e.Start < f.Start || e.End > f.End {
+							t.Fatalf("%s/%s: var %s range [%d,%d) outside func [%d,%d)",
+								tp.name, cfg.Name(), v.Name, e.Start, e.End, f.Start, f.End)
+						}
+					}
+				}
+			}
+			// Round trip.
+			dt2, err := debuginfo.Decode(dt.Encode())
+			if err != nil {
+				t.Fatalf("re-decode: %v", err)
+			}
+			if len(dt2.Vars) != len(dt.Vars) || len(dt2.Lines) != len(dt.Lines) {
+				t.Fatalf("round trip changed table sizes")
+			}
+		}
+	}
+}
+
+// TestTextHashStability: identical configs produce identical hashes;
+// debug-only differences (ForProfiling) leave .text identical.
+func TestTextHashStability(t *testing.T) {
+	src := corpus[0].src
+	cfg := Config{Profile: GCC, Level: "O2"}
+	b1, _, _ := CompileSource("t.mc", []byte(src), cfg)
+	b2, _, _ := CompileSource("t.mc", []byte(src), cfg)
+	if b1.TextHash() != b2.TextHash() {
+		t.Fatal("non-deterministic build")
+	}
+	cfg.ForProfiling = true
+	b3, _, _ := CompileSource("t.mc", []byte(src), cfg)
+	if b1.TextHash() != b3.TextHash() {
+		t.Fatal("-fdebug-info-for-profiling changed .text")
+	}
+}

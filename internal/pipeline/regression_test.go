@@ -1,0 +1,47 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Regression tests for miscompiles found during development; each traces
+// to a specific back-end defect.
+
+// TestRegressSpilledMoveStore: a spilled-to-spilled move must keep its
+// spill store even though the scratch-register move itself is an elidable
+// identity (found via gcc-O1 with guess-branch-probability disabled,
+// which raised register pressure past the spill threshold).
+func TestRegressSpilledMoveStore(t *testing.T) {
+	src := corpus[0].src
+	want := wantOutput(t, src)
+	cfg := Config{Profile: GCC, Level: "O1",
+		Disabled: map[string]bool{"guess-branch-probability": true}}
+	bin, _, err := CompileSource("t.mc", []byte(src), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runBinary(t, bin); !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+// TestRegressMachineSinkUseTracking: machine sinking used nil both as
+// "no use block yet" and "multiple use blocks", so a value used in three
+// blocks could be sunk into the third; and it ignored anti-dependencies
+// on phi moves. Reproduced by clang-O2 with instcombine disabled.
+func TestRegressMachineSinkUseTracking(t *testing.T) {
+	src := corpus[0].src
+	want := wantOutput(t, src)
+	for _, level := range []string{"O2", "O3"} {
+		cfg := Config{Profile: Clang, Level: level,
+			Disabled: map[string]bool{"instcombine": true}}
+		bin, _, err := CompileSource("t.mc", []byte(src), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := runBinary(t, bin); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: got %v want %v", level, got, want)
+		}
+	}
+}

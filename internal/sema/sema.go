@@ -1,0 +1,366 @@
+// Package sema resolves names, checks types, and computes the source-level
+// definition-range analysis that the hybrid debug-information metric
+// relies on (DebugTuner §II–§III.A stage 3).
+//
+// The definition-range analysis answers, for each source line, "which
+// variables are in scope here and have been assigned by this point?".
+// The hybrid method intersects this with the dynamic debugger trace of
+// the unoptimized binary, clipping DWARF's whole-scope variable locations
+// back to the range the source actually defines — removing the baseline
+// inflation that makes purely dynamic metrics underestimate quality.
+package sema
+
+import (
+	"fmt"
+	"sort"
+
+	"debugtuner/internal/ast"
+	"debugtuner/internal/source"
+)
+
+// Info is the result of semantic analysis.
+type Info struct {
+	Program *ast.Program
+	// Symbols lists every declared variable, indexed by Symbol.ID.
+	Symbols []*ast.Symbol
+	// Harnesses lists functions with the fuzz-harness signature
+	// func(input: int[], n: int).
+	Harnesses []string
+}
+
+// SymbolNames maps symbol IDs to source names, for tooling output.
+func (info *Info) SymbolNames() map[int]string {
+	out := make(map[int]string, len(info.Symbols))
+	for _, s := range info.Symbols {
+		out[s.ID] = s.Name
+	}
+	return out
+}
+
+// checker carries state during analysis.
+type checker struct {
+	prog    *ast.Program
+	info    *Info
+	errors  source.ErrorList
+	globals map[string]*ast.Symbol
+	funcs   map[string]*ast.FuncDecl
+
+	// per-function state
+	curFunc *ast.FuncDecl
+	scopes  []map[string]*ast.Symbol
+	loops   int
+}
+
+// Check runs semantic analysis over the program.
+func Check(prog *ast.Program) (*Info, error) {
+	c := &checker{
+		prog:    prog,
+		info:    &Info{Program: prog},
+		globals: make(map[string]*ast.Symbol),
+		funcs:   make(map[string]*ast.FuncDecl),
+	}
+	c.collect()
+	for _, f := range prog.Funcs {
+		c.checkFunc(f)
+	}
+	if err := c.errors.Err(); err != nil {
+		return nil, err
+	}
+	return c.info, nil
+}
+
+func (c *checker) errorf(pos source.Pos, format string, args ...any) {
+	c.errors = append(c.errors, &source.Error{
+		File: c.prog.File.Name,
+		Pos:  pos,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (c *checker) newSymbol(name string, typ ast.Type, kind ast.SymbolKind, decl source.Pos, scope source.Range, fn string) *ast.Symbol {
+	sym := &ast.Symbol{
+		Name: name, Type: typ, Kind: kind, Decl: decl, Scope: scope,
+		Func: fn, ID: len(c.info.Symbols),
+	}
+	c.info.Symbols = append(c.info.Symbols, sym)
+	return sym
+}
+
+// collect registers globals and function signatures.
+func (c *checker) collect() {
+	endOfFile := source.Pos{Line: c.prog.File.NumLines() + 1, Col: 1}
+	for _, g := range c.prog.Globals {
+		d := g.Decl
+		if _, dup := c.globals[d.Name]; dup {
+			c.errorf(d.PosVal, "duplicate global %q", d.Name)
+			continue
+		}
+		sym := c.newSymbol(d.Name, d.Type, ast.SymGlobal, d.PosVal,
+			source.Range{Start: d.PosVal, End: endOfFile}, "")
+		d.Sym = sym
+		c.globals[d.Name] = sym
+		if d.Init != nil && !isConstInit(d.Init) {
+			c.errorf(d.PosVal, "global initializer must be a constant or new int[n]")
+		}
+	}
+	for _, f := range c.prog.Funcs {
+		if _, dup := c.funcs[f.Name]; dup {
+			c.errorf(f.PosVal, "duplicate function %q", f.Name)
+			continue
+		}
+		c.funcs[f.Name] = f
+		if isHarnessSig(f) {
+			c.info.Harnesses = append(c.info.Harnesses, f.Name)
+		}
+	}
+	sort.Strings(c.info.Harnesses)
+}
+
+// isConstInit accepts literal, negated-literal, and new int[literal]
+// global initializers.
+func isConstInit(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return true
+	case *ast.Unary:
+		if e.Op != "-" {
+			return false
+		}
+		_, ok := e.X.(*ast.IntLit)
+		return ok
+	case *ast.NewArray:
+		_, ok := e.Size.(*ast.IntLit)
+		return ok
+	}
+	return false
+}
+
+// isHarnessSig reports whether f has the fuzz-harness signature
+// func(input: int[], n: int).
+func isHarnessSig(f *ast.FuncDecl) bool {
+	return len(f.Params) == 2 &&
+		f.Params[0].Type == ast.TypeArray &&
+		f.Params[1].Type == ast.TypeInt &&
+		f.Result == ast.TypeVoid
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]*ast.Symbol{}) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(name string, sym *ast.Symbol, pos source.Pos) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[name]; dup {
+		c.errorf(pos, "redeclaration of %q in the same scope", name)
+	}
+	top[name] = sym
+}
+
+func (c *checker) lookup(name string) *ast.Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if sym, ok := c.scopes[i][name]; ok {
+			return sym
+		}
+	}
+	return c.globals[name]
+}
+
+func (c *checker) checkFunc(f *ast.FuncDecl) {
+	c.curFunc = f
+	c.loops = 0
+	c.pushScope()
+	fnRange := source.Range{Start: f.PosVal, End: after(f.EndPos)}
+	for _, p := range f.Params {
+		sym := c.newSymbol(p.Name, p.Type, ast.SymParam, p.PosVal, fnRange, f.Name)
+		p.Sym = sym
+		c.declare(p.Name, sym, p.PosVal)
+	}
+	c.checkBlock(f.Body, false)
+	c.popScope()
+	c.curFunc = nil
+}
+
+// after returns the position just past p, so ranges include line p.Line.
+func after(p source.Pos) source.Pos { return source.Pos{Line: p.Line, Col: p.Col + 1} }
+
+func (c *checker) checkBlock(b *ast.Block, newScope bool) {
+	if newScope {
+		c.pushScope()
+		defer c.popScope()
+	}
+	for _, s := range b.Stmts {
+		c.checkStmt(s, b)
+	}
+}
+
+func (c *checker) checkStmt(s ast.Stmt, encl *ast.Block) {
+	switch s := s.(type) {
+	case *ast.VarDecl:
+		var init ast.Type
+		if s.Init != nil {
+			init = c.checkExpr(s.Init)
+			if init != s.Type && init != ast.TypeInvalid {
+				c.errorf(s.PosVal, "cannot initialize %s %q with %s", s.Type, s.Name, init)
+			}
+		} else if s.Type == ast.TypeArray {
+			c.errorf(s.PosVal, "local array %q needs an initializer", s.Name)
+		}
+		scope := source.Range{Start: s.PosVal, End: after(encl.EndPos)}
+		sym := c.newSymbol(s.Name, s.Type, ast.SymLocal, s.PosVal, scope, c.curFunc.Name)
+		s.Sym = sym
+		c.declare(s.Name, sym, s.PosVal)
+	case *ast.Assign:
+		val := c.checkExpr(s.Value)
+		if s.Target != nil {
+			sym := c.lookup(s.Target.Ident)
+			if sym == nil {
+				c.errorf(s.Target.PosVal, "undefined: %s", s.Target.Ident)
+				return
+			}
+			s.Target.Sym = sym
+			if sym.Type != val && val != ast.TypeInvalid {
+				c.errorf(s.PosVal, "cannot assign %s to %s %q", val, sym.Type, sym.Name)
+			}
+			return
+		}
+		arr := c.checkExpr(s.Arr)
+		if arr != ast.TypeArray && arr != ast.TypeInvalid {
+			c.errorf(s.PosVal, "indexed assignment requires an array")
+		}
+		idx := c.checkExpr(s.Idx)
+		if idx != ast.TypeInt && idx != ast.TypeInvalid {
+			c.errorf(s.PosVal, "array index must be int")
+		}
+		if val != ast.TypeInt && val != ast.TypeInvalid {
+			c.errorf(s.PosVal, "array element must be int")
+		}
+	case *ast.ExprStmt:
+		c.checkExpr(s.X)
+	case *ast.PrintStmt:
+		if t := c.checkExpr(s.X); t != ast.TypeInt && t != ast.TypeInvalid {
+			c.errorf(s.PosVal, "print takes an int")
+		}
+	case *ast.If:
+		c.checkCond(s.Cond, s.PosVal)
+		c.checkBlock(s.Then, true)
+		if s.Else != nil {
+			c.checkStmt(s.Else, encl)
+		}
+	case *ast.While:
+		c.checkCond(s.Cond, s.PosVal)
+		c.loops++
+		c.checkBlock(s.Body, true)
+		c.loops--
+	case *ast.For:
+		c.pushScope()
+		if s.Init != nil {
+			// The loop variable's scope is the loop, not the enclosing block.
+			c.checkStmt(s.Init, s.Body)
+		}
+		if s.Cond != nil {
+			c.checkCond(s.Cond, s.PosVal)
+		}
+		c.loops++
+		c.checkBlock(s.Body, true)
+		c.loops--
+		if s.Post != nil {
+			c.checkStmt(s.Post, s.Body)
+		}
+		c.popScope()
+	case *ast.Break:
+		if c.loops == 0 {
+			c.errorf(s.PosVal, "break outside loop")
+		}
+	case *ast.Continue:
+		if c.loops == 0 {
+			c.errorf(s.PosVal, "continue outside loop")
+		}
+	case *ast.Return:
+		if c.curFunc.Result == ast.TypeVoid {
+			if s.Value != nil {
+				c.errorf(s.PosVal, "void function %q returns a value", c.curFunc.Name)
+			}
+			return
+		}
+		if s.Value == nil {
+			c.errorf(s.PosVal, "function %q must return a value", c.curFunc.Name)
+			return
+		}
+		if t := c.checkExpr(s.Value); t != ast.TypeInt && t != ast.TypeInvalid {
+			c.errorf(s.PosVal, "cannot return %s from int function", t)
+		}
+	case *ast.Block:
+		c.checkBlock(s, true)
+	}
+}
+
+func (c *checker) checkCond(e ast.Expr, pos source.Pos) {
+	if t := c.checkExpr(e); t != ast.TypeInt && t != ast.TypeInvalid {
+		c.errorf(pos, "condition must be int")
+	}
+}
+
+func (c *checker) checkExpr(e ast.Expr) ast.Type {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return ast.TypeInt
+	case *ast.Name:
+		sym := c.lookup(e.Ident)
+		if sym == nil {
+			c.errorf(e.PosVal, "undefined: %s", e.Ident)
+			return ast.TypeInvalid
+		}
+		e.Sym = sym
+		return sym.Type
+	case *ast.Unary:
+		if t := c.checkExpr(e.X); t != ast.TypeInt && t != ast.TypeInvalid {
+			c.errorf(e.PosVal, "operand of %q must be int", e.Op)
+		}
+		return ast.TypeInt
+	case *ast.Binary:
+		tx := c.checkExpr(e.X)
+		ty := c.checkExpr(e.Y)
+		if (tx != ast.TypeInt && tx != ast.TypeInvalid) ||
+			(ty != ast.TypeInt && ty != ast.TypeInvalid) {
+			c.errorf(e.PosVal, "operands of %q must be int", e.Op)
+		}
+		return ast.TypeInt
+	case *ast.Index:
+		if t := c.checkExpr(e.Arr); t != ast.TypeArray && t != ast.TypeInvalid {
+			c.errorf(e.PosVal, "cannot index %s", t)
+		}
+		if t := c.checkExpr(e.Idx); t != ast.TypeInt && t != ast.TypeInvalid {
+			c.errorf(e.PosVal, "array index must be int")
+		}
+		return ast.TypeInt
+	case *ast.Call:
+		callee, ok := c.funcs[e.Fun]
+		if !ok {
+			c.errorf(e.PosVal, "undefined function %q", e.Fun)
+			return ast.TypeInvalid
+		}
+		e.Target = callee
+		if len(e.Args) != len(callee.Params) {
+			c.errorf(e.PosVal, "%q takes %d arguments, got %d",
+				e.Fun, len(callee.Params), len(e.Args))
+		}
+		for i, a := range e.Args {
+			at := c.checkExpr(a)
+			if i < len(callee.Params) && at != callee.Params[i].Type && at != ast.TypeInvalid {
+				c.errorf(e.PosVal, "argument %d of %q: want %s, got %s",
+					i+1, e.Fun, callee.Params[i].Type, at)
+			}
+		}
+		return callee.Result
+	case *ast.NewArray:
+		if t := c.checkExpr(e.Size); t != ast.TypeInt && t != ast.TypeInvalid {
+			c.errorf(e.PosVal, "array size must be int")
+		}
+		return ast.TypeArray
+	case *ast.LenExpr:
+		if t := c.checkExpr(e.Arr); t != ast.TypeArray && t != ast.TypeInvalid {
+			c.errorf(e.PosVal, "len takes an array")
+		}
+		return ast.TypeInt
+	}
+	return ast.TypeInvalid
+}

@@ -1,0 +1,161 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"debugtuner/internal/ast"
+	"debugtuner/internal/parser"
+)
+
+func check(t *testing.T, src string) (*Info, error) {
+	t.Helper()
+	prog, err := parser.ParseString("t", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(prog)
+}
+
+func mustCheck(t *testing.T, src string) *Info {
+	t.Helper()
+	info, err := check(t, src)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	return info
+}
+
+func TestTypeErrors(t *testing.T) {
+	cases := map[string]string{
+		`func f() { x = 1; }`:                                     "undefined",
+		`func f() { var a: int = 1; var a: int = 2; }`:            "redeclaration",
+		`var g: int = 1; var g: int = 2;`:                         "duplicate global",
+		`func f() {} func f() {}`:                                 "duplicate function",
+		`func f() { var a: int[] = new int[4]; a = 3; }`:          "cannot assign",
+		`func f() { var x: int = 0; x[0] = 1; }`:                  "requires an array",
+		`func f(): int { return; }`:                               "must return a value",
+		`func f() { return 3; }`:                                  "returns a value",
+		`func f() { break; }`:                                     "break outside loop",
+		`func f() { continue; }`:                                  "continue outside loop",
+		`func f() { g(1); }`:                                      "undefined function",
+		`func g(x: int): int { return x; } func f() { g(); }`:     "takes 1 arguments",
+		`func f() { print(new int[3]); }`:                         "print takes an int",
+		`func f() { var a: int[] = new int[2]; var x: int = a; }`: "cannot initialize",
+		`func f() { var x: int = len(3); }`:                       "len takes an array",
+		`var g: int = f();  func f(): int { return 1; }`:          "must be a constant",
+	}
+	for src, want := range cases {
+		_, err := check(t, src)
+		if err == nil {
+			t.Errorf("%q: expected error containing %q", src, want)
+			continue
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("%q: error %q does not contain %q", src, err, want)
+		}
+	}
+}
+
+func TestShadowingAcrossScopes(t *testing.T) {
+	info := mustCheck(t, `
+func f(x: int): int {
+	var y: int = x;
+	if (x > 0) {
+		var y: int = 2 * x;
+		x = y;
+	}
+	return y;
+}`)
+	// Two y symbols plus x.
+	var ys []*ast.Symbol
+	for _, s := range info.Symbols {
+		if s.Name == "y" {
+			ys = append(ys, s)
+		}
+	}
+	if len(ys) != 2 {
+		t.Fatalf("found %d y symbols, want 2", len(ys))
+	}
+	if ys[0].Scope.Start.Line == ys[1].Scope.Start.Line {
+		t.Error("shadowed symbols share a scope start")
+	}
+}
+
+func TestNegativeGlobalInit(t *testing.T) {
+	mustCheck(t, `var g: int = -42; func f() { print(g); }`)
+}
+
+func TestDefRanges(t *testing.T) {
+	info := mustCheck(t, `
+func f(p: int): int {
+	var a: int = p;
+	var b: int;
+	if (p > 0) {
+		b = 1;
+	}
+	return a + b;
+}`)
+	dr := ComputeDefRanges(info)
+	sym := func(name string) int {
+		for _, s := range info.Symbols {
+			if s.Name == name {
+				return s.ID
+			}
+		}
+		t.Fatalf("no symbol %q", name)
+		return -1
+	}
+	// p (a parameter) is expected over the whole function.
+	if !dr.InRange(sym("p"), 3) || !dr.InRange(sym("p"), 8) {
+		t.Error("parameter should be in range through the function")
+	}
+	// a is expected from its declaration (line 3) onward.
+	if dr.InRange(sym("a"), 2) || !dr.InRange(sym("a"), 3) || !dr.InRange(sym("a"), 8) {
+		t.Error("a's range should start at its declaration")
+	}
+	// b is first assigned at line 6; before that it is not expected.
+	if dr.InRange(sym("b"), 4) || !dr.InRange(sym("b"), 6) || !dr.InRange(sym("b"), 8) {
+		t.Error("b's range should start at its first assignment")
+	}
+	// ExpectedAt reflects the same data.
+	found := false
+	for _, id := range dr.ExpectedAt(8) {
+		if id == sym("b") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("ExpectedAt(8) should include b")
+	}
+}
+
+func TestStatementLines(t *testing.T) {
+	info := mustCheck(t, `
+func f() {
+	var a: int = 1;
+	if (a > 0) {
+		print(a);
+	}
+}`)
+	lines := StatementLines(info)
+	for _, l := range []int{3, 4, 5} {
+		if !lines[l] {
+			t.Errorf("line %d missing from statement lines", l)
+		}
+	}
+	if lines[2] || lines[6] {
+		t.Error("non-statement lines included")
+	}
+}
+
+func TestHarnessSignature(t *testing.T) {
+	info := mustCheck(t, `
+func fuzz_a(input: int[], n: int) { print(n); }
+func fuzz_bad1(n: int, input: int[]) { print(n); }
+func fuzz_bad2(input: int[], n: int): int { return n; }
+`)
+	if len(info.Harnesses) != 1 || info.Harnesses[0] != "fuzz_a" {
+		t.Fatalf("harnesses = %v", info.Harnesses)
+	}
+}

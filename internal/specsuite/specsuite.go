@@ -1,0 +1,137 @@
+// Package specsuite provides the performance benchmarks standing in for
+// the paper's SPEC CPU 2017 C/C++ integer set (the eight benchmarks left
+// after excluding 520.omnetpp), plus the "selfcomp" large workload used
+// for the Figure 4 study. Each benchmark is a deterministic CPU-bound
+// MiniC program with a distinctive execution profile.
+package specsuite
+
+import (
+	"embed"
+	"fmt"
+	"sync"
+
+	"debugtuner/internal/ir"
+	"debugtuner/internal/pipeline"
+	"debugtuner/internal/vm"
+)
+
+//go:embed benchmarks/*.mc
+var benchFS embed.FS
+
+// Names lists the SPEC stand-ins in the paper's order.
+var Names = []string{
+	"500.perlbench", "502.gcc", "505.mcf", "523.xalancbmk",
+	"525.x264", "531.deepsjeng", "541.leela", "557.xz",
+}
+
+// files maps benchmark names to their sources.
+var files = map[string]string{
+	"500.perlbench": "perlbench.mc",
+	"502.gcc":       "gcc_bench.mc",
+	"505.mcf":       "mcf.mc",
+	"523.xalancbmk": "xalancbmk.mc",
+	"525.x264":      "x264.mc",
+	"531.deepsjeng": "deepsjeng.mc",
+	"541.leela":     "leela.mc",
+	"557.xz":        "xz.mc",
+	"selfcomp":      "selfcomp.mc",
+}
+
+// Source returns a benchmark's MiniC source.
+func Source(name string) ([]byte, error) {
+	f, ok := files[name]
+	if !ok {
+		return nil, fmt.Errorf("specsuite: unknown benchmark %q", name)
+	}
+	return benchFS.ReadFile("benchmarks/" + f)
+}
+
+var (
+	irMu   sync.Mutex
+	irMemo = map[string]*ir.Program{}
+)
+
+// LoadIR front-ends a benchmark once and caches the O0 IR.
+func LoadIR(name string) (*ir.Program, error) {
+	irMu.Lock()
+	defer irMu.Unlock()
+	if p := irMemo[name]; p != nil {
+		return p, nil
+	}
+	src, err := Source(name)
+	if err != nil {
+		return nil, err
+	}
+	info, err := pipeline.Frontend(name, src)
+	if err != nil {
+		return nil, err
+	}
+	p, err := pipeline.BuildIR(info)
+	if err != nil {
+		return nil, err
+	}
+	irMemo[name] = p
+	return p, nil
+}
+
+// Result is one benchmark execution's outcome.
+type Result struct {
+	Name   string
+	Cycles int64
+	Steps  int64
+	Output []int64
+}
+
+// Run builds the benchmark under the configuration and executes its ref
+// workload, returning cycle counts.
+func Run(name string, cfg pipeline.Config) (*Result, error) {
+	ir0, err := LoadIR(name)
+	if err != nil {
+		return nil, err
+	}
+	bin := pipeline.Build(ir0, cfg)
+	return RunBinary(name, bin)
+}
+
+// RunBinary executes an already-built benchmark binary.
+func RunBinary(name string, bin *vm.Binary) (*Result, error) {
+	m := vm.New(bin)
+	m.StepBudget = 1 << 33
+	if _, err := m.Call("main"); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return &Result{Name: name, Cycles: m.Cycles, Steps: m.Steps, Output: m.Output()}, nil
+}
+
+// Speedup measures cycles(cfg) relative to the O0 build of the same
+// profile: the paper's "speedup over O0".
+func Speedup(name string, cfg pipeline.Config) (float64, error) {
+	base, err := Run(name, pipeline.Config{Profile: cfg.Profile, Level: "O0"})
+	if err != nil {
+		return 0, err
+	}
+	opt, err := Run(name, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return float64(base.Cycles) / float64(opt.Cycles), nil
+}
+
+// SuiteSpeedup returns the per-benchmark and average speedups of a
+// configuration over the whole suite.
+func SuiteSpeedup(cfg pipeline.Config, names []string) (map[string]float64, float64, error) {
+	if names == nil {
+		names = Names
+	}
+	out := map[string]float64{}
+	sum := 0.0
+	for _, n := range names {
+		s, err := Speedup(n, cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		out[n] = s
+		sum += s
+	}
+	return out, sum / float64(len(names)), nil
+}

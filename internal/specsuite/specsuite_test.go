@@ -1,0 +1,86 @@
+package specsuite
+
+import (
+	"reflect"
+	"testing"
+
+	"debugtuner/internal/ir"
+	"debugtuner/internal/pipeline"
+)
+
+// TestBenchmarksCorrectAcrossLevels checks each benchmark's output is
+// identical at every optimization level (against the IR interpreter).
+func TestBenchmarksCorrectAcrossLevels(t *testing.T) {
+	names := append(append([]string{}, Names...), "selfcomp")
+	for _, name := range names {
+		ir0, err := LoadIR(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		it := ir.NewInterp(ir0, 1<<33)
+		if _, err := it.Call("main"); err != nil {
+			t.Fatalf("%s: interp: %v", name, err)
+		}
+		want := it.Output()
+		if len(want) == 0 {
+			t.Fatalf("%s: no output", name)
+		}
+		for _, p := range []pipeline.Profile{pipeline.GCC, pipeline.Clang} {
+			for _, l := range append([]string{"O0"}, pipeline.Levels(p)...) {
+				r, err := Run(name, pipeline.Config{Profile: p, Level: l})
+				if err != nil {
+					t.Fatalf("%s %s-%s: %v", name, p, l, err)
+				}
+				if !reflect.DeepEqual(r.Output, want) {
+					t.Fatalf("%s %s-%s: output %v, want %v", name, p, l, r.Output, want)
+				}
+			}
+		}
+	}
+}
+
+// TestOptimizationLevelsOrdering checks the performance shape: every
+// benchmark speeds up at O2 (memory-bound subjects like mcf and the tree
+// chaser xalancbmk only modestly, as in real SPEC), and the suite
+// average lands in a realistic band.
+func TestOptimizationLevelsOrdering(t *testing.T) {
+	sum := 0.0
+	for _, name := range Names {
+		var cyc []int64
+		for _, l := range []string{"O0", "O1", "O2"} {
+			r, err := Run(name, pipeline.Config{Profile: pipeline.GCC, Level: l})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cyc = append(cyc, r.Cycles)
+		}
+		if cyc[1] > cyc[0] {
+			t.Errorf("%s: O1 (%d) slower than O0 (%d)", name, cyc[1], cyc[0])
+		}
+		s := float64(cyc[0]) / float64(cyc[2])
+		sum += s
+		if s < 1.1 {
+			t.Errorf("%s: O2 speedup %.2f < 1.1", name, s)
+		}
+	}
+	if avg := sum / float64(len(Names)); avg < 1.4 {
+		t.Errorf("suite-average O2 speedup %.2f < 1.4", avg)
+	}
+}
+
+// TestDeterministicCycles: identical builds must produce identical cycle
+// counts — benchmarking depends on it.
+func TestDeterministicCycles(t *testing.T) {
+	cfg := pipeline.Config{Profile: pipeline.Clang, Level: "O2"}
+	r1, err := Run("505.mcf", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run("505.mcf", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles {
+		t.Fatalf("cycle counts differ: %d vs %d", r1.Cycles, r2.Cycles)
+	}
+}

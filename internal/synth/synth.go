@@ -1,0 +1,276 @@
+// Package synth generates random MiniC programs, standing in for Csmith
+// (§II): expression-heavy synthetic code with artificial control flow
+// whose fate under optimization differs measurably from real-world
+// programs — much of it folds away entirely, which is the paper's
+// argument for preferring the real-world suite.
+//
+// Generated programs are deterministic per seed, free of unbounded
+// loops (every loop has a structural bound), and total under MiniC
+// semantics, so they double as differential-testing inputs for the
+// compiler itself.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Options bounds the generated program.
+type Options struct {
+	Funcs    int // helper functions (plus main)
+	MaxDepth int // statement nesting depth
+	MaxStmts int // statements per block
+	MaxVars  int // locals per function
+	MaxExpr  int // expression depth
+	Arrays   int // global arrays
+	Globals  int // global scalars
+}
+
+// DefaultOptions mirrors a Csmith-ish profile.
+func DefaultOptions() Options {
+	return Options{
+		Funcs: 4, MaxDepth: 3, MaxStmts: 5, MaxVars: 6,
+		MaxExpr: 4, Arrays: 2, Globals: 3,
+	}
+}
+
+type gen struct {
+	rng  *rand.Rand
+	opts Options
+	sb   strings.Builder
+	ind  int
+
+	globals []string
+	arrays  []string
+	funcs   []funcSig
+	locals  []string
+	loopVar int
+}
+
+type funcSig struct {
+	name   string
+	params int
+}
+
+// Generate produces one program for the seed.
+func Generate(seed int64, opts Options) string {
+	g := &gen{rng: rand.New(rand.NewSource(seed)), opts: opts}
+	g.emitf("// synthetic program, seed %d", seed)
+	for i := 0; i < opts.Globals; i++ {
+		name := fmt.Sprintf("g%d", i)
+		g.globals = append(g.globals, name)
+		g.emitf("var %s: int = %d;", name, g.rng.Intn(201)-100)
+	}
+	for i := 0; i < opts.Arrays; i++ {
+		name := fmt.Sprintf("arr%d", i)
+		g.arrays = append(g.arrays, name)
+		g.emitf("var %s: int[] = new int[%d];", name, 8+g.rng.Intn(24))
+	}
+	for i := 0; i < opts.Funcs; i++ {
+		g.genFunc(i)
+	}
+	g.genMain()
+	return g.sb.String()
+}
+
+func (g *gen) emitf(format string, args ...any) {
+	g.sb.WriteString(strings.Repeat("\t", g.ind))
+	fmt.Fprintf(&g.sb, format, args...)
+	g.sb.WriteByte('\n')
+}
+
+func (g *gen) genFunc(i int) {
+	params := 1 + g.rng.Intn(3)
+	sig := funcSig{name: fmt.Sprintf("f%d", i), params: params}
+	var ps []string
+	g.locals = nil
+	for p := 0; p < params; p++ {
+		name := fmt.Sprintf("p%d", p)
+		ps = append(ps, name+": int")
+		g.locals = append(g.locals, name)
+	}
+	g.emitf("func %s(%s): int {", sig.name, strings.Join(ps, ", "))
+	g.ind++
+	nv := 1 + g.rng.Intn(g.opts.MaxVars)
+	for v := 0; v < nv; v++ {
+		name := fmt.Sprintf("v%d", v)
+		g.emitf("var %s: int = %s;", name, g.expr(g.opts.MaxExpr))
+		g.locals = append(g.locals, name)
+	}
+	g.block(g.opts.MaxDepth)
+	g.emitf("return %s;", g.expr(2))
+	g.ind--
+	g.emitf("}")
+	// Helpers may call earlier helpers only, keeping the call graph
+	// acyclic so every program terminates.
+	g.funcs = append(g.funcs, sig)
+}
+
+func (g *gen) genMain() {
+	g.locals = nil
+	g.emitf("func main() {")
+	g.ind++
+	nv := 2 + g.rng.Intn(g.opts.MaxVars)
+	for v := 0; v < nv; v++ {
+		name := fmt.Sprintf("m%d", v)
+		g.emitf("var %s: int = %s;", name, g.expr(g.opts.MaxExpr))
+		g.locals = append(g.locals, name)
+	}
+	g.block(g.opts.MaxDepth)
+	for _, l := range g.locals {
+		if g.rng.Intn(2) == 0 {
+			g.emitf("print(%s);", l)
+		}
+	}
+	for _, gl := range g.globals {
+		g.emitf("print(%s);", gl)
+	}
+	for _, a := range g.arrays {
+		g.emitf("print(%s[%d]);", a, g.rng.Intn(8))
+	}
+	g.ind--
+	g.emitf("}")
+}
+
+// block emits a statement sequence.
+func (g *gen) block(depth int) {
+	n := 1 + g.rng.Intn(g.opts.MaxStmts)
+	for i := 0; i < n; i++ {
+		g.stmt(depth)
+	}
+}
+
+func (g *gen) stmt(depth int) {
+	choice := g.rng.Intn(10)
+	if depth <= 0 && choice >= 5 {
+		choice = g.rng.Intn(5)
+	}
+	switch choice {
+	case 0, 1: // assignment
+		if len(g.locals) > 0 {
+			g.emitf("%s = %s;", g.pick(g.locals), g.expr(g.opts.MaxExpr))
+			return
+		}
+		fallthrough
+	case 2: // global store
+		if len(g.globals) > 0 {
+			g.emitf("%s = %s;", g.pick(g.globals), g.expr(g.opts.MaxExpr))
+			return
+		}
+		fallthrough
+	case 3: // array store
+		if len(g.arrays) > 0 {
+			g.emitf("%s[%s] = %s;", g.pick(g.arrays), g.idx(), g.expr(3))
+			return
+		}
+		fallthrough
+	case 4: // print
+		g.emitf("print(%s);", g.expr(2))
+	case 5, 6: // if / if-else
+		g.emitf("if (%s) {", g.expr(3))
+		g.ind++
+		g.block(depth - 1)
+		g.ind--
+		if g.rng.Intn(2) == 0 {
+			g.emitf("} else {")
+			g.ind++
+			g.block(depth - 1)
+			g.ind--
+		}
+		g.emitf("}")
+	case 7, 8: // bounded for loop
+		lv := fmt.Sprintf("i%d", g.loopVar)
+		g.loopVar++
+		bound := 2 + g.rng.Intn(6)
+		g.emitf("for (var %s: int = 0; %s < %d; %s = %s + 1) {", lv, lv, bound, lv, lv)
+		g.ind++
+		// The loop variable is deliberately NOT added to the assignable
+		// locals: a generated assignment to it could unbound the loop.
+		g.block(depth - 1)
+		if g.rng.Intn(4) == 0 {
+			g.emitf("if (%s > %d) { break; }", g.expr(2), g.rng.Intn(50))
+		}
+		g.ind--
+		g.emitf("}")
+	case 9: // bounded while with explicit counter
+		lv := fmt.Sprintf("w%d", g.loopVar)
+		g.loopVar++
+		g.emitf("var %s: int = %d;", lv, 1+g.rng.Intn(5))
+		g.emitf("while (%s > 0) {", lv)
+		g.ind++
+		g.block(depth - 1)
+		g.emitf("%s = %s - 1;", lv, lv)
+		g.ind--
+		g.emitf("}")
+	}
+}
+
+func (g *gen) pick(s []string) string { return s[g.rng.Intn(len(s))] }
+
+// idx produces an always-valid-ish index expression (MiniC tolerates OOB
+// anyway; small values keep stores observable).
+func (g *gen) idx() string {
+	if len(g.locals) > 0 && g.rng.Intn(2) == 0 {
+		return fmt.Sprintf("(%s & 7)", g.pick(g.locals))
+	}
+	return fmt.Sprintf("%d", g.rng.Intn(8))
+}
+
+var binOps = []string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+	"<", "<=", ">", ">=", "==", "!="}
+
+func (g *gen) expr(depth int) string {
+	if depth <= 0 || g.rng.Intn(4) == 0 {
+		return g.leaf()
+	}
+	switch g.rng.Intn(8) {
+	case 0:
+		return fmt.Sprintf("(-%s)", g.expr(depth-1))
+	case 1:
+		return fmt.Sprintf("(!%s)", g.expr(depth-1))
+	case 2:
+		// Short-circuit forms.
+		op := "&&"
+		if g.rng.Intn(2) == 0 {
+			op = "||"
+		}
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), op, g.expr(depth-1))
+	case 3:
+		if len(g.funcs) > 0 {
+			f := g.funcs[g.rng.Intn(len(g.funcs))]
+			var args []string
+			for i := 0; i < f.params; i++ {
+				args = append(args, g.expr(depth-1))
+			}
+			return fmt.Sprintf("%s(%s)", f.name, strings.Join(args, ", "))
+		}
+		fallthrough
+	case 4:
+		if len(g.arrays) > 0 {
+			return fmt.Sprintf("%s[%s]", g.pick(g.arrays), g.idx())
+		}
+		fallthrough
+	default:
+		op := binOps[g.rng.Intn(len(binOps))]
+		// Shift amounts stay small to keep results interesting.
+		if op == "<<" || op == ">>" {
+			return fmt.Sprintf("(%s %s %d)", g.expr(depth-1), op, g.rng.Intn(6))
+		}
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), op, g.expr(depth-1))
+	}
+}
+
+func (g *gen) leaf() string {
+	switch g.rng.Intn(4) {
+	case 0:
+		if len(g.locals) > 0 {
+			return g.pick(g.locals)
+		}
+	case 1:
+		if len(g.globals) > 0 {
+			return g.pick(g.globals)
+		}
+	}
+	return fmt.Sprintf("%d", g.rng.Intn(41)-20)
+}

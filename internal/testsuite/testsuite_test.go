@@ -1,0 +1,166 @@
+package testsuite
+
+import (
+	"reflect"
+	"testing"
+
+	"debugtuner/internal/ir"
+	"debugtuner/internal/pipeline"
+	"debugtuner/internal/vm"
+)
+
+// quickOpts keeps suite loading fast in unit tests.
+var quickOpts = CorpusOptions{Execs: 150, StepBudget: 1 << 17}
+
+// TestAllProgramsCompile front-ends and builds every subject at every
+// profile/level.
+func TestAllProgramsCompile(t *testing.T) {
+	for _, name := range Names {
+		src, err := Source(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		info, err := pipeline.Frontend(name+".mc", src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(info.Harnesses) == 0 {
+			t.Errorf("%s: no fuzz harnesses", name)
+		}
+		ir0, err := pipeline.BuildIR(info)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, p := range []pipeline.Profile{pipeline.GCC, pipeline.Clang} {
+			for _, l := range append([]string{"O0"}, pipeline.Levels(p)...) {
+				bin := pipeline.Build(ir0, pipeline.Config{Profile: p, Level: l})
+				if len(bin.Code) == 0 {
+					t.Errorf("%s %s-%s: empty binary", name, p, l)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialAcrossLevels runs each harness on fixed inputs at every
+// level and compares outputs against the O0 interpreter — the suite-wide
+// semantics check.
+func TestDifferentialAcrossLevels(t *testing.T) {
+	inputs := [][]int64{
+		{},
+		{0, 1, 2, 3, 4, 5, 6, 7},
+		{'S', 'S', 'H', '-', '2', '\n', 8, 3, 20, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17},
+		{'G', 'E', 'T', ' ', '/', 'a', ' ', 'H', '\n', 'C', ':', '1', '\n', '\r', '\n'},
+		{73, 73, 42, 0, 8, 0, 0, 0, 2, 0, 1, 1, 1, 0, 0, 0, 99, 0, 0, 0},
+		{255, 255, 255, 255, 0, 0, 0, 0, 128, 64, 32, 16, 8, 4, 2, 1},
+		{10, 10, 10, 10, 10, 10, 10, 1, 2, 3, 1, 2, 3, 1, 2, 3},
+	}
+	for _, name := range Names {
+		src, err := Source(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, err := pipeline.Frontend(name+".mc", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ir0, err := pipeline.BuildIR(info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range info.Harnesses {
+			// Reference outputs from the IR interpreter.
+			var want [][]int64
+			for _, in := range inputs {
+				it := ir.NewInterp(ir0, 1<<24)
+				hd := it.NewArray(in)
+				if _, err := it.Call(h, hd, int64(len(in))); err != nil {
+					t.Fatalf("%s/%s: interp: %v", name, h, err)
+				}
+				want = append(want, it.Output())
+			}
+			for _, p := range []pipeline.Profile{pipeline.GCC, pipeline.Clang} {
+				for _, l := range pipeline.Levels(p) {
+					bin := pipeline.Build(ir0, pipeline.Config{Profile: p, Level: l})
+					for ii, in := range inputs {
+						m := vm.New(bin)
+						m.StepBudget = 1 << 24
+						hd := m.NewArray(in)
+						if _, err := m.Call(h, hd, int64(len(in))); err != nil {
+							t.Fatalf("%s/%s %s-%s: %v", name, h, p, l, err)
+						}
+						if !reflect.DeepEqual(m.Output(), want[ii]) {
+							t.Fatalf("%s/%s %s-%s input %d: got %v want %v",
+								name, h, p, l, ii, m.Output(), want[ii])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCorpusPipeline loads one subject through the full fuzz/cmin/cover
+// pipeline and sanity-checks the statistics.
+func TestCorpusPipeline(t *testing.T) {
+	s, err := Load("zlib", quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Corpora) == 0 {
+		t.Fatal("no corpora")
+	}
+	for _, hc := range s.Corpora {
+		if hc.Queue < len(hc.Inputs) {
+			t.Errorf("%s: final inputs (%d) exceed queue (%d)", hc.Harness, len(hc.Inputs), hc.Queue)
+		}
+		if len(hc.Inputs) == 0 {
+			t.Errorf("%s: pruning removed every input", hc.Harness)
+		}
+		if hc.AfterCMin > hc.Queue {
+			t.Errorf("%s: cmin grew the corpus", hc.Harness)
+		}
+	}
+	st, err := s.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SteppableLines == 0 || st.SteppedLines == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.DebugCoveragePct <= 10 {
+		t.Errorf("debug coverage %.1f%% suspiciously low", st.DebugCoveragePct)
+	}
+	if st.ReductionPct <= 0 {
+		t.Errorf("no queue reduction: %+v", st)
+	}
+}
+
+// TestSuiteDebugQualityShape loads three subjects and verifies the
+// Table IV shape on them: products in (0,1), monotone non-increasing
+// with gcc level.
+func TestSuiteDebugQualityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite measurement is slow")
+	}
+	for _, name := range []string{"zlib", "libpng", "lighttpd"} {
+		s, err := Load(name, quickOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prev float64 = 2
+		for _, l := range []string{"Og", "O1", "O2", "O3"} {
+			m, err := s.Product(pipeline.Config{Profile: pipeline.GCC, Level: l})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m <= 0 || m >= 1 {
+				t.Errorf("%s gcc-%s: product %v outside (0,1)", name, l, m)
+			}
+			if m > prev+0.03 {
+				t.Errorf("%s gcc-%s: product %v rose sharply from %v", name, l, m, prev)
+			}
+			prev = m
+		}
+	}
+}

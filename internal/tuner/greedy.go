@@ -1,0 +1,72 @@
+package tuner
+
+import "debugtuner/internal/pipeline"
+
+// Greedy subset search — the paper's future-work direction (§VI):
+// instead of disabling the top-y ranked passes wholesale, grow the
+// disabled set one pass at a time, keeping a candidate only if it
+// improves the suite-average product metric. This explores interactions
+// the rank-prefix configurations cannot see (a pass may only help once
+// another is already disabled) while staying linear in the number of
+// toggles.
+
+// GreedyResult records one accepted step of the search.
+type GreedyResult struct {
+	Pass    string
+	Product float64
+}
+
+// GreedySelect starts from the reference level and greedily disables
+// passes from the ranking (inliner excluded, as in the paper's
+// configuration construction) while the suite-average product improves
+// by at least minGain. It returns the accepted steps and the final
+// configuration.
+func (la *LevelAnalysis) GreedySelect(progs []*Program, maxPasses int, minGain float64) ([]GreedyResult, pipeline.Config, error) {
+	avg := func(cfg pipeline.Config) (float64, error) {
+		sum := 0.0
+		for _, p := range progs {
+			m, err := p.Product(cfg)
+			if err != nil {
+				return 0, err
+			}
+			sum += m
+		}
+		return sum / float64(len(progs)), nil
+	}
+
+	cfg := pipeline.Config{Profile: la.Profile, Level: la.Level, Disabled: map[string]bool{}}
+	best, err := avg(cfg)
+	if err != nil {
+		return nil, cfg, err
+	}
+	var steps []GreedyResult
+	for len(steps) < maxPasses {
+		var bestPass string
+		bestScore := best
+		for _, rp := range la.Ranking {
+			if rp.Name == "inline" || cfg.Disabled[rp.Name] {
+				continue
+			}
+			trial := pipeline.Config{Profile: la.Profile, Level: la.Level,
+				Disabled: map[string]bool{rp.Name: true}}
+			for n := range cfg.Disabled {
+				trial.Disabled[n] = true
+			}
+			score, err := avg(trial)
+			if err != nil {
+				return nil, cfg, err
+			}
+			if score > bestScore+minGain {
+				bestScore = score
+				bestPass = rp.Name
+			}
+		}
+		if bestPass == "" {
+			break
+		}
+		cfg.Disabled[bestPass] = true
+		best = bestScore
+		steps = append(steps, GreedyResult{Pass: bestPass, Product: best})
+	}
+	return steps, cfg, nil
+}

@@ -1,0 +1,59 @@
+package tuner
+
+import (
+	"testing"
+
+	"debugtuner/internal/pipeline"
+)
+
+// TestGreedySelectImprovesOnRankPrefix: the greedy subset must beat the
+// reference level and never accept a useless pass.
+func TestGreedySelectImprovesOnRankPrefix(t *testing.T) {
+	progs := loadTunerProgs(t)
+	la, err := AnalyzeLevel(progs, pipeline.GCC, "O2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, cfg, err := la.GreedySelect(progs, 5, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 {
+		t.Fatal("greedy search accepted nothing")
+	}
+	// Scores along the accepted path are strictly increasing.
+	ref := 0.0
+	for _, p := range progs {
+		m, err := p.Product(pipeline.Config{Profile: pipeline.GCC, Level: "O2"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref += m
+	}
+	ref /= float64(len(progs))
+	prev := ref
+	for _, s := range steps {
+		if s.Product <= prev {
+			t.Fatalf("step %q did not improve (%.4f -> %.4f)", s.Pass, prev, s.Product)
+		}
+		prev = s.Product
+	}
+	if cfg.Disabled["inline"] {
+		t.Fatal("greedy search disabled the master inline switch")
+	}
+	// The greedy result must be at least as good as the rank-prefix
+	// configuration of the same size.
+	prefixCfg := la.Configs([]int{len(steps)})[0]
+	prefixScore := 0.0
+	for _, p := range progs {
+		m, err := p.Product(prefixCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prefixScore += m
+	}
+	prefixScore /= float64(len(progs))
+	if prev+1e-9 < prefixScore {
+		t.Fatalf("greedy (%.4f) lost to rank prefix (%.4f)", prev, prefixScore)
+	}
+}

@@ -1,0 +1,56 @@
+package tuner
+
+import "sort"
+
+// Point is one configuration's position in the debuggability/performance
+// plane (Figure 2): Debug is the suite-average hybrid product metric,
+// Speedup the SPEC-average speedup over -O0.
+type Point struct {
+	Label   string
+	Debug   float64
+	Speedup float64
+}
+
+// dominates reports whether a is at least as good as b on both axes and
+// strictly better on one.
+func dominates(a, b Point) bool {
+	if a.Debug < b.Debug || a.Speedup < b.Speedup {
+		return false
+	}
+	return a.Debug > b.Debug || a.Speedup > b.Speedup
+}
+
+// ParetoFront returns the non-dominated subset, sorted by descending
+// speedup (top-left to bottom-right in the paper's Figure 2).
+func ParetoFront(points []Point) []Point {
+	var front []Point
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i != j && dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].Speedup != front[j].Speedup {
+			return front[i].Speedup > front[j].Speedup
+		}
+		return front[i].Debug > front[j].Debug
+	})
+	return front
+}
+
+// OnFront reports whether the labeled point is Pareto-optimal.
+func OnFront(points []Point, label string) bool {
+	for _, p := range ParetoFront(points) {
+		if p.Label == label {
+			return true
+		}
+	}
+	return false
+}

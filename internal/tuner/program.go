@@ -1,0 +1,141 @@
+// Package tuner is the DebugTuner core (§III): it evaluates the debug-
+// information impact of disabling each optimization pass across a test
+// suite, ranks passes by average per-program rank, constructs Ox-dy
+// debug-friendly configurations from the top of the ranking, and computes
+// the debuggability/performance Pareto front.
+package tuner
+
+import (
+	"fmt"
+	"sync"
+
+	"debugtuner/internal/dbgtrace"
+	"debugtuner/internal/debugger"
+	"debugtuner/internal/ir"
+	"debugtuner/internal/metrics"
+	"debugtuner/internal/pipeline"
+	"debugtuner/internal/sema"
+	"debugtuner/internal/vm"
+)
+
+// Program is one test-suite subject: source, semantic info, harness
+// inputs, and a cached -O0 baseline trace.
+type Program struct {
+	Name string
+	Src  []byte
+	Info *sema.Info
+	DR   *sema.DefRanges
+	IR0  *ir.Program
+	// Inputs per harness. Empty map (or empty Entry harnesses) means a
+	// main-style program traced via its entry function.
+	Inputs map[string][][]int64
+	Entry  string // used when no harnesses exist; default "main"
+	Budget int64  // VM step budget per trace
+
+	mu       sync.Mutex
+	baseline *dbgtrace.Trace
+	stmt     map[int]bool
+}
+
+// LoadProgram front-ends a subject once; builds are cloned from its IR.
+func LoadProgram(name string, src []byte, inputs map[string][][]int64) (*Program, error) {
+	info, err := pipeline.Frontend(name+".mc", src)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	ir0, err := pipeline.BuildIR(info)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return &Program{
+		Name: name, Src: src, Info: info,
+		DR: sema.ComputeDefRanges(info), IR0: ir0,
+		Inputs: inputs, Entry: "main", Budget: 1 << 26,
+	}, nil
+}
+
+// Build compiles the program under the configuration.
+func (p *Program) Build(cfg pipeline.Config) *vm.Binary {
+	return pipeline.Build(p.IR0, cfg)
+}
+
+// Trace runs a full debug session over all harnesses and inputs.
+func (p *Program) Trace(bin *vm.Binary) (*dbgtrace.Trace, error) {
+	s, err := debugger.NewSession(bin)
+	if err != nil {
+		return nil, err
+	}
+	merged := dbgtrace.NewTrace()
+	merged.Steppable = s.SteppableLines()
+	ran := false
+	for _, h := range p.Info.Harnesses {
+		ins := p.Inputs[h]
+		if len(ins) == 0 {
+			continue
+		}
+		tr, err := s.Trace(h, ins, p.Budget)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", p.Name, h, err)
+		}
+		merged.Merge(tr)
+		ran = true
+	}
+	if !ran {
+		tr, err := s.TraceMain(p.Entry, p.Budget)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", p.Name, p.Entry, err)
+		}
+		merged.Merge(tr)
+	}
+	return merged, nil
+}
+
+// Baseline returns the cached -O0 trace (profile-independent: no passes
+// run and only home-slot locations are emitted at -O0).
+func (p *Program) Baseline() (*dbgtrace.Trace, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.baseline == nil {
+		bin := p.Build(pipeline.Config{Profile: pipeline.GCC, Level: "O0"})
+		tr, err := p.Trace(bin)
+		if err != nil {
+			return nil, err
+		}
+		p.baseline = tr
+	}
+	return p.baseline, nil
+}
+
+// StatementLines caches the static-baseline statement lines.
+func (p *Program) StatementLines() map[int]bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stmt == nil {
+		p.stmt = sema.StatementLines(p.Info)
+	}
+	return p.stmt
+}
+
+// Product computes the hybrid product metric of a build against the -O0
+// baseline — the paper's headline quality score.
+func (p *Program) Product(cfg pipeline.Config) (float64, error) {
+	s, err := p.Scores(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return s.Product, nil
+}
+
+// Scores computes the full hybrid metrics of a configuration.
+func (p *Program) Scores(cfg pipeline.Config) (metrics.Scores, error) {
+	base, err := p.Baseline()
+	if err != nil {
+		return metrics.Scores{}, err
+	}
+	bin := p.Build(cfg)
+	tr, err := p.Trace(bin)
+	if err != nil {
+		return metrics.Scores{}, err
+	}
+	return metrics.Hybrid(tr, base, p.DR), nil
+}

@@ -1,0 +1,232 @@
+package tuner
+
+import (
+	"sort"
+
+	"debugtuner/internal/metrics"
+	"debugtuner/internal/pipeline"
+)
+
+// PassEffect is one (pass, program) measurement from the build matrix.
+type PassEffect struct {
+	// Increment is the relative product-metric change from disabling
+	// the pass: (M_disabled - M_ref) / M_ref (§III.B).
+	Increment float64
+	// NoEffect marks builds whose .text was identical to the reference
+	// level (the pass changed nothing; the trace stage was skipped).
+	NoEffect bool
+}
+
+// RankedPass is a row of the final cross-program ranking.
+type RankedPass struct {
+	Name    string
+	Display string
+	Backend bool
+	// AvgRank averages the pass's per-program rank positions; the final
+	// ranking sorts by it ascending to avoid outlier bias.
+	AvgRank float64
+	// GeoIncrementPct is the geometric mean across programs of
+	// (1 + increment), minus one, in percent — the paper's "% improvement"
+	// column.
+	GeoIncrementPct float64
+	// Effects keeps the raw per-program data for the appendix tables.
+	Effects map[string]PassEffect
+}
+
+// LevelAnalysis is the per-level output of DebugTuner's first component.
+type LevelAnalysis struct {
+	Profile pipeline.Profile
+	Level   string
+	// RefProduct is each program's product metric at the unmodified
+	// level.
+	RefProduct map[string]float64
+	// Ranking is the cross-program pass ranking, best first.
+	Ranking []RankedPass
+	// Positive/Neutral/Negative count passes by average effect
+	// (Table VII).
+	Positive, Neutral, Negative int
+}
+
+// AnalyzeLevel runs DebugTuner stage 1+2 for one profile/level: build the
+// reference, rebuild once per disabled pass (pruning .text-identical
+// builds), measure, and rank.
+func AnalyzeLevel(progs []*Program, profile pipeline.Profile, level string) (*LevelAnalysis, error) {
+	la := &LevelAnalysis{
+		Profile: profile, Level: level,
+		RefProduct: map[string]float64{},
+	}
+	passNames := pipeline.EnabledPasses(profile, level)
+	effects := map[string]map[string]PassEffect{}
+	for _, n := range passNames {
+		effects[n] = map[string]PassEffect{}
+	}
+
+	for _, p := range progs {
+		refCfg := pipeline.Config{Profile: profile, Level: level}
+		refBin := p.Build(refCfg)
+		refHash := refBin.TextHash()
+		base, err := p.Baseline()
+		if err != nil {
+			return nil, err
+		}
+		refTrace, err := p.Trace(refBin)
+		if err != nil {
+			return nil, err
+		}
+		refM := metrics.Hybrid(refTrace, base, p.DR).Product
+		la.RefProduct[p.Name] = refM
+
+		for _, pass := range passNames {
+			cfg := pipeline.Config{
+				Profile: profile, Level: level,
+				Disabled: map[string]bool{pass: true},
+			}
+			bin := p.Build(cfg)
+			// Stage-1 optimization: identical .text means the pass had
+			// no effect on this program; skip trace extraction (§III.A).
+			if bin.TextHash() == refHash {
+				effects[pass][p.Name] = PassEffect{NoEffect: true}
+				continue
+			}
+			tr, err := p.Trace(bin)
+			if err != nil {
+				return nil, err
+			}
+			m := metrics.Hybrid(tr, base, p.DR).Product
+			inc := 0.0
+			if refM > 0 {
+				inc = (m - refM) / refM
+			}
+			effects[pass][p.Name] = PassEffect{Increment: inc}
+		}
+	}
+
+	la.Ranking = rank(passNames, progs, effects, profile)
+	for _, rp := range la.Ranking {
+		g := rp.GeoIncrementPct
+		switch {
+		case g > 1e-9:
+			la.Positive++
+		case g < -1e-9:
+			la.Negative++
+		default:
+			la.Neutral++
+		}
+	}
+	return la, nil
+}
+
+// rank computes per-program rankings and aggregates by average rank.
+//
+// Per program (§III.B): passes with positive increment are ranked by
+// increment, descending; passes with no measurable effect share the next
+// rank; passes with negative impact rank below them.
+func rank(passNames []string, progs []*Program, effects map[string]map[string]PassEffect, profile pipeline.Profile) []RankedPass {
+	rankSum := map[string]float64{}
+	for _, p := range progs {
+		type pe struct {
+			name string
+			eff  PassEffect
+		}
+		var pos, neg []pe
+		var zero []string
+		for _, n := range passNames {
+			e := effects[n][p.Name]
+			switch {
+			case !e.NoEffect && e.Increment > 1e-12:
+				pos = append(pos, pe{n, e})
+			case !e.NoEffect && e.Increment < -1e-12:
+				neg = append(neg, pe{n, e})
+			default:
+				zero = append(zero, n)
+			}
+		}
+		sort.SliceStable(pos, func(i, j int) bool {
+			if pos[i].eff.Increment != pos[j].eff.Increment {
+				return pos[i].eff.Increment > pos[j].eff.Increment
+			}
+			return pos[i].name < pos[j].name
+		})
+		sort.SliceStable(neg, func(i, j int) bool {
+			if neg[i].eff.Increment != neg[j].eff.Increment {
+				return neg[i].eff.Increment > neg[j].eff.Increment
+			}
+			return neg[i].name < neg[j].name
+		})
+		r := 1
+		for _, x := range pos {
+			rankSum[x.name] += float64(r)
+			r++
+		}
+		for _, n := range zero {
+			rankSum[n] += float64(r) // identical low rank for all
+		}
+		if len(zero) > 0 {
+			r++
+		}
+		for _, x := range neg {
+			rankSum[x.name] += float64(r)
+			r++
+		}
+	}
+
+	out := make([]RankedPass, 0, len(passNames))
+	for _, n := range passNames {
+		rp := RankedPass{
+			Name:    n,
+			Display: pipeline.DisplayName(profile, n),
+			Backend: pipeline.IsBackend(n),
+			AvgRank: rankSum[n] / float64(len(progs)),
+			Effects: effects[n],
+		}
+		var factors []float64
+		for _, p := range progs {
+			factors = append(factors, 1+effects[n][p.Name].Increment)
+		}
+		rp.GeoIncrementPct = (metrics.GeoMean(factors) - 1) * 100
+		out = append(out, rp)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].AvgRank != out[j].AvgRank {
+			return out[i].AvgRank < out[j].AvgRank
+		}
+		return out[i].GeoIncrementPct > out[j].GeoIncrementPct
+	})
+	return out
+}
+
+// TopPasses returns the top-k toggle names of the ranking, excluding the
+// general inliner when excludeInline is set — the paper's special
+// treatment: the master inline switch is too costly to disable outright,
+// so configurations use the finer-grained inlining toggles instead
+// (§V.B).
+func (la *LevelAnalysis) TopPasses(k int, excludeInline bool) []string {
+	var out []string
+	for _, rp := range la.Ranking {
+		if excludeInline && rp.Name == "inline" {
+			continue
+		}
+		out = append(out, rp.Name)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// Configs builds the Ox-dy configuration family from the ranking:
+// for each y, the top y ranked passes (with the inliner excluded per the
+// paper) are disabled.
+func (la *LevelAnalysis) Configs(ys []int) []pipeline.Config {
+	var out []pipeline.Config
+	for _, y := range ys {
+		dis := map[string]bool{}
+		for _, n := range la.TopPasses(y, true) {
+			dis[n] = true
+		}
+		out = append(out, pipeline.Config{
+			Profile: la.Profile, Level: la.Level, Disabled: dis,
+		})
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package tuner
+
+import (
+	"testing"
+
+	"debugtuner/internal/pipeline"
+)
+
+var tunerProgs = []struct {
+	name string
+	src  string
+}{
+	{"alpha", `
+func weigh(x: int): int {
+	var w: int = 0;
+	while (x > 0) {
+		w = w + (x & 1);
+		x = x >> 1;
+	}
+	return w;
+}
+func main() {
+	var total: int = 0;
+	for (var i: int = 0; i < 50; i = i + 1) {
+		var b: int = weigh(i * 2654435761);
+		if (b > 16) {
+			total = total + b;
+		} else {
+			total = total + 1;
+		}
+	}
+	print(total);
+}`},
+	{"beta", `
+var grid: int[] = new int[100];
+func stepcell(i: int): int {
+	var up: int = grid[i - 10];
+	var dn: int = grid[i + 10];
+	var lf: int = grid[i - 1];
+	var rt: int = grid[i + 1];
+	return (up + dn + lf + rt) / 4;
+}
+func main() {
+	for (var i: int = 0; i < 100; i = i + 1) {
+		grid[i] = i * i % 97;
+	}
+	for (var gen: int = 0; gen < 5; gen = gen + 1) {
+		for (var i: int = 11; i < 89; i = i + 1) {
+			grid[i] = stepcell(i) + 1;
+		}
+	}
+	var sum: int = 0;
+	for (var i: int = 0; i < 100; i = i + 1) { sum = sum + grid[i]; }
+	print(sum);
+}`},
+	{"gamma", `
+func collatz(n: int): int {
+	var steps: int = 0;
+	while (n != 1 && steps < 500) {
+		if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+		steps = steps + 1;
+	}
+	return steps;
+}
+func main() {
+	var longest: int = 0;
+	var which: int = 0;
+	for (var i: int = 1; i < 60; i = i + 1) {
+		var s: int = collatz(i);
+		if (s > longest) { longest = s; which = i; }
+	}
+	print(which);
+	print(longest);
+}`},
+}
+
+func loadTunerProgs(t *testing.T) []*Program {
+	t.Helper()
+	var out []*Program
+	for _, tp := range tunerProgs {
+		p, err := LoadProgram(tp.name, []byte(tp.src), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// TestAnalyzeLevel exercises the full DebugTuner loop at gcc-O2: a
+// ranking must exist, disabling top passes must improve the suite
+// product, and the reference products must be sane.
+func TestAnalyzeLevel(t *testing.T) {
+	progs := loadTunerProgs(t)
+	la, err := AnalyzeLevel(progs, pipeline.GCC, "O2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(la.Ranking) == 0 {
+		t.Fatal("empty ranking")
+	}
+	for name, m := range la.RefProduct {
+		if m <= 0 || m >= 1 {
+			t.Errorf("%s: reference product %v outside (0,1)", name, m)
+		}
+	}
+	if la.Positive == 0 {
+		t.Error("no pass improves debug information when disabled")
+	}
+	// Disabling the top 3 (inliner excluded) must improve the average
+	// product over the reference level.
+	cfg := la.Configs([]int{3})[0]
+	var ref, tuned float64
+	for _, p := range progs {
+		m, err := p.Product(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tuned += m
+		ref += la.RefProduct[p.Name]
+	}
+	if tuned <= ref {
+		t.Errorf("O2-d3 product %.4f did not beat O2 %.4f", tuned/3, ref/3)
+	}
+	// The ranking's top entry should carry a positive geometric
+	// increment.
+	if la.Ranking[0].GeoIncrementPct <= 0 {
+		t.Errorf("top-ranked pass %s has non-positive increment %.2f%%",
+			la.Ranking[0].Name, la.Ranking[0].GeoIncrementPct)
+	}
+}
+
+// TestInlinerExcludedFromConfigs checks the paper's special treatment of
+// the master inline switch.
+func TestInlinerExcludedFromConfigs(t *testing.T) {
+	progs := loadTunerProgs(t)
+	la, err := AnalyzeLevel(progs, pipeline.Clang, "O2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range la.Configs([]int{3, 5, 7, 9}) {
+		if cfg.Disabled["inline"] {
+			t.Fatalf("config %s disables the master inline switch", cfg.Name())
+		}
+	}
+}
+
+// TestParetoFront validates non-domination and extremes.
+func TestParetoFront(t *testing.T) {
+	pts := []Point{
+		{"a", 0.9, 1.0},
+		{"b", 0.8, 2.0},
+		{"c", 0.7, 1.5}, // dominated by b
+		{"d", 0.5, 3.0},
+		{"e", 0.5, 2.5}, // dominated by d
+		{"f", 0.9, 0.5}, // dominated by a
+	}
+	front := ParetoFront(pts)
+	want := map[string]bool{"a": true, "b": true, "d": true}
+	if len(front) != len(want) {
+		t.Fatalf("front = %v", front)
+	}
+	for _, p := range front {
+		if !want[p.Label] {
+			t.Fatalf("unexpected front member %s", p.Label)
+		}
+	}
+	if front[0].Label != "d" {
+		t.Fatalf("front not sorted by speedup: %v", front)
+	}
+	if !OnFront(pts, "a") || OnFront(pts, "c") {
+		t.Fatal("OnFront misclassifies")
+	}
+}

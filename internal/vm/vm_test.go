@@ -1,0 +1,247 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// tinyBinary builds a handwritten binary:
+//
+//	func main: r0 = 7; r1 = 35; r2 = r0 * r1; print r2;
+//	           arg r2; call inc; print r3; ret
+//	func inc:  r0 = param0; r1 = r0 + 1; ret r1
+func tinyBinary() *Binary {
+	return &Binary{
+		Funcs: []FuncInfo{
+			{Name: "main", Start: 0, End: 8, NumSlots: 2},
+			{Name: "inc", Start: 8, End: 11, NParams: 1},
+		},
+		Code: []Instr{
+			{Op: OpProlog},
+			{Op: OpConst, D: 0, Imm: 7, Line: 2},
+			{Op: OpConst, D: 1, Imm: 35, Line: 3},
+			{Op: OpBin, Sub: BinMul, A: 0, B: 1, D: 2, Line: 4},
+			{Op: OpPrint, A: 2, Line: 5},
+			{Op: OpArg, A: 2, Line: 6},
+			{Op: OpCall, D: 3, Imm: 1, Line: 6},
+			{Op: OpRet},
+			// inc:
+			{Op: OpLoadParam, D: 0, Imm: 0, Line: 10},
+			{Op: OpBinImm, Sub: BinAdd, A: 0, D: 1, Imm: 1, Line: 11},
+			{Op: OpRet, Sub: 1, A: 1, Line: 12},
+		},
+	}
+}
+
+func TestExecution(t *testing.T) {
+	m := New(tinyBinary())
+	ret, err := m.Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 0 {
+		t.Errorf("ret = %d", ret)
+	}
+	out := m.Output()
+	if len(out) != 1 || out[0] != 245 {
+		t.Fatalf("output = %v, want [245]", out)
+	}
+	if m.Cycles == 0 || m.Steps == 0 {
+		t.Error("no cost accounted")
+	}
+}
+
+func TestCallReturnValue(t *testing.T) {
+	m := New(tinyBinary())
+	ret, err := m.Call("inc", 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 42 {
+		t.Fatalf("inc(41) = %d", ret)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	bin := &Binary{
+		Funcs: []FuncInfo{{Name: "spin", Start: 0, End: 1}},
+		Code:  []Instr{{Op: OpJmp, Imm: 0}},
+	}
+	m := New(bin)
+	m.StepBudget = 100
+	if _, err := m.Call("spin"); err != ErrBudget {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestOwnerTagsAndClobbering(t *testing.T) {
+	bin := &Binary{
+		Funcs: []FuncInfo{{Name: "f", Start: 0, End: 4, NumSlots: 1}},
+		Code: []Instr{
+			{Op: OpConst, D: 2, Imm: 5, Own: []OwnerTag{{Reg: 2, Slot: -1, Var: 7}}},
+			{Op: OpStoreSlot, A: 2, Imm: 0, Own: []OwnerTag{{Reg: -1, Slot: 0, Var: 9}}},
+			{Op: OpConst, D: 2, Imm: 6}, // clobbers r2
+			{Op: OpRet},
+		},
+	}
+	m := New(bin)
+	var ownedAt []int32
+	m.Breaks = map[int]bool{1: true, 2: true, 3: true}
+	m.OnBreak = func(m *Machine, addr int) {
+		ownedAt = append(ownedAt, m.Frame().Owner[2])
+	}
+	if _, err := m.Call("f"); err != nil {
+		t.Fatal(err)
+	}
+	// At addr 1 the tag holds; at 2 still; at 3 the write cleared it.
+	if len(ownedAt) != 3 || ownedAt[0] != 7 || ownedAt[1] != 7 || ownedAt[2] != 0 {
+		t.Fatalf("owner history = %v, want [7 7 0]", ownedAt)
+	}
+	if m.Frame() != nil {
+		t.Error("frame should be popped after return")
+	}
+}
+
+func TestPrologueFlag(t *testing.T) {
+	bin := &Binary{
+		Funcs: []FuncInfo{{Name: "f", Start: 0, End: 3, NumSlots: 1}},
+		Code: []Instr{
+			{Op: OpConst, D: 0, Imm: 1},
+			{Op: OpProlog},
+			{Op: OpRet},
+		},
+	}
+	m := New(bin)
+	var flags []bool
+	m.Breaks = map[int]bool{0: true, 2: true}
+	m.OnBreak = func(m *Machine, addr int) {
+		flags = append(flags, m.Frame().PrologueDone)
+	}
+	if _, err := m.Call("f"); err != nil {
+		t.Fatal(err)
+	}
+	if len(flags) != 2 || flags[0] || !flags[1] {
+		t.Fatalf("prologue flags = %v, want [false true]", flags)
+	}
+}
+
+func TestArraySemantics(t *testing.T) {
+	m := New(&Binary{Funcs: []FuncInfo{{Name: "f", Start: 0, End: 1}}, Code: []Instr{{Op: OpRet}}})
+	h := m.NewArray([]int64{10, 20, 30})
+	if got := m.aload(h, 1); got != 20 {
+		t.Errorf("aload = %d", got)
+	}
+	if got := m.aload(h, -1); got != 0 {
+		t.Error("negative index should read 0")
+	}
+	if got := m.aload(h, 3); got != 0 {
+		t.Error("OOB index should read 0")
+	}
+	m.astore(h, 99, 5) // no-op
+	m.astore(h, 0, 5)
+	if m.Heap(h)[0] != 5 {
+		t.Error("in-bounds store lost")
+	}
+	if m.Heap(12345) != nil {
+		t.Error("bad handle should be nil")
+	}
+}
+
+// TestEvalBinAgreesWithIR (property): the VM's binary evaluator and the
+// IR interpreter's must agree on every operation — they implement the
+// same MiniC semantics independently.
+func TestEvalBinAgreesWithIR(t *testing.T) {
+	subs := []uint8{BinAdd, BinSub, BinMul, BinDiv, BinRem, BinAnd, BinOr,
+		BinXor, BinShl, BinShr, BinEq, BinNe, BinLt, BinLe, BinGt, BinGe}
+	check := func(x, y int64, si uint8) bool {
+		sub := subs[int(si)%len(subs)]
+		got := evalBin(sub, x, y)
+		want := referenceEval(sub, x, y)
+		return got == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// referenceEval is an independent spec-level evaluator.
+func referenceEval(sub uint8, x, y int64) int64 {
+	b := func(v bool) int64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	switch sub {
+	case BinAdd:
+		return x + y
+	case BinSub:
+		return x - y
+	case BinMul:
+		return x * y
+	case BinDiv:
+		if y == 0 {
+			return 0
+		}
+		if x == -1<<63 && y == -1 {
+			return x
+		}
+		return x / y
+	case BinRem:
+		if y == 0 || (x == -1<<63 && y == -1) {
+			return 0
+		}
+		return x % y
+	case BinAnd:
+		return x & y
+	case BinOr:
+		return x | y
+	case BinXor:
+		return x ^ y
+	case BinShl:
+		return x << uint(y&63)
+	case BinShr:
+		return x >> uint(y&63)
+	case BinEq:
+		return b(x == y)
+	case BinNe:
+		return b(x != y)
+	case BinLt:
+		return b(x < y)
+	case BinLe:
+		return b(x <= y)
+	case BinGt:
+		return b(x > y)
+	case BinGe:
+		return b(x >= y)
+	}
+	return 0
+}
+
+func TestTextHashIgnoresDebugFields(t *testing.T) {
+	a := tinyBinary()
+	b := tinyBinary()
+	b.Code[1].Line = 99
+	b.Code[1].Own = []OwnerTag{{Reg: 0, Slot: -1, Var: 3}}
+	if a.TextHash() != b.TextHash() {
+		t.Fatal("debug metadata changed the .text hash")
+	}
+	b.Code[1].Imm = 8
+	if a.TextHash() == b.TextHash() {
+		t.Fatal("semantic change not reflected in the .text hash")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (int64, int64) {
+		m := New(tinyBinary())
+		m.SampleEvery = 3
+		m.Call("main")
+		return m.Cycles, int64(len(m.Samples))
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if c1 != c2 || s1 != s2 {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", c1, s1, c2, s2)
+	}
+}
