@@ -18,7 +18,9 @@ import (
 	"debugtuner/internal/specsuite"
 	"debugtuner/internal/synth"
 	"debugtuner/internal/testsuite"
+	"debugtuner/internal/tuner"
 	"debugtuner/internal/vm"
+	"debugtuner/internal/workerpool"
 )
 
 // benchOpts are one-notch-reduced scales so a full -bench=. run stays in
@@ -61,6 +63,30 @@ func BenchmarkTable12SpecRelative(b *testing.B)      { benchExperiment(b, shared
 func BenchmarkFig3AutoFDO(b *testing.B)              { benchExperiment(b, sharedRunner.Fig3) }
 func BenchmarkTable15AutoFDOFull(b *testing.B)       { benchExperiment(b, sharedRunner.Table15) }
 func BenchmarkFig4AutoFDOLargeWorkload(b *testing.B) { benchExperiment(b, sharedRunner.Fig4) }
+
+// ---- Evaluation-engine parallelism ----
+
+// benchAnalyzeLevel measures the (program × pass) build/trace matrix of
+// one level analysis at a fixed worker-pool size.
+func benchAnalyzeLevel(b *testing.B, workers int) {
+	b.Helper()
+	subjects, err := testsuite.LoadAll(testsuite.CorpusOptions{Execs: benchOpts.CorpusExecs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	progs := testsuite.Programs(subjects)
+	workerpool.SetWorkers(workers)
+	defer workerpool.SetWorkers(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tuner.AnalyzeLevel(progs, pipeline.GCC, "O1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyzeLevelJ1(b *testing.B) { benchAnalyzeLevel(b, 1) }
+func BenchmarkAnalyzeLevelJ4(b *testing.B) { benchAnalyzeLevel(b, 4) }
 
 // ---- Substrate micro-benchmarks ----
 

@@ -1,0 +1,15 @@
+#!/bin/sh
+# CI gate: vet, build, full test suite, then the race detector on every
+# package that participates in the parallel evaluation engine.
+set -eux
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race -count=1 \
+    ./internal/workerpool/ \
+    ./internal/evalcache/ \
+    ./internal/tuner/ \
+    ./internal/experiments/ \
+    ./internal/specsuite/ \
+    ./internal/testsuite/

@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"debugtuner/internal/experiments"
+	"debugtuner/internal/workerpool"
 )
 
 func main() {
@@ -29,7 +31,12 @@ func main() {
 		"AutoFDO sampling period in cycles")
 	quick := flag.Bool("quick", false,
 		"shrink every knob for a fast smoke run")
+	jobs := flag.Int("j", 0,
+		"worker-pool size for the evaluation engine (0 = GOMAXPROCS)")
+	timings := flag.Bool("timings", false,
+		"print per-experiment wall-clock to stderr (stdout stays byte-identical)")
 	flag.Parse()
+	workerpool.SetWorkers(*jobs)
 	if *quick {
 		opts.SynthCount = 20
 		opts.CorpusExecs = 120
@@ -68,9 +75,15 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("==== %s ====\n", e.name)
+		start := time.Now()
 		if err := e.run(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
 			os.Exit(1)
+		}
+		if *timings {
+			// Timing goes to stderr so stdout stays byte-identical
+			// across worker counts.
+			fmt.Fprintf(os.Stderr, "[%s: %.2fs]\n", e.name, time.Since(start).Seconds())
 		}
 		fmt.Println()
 	}

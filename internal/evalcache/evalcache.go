@@ -1,0 +1,53 @@
+// Package evalcache is the content-addressed result cache of the
+// evaluation engine. Keys are configuration fingerprints (see
+// pipeline.Config.Fingerprint) scoped by subject name; values are the
+// expensive measurement products — a build's TextHash and hybrid scores
+// in the tuner, ref-workload cycle counts in specsuite — so table
+// generators that revisit the same Ox-dy configuration (Fig2, Tables
+// VIII–X) reuse one build+trace instead of redoing it.
+//
+// Do has singleflight semantics: concurrent workers asking for the same
+// key block on a single computation instead of duplicating it, which is
+// what makes the cache composable with the worker pool.
+package evalcache
+
+import "sync"
+
+type entry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// Cache memoizes keyed computations. The zero value is ready to use.
+type Cache[V any] struct {
+	mu sync.Mutex
+	m  map[string]*entry[V]
+}
+
+// Do returns the cached value for key, computing it at most once across
+// all goroutines. Errors are cached as well: the evaluation treats any
+// measurement failure as fatal, so retrying a failed key is never
+// useful.
+func (c *Cache[V]) Do(key string, compute func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = map[string]*entry[V]{}
+	}
+	e := c.m[key]
+	if e == nil {
+		e = &entry[V]{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = compute() })
+	return e.val, e.err
+}
+
+// Len reports how many keys have been requested (including in-flight
+// ones), for tests and cache-effectiveness accounting.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

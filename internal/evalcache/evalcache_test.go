@@ -1,0 +1,64 @@
+package evalcache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoComputesOncePerKey(t *testing.T) {
+	var c Cache[int]
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.Do("k", func() (int, error) {
+				calls.Add(1)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = (%d, %v)", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestDoDistinctKeys(t *testing.T) {
+	var c Cache[string]
+	a, _ := c.Do("a", func() (string, error) { return "va", nil })
+	b, _ := c.Do("b", func() (string, error) { return "vb", nil })
+	if a != "va" || b != "vb" {
+		t.Fatalf("got (%q, %q)", a, b)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestDoCachesErrors(t *testing.T) {
+	var c Cache[int]
+	sentinel := errors.New("measurement failed")
+	calls := 0
+	for i := 0; i < 3; i++ {
+		_, err := c.Do("bad", func() (int, error) {
+			calls++
+			return 0, sentinel
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("err = %v, want sentinel", err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("failed compute retried %d times, want 1", calls)
+	}
+}

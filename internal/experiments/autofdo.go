@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -8,13 +9,8 @@ import (
 	"debugtuner/internal/debugger"
 	"debugtuner/internal/pipeline"
 	"debugtuner/internal/specsuite"
+	"debugtuner/internal/workerpool"
 )
-
-// specsuiteSpeedup is a thin indirection kept for memoization in
-// rankings.go.
-func specsuiteSpeedup(bench string, cfg pipeline.Config) (float64, error) {
-	return specsuite.Speedup(bench, cfg)
-}
 
 // fdoCycles builds the final binary at cfg with the given profile and
 // runs the benchmark.
@@ -53,6 +49,33 @@ func (r *Runner) collectProfile(bench string, cfg pipeline.Config) (*autofdo.Pro
 	return p, steppable, nil
 }
 
+// fdoResult is one memoized AutoFDO measurement: collect a profile at
+// the profiling config, rebuild the final config with it, run it.
+type fdoResult struct {
+	cycles    int64
+	steppable int
+	mapped    float64
+}
+
+// fdoMeasure caches the profile-collect + FDO-rebuild + run pipeline per
+// (benchmark, final config, profiling config). Fig3 and Table15 print
+// the same measurements at different verbosity; the cache makes the
+// second of the two free.
+func (r *Runner) fdoMeasure(bench string, final, profiling pipeline.Config) (fdoResult, error) {
+	key := bench + "|" + memoKey(final) + "|" + memoKey(profiling)
+	return r.fdo.Do(key, func() (fdoResult, error) {
+		prof, step, err := r.collectProfile(bench, profiling)
+		if err != nil {
+			return fdoResult{}, err
+		}
+		c, err := fdoCycles(bench, final, prof)
+		if err != nil {
+			return fdoResult{}, err
+		}
+		return fdoResult{cycles: c, steppable: step, mapped: prof.MappedFraction()}, nil
+	})
+}
+
 // Fig3 reproduces the AutoFDO SPEC study (paper Figure 3): for each
 // benchmark, AutoFDO with the best O2-dy profile vs AutoFDO with the O2
 // profile, with plain O2 for context. Table15 extends it with all
@@ -74,69 +97,77 @@ func (r *Runner) autoFDOStudy(w io.Writer, full bool) error {
 		fmt.Fprintln(w, "Figure 3 — AutoFDO: plain O2 and best O2-dy profile vs O2-profile AutoFDO")
 	}
 	o2 := pipeline.Config{Profile: profile, Level: "O2"}
+	// Benchmarks are independent (each collects its own profiles and
+	// rebuilds its own binaries), so the study fans out per benchmark;
+	// rows print and averages accumulate in suite order.
+	type dyRes struct {
+		y         int
+		cycles    int64
+		stepPct   float64
+		mappedPct float64
+	}
+	type benchRes struct {
+		plain, fdoBase, best int64
+		results              []dyRes
+	}
+	benches, err := workerpool.Map(context.Background(), r.specNames(),
+		func(_ context.Context, _ int, bench string) (benchRes, error) {
+			var br benchRes
+			plain, err := specsuite.Cycles(bench, o2)
+			if err != nil {
+				return br, err
+			}
+			br.plain = plain
+			base, err := r.fdoMeasure(bench, o2, o2)
+			if err != nil {
+				return br, err
+			}
+			br.fdoBase = base.cycles
+			br.best = br.fdoBase
+			for _, y := range r.Opts.Dy {
+				cfg := la.Configs([]int{y})[0]
+				// The final binary is always plain O2; only the profiling
+				// stage changes (§V.C).
+				m, err := r.fdoMeasure(bench, o2, cfg)
+				if err != nil {
+					return br, err
+				}
+				br.results = append(br.results, dyRes{
+					y: y, cycles: m.cycles,
+					stepPct:   100 * (float64(m.steppable) - float64(base.steppable)) / float64(base.steppable),
+					mappedPct: 100 * m.mapped,
+				})
+				if m.cycles < br.best {
+					br.best = m.cycles
+				}
+			}
+			return br, nil
+		})
+	if err != nil {
+		return err
+	}
 	var avgBase, avgBest float64
 	n := 0
-	for _, bench := range r.specNames() {
-		plainRes, err := specsuite.Run(bench, o2)
-		if err != nil {
-			return err
-		}
-		plain := plainRes.Cycles
-		baseProf, baseStep, err := r.collectProfile(bench, o2)
-		if err != nil {
-			return err
-		}
-		fdoBase, err := fdoCycles(bench, o2, baseProf)
-		if err != nil {
-			return err
-		}
-		type dyRes struct {
-			y         int
-			cycles    int64
-			stepPct   float64
-			mappedPct float64
-		}
-		var results []dyRes
-		best := fdoBase
-		for _, y := range r.Opts.Dy {
-			cfg := la.Configs([]int{y})[0]
-			prof, step, err := r.collectProfile(bench, cfg)
-			if err != nil {
-				return err
-			}
-			// The final binary is always plain O2; only the profiling
-			// stage changes (§V.C).
-			c, err := fdoCycles(bench, o2, prof)
-			if err != nil {
-				return err
-			}
-			results = append(results, dyRes{
-				y: y, cycles: c,
-				stepPct:   100 * (float64(step) - float64(baseStep)) / float64(baseStep),
-				mappedPct: 100 * prof.MappedFraction(),
-			})
-			if c < best {
-				best = c
-			}
-		}
-		speedup := func(c int64) float64 { return float64(plain) / float64(c) }
+	for bi, bench := range r.specNames() {
+		br := benches[bi]
+		speedup := func(c int64) float64 { return float64(br.plain) / float64(c) }
 		if full {
-			fmt.Fprintf(w, "%-14s O2-AutoFDO=%6.4f", bench, speedup(fdoBase))
-			for _, dr := range results {
+			fmt.Fprintf(w, "%-14s O2-AutoFDO=%6.4f", bench, speedup(br.fdoBase))
+			for _, dr := range br.results {
 				fmt.Fprintf(w, "  d%d: spd=%6.4f Δspd=%+5.2f%% Δsteppable=%+5.2f%% mapped=%.1f%%",
 					dr.y, speedup(dr.cycles),
-					100*(float64(fdoBase)-float64(dr.cycles))/float64(dr.cycles),
+					100*(float64(br.fdoBase)-float64(dr.cycles))/float64(dr.cycles),
 					dr.stepPct, dr.mappedPct)
 			}
 			fmt.Fprintln(w)
 		} else {
 			fmt.Fprintf(w, "%-14s plain-O2=%6.4f  best-O2dy-AutoFDO=%6.4f (%+.2f%% vs O2-AutoFDO)\n",
-				bench, 1/speedup(fdoBase),
-				speedup(best)/speedup(fdoBase),
-				100*(float64(fdoBase)-float64(best))/float64(best))
+				bench, 1/speedup(br.fdoBase),
+				speedup(br.best)/speedup(br.fdoBase),
+				100*(float64(br.fdoBase)-float64(br.best))/float64(br.best))
 		}
-		avgBase += speedup(fdoBase)
-		avgBest += speedup(best)
+		avgBase += speedup(br.fdoBase)
+		avgBest += speedup(br.best)
 		n++
 	}
 	fmt.Fprintf(w, "average: O2-AutoFDO %.4f, best O2-dy-AutoFDO %.4f (vs plain O2 = 1.0)\n",
@@ -150,15 +181,11 @@ func (r *Runner) Fig4(w io.Writer) error {
 	const profile = pipeline.Clang
 	const bench = "selfcomp"
 	o3 := pipeline.Config{Profile: profile, Level: "O3"}
-	plainRes, err := specsuite.Run(bench, o3)
+	plain, err := specsuite.Cycles(bench, o3)
 	if err != nil {
 		return err
 	}
-	baseProf, _, err := r.collectProfile(bench, o3)
-	if err != nil {
-		return err
-	}
-	fdoBase, err := fdoCycles(bench, o3, baseProf)
+	base, err := r.fdoMeasure(bench, o3, o3)
 	if err != nil {
 		return err
 	}
@@ -168,21 +195,22 @@ func (r *Runner) Fig4(w io.Writer) error {
 	}
 	fmt.Fprintln(w, "Figure 4 — selfcomp (large workload): O3-dy-AutoFDO vs O3-AutoFDO")
 	fmt.Fprintf(w, "plain O3: %d cycles; O3-AutoFDO: %d cycles (%+.2f%%)\n",
-		plainRes.Cycles, fdoBase,
-		100*(float64(plainRes.Cycles)-float64(fdoBase))/float64(fdoBase))
-	for _, y := range r.Opts.Dy {
-		cfg := la.Configs([]int{y})[0]
-		prof, _, err := r.collectProfile(bench, cfg)
-		if err != nil {
-			return err
-		}
-		c, err := fdoCycles(bench, o3, prof)
-		if err != nil {
-			return err
-		}
+		plain, base.cycles,
+		100*(float64(plain)-float64(base.cycles))/float64(base.cycles))
+	// The per-dy profile collections are independent; fan them out and
+	// print in dy order.
+	rows, err := workerpool.Map(context.Background(), r.Opts.Dy,
+		func(_ context.Context, _ int, y int) (fdoResult, error) {
+			return r.fdoMeasure(bench, o3, la.Configs([]int{y})[0])
+		})
+	if err != nil {
+		return err
+	}
+	for yi, y := range r.Opts.Dy {
+		m := rows[yi]
 		fmt.Fprintf(w, "O3-d%d profile: %d cycles (%+.2f%% vs O3-AutoFDO, mapped %.1f%%)\n",
-			y, c, 100*(float64(fdoBase)-float64(c))/float64(c),
-			100*prof.MappedFraction())
+			y, m.cycles, 100*(float64(base.cycles)-float64(m.cycles))/float64(m.cycles),
+			100*m.mapped)
 	}
 	return nil
 }

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -17,6 +18,7 @@ import (
 	"debugtuner/internal/dbgtrace"
 	"debugtuner/internal/debugger"
 	"debugtuner/internal/debuginfo"
+	"debugtuner/internal/evalcache"
 	"debugtuner/internal/ir"
 	"debugtuner/internal/metrics"
 	"debugtuner/internal/pipeline"
@@ -25,6 +27,7 @@ import (
 	"debugtuner/internal/synth"
 	"debugtuner/internal/testsuite"
 	"debugtuner/internal/tuner"
+	"debugtuner/internal/workerpool"
 )
 
 // Options scales the evaluation. The defaults regenerate every shape in
@@ -55,63 +58,42 @@ func DefaultOptions() Options {
 	}
 }
 
-// Runner executes and caches the evaluation.
+// Runner executes and caches the evaluation. Every memo is an
+// evalcache.Cache, so concurrent table generators asking for the same
+// intermediate (the loaded suite, a level analysis, a config's suite
+// product or SPEC speedup) block on one computation instead of
+// duplicating it.
 type Runner struct {
 	Opts Options
 
-	mu       sync.Mutex
-	subjects []*testsuite.Subject
-	analyses map[string]*tuner.LevelAnalysis
-	speedups map[string]float64 // config name -> SPEC average speedup
-	o0cycles map[string]int64   // benchmark -> O0 cycles (per profile key)
+	suite    evalcache.Cache[[]*testsuite.Subject]
+	analyses evalcache.Cache[*tuner.LevelAnalysis]
+	speedups evalcache.Cache[float64]   // config fingerprint -> SPEC average speedup
+	products evalcache.Cache[float64]   // config fingerprint -> suite average product
+	fdo      evalcache.Cache[fdoResult] // bench|final|profiling -> AutoFDO measurement
 }
 
 // NewRunner creates a runner.
 func NewRunner(opts Options) *Runner {
-	return &Runner{
-		Opts:     opts,
-		analyses: map[string]*tuner.LevelAnalysis{},
-		speedups: map[string]float64{},
-		o0cycles: map[string]int64{},
-	}
+	return &Runner{Opts: opts}
 }
 
 // Suite loads (once) the 13-program test suite with fuzzed corpora.
 func (r *Runner) Suite() ([]*testsuite.Subject, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.subjects != nil {
-		return r.subjects, nil
-	}
-	subjects, err := testsuite.LoadAll(testsuite.CorpusOptions{Execs: r.Opts.CorpusExecs})
-	if err != nil {
-		return nil, err
-	}
-	r.subjects = subjects
-	return subjects, nil
+	return r.suite.Do("suite", func() ([]*testsuite.Subject, error) {
+		return testsuite.LoadAll(testsuite.CorpusOptions{Execs: r.Opts.CorpusExecs})
+	})
 }
 
 // Analysis runs (once) the per-pass analysis for a profile/level.
 func (r *Runner) Analysis(p pipeline.Profile, level string) (*tuner.LevelAnalysis, error) {
-	key := string(p) + "/" + level
-	r.mu.Lock()
-	if la := r.analyses[key]; la != nil {
-		r.mu.Unlock()
-		return la, nil
-	}
-	r.mu.Unlock()
-	subjects, err := r.Suite()
-	if err != nil {
-		return nil, err
-	}
-	la, err := tuner.AnalyzeLevel(testsuite.Programs(subjects), p, level)
-	if err != nil {
-		return nil, err
-	}
-	r.mu.Lock()
-	r.analyses[key] = la
-	r.mu.Unlock()
-	return la, nil
+	return r.analyses.Do(string(p)+"/"+level, func() (*tuner.LevelAnalysis, error) {
+		subjects, err := r.Suite()
+		if err != nil {
+			return nil, err
+		}
+		return tuner.AnalyzeLevel(testsuite.Programs(subjects), p, level)
+	})
 }
 
 // specNames returns the benchmarks under test.
@@ -122,42 +104,48 @@ func (r *Runner) specNames() []string {
 	return specsuite.Names
 }
 
+// memoKey renders the memoization key of a config: the content
+// fingerprint when it has one, else the display name (never reached by
+// the table generators, which pass no FDO configs here).
+func memoKey(cfg pipeline.Config) string {
+	if fp, ok := cfg.Fingerprint(); ok {
+		return fp
+	}
+	return cfg.Name()
+}
+
 // SuiteSpeedup measures (once) the SPEC-average speedup of a config over
 // its profile's O0.
 func (r *Runner) SuiteSpeedup(cfg pipeline.Config) (float64, error) {
-	key := cfg.Name()
-	r.mu.Lock()
-	if s, ok := r.speedups[key]; ok {
-		r.mu.Unlock()
-		return s, nil
-	}
-	r.mu.Unlock()
-	_, avg, err := specsuite.SuiteSpeedup(cfg, r.specNames())
-	if err != nil {
-		return 0, err
-	}
-	r.mu.Lock()
-	r.speedups[key] = avg
-	r.mu.Unlock()
-	return avg, nil
+	return r.speedups.Do(memoKey(cfg), func() (float64, error) {
+		_, avg, err := specsuite.SuiteSpeedup(cfg, r.specNames())
+		return avg, err
+	})
 }
 
-// SuiteProduct averages the hybrid product metric of a configuration
-// over the 13-program suite.
+// SuiteProduct averages (once per config — same memo discipline as
+// SuiteSpeedup) the hybrid product metric of a configuration over the
+// 13-program suite, fanning the per-subject measurements out over the
+// worker pool and summing in suite order.
 func (r *Runner) SuiteProduct(cfg pipeline.Config) (float64, error) {
-	subjects, err := r.Suite()
-	if err != nil {
-		return 0, err
-	}
-	sum := 0.0
-	for _, s := range subjects {
-		m, err := s.Product(cfg)
+	return r.products.Do(memoKey(cfg), func() (float64, error) {
+		subjects, err := r.Suite()
 		if err != nil {
 			return 0, err
 		}
-		sum += m
-	}
-	return sum / float64(len(subjects)), nil
+		ms, err := workerpool.Map(context.Background(), subjects,
+			func(_ context.Context, _ int, s *testsuite.Subject) (float64, error) {
+				return s.Product(cfg)
+			})
+		if err != nil {
+			return 0, err
+		}
+		sum := 0.0
+		for _, m := range ms {
+			sum += m
+		}
+		return sum / float64(len(subjects)), nil
+	})
 }
 
 // ---- Synthetic corpus (Table I) ----
@@ -168,7 +156,10 @@ type synthProgram struct {
 	dr   *sema.DefRanges
 	ir0  *ir.Program
 	stmt map[int]bool
-	base *dbgtrace.Trace
+
+	baseOnce sync.Once
+	base     *dbgtrace.Trace
+	baseErr  error
 }
 
 // synthOptions keeps synthetic programs small enough to trace quickly.
@@ -177,28 +168,57 @@ var synthOptions = synth.Options{
 	MaxExpr: 4, Arrays: 2, Globals: 3,
 }
 
+// trySynth generates, front-ends, and smoke-runs one seed, returning
+// nil when the program is not runnable.
+func trySynth(seed int64) *synthProgram {
+	src := synth.Generate(seed, synthOptions)
+	info, err := pipeline.Frontend(fmt.Sprintf("synth%d", seed), []byte(src))
+	if err != nil {
+		return nil
+	}
+	ir0, err := pipeline.BuildIR(info)
+	if err != nil {
+		return nil
+	}
+	it := ir.NewInterp(ir0, 1<<21)
+	if _, err := it.Call("main"); err != nil {
+		return nil
+	}
+	return &synthProgram{
+		info: info, dr: sema.ComputeDefRanges(info), ir0: ir0,
+		stmt: sema.StatementLines(info),
+	}
+}
+
 // loadSynth deterministically selects the first n runnable synthetic
-// programs.
+// programs. Candidate seeds are evaluated in parallel chunks; the
+// selection — the first n runnable seeds in seed order — is identical
+// to the serial scan's at any worker count.
 func loadSynth(n int) []*synthProgram {
+	limit := int64(n) * 30
+	chunk := int64(workerpool.Workers()) * 8
+	if chunk < 8 {
+		chunk = 8
+	}
 	var out []*synthProgram
-	for seed := int64(0); len(out) < n && seed < int64(n)*30; seed++ {
-		src := synth.Generate(seed, synthOptions)
-		info, err := pipeline.Frontend(fmt.Sprintf("synth%d", seed), []byte(src))
-		if err != nil {
-			continue
+	for lo := int64(0); int64(len(out)) < int64(n) && lo < limit; lo += chunk {
+		hi := lo + chunk
+		if hi > limit {
+			hi = limit
 		}
-		ir0, err := pipeline.BuildIR(info)
-		if err != nil {
-			continue
+		seeds := make([]int64, 0, hi-lo)
+		for s := lo; s < hi; s++ {
+			seeds = append(seeds, s)
 		}
-		it := ir.NewInterp(ir0, 1<<21)
-		if _, err := it.Call("main"); err != nil {
-			continue
+		batch, _ := workerpool.Map(context.Background(), seeds,
+			func(_ context.Context, _ int, seed int64) (*synthProgram, error) {
+				return trySynth(seed), nil
+			})
+		for _, sp := range batch {
+			if sp != nil && len(out) < n {
+				out = append(out, sp)
+			}
 		}
-		out = append(out, &synthProgram{
-			info: info, dr: sema.ComputeDefRanges(info), ir0: ir0,
-			stmt: sema.StatementLines(info),
-		})
 	}
 	return out
 }
@@ -231,20 +251,16 @@ func (sp *synthProgram) measure(cfg pipeline.Config, base *dbgtrace.Trace) (meth
 }
 
 func (sp *synthProgram) baseline() (*dbgtrace.Trace, error) {
-	if sp.base != nil {
-		return sp.base, nil
-	}
-	bin := pipeline.Build(sp.ir0, pipeline.Config{Profile: pipeline.GCC, Level: "O0"})
-	sess, err := debugger.NewSession(bin)
-	if err != nil {
-		return nil, err
-	}
-	tr, err := sess.TraceMain("main", 1<<22)
-	if err != nil {
-		return nil, err
-	}
-	sp.base = tr
-	return tr, nil
+	sp.baseOnce.Do(func() {
+		bin := pipeline.Build(sp.ir0, pipeline.Config{Profile: pipeline.GCC, Level: "O0"})
+		sess, err := debugger.NewSession(bin)
+		if err != nil {
+			sp.baseErr = err
+			return
+		}
+		sp.base, sp.baseErr = sess.TraceMain("main", 1<<22)
+	})
+	return sp.base, sp.baseErr
 }
 
 // levelsUnderTest enumerates the (profile, level) pairs the paper

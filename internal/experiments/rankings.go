@@ -1,11 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"debugtuner/internal/pipeline"
+	"debugtuner/internal/specsuite"
+	"debugtuner/internal/testsuite"
 	"debugtuner/internal/tuner"
+	"debugtuner/internal/workerpool"
 )
 
 // Table5 prints the top-10 critical passes per gcc level (paper Table V);
@@ -170,25 +174,43 @@ func (r *Runner) perProgramDy(w io.Writer, p pipeline.Profile, title string) err
 	}
 	levels := pipeline.Levels(p)
 	fmt.Fprintf(w, "%s — per-program product metric for %s Ox-dy configurations\n", title, p)
+	// The Ox-dy configurations per level are fixed once the analyses
+	// exist, so resolve them up front and fan the per-subject
+	// measurements out; rows print in suite order.
 	for _, y := range r.Opts.Dy {
 		fmt.Fprintf(w, "-- Ox-d%d --\n%-10s |", y, "program")
 		for _, l := range levels {
 			fmt.Fprintf(w, " %6s", l)
 		}
 		fmt.Fprintln(w)
+		cfgs := make([]pipeline.Config, len(levels))
+		for li, l := range levels {
+			la, err := r.Analysis(p, l)
+			if err != nil {
+				return err
+			}
+			cfgs[li] = la.Configs([]int{y})[0]
+		}
+		rows, err := workerpool.Map(context.Background(), subjects,
+			func(_ context.Context, _ int, s *testsuite.Subject) ([]float64, error) {
+				vals := make([]float64, len(cfgs))
+				for li, cfg := range cfgs {
+					m, err := s.Product(cfg)
+					if err != nil {
+						return nil, err
+					}
+					vals[li] = m
+				}
+				return vals, nil
+			})
+		if err != nil {
+			return err
+		}
 		sums := make([]float64, len(levels))
-		for _, s := range subjects {
+		for si, s := range subjects {
 			fmt.Fprintf(w, "%-10s |", s.Name)
-			for li, l := range levels {
-				la, err := r.Analysis(p, l)
-				if err != nil {
-					return err
-				}
-				cfg := la.Configs([]int{y})[0]
-				m, err := s.Product(cfg)
-				if err != nil {
-					return err
-				}
+			for li := range levels {
+				m := rows[si][li]
 				sums[li] += m
 				fmt.Fprintf(w, " %6.4f", m)
 			}
@@ -250,19 +272,10 @@ func (r *Runner) specTable(w io.Writer, relative bool) error {
 	return nil
 }
 
-var specSpeedupMemo = struct {
-	m map[string]float64
-}{m: map[string]float64{}}
-
+// specSpeedup delegates to specsuite.Speedup, whose per-benchmark cycle
+// counts are content-addressed-cached. (An earlier per-table memo here
+// was a plain map keyed by the non-unique Config.Name — both unsafe
+// under the worker pool and wrong for same-size disabled sets.)
 func specSpeedup(bench string, cfg pipeline.Config) (float64, error) {
-	key := bench + "/" + cfg.Name()
-	if s, ok := specSpeedupMemo.m[key]; ok {
-		return s, nil
-	}
-	s, err := specsuiteSpeedup(bench, cfg)
-	if err != nil {
-		return 0, err
-	}
-	specSpeedupMemo.m[key] = s
-	return s, nil
+	return specsuite.Speedup(bench, cfg)
 }

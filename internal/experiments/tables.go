@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"debugtuner/internal/metrics"
 	"debugtuner/internal/pipeline"
 	"debugtuner/internal/testsuite"
+	"debugtuner/internal/workerpool"
 )
 
 // Table1 compares the four measurement methods on synthetic programs
@@ -20,18 +22,28 @@ func (r *Runner) Table1(w io.Writer) error {
 		"lc.stat", "lc.statdbg", "lc.dyn", "pr.stat", "pr.statdbg", "pr.dyn", "pr.hyb")
 	hr(w, 132)
 
+	// Per configuration, fan the per-program measurements out over the
+	// worker pool; the geomean aggregation consumes them in program
+	// order, identical to the serial loop.
+	measureAll := func(cfg pipeline.Config) ([]methodScores, error) {
+		return workerpool.Map(context.Background(), progs,
+			func(_ context.Context, _ int, sp *synthProgram) (methodScores, error) {
+				base, err := sp.baseline()
+				if err != nil {
+					return methodScores{}, err
+				}
+				return sp.measure(cfg, base)
+			})
+	}
+
 	type agg struct{ avS, avSD, avD, avH, lcS, lcSD, lcD, prS, prSD, prD, prH []float64 }
 	for _, cfg := range levelsUnderTest() {
 		var a agg
-		for _, sp := range progs {
-			base, err := sp.baseline()
-			if err != nil {
-				return err
-			}
-			ms, err := sp.measure(cfg, base)
-			if err != nil {
-				return err
-			}
+		all, err := measureAll(cfg)
+		if err != nil {
+			return err
+		}
+		for _, ms := range all {
 			a.avS = append(a.avS, ms.static.Avail)
 			a.avSD = append(a.avSD, ms.staticDbg.Avail)
 			a.avD = append(a.avD, ms.dynamic.Avail)
@@ -52,16 +64,12 @@ func (r *Runner) Table1(w io.Writer) error {
 	}
 	// Geometric standard deviation of the hybrid product at gcc O1, the
 	// paper's per-program variability check.
+	all, err := measureAll(pipeline.Config{Profile: pipeline.GCC, Level: "O1"})
+	if err != nil {
+		return err
+	}
 	var prods []float64
-	for _, sp := range progs {
-		base, err := sp.baseline()
-		if err != nil {
-			return err
-		}
-		ms, err := sp.measure(pipeline.Config{Profile: pipeline.GCC, Level: "O1"}, base)
-		if err != nil {
-			return err
-		}
+	for _, ms := range all {
 		prods = append(prods, ms.hybrid.Product)
 	}
 	fmt.Fprintf(w, "geometric std dev of hybrid product at gcc-O1: %.3f\n",
@@ -149,15 +157,23 @@ func (r *Runner) Table4(w io.Writer) error {
 		"Δ%O1", "Δ%O2", "Δ%O3")
 	hr(w, 92)
 	sums := make([]float64, 7)
-	for _, s := range subjects {
-		var vals []float64
-		for _, cfg := range levelsUnderTest() {
-			m, err := s.Product(cfg)
-			if err != nil {
-				return err
+	rows, err := workerpool.Map(context.Background(), subjects,
+		func(_ context.Context, _ int, s *testsuite.Subject) ([]float64, error) {
+			var vals []float64
+			for _, cfg := range levelsUnderTest() {
+				m, err := s.Product(cfg)
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, m)
 			}
-			vals = append(vals, m)
-		}
+			return vals, nil
+		})
+	if err != nil {
+		return err
+	}
+	for si, s := range subjects {
+		vals := rows[si]
 		for i, v := range vals {
 			sums[i] += v
 		}

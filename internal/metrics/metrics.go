@@ -21,6 +21,7 @@ package metrics
 
 import (
 	"math"
+	"sort"
 
 	"debugtuner/internal/dbgtrace"
 	"debugtuner/internal/debuginfo"
@@ -64,7 +65,11 @@ func Hybrid(opt, base *dbgtrace.Trace, dr *sema.DefRanges) Scores {
 func dynamicScores(opt, base *dbgtrace.Trace, dr *sema.DefRanges) Scores {
 	common := 0
 	availSum, availN := 0.0, 0
-	for line := range base.Stepped {
+	// Iterate in sorted line order: float accumulation in Go map order
+	// would make scores differ between runs at ULP level, which is enough
+	// to flip tie-breaks in the pass ranking. The evaluation engine
+	// promises bit-identical results at any worker count.
+	for _, line := range sortedLines(base.Stepped) {
 		if !opt.Stepped[line] {
 			continue
 		}
@@ -138,7 +143,7 @@ func staticScores(table *debuginfo.Table, baseLines map[int]bool, dr *sema.DefRa
 
 	covered := 0
 	availSum, availN := 0.0, 0
-	for line := range baseLines {
+	for _, line := range sortedLines(baseLines) {
 		if steppable[line] {
 			covered++
 		} else {
@@ -188,6 +193,17 @@ func staticVisible(table *debuginfo.Table, symID int, addrs []uint32) bool {
 		}
 	}
 	return false
+}
+
+// sortedLines returns a set's members in ascending order, for
+// deterministic float accumulation.
+func sortedLines(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // GeoMean returns the geometric mean of strictly meaningful values;

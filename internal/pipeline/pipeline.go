@@ -21,6 +21,8 @@ package pipeline
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"debugtuner/internal/autofdo"
 	"debugtuner/internal/codegen"
@@ -265,6 +267,46 @@ func (c Config) Name() string {
 		s += fmt.Sprintf("-d%d", len(c.Disabled))
 	}
 	return s
+}
+
+// Fingerprint returns a content-addressed cache key covering everything
+// that influences the build: profile, level, the sorted disabled set,
+// and the flag/override fields. Unlike Name (which collapses every
+// same-size disabled set to "-dN"), two configs share a fingerprint only
+// if they produce identical binaries from identical IR. ok is false when
+// the config carries an FDO profile, whose sample data has no stable
+// identity — such builds must not be cached.
+func (c Config) Fingerprint() (key string, ok bool) {
+	if c.FDO != nil {
+		return "", false
+	}
+	var sb strings.Builder
+	sb.WriteString(string(c.Profile))
+	sb.WriteByte('/')
+	sb.WriteString(c.Level)
+	if len(c.Disabled) > 0 {
+		names := make([]string, 0, len(c.Disabled))
+		for n, off := range c.Disabled {
+			if off {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			sb.WriteString("/-")
+			sb.WriteString(n)
+		}
+	}
+	if c.ForProfiling {
+		sb.WriteString("/prof")
+	}
+	if c.SalvageOverride != nil {
+		fmt.Fprintf(&sb, "/salvage=%t", *c.SalvageOverride)
+	}
+	if c.OptimisticOverride != nil {
+		fmt.Fprintf(&sb, "/optimistic=%t", *c.OptimisticOverride)
+	}
+	return sb.String(), true
 }
 
 // EnabledPasses returns the distinct user-visible toggle names of a

@@ -6,13 +6,16 @@
 package specsuite
 
 import (
+	"context"
 	"embed"
 	"fmt"
 	"sync"
 
+	"debugtuner/internal/evalcache"
 	"debugtuner/internal/ir"
 	"debugtuner/internal/pipeline"
 	"debugtuner/internal/vm"
+	"debugtuner/internal/workerpool"
 )
 
 //go:embed benchmarks/*.mc
@@ -103,35 +106,65 @@ func RunBinary(name string, bin *vm.Binary) (*Result, error) {
 	return &Result{Name: name, Cycles: m.Cycles, Steps: m.Steps, Output: m.Output()}, nil
 }
 
+// cycleCache content-addresses ref-workload cycle counts by
+// (benchmark, config fingerprint). The VM is cycle-exact and builds are
+// deterministic, so a configuration's cycle count is a pure function of
+// the key; every table that revisits an Ox-dy config (Fig2, Tables
+// VIII/XI/XII) reuses one execution.
+var cycleCache evalcache.Cache[int64]
+
+// Cycles returns the benchmark's ref-workload cycle count under the
+// configuration, cached by content. FDO-carrying configs (no stable
+// fingerprint) are measured uncached.
+func Cycles(name string, cfg pipeline.Config) (int64, error) {
+	run := func() (int64, error) {
+		r, err := Run(name, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return r.Cycles, nil
+	}
+	fp, ok := cfg.Fingerprint()
+	if !ok {
+		return run()
+	}
+	return cycleCache.Do(name+"|"+fp, run)
+}
+
 // Speedup measures cycles(cfg) relative to the O0 build of the same
 // profile: the paper's "speedup over O0".
 func Speedup(name string, cfg pipeline.Config) (float64, error) {
-	base, err := Run(name, pipeline.Config{Profile: cfg.Profile, Level: "O0"})
+	base, err := Cycles(name, pipeline.Config{Profile: cfg.Profile, Level: "O0"})
 	if err != nil {
 		return 0, err
 	}
-	opt, err := Run(name, cfg)
+	opt, err := Cycles(name, cfg)
 	if err != nil {
 		return 0, err
 	}
-	return float64(base.Cycles) / float64(opt.Cycles), nil
+	return float64(base) / float64(opt), nil
 }
 
 // SuiteSpeedup returns the per-benchmark and average speedups of a
-// configuration over the whole suite.
+// configuration over the whole suite. Benchmarks run concurrently on
+// the worker pool; the average is summed in suite order, so the result
+// is identical at any worker count.
 func SuiteSpeedup(cfg pipeline.Config, names []string) (map[string]float64, float64, error) {
 	if names == nil {
 		names = Names
 	}
+	speeds, err := workerpool.Map(context.Background(), names,
+		func(_ context.Context, _ int, n string) (float64, error) {
+			return Speedup(n, cfg)
+		})
+	if err != nil {
+		return nil, 0, err
+	}
 	out := map[string]float64{}
 	sum := 0.0
-	for _, n := range names {
-		s, err := Speedup(n, cfg)
-		if err != nil {
-			return nil, 0, err
-		}
-		out[n] = s
-		sum += s
+	for i, n := range names {
+		out[n] = speeds[i]
+		sum += speeds[i]
 	}
 	return out, sum / float64(len(names)), nil
 }

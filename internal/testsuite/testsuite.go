@@ -5,6 +5,7 @@
 package testsuite
 
 import (
+	"context"
 	"embed"
 	"fmt"
 	"sort"
@@ -15,6 +16,7 @@ import (
 	"debugtuner/internal/debugger"
 	"debugtuner/internal/pipeline"
 	"debugtuner/internal/tuner"
+	"debugtuner/internal/workerpool"
 )
 
 //go:embed programs/*.mc
@@ -156,17 +158,15 @@ func Load(name string, opts CorpusOptions) (*Subject, error) {
 	return subject, nil
 }
 
-// LoadAll loads every suite member.
+// LoadAll loads every suite member. Subjects are independent (each owns
+// its front-end, fuzzer PRNG, and debug session), so they load
+// concurrently on the worker pool; the returned slice keeps the paper's
+// suite order.
 func LoadAll(opts CorpusOptions) ([]*Subject, error) {
-	var out []*Subject
-	for _, n := range Names {
-		s, err := Load(n, opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, s)
-	}
-	return out, nil
+	return workerpool.Map(context.Background(), Names,
+		func(_ context.Context, _ int, n string) (*Subject, error) {
+			return Load(n, opts)
+		})
 }
 
 // Programs extracts the tuner programs from subjects.

@@ -1,6 +1,11 @@
 package tuner
 
-import "debugtuner/internal/pipeline"
+import (
+	"context"
+
+	"debugtuner/internal/pipeline"
+	"debugtuner/internal/workerpool"
+)
 
 // Greedy subset search — the paper's future-work direction (§VI):
 // instead of disabling the top-y ranked passes wholesale, grow the
@@ -23,12 +28,15 @@ type GreedyResult struct {
 // configuration.
 func (la *LevelAnalysis) GreedySelect(progs []*Program, maxPasses int, minGain float64) ([]GreedyResult, pipeline.Config, error) {
 	avg := func(cfg pipeline.Config) (float64, error) {
+		ms, err := workerpool.Map(context.Background(), progs,
+			func(_ context.Context, _ int, p *Program) (float64, error) {
+				return p.Product(cfg)
+			})
+		if err != nil {
+			return 0, err
+		}
 		sum := 0.0
-		for _, p := range progs {
-			m, err := p.Product(cfg)
-			if err != nil {
-				return 0, err
-			}
+		for _, m := range ms {
 			sum += m
 		}
 		return sum / float64(len(progs)), nil

@@ -11,6 +11,7 @@ import (
 
 	"debugtuner/internal/dbgtrace"
 	"debugtuner/internal/debugger"
+	"debugtuner/internal/evalcache"
 	"debugtuner/internal/ir"
 	"debugtuner/internal/metrics"
 	"debugtuner/internal/pipeline"
@@ -35,6 +36,19 @@ type Program struct {
 	mu       sync.Mutex
 	baseline *dbgtrace.Trace
 	stmt     map[int]bool
+	// scores content-addresses full measurements by config fingerprint,
+	// so table generators revisiting the same Ox-dy configuration reuse
+	// one build+trace. Safe because builds are deterministic and the VM
+	// is cycle-exact.
+	scores evalcache.Cache[Measurement]
+}
+
+// Measurement is one cached build+trace outcome.
+type Measurement struct {
+	// TextHash identifies the built binary's semantic instruction
+	// stream; AnalyzeLevel uses it to prune no-effect pass toggles.
+	TextHash uint64
+	Scores   metrics.Scores
 }
 
 // LoadProgram front-ends a subject once; builds are cloned from its IR.
@@ -128,14 +142,33 @@ func (p *Program) Product(cfg pipeline.Config) (float64, error) {
 
 // Scores computes the full hybrid metrics of a configuration.
 func (p *Program) Scores(cfg pipeline.Config) (metrics.Scores, error) {
+	m, err := p.Measure(cfg)
+	return m.Scores, err
+}
+
+// Measure builds, traces, and scores the configuration. Results are
+// content-addressed by the config fingerprint; un-fingerprintable
+// configurations (FDO) are measured uncached.
+func (p *Program) Measure(cfg pipeline.Config) (Measurement, error) {
+	fp, ok := cfg.Fingerprint()
+	if !ok {
+		return p.measure(cfg)
+	}
+	return p.scores.Do(fp, func() (Measurement, error) { return p.measure(cfg) })
+}
+
+func (p *Program) measure(cfg pipeline.Config) (Measurement, error) {
 	base, err := p.Baseline()
 	if err != nil {
-		return metrics.Scores{}, err
+		return Measurement{}, err
 	}
 	bin := p.Build(cfg)
 	tr, err := p.Trace(bin)
 	if err != nil {
-		return metrics.Scores{}, err
+		return Measurement{}, err
 	}
-	return metrics.Hybrid(tr, base, p.DR), nil
+	return Measurement{
+		TextHash: bin.TextHash(),
+		Scores:   metrics.Hybrid(tr, base, p.DR),
+	}, nil
 }

@@ -1,10 +1,12 @@
 package tuner
 
 import (
+	"context"
 	"sort"
 
 	"debugtuner/internal/metrics"
 	"debugtuner/internal/pipeline"
+	"debugtuner/internal/workerpool"
 )
 
 // PassEffect is one (pass, program) measurement from the build matrix.
@@ -50,55 +52,79 @@ type LevelAnalysis struct {
 // AnalyzeLevel runs DebugTuner stage 1+2 for one profile/level: build the
 // reference, rebuild once per disabled pass (pruning .text-identical
 // builds), measure, and rank.
+//
+// The (program × pass) build+trace matrix is embarrassingly parallel and
+// fans out over the workerpool in two waves — per-program references
+// first (their hashes gate the pruning), then the full matrix. Results
+// are aggregated in input order, so the ranking is identical to the
+// serial loop's regardless of worker count.
 func AnalyzeLevel(progs []*Program, profile pipeline.Profile, level string) (*LevelAnalysis, error) {
 	la := &LevelAnalysis{
 		Profile: profile, Level: level,
 		RefProduct: map[string]float64{},
 	}
 	passNames := pipeline.EnabledPasses(profile, level)
+	ctx := context.Background()
+
+	// Wave 1: reference build+trace per program. Measure routes through
+	// the content-addressed cache, so the plain-level configurations the
+	// table generators also visit are built only once per process.
+	refCfg := pipeline.Config{Profile: profile, Level: level}
+	refs, err := workerpool.Map(ctx, progs, func(_ context.Context, _ int, p *Program) (Measurement, error) {
+		return p.Measure(refCfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range progs {
+		la.RefProduct[p.Name] = refs[i].Scores.Product
+	}
+
+	// Wave 2: the (program × pass) matrix.
+	type matrixJob struct{ pi, xi int }
+	jobs := make([]matrixJob, 0, len(progs)*len(passNames))
+	for pi := range progs {
+		for xi := range passNames {
+			jobs = append(jobs, matrixJob{pi, xi})
+		}
+	}
+	cells, err := workerpool.Map(ctx, jobs, func(_ context.Context, _ int, j matrixJob) (PassEffect, error) {
+		p := progs[j.pi]
+		cfg := pipeline.Config{
+			Profile: profile, Level: level,
+			Disabled: map[string]bool{passNames[j.xi]: true},
+		}
+		bin := p.Build(cfg)
+		// Stage-1 optimization: identical .text means the pass had
+		// no effect on this program; skip trace extraction (§III.A).
+		if bin.TextHash() == refs[j.pi].TextHash {
+			return PassEffect{NoEffect: true}, nil
+		}
+		base, err := p.Baseline()
+		if err != nil {
+			return PassEffect{}, err
+		}
+		tr, err := p.Trace(bin)
+		if err != nil {
+			return PassEffect{}, err
+		}
+		m := metrics.Hybrid(tr, base, p.DR).Product
+		refM := refs[j.pi].Scores.Product
+		inc := 0.0
+		if refM > 0 {
+			inc = (m - refM) / refM
+		}
+		return PassEffect{Increment: inc}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	effects := map[string]map[string]PassEffect{}
 	for _, n := range passNames {
 		effects[n] = map[string]PassEffect{}
 	}
-
-	for _, p := range progs {
-		refCfg := pipeline.Config{Profile: profile, Level: level}
-		refBin := p.Build(refCfg)
-		refHash := refBin.TextHash()
-		base, err := p.Baseline()
-		if err != nil {
-			return nil, err
-		}
-		refTrace, err := p.Trace(refBin)
-		if err != nil {
-			return nil, err
-		}
-		refM := metrics.Hybrid(refTrace, base, p.DR).Product
-		la.RefProduct[p.Name] = refM
-
-		for _, pass := range passNames {
-			cfg := pipeline.Config{
-				Profile: profile, Level: level,
-				Disabled: map[string]bool{pass: true},
-			}
-			bin := p.Build(cfg)
-			// Stage-1 optimization: identical .text means the pass had
-			// no effect on this program; skip trace extraction (§III.A).
-			if bin.TextHash() == refHash {
-				effects[pass][p.Name] = PassEffect{NoEffect: true}
-				continue
-			}
-			tr, err := p.Trace(bin)
-			if err != nil {
-				return nil, err
-			}
-			m := metrics.Hybrid(tr, base, p.DR).Product
-			inc := 0.0
-			if refM > 0 {
-				inc = (m - refM) / refM
-			}
-			effects[pass][p.Name] = PassEffect{Increment: inc}
-		}
+	for k, j := range jobs {
+		effects[passNames[j.xi]][progs[j.pi].Name] = cells[k]
 	}
 
 	la.Ranking = rank(passNames, progs, effects, profile)

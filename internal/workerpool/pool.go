@@ -1,0 +1,118 @@
+// Package workerpool is the bounded fan-out primitive shared by every
+// parallel evaluation loop: the tuner's (program × pass) build matrix,
+// the experiments table generators, specsuite.SuiteSpeedup, and
+// testsuite.LoadAll.
+//
+// The design constraints come from DebugTuner's determinism requirement
+// (§III rankings must not depend on scheduling): Map always returns
+// results in input order, so callers aggregate exactly as the serial
+// loops did, and the first error — by input index, not by completion
+// time — cancels the pool and is the one returned.
+package workerpool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers holds the process-wide override set by the -j flag;
+// 0 means "auto" (GOMAXPROCS).
+var workers atomic.Int64
+
+// SetWorkers fixes the process-wide worker count. n <= 0 restores the
+// automatic default of runtime.GOMAXPROCS(0).
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workers.Store(int64(n))
+}
+
+// Workers returns the effective worker count.
+func Workers() int {
+	if n := workers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map applies fn to every item on up to Workers() goroutines and returns
+// the results in input order. The first failing item (lowest input
+// index among observed failures) cancels the derived context passed to
+// the remaining calls, and its error is returned. With one worker (or
+// one item) Map degenerates to the exact serial loop.
+func Map[T, R any](ctx context.Context, items []T, fn func(ctx context.Context, idx int, item T) (R, error)) ([]R, error) {
+	if len(items) == 0 {
+		return nil, ctx.Err()
+	}
+	n := Workers()
+	if n > len(items) {
+		n = len(items)
+	}
+	results := make([]R, len(items))
+	if n <= 1 {
+		for i, item := range items {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			r, err := fn(ctx, i, item)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	pctx := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next    atomic.Int64
+		errMu   sync.Mutex
+		errIdx  = -1
+		poolErr error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) || ctx.Err() != nil {
+					return
+				}
+				r, err := fn(ctx, i, items[i])
+				if err != nil {
+					errMu.Lock()
+					if errIdx < 0 || i < errIdx {
+						errIdx, poolErr = i, err
+					}
+					errMu.Unlock()
+					cancel()
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if errIdx >= 0 {
+		return nil, poolErr
+	}
+	if err := pctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// ForEach is Map without per-item results.
+func ForEach[T any](ctx context.Context, items []T, fn func(ctx context.Context, idx int, item T) error) error {
+	_, err := Map(ctx, items, func(ctx context.Context, idx int, item T) (struct{}, error) {
+		return struct{}{}, fn(ctx, idx, item)
+	})
+	return err
+}

@@ -1,0 +1,148 @@
+package workerpool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	SetWorkers(8)
+	defer SetWorkers(0)
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	got, err := Map(context.Background(), items, func(_ context.Context, idx int, item int) (int, error) {
+		if idx != item {
+			t.Errorf("idx %d != item %d", idx, item)
+		}
+		return item * item, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	SetWorkers(3)
+	defer SetWorkers(0)
+	var cur, peak atomic.Int64
+	items := make([]int, 64)
+	_, err := Map(context.Background(), items, func(_ context.Context, _ int, _ int) (int, error) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("peak concurrency %d exceeds 3 workers", p)
+	}
+}
+
+func TestMapFirstErrorWinsAndCancels(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	items := make([]int, 32)
+	var cancelled atomic.Bool
+	_, err := Map(context.Background(), items, func(ctx context.Context, idx int, _ int) (int, error) {
+		if idx == 3 {
+			return 0, fmt.Errorf("boom at %d", idx)
+		}
+		if idx == 5 {
+			// A later failure must not displace the earlier one.
+			return 0, fmt.Errorf("boom at %d", idx)
+		}
+		select {
+		case <-ctx.Done():
+			cancelled.Store(true)
+		case <-time.After(50 * time.Millisecond):
+		}
+		return 0, nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if err.Error() != "boom at 3" {
+		t.Fatalf("got %q, want the lowest-index error", err)
+	}
+	if !cancelled.Load() {
+		t.Error("in-flight items never observed cancellation")
+	}
+}
+
+func TestMapParentCancellation(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Map(ctx, make([]int, 8), func(context.Context, int, int) (int, error) {
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestMapSerialFallback(t *testing.T) {
+	SetWorkers(1)
+	defer SetWorkers(0)
+	var mu sync.Mutex
+	var order []int
+	_, err := Map(context.Background(), []int{0, 1, 2, 3}, func(_ context.Context, idx int, _ int) (int, error) {
+		mu.Lock()
+		order = append(order, idx)
+		mu.Unlock()
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial mode ran out of order: %v", order)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(context.Background(), nil, func(context.Context, int, int) error {
+		t.Fatal("fn called on empty input")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	SetWorkers(7)
+	if Workers() != 7 {
+		t.Fatalf("Workers() = %d, want 7", Workers())
+	}
+	SetWorkers(0)
+	if Workers() < 1 {
+		t.Fatalf("auto Workers() = %d, want >= 1", Workers())
+	}
+	SetWorkers(-3)
+	if Workers() < 1 {
+		t.Fatalf("negative SetWorkers broke auto mode: %d", Workers())
+	}
+}

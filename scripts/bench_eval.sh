@@ -1,0 +1,65 @@
+#!/bin/sh
+# Benchmarks the evaluation engine: wall-clock of `experiments -quick all`
+# serial (-j 1) vs parallel (-j 4), verifies the two stdouts are
+# byte-identical, and writes the numbers to BENCH_eval.json.
+#
+# Usage: scripts/bench_eval.sh [jobs]   (default parallel width: 4)
+set -eu
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-4}"
+OUT=BENCH_eval.json
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/experiments" ./cmd/experiments
+
+# GOMAXPROCS must be lifted explicitly: on machines whose container
+# advertises one CPU the Go runtime would otherwise pin the parallel run
+# to a single OS thread regardless of -j.
+export GOMAXPROCS="${GOMAXPROCS:-8}"
+
+time_run() {
+    # Seconds, with subsecond precision where the shell provides it.
+    start=$(date +%s.%N 2>/dev/null || date +%s)
+    "$TMP/experiments" -quick -j "$1" all >"$2"
+    end=$(date +%s.%N 2>/dev/null || date +%s)
+    awk -v a="$start" -v b="$end" 'BEGIN { printf "%.1f", b - a }'
+}
+
+echo "serial run (-j 1)..." >&2
+SERIAL=$(time_run 1 "$TMP/serial.txt")
+echo "parallel run (-j $JOBS)..." >&2
+PARALLEL=$(time_run "$JOBS" "$TMP/parallel.txt")
+
+if cmp -s "$TMP/serial.txt" "$TMP/parallel.txt"; then
+    IDENTICAL=true
+else
+    IDENTICAL=false
+    diff "$TMP/serial.txt" "$TMP/parallel.txt" | head -20 >&2 || true
+fi
+
+SPEEDUP=$(awk -v s="$SERIAL" -v p="$PARALLEL" 'BEGIN { printf "%.2f", s / p }')
+
+# SEED_BASELINE_SECONDS (optional): wall-clock of the pre-engine
+# `-quick all` on the same machine, for the result-cache comparison.
+EXTRA=""
+if [ -n "${SEED_BASELINE_SECONDS:-}" ]; then
+    CACHE_SPEEDUP=$(awk -v s="$SEED_BASELINE_SECONDS" -v p="$SERIAL" \
+        'BEGIN { printf "%.2f", s / p }')
+    EXTRA=$(printf '\n  "seed_baseline_seconds": %s,\n  "speedup_vs_seed": %s,' \
+        "$SEED_BASELINE_SECONDS" "$CACHE_SPEEDUP")
+fi
+
+cat >"$OUT" <<EOF
+{
+  "benchmark": "cmd/experiments -quick all",
+  "jobs": $JOBS,
+  "gomaxprocs": ${GOMAXPROCS},${EXTRA}
+  "serial_seconds": $SERIAL,
+  "parallel_seconds": $PARALLEL,
+  "speedup_parallel_vs_serial": $SPEEDUP,
+  "stdout_byte_identical": $IDENTICAL
+}
+EOF
+cat "$OUT"
