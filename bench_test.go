@@ -106,7 +106,7 @@ func BenchmarkCompileO2(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pipeline.Build(ir0, pipeline.Config{Profile: pipeline.GCC, Level: "O2"})
+		pipeline.Build(ir0, pipeline.MustConfig(pipeline.GCC, "O2"))
 	}
 }
 
@@ -116,7 +116,7 @@ func BenchmarkVMExecution(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	bin := pipeline.Build(ir0, pipeline.Config{Profile: pipeline.Clang, Level: "O2"})
+	bin := pipeline.Build(ir0, pipeline.MustConfig(pipeline.Clang, "O2"))
 	b.ResetTimer()
 	var steps int64
 	for i := 0; i < b.N; i++ {
@@ -137,7 +137,7 @@ func BenchmarkDebugTrace(b *testing.B) {
 		b.Fatal(err)
 	}
 	bin, _, err := pipeline.CompileSource("libyaml.mc", src,
-		pipeline.Config{Profile: pipeline.GCC, Level: "O1"})
+		pipeline.MustConfig(pipeline.GCC, "O1"))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -160,9 +160,8 @@ func BenchmarkProfileCollection(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	bin := pipeline.Build(ir0, pipeline.Config{
-		Profile: pipeline.Clang, Level: "O2", ForProfiling: true,
-	})
+	bin := pipeline.Build(ir0,
+		pipeline.MustConfig(pipeline.Clang, "O2", pipeline.WithProfiling()))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := autofdo.Collect(bin, "main", 997); err != nil {

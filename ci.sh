@@ -7,6 +7,8 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race -count=1 \
+    ./internal/telemetry/ \
+    ./internal/suite/ \
     ./internal/workerpool/ \
     ./internal/evalcache/ \
     ./internal/tuner/ \

@@ -12,6 +12,8 @@
 //	-dy 3,5,7,9           configuration sizes
 //	-top 10               ranking rows to print
 //	-perf                 also measure SPEC speedups per configuration
+//	-trace out.json       write spans/counters as Chrome trace-event JSON
+//	-metrics out.json     write a JSON telemetry summary
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 
 	"debugtuner/internal/pipeline"
 	"debugtuner/internal/specsuite"
+	"debugtuner/internal/telemetry"
 	"debugtuner/internal/testsuite"
 	"debugtuner/internal/tuner"
 )
@@ -35,7 +38,15 @@ func main() {
 	perf := flag.Bool("perf", false, "measure SPEC speedups per configuration")
 	execs := flag.Int("execs", 400, "fuzzing executions per harness")
 	greedy := flag.Int("greedy", 0, "also run a greedy subset search up to N passes")
+	tracePath := flag.String("trace", "",
+		"write spans and counters as Chrome trace-event JSON to this file")
+	metricsPath := flag.String("metrics", "",
+		"write a JSON telemetry summary to this file")
 	flag.Parse()
+	var snk *telemetry.Sink
+	if *tracePath != "" || *metricsPath != "" {
+		snk = telemetry.Enable()
+	}
 
 	profile := pipeline.Profile(*compiler)
 	var dys []int
@@ -77,7 +88,7 @@ func main() {
 	fmt.Printf("\nconfigurations (suite-average hybrid product metric)\n")
 	ref := 0.0
 	for _, p := range progs {
-		m, err := p.Product(pipeline.Config{Profile: profile, Level: *level})
+		m, err := p.Product(pipeline.MustConfig(profile, *level))
 		if err != nil {
 			fail(err)
 		}
@@ -86,7 +97,7 @@ func main() {
 	ref /= float64(len(progs))
 	fmt.Printf("%-10s product=%.4f", *level, ref)
 	if *perf {
-		_, spd, err := specsuite.SuiteSpeedup(pipeline.Config{Profile: profile, Level: *level}, nil)
+		_, spd, err := specsuite.SuiteSpeedup(pipeline.MustConfig(profile, *level), nil)
 		if err != nil {
 			fail(err)
 		}
@@ -126,6 +137,12 @@ func main() {
 		}
 		fmt.Printf("final: %s disabling %s\n", gcfg.Name(),
 			strings.Join(sortedNames(gcfg.Disabled), ", "))
+	}
+
+	if snk != nil {
+		if err := telemetry.ExportFiles(snk, *tracePath, *metricsPath); err != nil {
+			fail(err)
+		}
 	}
 }
 

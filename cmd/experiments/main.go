@@ -4,10 +4,16 @@
 //
 //	experiments [flags] [table1 table2 table3 table4 table5 table6 table7
 //	                     fig2 table8 table9 table10 table11 table12
-//	                     fig3 table15 fig4 | all]
+//	                     fig3 table15 fig4 passreport | all]
 //
 // Flags scale the evaluation; the defaults finish in minutes. Outputs are
 // plain-text tables matching the paper's rows.
+//
+// passreport (not part of "all": its wall-clock column is
+// nondeterministic) prints the per-pass debug-damage ledger for the
+// -profile/-level build of the test suite. -trace and -metrics write a
+// Chrome trace-event file and a JSON telemetry summary for any run;
+// stdout stays byte-identical whether or not telemetry is enabled.
 package main
 
 import (
@@ -18,6 +24,8 @@ import (
 	"time"
 
 	"debugtuner/internal/experiments"
+	"debugtuner/internal/pipeline"
+	"debugtuner/internal/telemetry"
 	"debugtuner/internal/workerpool"
 )
 
@@ -35,8 +43,20 @@ func main() {
 		"worker-pool size for the evaluation engine (0 = GOMAXPROCS)")
 	timings := flag.Bool("timings", false,
 		"print per-experiment wall-clock to stderr (stdout stays byte-identical)")
+	tracePath := flag.String("trace", "",
+		"write spans and counters as Chrome trace-event JSON to this file")
+	metricsPath := flag.String("metrics", "",
+		"write a JSON telemetry summary (counters, maxima, damage ledger) to this file")
+	prProfile := flag.String("profile", "gcc",
+		"compiler profile for the passreport experiment")
+	prLevel := flag.String("level", "O2",
+		"optimization level for the passreport experiment")
 	flag.Parse()
 	workerpool.SetWorkers(*jobs)
+	var snk *telemetry.Sink
+	if *tracePath != "" || *metricsPath != "" {
+		snk = telemetry.Enable()
+	}
 	if *quick {
 		opts.SynthCount = 20
 		opts.CorpusExecs = 120
@@ -68,6 +88,11 @@ func main() {
 	for _, e := range all {
 		byName[e.name] = e
 	}
+	// Deliberately absent from "all": the report's wall-ms column varies
+	// run to run, and "all" output must stay byte-identical.
+	byName["passreport"] = exp{"passreport", func(w io.Writer) error {
+		return experiments.WritePassReport(w, pipeline.Profile(*prProfile), *prLevel)
+	}}
 	for _, name := range want {
 		e, ok := byName[name]
 		if !ok {
@@ -86,5 +111,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "[%s: %.2fs]\n", e.name, time.Since(start).Seconds())
 		}
 		fmt.Println()
+	}
+	if snk != nil {
+		if err := telemetry.ExportFiles(snk, *tracePath, *metricsPath); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry export: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -46,16 +46,14 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	cfg := pipeline.Config{
-		Profile:  pipeline.Profile(*profile),
-		Level:    "O" + strings.ToUpper(*level),
-		Disabled: map[string]bool{},
-	}
+	lvl := "O" + strings.ToUpper(*level)
 	if *level == "g" {
-		cfg.Level = "Og"
+		lvl = "Og"
 	}
-	for _, d := range disabled {
-		cfg.Disabled[d] = true
+	cfg, err := pipeline.NewConfig(pipeline.Profile(*profile), lvl,
+		pipeline.Disable(disabled...))
+	if err != nil {
+		fail(err)
 	}
 	bin, info, err := pipeline.CompileSource(flag.Arg(0), src, cfg)
 	if err != nil {

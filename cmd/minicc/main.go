@@ -67,14 +67,17 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	cfg := pipeline.Config{
-		Profile:      pipeline.Profile(*profile),
-		Level:        "O" + strings.ToUpper(*level),
-		Disabled:     disabled,
-		ForProfiling: *forProfiling,
-	}
+	lvl := "O" + strings.ToUpper(*level)
 	if *level == "g" {
-		cfg.Level = "Og"
+		lvl = "Og"
+	}
+	copts := []pipeline.Option{pipeline.DisableSet(disabled)}
+	if *forProfiling {
+		copts = append(copts, pipeline.WithProfiling())
+	}
+	cfg, err := pipeline.NewConfig(pipeline.Profile(*profile), lvl, copts...)
+	if err != nil {
+		fail(err)
 	}
 	info, err := pipeline.Frontend(flag.Arg(0), src)
 	if err != nil {

@@ -23,7 +23,7 @@ func main() {
 
 	// Stage 1: build the profiling binary at O2 with
 	// -fdebug-info-for-profiling, run the ref workload under sampling.
-	profCfg := pipeline.Config{Profile: pipeline.Clang, Level: "O2", ForProfiling: true}
+	profCfg := pipeline.MustConfig(pipeline.Clang, "O2", pipeline.WithProfiling())
 	profBin := pipeline.Build(ir0, profCfg)
 	prof, err := autofdo.Collect(profBin, "main", 997)
 	if err != nil {
@@ -34,12 +34,12 @@ func main() {
 
 	// Stage 2: recompile with the profile and compare.
 	plain, err := specsuite.RunBinary(bench,
-		pipeline.Build(ir0, pipeline.Config{Profile: pipeline.Clang, Level: "O2"}))
+		pipeline.Build(ir0, pipeline.MustConfig(pipeline.Clang, "O2")))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fdo, err := specsuite.RunBinary(bench,
-		pipeline.Build(ir0, pipeline.Config{Profile: pipeline.Clang, Level: "O2", FDO: prof}))
+		pipeline.Build(ir0, pipeline.MustConfig(pipeline.Clang, "O2", pipeline.WithFDO(prof))))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,18 +48,15 @@ func main() {
 		fdo.Cycles, 100*(float64(plain.Cycles)-float64(fdo.Cycles))/float64(fdo.Cycles))
 
 	// The coupling: profile from a debug-friendlier O2-dy build.
-	dyCfg := pipeline.Config{
-		Profile: pipeline.Clang, Level: "O2", ForProfiling: true,
-		Disabled: map[string]bool{
-			"schedule-insns2": true, "machine-sink": true, "jump-threading": true,
-		},
-	}
+	dyCfg := pipeline.MustConfig(pipeline.Clang, "O2",
+		pipeline.WithProfiling(),
+		pipeline.Disable("schedule-insns2", "machine-sink", "jump-threading"))
 	dyProf, err := autofdo.Collect(pipeline.Build(ir0, dyCfg), "main", 997)
 	if err != nil {
 		log.Fatal(err)
 	}
 	dyFdo, err := specsuite.RunBinary(bench,
-		pipeline.Build(ir0, pipeline.Config{Profile: pipeline.Clang, Level: "O2", FDO: dyProf}))
+		pipeline.Build(ir0, pipeline.MustConfig(pipeline.Clang, "O2", pipeline.WithFDO(dyProf))))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -46,7 +46,7 @@ func main() {
 
 	var points []tuner.Point
 	for _, level := range pipeline.Levels(pipeline.GCC) {
-		points = append(points, point(pipeline.Config{Profile: pipeline.GCC, Level: level}))
+		points = append(points, point(pipeline.MustConfig(pipeline.GCC, level)))
 		la, err := tuner.AnalyzeLevel(progs, pipeline.GCC, level)
 		if err != nil {
 			log.Fatal(err)

@@ -47,7 +47,7 @@ func main() {
 	}
 
 	// The -O0 build is the debuggability baseline.
-	baseBin := pipeline.Build(ir0, pipeline.Config{Profile: pipeline.GCC, Level: "O0"})
+	baseBin := pipeline.Build(ir0, pipeline.MustConfig(pipeline.GCC, "O0"))
 	baseSess, err := debugger.NewSession(baseBin)
 	if err != nil {
 		log.Fatal(err)
@@ -59,7 +59,7 @@ func main() {
 	dr := sema.ComputeDefRanges(info)
 
 	for _, level := range []string{"O0", "O1", "O2"} {
-		cfg := pipeline.Config{Profile: pipeline.GCC, Level: level}
+		cfg := pipeline.MustConfig(pipeline.GCC, level)
 		bin := pipeline.Build(ir0, cfg)
 
 		// Run it: output and cycle count.

@@ -30,7 +30,7 @@ func profileOf(t *testing.T, bench string, cfg pipeline.Config) *autofdo.Profile
 
 // TestCollectMapsSamples: profiles exist, and most samples map to lines.
 func TestCollectMapsSamples(t *testing.T) {
-	p := profileOf(t, "505.mcf", pipeline.Config{Profile: pipeline.Clang, Level: "O2"})
+	p := profileOf(t, "505.mcf", pipeline.MustConfig(pipeline.Clang, "O2"))
 	if p.Total < 100 {
 		t.Fatalf("too few samples: %d", p.Total)
 	}
@@ -45,15 +45,11 @@ func TestCollectMapsSamples(t *testing.T) {
 // TestDebugFriendlyProfilingMapsMore: an O2-dy profiling build must map
 // at least as many samples as plain O2 — the mechanism behind Figure 3.
 func TestDebugFriendlyProfilingMapsMore(t *testing.T) {
-	base := profileOf(t, "505.mcf", pipeline.Config{Profile: pipeline.Clang, Level: "O2"})
+	base := profileOf(t, "505.mcf", pipeline.MustConfig(pipeline.Clang, "O2"))
 	// Disable the three top debug-harmful clang passes (the O2-d3
 	// analog without running the full ranking here).
-	dy := profileOf(t, "505.mcf", pipeline.Config{
-		Profile: pipeline.Clang, Level: "O2",
-		Disabled: map[string]bool{
-			"schedule-insns2": true, "machine-sink": true, "jump-threading": true,
-		},
-	})
+	dy := profileOf(t, "505.mcf", pipeline.MustConfig(pipeline.Clang, "O2",
+		pipeline.Disable("schedule-insns2", "machine-sink", "jump-threading")))
 	// A small tolerance absorbs sampling-alignment noise: the claim is
 	// about the trend, not every address.
 	if dy.MappedFraction()+0.02 < base.MappedFraction() {
@@ -65,13 +61,13 @@ func TestDebugFriendlyProfilingMapsMore(t *testing.T) {
 // TestFDOPreservesSemantics: an FDO-optimized binary must produce the
 // same output.
 func TestFDOPreservesSemantics(t *testing.T) {
-	prof := profileOf(t, "531.deepsjeng", pipeline.Config{Profile: pipeline.Clang, Level: "O2"})
+	prof := profileOf(t, "531.deepsjeng", pipeline.MustConfig(pipeline.Clang, "O2"))
 	ir0, err := specsuite.LoadIR("531.deepsjeng")
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain := pipeline.Build(ir0, pipeline.Config{Profile: pipeline.Clang, Level: "O2"})
-	fdo := pipeline.Build(ir0, pipeline.Config{Profile: pipeline.Clang, Level: "O2", FDO: prof})
+	plain := pipeline.Build(ir0, pipeline.MustConfig(pipeline.Clang, "O2"))
+	fdo := pipeline.Build(ir0, pipeline.MustConfig(pipeline.Clang, "O2", pipeline.WithFDO(prof)))
 	run := func(bin *vm.Binary) []int64 {
 		m := vm.New(bin)
 		m.StepBudget = 1 << 33
@@ -95,18 +91,18 @@ func TestFDOHelpsOnAverage(t *testing.T) {
 	better, total := 0, 0
 	var sumRatio float64
 	for _, bench := range []string{"505.mcf", "531.deepsjeng", "557.xz", "500.perlbench"} {
-		prof := profileOf(t, bench, pipeline.Config{Profile: pipeline.Clang, Level: "O2"})
+		prof := profileOf(t, bench, pipeline.MustConfig(pipeline.Clang, "O2"))
 		ir0, err := specsuite.LoadIR(bench)
 		if err != nil {
 			t.Fatal(err)
 		}
 		plain, err := specsuite.RunBinary(bench,
-			pipeline.Build(ir0, pipeline.Config{Profile: pipeline.Clang, Level: "O2"}))
+			pipeline.Build(ir0, pipeline.MustConfig(pipeline.Clang, "O2")))
 		if err != nil {
 			t.Fatal(err)
 		}
 		fdo, err := specsuite.RunBinary(bench,
-			pipeline.Build(ir0, pipeline.Config{Profile: pipeline.Clang, Level: "O2", FDO: prof}))
+			pipeline.Build(ir0, pipeline.MustConfig(pipeline.Clang, "O2", pipeline.WithFDO(prof))))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -143,7 +139,7 @@ func TestProfileSteersTuning(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := la.Configs([]int{3})[0]
-	base := profileOf(t, "505.mcf", pipeline.Config{Profile: pipeline.Clang, Level: "O2"})
+	base := profileOf(t, "505.mcf", pipeline.MustConfig(pipeline.Clang, "O2"))
 	dy := profileOf(t, "505.mcf", cfg)
 	// Per-benchmark mapped fractions are noisy (samples are weighted by
 	// time, so one hot artificial-line loop can dominate); the paper's

@@ -1,16 +1,23 @@
 package codegen
 
 import (
+	"time"
+
 	"debugtuner/internal/ast"
 	"debugtuner/internal/debuginfo"
 	"debugtuner/internal/ir"
+	"debugtuner/internal/telemetry"
 	"debugtuner/internal/vm"
 )
 
 // Compile lowers an optimized IR program all the way to an executable
 // binary with its debug-information section. The IR program is consumed
-// (critical edges are split in place).
+// (critical edges are split in place). With telemetry enabled, each
+// optional backend stage reports its wall time and debug damage to the
+// ledger under the toggle name that enabled it.
 func Compile(prog *ir.Program, opts Options) *vm.Binary {
+	snk := telemetry.Active()
+	span := telemetry.Begin("codegen", "compile")
 	fidx := map[string]int64{}
 	for i, f := range prog.Funcs {
 		fidx[f.Name] = int64(i)
@@ -19,7 +26,7 @@ func Compile(prog *ir.Program, opts Options) *vm.Binary {
 	for _, f := range prog.Funcs {
 		mf := lowerFunc(prog, f, &opts, fidx)
 		if opts.MachineSink {
-			machineSink(mf)
+			runStage(snk, &opts, "machine-sink", mf, func() { machineSink(mf) })
 		}
 		// Register allocation runs on reverse postorder — inlining
 		// appends callee blocks far from their call sites, and the
@@ -27,24 +34,28 @@ func Compile(prog *ir.Program, opts Options) *vm.Binary {
 		// block placement. The optional hot-path layout is a post-RA
 		// pass, as in LLVM's MachineBlockPlacement.
 		if opts.Schedule {
-			schedule(mf)
+			runStage(snk, &opts, "schedule", mf, func() { schedule(mf) })
 		}
 		rpoSort(mf)
 		regalloc(mf, &opts)
 		if opts.Layout {
-			layout(mf)
+			runStage(snk, &opts, "layout", mf, func() { layout(mf) })
 		}
 		if opts.ShrinkWrap {
+			t0 := time.Now()
 			shrinkWrap(mf)
+			shrinkWrapDamage(snk, &opts, mf, time.Since(t0))
 		} else {
 			mf.prologBlock = mf.Blocks[0]
 		}
 		if opts.CrossJump {
-			crossJump(mf)
+			runStage(snk, &opts, "crossjump", mf, func() { crossJump(mf) })
 		}
 		mfuncs = append(mfuncs, mf)
 	}
-	return emit(prog, mfuncs, &opts)
+	bin := emit(prog, mfuncs, &opts)
+	span.End()
+	return bin
 }
 
 // emit assembles the machine functions into a flat binary and builds the

@@ -39,6 +39,12 @@ type Options struct {
 	// intervals one register and deletes the moves
 	// (gcc tree-coalesce-vars).
 	CoalesceVars bool
+	// PassNames maps backend stage ids ("schedule", "layout",
+	// "crossjump", "shrink-wrap", "machine-sink") to the profile
+	// toggle name that enabled the stage ("schedule-insns2",
+	// "reorder-blocks" vs "block-placement", ...). pipeline fills it;
+	// telemetry attributes backend damage and timing to these names.
+	PassNames map[string]string
 	// OptimisticRanges keeps a variable's register location open until
 	// the next binding or function end even after the register is
 	// clobbered — the gcc-profile behavior whose overestimation the

@@ -1,0 +1,145 @@
+package codegen
+
+import (
+	"time"
+
+	"debugtuner/internal/telemetry"
+)
+
+// Backend telemetry: each optional machine-IR stage is wrapped in a
+// before/after snapshot of the MIR debug metadata, mirroring the
+// mid-end ledger in internal/passes. Damage is attributed to the
+// profile toggle that enabled the stage (Options.PassNames), so the
+// passreport table speaks the same names as the paper's rankings.
+
+// toggleName resolves a stage id to its enabling toggle.
+func (o *Options) toggleName(stage string) string {
+	if n := o.PassNames[stage]; n != "" {
+		return n
+	}
+	return stage
+}
+
+// mirSnap is the per-function machine-IR debug snapshot.
+type mirSnap struct {
+	instrs int
+	lines  map[*MInstr]int
+	bound  map[*MInstr]bool
+	order  []*MBlock
+}
+
+func snapshotMIR(mf *MFunc) *mirSnap {
+	s := &mirSnap{
+		lines: map[*MInstr]int{},
+		bound: map[*MInstr]bool{},
+		order: append([]*MBlock(nil), mf.Blocks...),
+	}
+	for _, b := range mf.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == mDbg {
+				s.bound[in] = in.Sub != dbgNone
+				continue
+			}
+			s.instrs++
+			s.lines[in] = in.Line
+		}
+	}
+	return s
+}
+
+// diffMIR compares mf against its snapshot. Deleted instructions that
+// carried a line count as zeroed (their rows vanish from the line
+// table — cross-jumping's cost); deleted bound markers count as
+// dropped.
+func diffMIR(before *mirSnap, mf *MFunc) telemetry.Damage {
+	var d telemetry.Damage
+	instrs := 0
+	present := map[*MInstr]bool{}
+	for _, b := range mf.Blocks {
+		for _, in := range b.Instrs {
+			present[in] = true
+			if in.Op == mDbg {
+				if before.bound[in] && in.Sub == dbgNone {
+					d.DbgDropped++
+				}
+				continue
+			}
+			instrs++
+			if old, ok := before.lines[in]; ok && old != in.Line {
+				if in.Line == 0 {
+					d.LinesZeroed++
+				} else {
+					d.LinesChanged++
+				}
+			}
+		}
+	}
+	for in, line := range before.lines {
+		if !present[in] && line > 0 {
+			d.LinesZeroed++
+		}
+	}
+	for in, wasBound := range before.bound {
+		if wasBound && !present[in] {
+			d.DbgDropped++
+		}
+	}
+	d.InstrDelta = int64(instrs - before.instrs)
+	return d
+}
+
+// displacedBlocks counts blocks whose predecessor in emission order
+// changed — each displacement is a line-table discontinuity the
+// stepping experience pays for (block placement's debug cost).
+func displacedBlocks(before []*MBlock, mf *MFunc) int64 {
+	prev := map[*MBlock]*MBlock{}
+	for i := 1; i < len(before); i++ {
+		prev[before[i]] = before[i-1]
+	}
+	var n int64
+	for i := 1; i < len(mf.Blocks); i++ {
+		if prev[mf.Blocks[i]] != mf.Blocks[i-1] {
+			n++
+		}
+	}
+	return n
+}
+
+// runStage executes one optional backend stage under the ledger when
+// telemetry is enabled; with the sink nil it calls the stage directly.
+func runStage(snk *telemetry.Sink, opts *Options, stage string, mf *MFunc, fn func()) {
+	if snk == nil {
+		fn()
+		return
+	}
+	before := snapshotMIR(mf)
+	t0 := time.Now()
+	fn()
+	d := diffMIR(before, mf)
+	if stage == "layout" {
+		d.LinesChanged += displacedBlocks(before.order, mf)
+	}
+	d.Runs, d.WallNS = 1, time.Since(t0).Nanoseconds()
+	snk.AddDamage(opts.toggleName(stage), mf.Name, d)
+}
+
+// shrinkWrapDamage records the location cost of a prologue moved off
+// the entry block: home-slot locations cannot materialize on the paths
+// that return before it, ending each slot variable's whole-function
+// range early.
+func shrinkWrapDamage(snk *telemetry.Sink, opts *Options, mf *MFunc, wall time.Duration) {
+	if snk == nil {
+		return
+	}
+	d := telemetry.Damage{Runs: 1, WallNS: wall.Nanoseconds()}
+	if mf.prologBlock != nil && len(mf.Blocks) > 0 && mf.prologBlock != mf.Blocks[0] {
+		seen := map[int]bool{}
+		for _, sym := range mf.SlotVars {
+			if sym != nil && !seen[sym.ID] {
+				seen[sym.ID] = true
+				d.RangesEnded++
+			}
+		}
+	}
+	snk.AddDamage(opts.toggleName("shrink-wrap"), mf.Name, d)
+}

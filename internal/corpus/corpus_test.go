@@ -34,7 +34,7 @@ func fuzz_t(input: int[], n: int) {
 func buildTarget(t *testing.T) *Fuzzer {
 	t.Helper()
 	bin, _, err := pipeline.CompileSource("t.mc", []byte(targetSrc),
-		pipeline.Config{Profile: pipeline.GCC, Level: "O0"})
+		pipeline.MustConfig(pipeline.GCC, "O0"))
 	if err != nil {
 		t.Fatal(err)
 	}

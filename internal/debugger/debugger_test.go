@@ -37,7 +37,7 @@ func session(t *testing.T, cfg pipeline.Config) *Session {
 }
 
 func TestO0TraceIsComplete(t *testing.T) {
-	s := session(t, pipeline.Config{Profile: pipeline.GCC, Level: "O0"})
+	s := session(t, pipeline.MustConfig(pipeline.GCC, "O0"))
 	tr, err := s.TraceMain("main", 1<<22)
 	if err != nil {
 		t.Fatal(err)
@@ -55,12 +55,12 @@ func TestO0TraceIsComplete(t *testing.T) {
 }
 
 func TestOptimizedTraceLosesInformation(t *testing.T) {
-	base := session(t, pipeline.Config{Profile: pipeline.GCC, Level: "O0"})
+	base := session(t, pipeline.MustConfig(pipeline.GCC, "O0"))
 	baseTr, err := base.TraceMain("main", 1<<22)
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt := session(t, pipeline.Config{Profile: pipeline.GCC, Level: "O2"})
+	opt := session(t, pipeline.MustConfig(pipeline.GCC, "O2"))
 	optTr, err := opt.TraceMain("main", 1<<22)
 	if err != nil {
 		t.Fatal(err)
@@ -82,7 +82,7 @@ func TestOptimizedTraceLosesInformation(t *testing.T) {
 }
 
 func TestTemporaryBreakpointsFireOnce(t *testing.T) {
-	s := session(t, pipeline.Config{Profile: pipeline.GCC, Level: "O1"})
+	s := session(t, pipeline.MustConfig(pipeline.GCC, "O1"))
 	tr, err := s.TraceMain("main", 1<<22)
 	if err != nil {
 		t.Fatal(err)
@@ -110,7 +110,7 @@ func fuzz_h(input: int[], n: int) {
 	print(seen);
 }`
 	bin, _, err := pipeline.CompileSource("h.mc", []byte(src),
-		pipeline.Config{Profile: pipeline.Clang, Level: "O1"})
+		pipeline.MustConfig(pipeline.Clang, "O1"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func fuzz_h(input: int[], n: int) {
 
 func TestNoDebugSectionRejected(t *testing.T) {
 	bin, _, err := pipeline.CompileSource("d.mc", []byte(dbgSrc),
-		pipeline.Config{Profile: pipeline.GCC, Level: "O0"})
+		pipeline.MustConfig(pipeline.GCC, "O0"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,10 +11,16 @@
 // what makes the cache composable with the worker pool.
 package evalcache
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+
+	"debugtuner/internal/telemetry"
+)
 
 type entry[V any] struct {
 	once sync.Once
+	done atomic.Bool
 	val  V
 	err  error
 }
@@ -35,12 +41,30 @@ func (c *Cache[V]) Do(key string, compute func() (V, error)) (V, error) {
 		c.m = map[string]*entry[V]{}
 	}
 	e := c.m[key]
+	hit := e != nil
 	if e == nil {
 		e = &entry[V]{}
 		c.m[key] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.val, e.err = compute() })
+	if snk := telemetry.Active(); snk != nil {
+		if hit {
+			// A hit on an entry whose compute is still running is a
+			// coalesced request: this caller blocks on the in-flight
+			// computation rather than reusing a finished result.
+			if e.done.Load() {
+				snk.Add("evalcache.hit", 1)
+			} else {
+				snk.Add("evalcache.coalesced", 1)
+			}
+		} else {
+			snk.Add("evalcache.miss", 1)
+		}
+	}
+	e.once.Do(func() {
+		e.val, e.err = compute()
+		e.done.Store(true)
+	})
 	return e.val, e.err
 }
 

@@ -15,12 +15,12 @@ import (
 // fdoCycles builds the final binary at cfg with the given profile and
 // runs the benchmark.
 func fdoCycles(bench string, cfg pipeline.Config, p *autofdo.Profile) (int64, error) {
-	ir0, err := specsuite.LoadIR(bench)
+	b, err := specsuite.Bench(bench)
 	if err != nil {
 		return 0, err
 	}
 	cfg.FDO = p
-	res, err := specsuite.RunBinary(bench, pipeline.Build(ir0, cfg))
+	res, err := b.Run(cfg)
 	if err != nil {
 		return 0, err
 	}
@@ -31,7 +31,11 @@ func fdoCycles(bench string, cfg pipeline.Config, p *autofdo.Profile) (int64, er
 // -fdebug-info-for-profiling analog, as the paper does) and samples the
 // ref workload.
 func (r *Runner) collectProfile(bench string, cfg pipeline.Config) (*autofdo.Profile, int, error) {
-	ir0, err := specsuite.LoadIR(bench)
+	b, err := specsuite.Bench(bench)
+	if err != nil {
+		return nil, 0, err
+	}
+	ir0, err := b.BuildIR()
 	if err != nil {
 		return nil, 0, err
 	}
@@ -96,7 +100,7 @@ func (r *Runner) autoFDOStudy(w io.Writer, full bool) error {
 	} else {
 		fmt.Fprintln(w, "Figure 3 — AutoFDO: plain O2 and best O2-dy profile vs O2-profile AutoFDO")
 	}
-	o2 := pipeline.Config{Profile: profile, Level: "O2"}
+	o2 := pipeline.MustConfig(profile, "O2")
 	// Benchmarks are independent (each collects its own profiles and
 	// rebuilds its own binaries), so the study fans out per benchmark;
 	// rows print and averages accumulate in suite order.
@@ -113,7 +117,11 @@ func (r *Runner) autoFDOStudy(w io.Writer, full bool) error {
 	benches, err := workerpool.Map(context.Background(), r.specNames(),
 		func(_ context.Context, _ int, bench string) (benchRes, error) {
 			var br benchRes
-			plain, err := specsuite.Cycles(bench, o2)
+			b, err := specsuite.Bench(bench)
+			if err != nil {
+				return br, err
+			}
+			plain, err := b.Cycles(o2)
 			if err != nil {
 				return br, err
 			}
@@ -180,8 +188,12 @@ func (r *Runner) autoFDOStudy(w io.Writer, full bool) error {
 func (r *Runner) Fig4(w io.Writer) error {
 	const profile = pipeline.Clang
 	const bench = "selfcomp"
-	o3 := pipeline.Config{Profile: profile, Level: "O3"}
-	plain, err := specsuite.Cycles(bench, o3)
+	o3 := pipeline.MustConfig(profile, "O3")
+	b, err := specsuite.Bench(bench)
+	if err != nil {
+		return err
+	}
+	plain, err := b.Cycles(o3)
 	if err != nil {
 		return err
 	}

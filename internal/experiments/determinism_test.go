@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"debugtuner/internal/telemetry"
+	"debugtuner/internal/workerpool"
+)
+
+// TestStdoutUnaffectedByTelemetry is the determinism contract behind
+// the -trace/-metrics flags: experiment output must stay byte-identical
+// whether telemetry is collecting or not, at any worker count. Each
+// variant gets a fresh runner so nothing is served from a warm cache.
+func TestStdoutUnaffectedByTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	opts := Options{
+		SynthCount:  8,
+		CorpusExecs: 120,
+		SampleEvery: 997,
+		Dy:          []int{3},
+		SpecSubset:  []string{"531.deepsjeng"},
+	}
+	render := func(telemetryOn bool, jobs int) []byte {
+		t.Helper()
+		if telemetryOn {
+			prev := telemetry.Install(telemetry.NewSink())
+			defer telemetry.Install(prev)
+		}
+		workerpool.SetWorkers(jobs)
+		defer workerpool.SetWorkers(0)
+		r := NewRunner(opts)
+		var buf bytes.Buffer
+		for _, run := range []func(io.Writer) error{r.Table1, r.Table4} {
+			if err := run(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+
+	ref := render(false, 1)
+	for _, v := range []struct {
+		name string
+		on   bool
+		jobs int
+	}{
+		{"telemetry-j1", true, 1},
+		{"plain-j8", false, 8},
+		{"telemetry-j8", true, 8},
+	} {
+		if got := render(v.on, v.jobs); !bytes.Equal(got, ref) {
+			t.Errorf("%s output differs from plain-j1 reference (%d vs %d bytes)",
+				v.name, len(got), len(ref))
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"debugtuner/internal/pipeline"
 	"debugtuner/internal/sema"
 	"debugtuner/internal/specsuite"
+	"debugtuner/internal/suite"
 	"debugtuner/internal/synth"
 	"debugtuner/internal/testsuite"
 	"debugtuner/internal/tuner"
@@ -66,7 +67,7 @@ func DefaultOptions() Options {
 type Runner struct {
 	Opts Options
 
-	suite    evalcache.Cache[[]*testsuite.Subject]
+	subjects evalcache.Cache[[]suite.Subject]
 	analyses evalcache.Cache[*tuner.LevelAnalysis]
 	speedups evalcache.Cache[float64]   // config fingerprint -> SPEC average speedup
 	products evalcache.Cache[float64]   // config fingerprint -> suite average product
@@ -78,11 +79,28 @@ func NewRunner(opts Options) *Runner {
 	return &Runner{Opts: opts}
 }
 
-// Suite loads (once) the 13-program test suite with fuzzed corpora.
-func (r *Runner) Suite() ([]*testsuite.Subject, error) {
-	return r.suite.Do("suite", func() ([]*testsuite.Subject, error) {
-		return testsuite.LoadAll(testsuite.CorpusOptions{Execs: r.Opts.CorpusExecs})
+// Suite loads (once) the 13-program test suite with fuzzed corpora,
+// exposed through the cross-suite interface. testsuite is the provider;
+// every consumer downstream sees suite.Subject.
+func (r *Runner) Suite() ([]suite.Subject, error) {
+	return r.subjects.Do("suite", func() ([]suite.Subject, error) {
+		loaded, err := testsuite.LoadAll(testsuite.CorpusOptions{Execs: r.Opts.CorpusExecs})
+		if err != nil {
+			return nil, err
+		}
+		out := make([]suite.Subject, len(loaded))
+		for i, s := range loaded {
+			out[i] = s
+		}
+		return out, nil
 	})
+}
+
+// debuggable unwraps a suite subject to its tuner program for metric
+// evaluation. Every subject the Runner loads is testsuite-backed, so
+// the assertion cannot fail.
+func debuggable(s suite.Subject) *tuner.Program {
+	return s.(suite.Debuggable).Tuner()
 }
 
 // Analysis runs (once) the per-pass analysis for a profile/level.
@@ -92,7 +110,7 @@ func (r *Runner) Analysis(p pipeline.Profile, level string) (*tuner.LevelAnalysi
 		if err != nil {
 			return nil, err
 		}
-		return tuner.AnalyzeLevel(testsuite.Programs(subjects), p, level)
+		return tuner.AnalyzeLevel(suite.Programs(subjects), p, level)
 	})
 }
 
@@ -118,7 +136,11 @@ func memoKey(cfg pipeline.Config) string {
 // its profile's O0.
 func (r *Runner) SuiteSpeedup(cfg pipeline.Config) (float64, error) {
 	return r.speedups.Do(memoKey(cfg), func() (float64, error) {
-		_, avg, err := specsuite.SuiteSpeedup(cfg, r.specNames())
+		benches, err := specsuite.Subjects(r.specNames())
+		if err != nil {
+			return 0, err
+		}
+		_, avg, err := suite.SuiteSpeedup(benches, cfg)
 		return avg, err
 	})
 }
@@ -134,8 +156,8 @@ func (r *Runner) SuiteProduct(cfg pipeline.Config) (float64, error) {
 			return 0, err
 		}
 		ms, err := workerpool.Map(context.Background(), subjects,
-			func(_ context.Context, _ int, s *testsuite.Subject) (float64, error) {
-				return s.Product(cfg)
+			func(_ context.Context, _ int, s suite.Subject) (float64, error) {
+				return debuggable(s).Product(cfg)
 			})
 		if err != nil {
 			return 0, err
@@ -252,7 +274,7 @@ func (sp *synthProgram) measure(cfg pipeline.Config, base *dbgtrace.Trace) (meth
 
 func (sp *synthProgram) baseline() (*dbgtrace.Trace, error) {
 	sp.baseOnce.Do(func() {
-		bin := pipeline.Build(sp.ir0, pipeline.Config{Profile: pipeline.GCC, Level: "O0"})
+		bin := pipeline.Build(sp.ir0, pipeline.MustConfig(pipeline.GCC, "O0"))
 		sess, err := debugger.NewSession(bin)
 		if err != nil {
 			sp.baseErr = err
@@ -268,10 +290,10 @@ func (sp *synthProgram) baseline() (*dbgtrace.Trace, error) {
 func levelsUnderTest() []pipeline.Config {
 	var out []pipeline.Config
 	for _, l := range pipeline.Levels(pipeline.GCC) {
-		out = append(out, pipeline.Config{Profile: pipeline.GCC, Level: l})
+		out = append(out, pipeline.MustConfig(pipeline.GCC, l))
 	}
 	for _, l := range pipeline.Levels(pipeline.Clang) {
-		out = append(out, pipeline.Config{Profile: pipeline.Clang, Level: l})
+		out = append(out, pipeline.MustConfig(pipeline.Clang, l))
 	}
 	return out
 }

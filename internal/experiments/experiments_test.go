@@ -85,10 +85,10 @@ func TestSuiteProductMemoized(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
-	cfgA := pipeline.Config{Profile: pipeline.GCC, Level: "O1",
-		Disabled: map[string]bool{"dce": true, "inline": true}}
-	cfgB := pipeline.Config{Profile: pipeline.GCC, Level: "O1",
-		Disabled: map[string]bool{"inline": true, "dce": true}}
+	cfgA := pipeline.MustConfig(pipeline.GCC, "O1",
+		pipeline.Disable("dce", "inline"))
+	cfgB := pipeline.MustConfig(pipeline.GCC, "O1",
+		pipeline.Disable("inline", "dce"))
 	a, err := quickRunner.SuiteProduct(cfgA)
 	if err != nil {
 		t.Fatal(err)

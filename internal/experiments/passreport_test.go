@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"debugtuner/internal/pipeline"
+	"debugtuner/internal/telemetry"
+)
+
+// TestPassReportTableVOverlap checks the report against the paper's
+// ground truth: of Table V's gcc-O2 top-10 critical passes, the ones
+// the damage ledger can see (expensive-opts is a group toggle and
+// inline-functions a no-op at this suite's sizes, so neither leaves
+// ledger entries) must rank among the top damage contributors.
+func TestPassReportTableVOverlap(t *testing.T) {
+	rows, err := PassReport(pipeline.GCC, "O2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Table V, gcc-O2 column, minus the two names with no ledger
+	// footprint.
+	tableV := []string{
+		"inline", "if-conversion", "reorder-blocks", "schedule-insns2",
+		"tree-loop-optimize", "tree-fre", "crossjumping", "tree-sink",
+	}
+
+	top := map[string]bool{}
+	for _, r := range rows {
+		if r.Cleanup || len(top) == 10 {
+			break
+		}
+		top[r.Pass] = true
+	}
+	var hits, missed = 0, []string{}
+	for _, name := range tableV {
+		if top[name] {
+			hits++
+		} else {
+			missed = append(missed, name)
+		}
+	}
+	if hits < 7 {
+		t.Errorf("only %d of Table V's gcc-O2 passes rank in the report's top 10 (want >= 7); missing: %v",
+			hits, missed)
+	}
+
+	// Every row must reflect real pass executions over the 13-program
+	// suite, and cleanup rows must sort strictly after toggles.
+	seenCleanup := false
+	for _, r := range rows {
+		if r.Runs <= 0 {
+			t.Errorf("row %q has Runs = %d", r.Pass, r.Runs)
+		}
+		if r.Cleanup {
+			seenCleanup = true
+			if !strings.HasPrefix(r.Pass, "cleanup/") {
+				t.Errorf("cleanup row %q lacks the cleanup/ prefix", r.Pass)
+			}
+		} else if seenCleanup {
+			t.Errorf("toggle row %q sorted after a cleanup row", r.Pass)
+		}
+	}
+}
+
+// TestPassReportRestoresSink ensures the report's private-sink swap
+// leaves the caller's telemetry installation untouched.
+func TestPassReportRestoresSink(t *testing.T) {
+	mine := telemetry.NewSink()
+	prev := telemetry.Install(mine)
+	defer telemetry.Install(prev)
+
+	if _, err := PassReport(pipeline.GCC, "O1"); err != nil {
+		t.Fatal(err)
+	}
+	if telemetry.Active() != mine {
+		t.Fatal("PassReport did not restore the caller's sink")
+	}
+	if len(mine.Ledger()) != 0 {
+		t.Errorf("PassReport leaked %d ledger cells into the caller's sink", len(mine.Ledger()))
+	}
+}
+
+// TestWritePassReportRejectsBadConfig propagates constructor validation.
+func TestWritePassReportRejectsBadConfig(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePassReport(&buf, pipeline.GCC, "O7"); err == nil {
+		t.Fatal("want error for unknown level O7")
+	}
+	if err := WritePassReport(&buf, pipeline.Profile("icc"), "O2"); err == nil {
+		t.Fatal("want error for unknown profile")
+	}
+}

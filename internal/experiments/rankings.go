@@ -7,7 +7,7 @@ import (
 
 	"debugtuner/internal/pipeline"
 	"debugtuner/internal/specsuite"
-	"debugtuner/internal/testsuite"
+	"debugtuner/internal/suite"
 	"debugtuner/internal/tuner"
 	"debugtuner/internal/workerpool"
 )
@@ -77,7 +77,7 @@ func (r *Runner) configPoint(cfg pipeline.Config) (tuner.Point, error) {
 func (r *Runner) allConfigPoints(p pipeline.Profile) ([]tuner.Point, error) {
 	var pts []tuner.Point
 	for _, l := range pipeline.Levels(p) {
-		pt, err := r.configPoint(pipeline.Config{Profile: p, Level: l})
+		pt, err := r.configPoint(pipeline.MustConfig(p, l))
 		if err != nil {
 			return nil, err
 		}
@@ -138,7 +138,7 @@ func (r *Runner) Table8(w io.Writer) error {
 			fmt.Fprintf(w, "%-6s Ox-d%-2d |", p, y)
 			var dbgCells, spdCells string
 			for _, l := range levels {
-				ref, err := r.configPoint(pipeline.Config{Profile: p, Level: l})
+				ref, err := r.configPoint(pipeline.MustConfig(p, l))
 				if err != nil {
 					return err
 				}
@@ -192,10 +192,10 @@ func (r *Runner) perProgramDy(w io.Writer, p pipeline.Profile, title string) err
 			cfgs[li] = la.Configs([]int{y})[0]
 		}
 		rows, err := workerpool.Map(context.Background(), subjects,
-			func(_ context.Context, _ int, s *testsuite.Subject) ([]float64, error) {
+			func(_ context.Context, _ int, s suite.Subject) ([]float64, error) {
 				vals := make([]float64, len(cfgs))
 				for li, cfg := range cfgs {
-					m, err := s.Product(cfg)
+					m, err := debuggable(s).Product(cfg)
 					if err != nil {
 						return nil, err
 					}
@@ -208,7 +208,7 @@ func (r *Runner) perProgramDy(w io.Writer, p pipeline.Profile, title string) err
 		}
 		sums := make([]float64, len(levels))
 		for si, s := range subjects {
-			fmt.Fprintf(w, "%-10s |", s.Name)
+			fmt.Fprintf(w, "%-10s |", s.Name())
 			for li := range levels {
 				m := rows[si][li]
 				sums[li] += m
@@ -244,7 +244,7 @@ func (r *Runner) specTable(w io.Writer, relative bool) error {
 		fmt.Fprintf(w, "%s:\n", bench)
 		for _, p := range []pipeline.Profile{pipeline.GCC, pipeline.Clang} {
 			for _, l := range pipeline.Levels(p) {
-				base, err := specSpeedup(bench, pipeline.Config{Profile: p, Level: l})
+				base, err := specSpeedup(bench, pipeline.MustConfig(p, l))
 				if err != nil {
 					return err
 				}
@@ -272,10 +272,15 @@ func (r *Runner) specTable(w io.Writer, relative bool) error {
 	return nil
 }
 
-// specSpeedup delegates to specsuite.Speedup, whose per-benchmark cycle
-// counts are content-addressed-cached. (An earlier per-table memo here
-// was a plain map keyed by the non-unique Config.Name — both unsafe
-// under the worker pool and wrong for same-size disabled sets.)
+// specSpeedup measures one benchmark through the suite interface; the
+// adapter's per-benchmark cycle counts are content-addressed-cached.
+// (An earlier per-table memo here was a plain map keyed by the
+// non-unique Config.Name — both unsafe under the worker pool and wrong
+// for same-size disabled sets.)
 func specSpeedup(bench string, cfg pipeline.Config) (float64, error) {
-	return specsuite.Speedup(bench, cfg)
+	b, err := specsuite.Bench(bench)
+	if err != nil {
+		return 0, err
+	}
+	return suite.Speedup(b, cfg)
 }

@@ -7,6 +7,7 @@ import (
 
 	"debugtuner/internal/metrics"
 	"debugtuner/internal/pipeline"
+	"debugtuner/internal/suite"
 	"debugtuner/internal/testsuite"
 	"debugtuner/internal/workerpool"
 )
@@ -64,7 +65,7 @@ func (r *Runner) Table1(w io.Writer) error {
 	}
 	// Geometric standard deviation of the hybrid product at gcc O1, the
 	// paper's per-program variability check.
-	all, err := measureAll(pipeline.Config{Profile: pipeline.GCC, Level: "O1"})
+	all, err := measureAll(pipeline.MustConfig(pipeline.GCC, "O1"))
 	if err != nil {
 		return err
 	}
@@ -88,7 +89,7 @@ func (r *Runner) Table2(w io.Writer) error {
 		"comp", "opt", "avail. of vars", "line coverage", "product of metrics")
 	hr(w, 64)
 	for _, cfg := range levelsUnderTest() {
-		sc, err := s.Scores(cfg)
+		sc, err := debuggable(s).Scores(cfg)
 		if err != nil {
 			return err
 		}
@@ -99,13 +100,13 @@ func (r *Runner) Table2(w io.Writer) error {
 }
 
 // LoadSubject fetches one loaded suite member from the runner's cache.
-func LoadSubject(r *Runner, name string) (*testsuite.Subject, error) {
+func LoadSubject(r *Runner, name string) (suite.Subject, error) {
 	subjects, err := r.Suite()
 	if err != nil {
 		return nil, err
 	}
 	for _, s := range subjects {
-		if s.Name == name {
+		if s.Name() == name {
 			return s, nil
 		}
 	}
@@ -124,7 +125,9 @@ func (r *Runner) Table3(w io.Writer) error {
 	hr(w, 66)
 	var sumIn, sumRed, sumStep, sumStepped, sumCov float64
 	for _, s := range subjects {
-		st, err := s.ComputeStats()
+		// Corpus statistics are a testsuite capability with no
+		// cross-suite analog, so Table III names the concrete type.
+		st, err := s.(*testsuite.Subject).ComputeStats()
 		if err != nil {
 			return err
 		}
@@ -158,10 +161,10 @@ func (r *Runner) Table4(w io.Writer) error {
 	hr(w, 92)
 	sums := make([]float64, 7)
 	rows, err := workerpool.Map(context.Background(), subjects,
-		func(_ context.Context, _ int, s *testsuite.Subject) ([]float64, error) {
+		func(_ context.Context, _ int, s suite.Subject) ([]float64, error) {
 			var vals []float64
 			for _, cfg := range levelsUnderTest() {
-				m, err := s.Product(cfg)
+				m, err := debuggable(s).Product(cfg)
 				if err != nil {
 					return nil, err
 				}
@@ -179,7 +182,7 @@ func (r *Runner) Table4(w io.Writer) error {
 		}
 		delta := func(g, c float64) float64 { return 100 * (g - c) / c }
 		fmt.Fprintf(w, "%-10s | %5.2f %5.2f %5.2f %5.2f | %5.2f %5.2f %5.2f | %7.2f %7.2f %7.2f\n",
-			s.Name, vals[0], vals[1], vals[2], vals[3], vals[4], vals[5], vals[6],
+			s.Name(), vals[0], vals[1], vals[2], vals[3], vals[4], vals[5], vals[6],
 			delta(vals[1], vals[4]), delta(vals[2], vals[5]), delta(vals[3], vals[6]))
 	}
 	hr(w, 92)

@@ -64,7 +64,7 @@ func measureSetup(t *testing.T) *measured {
 		t.Fatal(err)
 	}
 	dr := sema.ComputeDefRanges(info)
-	base := traceFor(t, pipeline.Config{Profile: pipeline.GCC, Level: "O0"})
+	base := traceFor(t, pipeline.MustConfig(pipeline.GCC, "O0"))
 	return &measured{info: info, dr: dr, base: base}
 }
 
@@ -118,7 +118,7 @@ func TestMetricBounds(t *testing.T) {
 	stmt := sema.StatementLines(m.info)
 	for _, p := range []pipeline.Profile{pipeline.GCC, pipeline.Clang} {
 		for _, l := range pipeline.Levels(p) {
-			cfg := pipeline.Config{Profile: p, Level: l}
+			cfg := pipeline.MustConfig(p, l)
 			tr := traceFor(t, cfg)
 			dt := tableFor(t, cfg)
 			for name, s := range map[string]Scores{
@@ -147,7 +147,7 @@ func TestMethodOrderings(t *testing.T) {
 	m := measureSetup(t)
 	for _, p := range []pipeline.Profile{pipeline.GCC, pipeline.Clang} {
 		for _, l := range pipeline.Levels(p) {
-			cfg := pipeline.Config{Profile: p, Level: l}
+			cfg := pipeline.MustConfig(p, l)
 			tr := traceFor(t, cfg)
 			dyn := Dynamic(tr, m.base)
 			hyb := Hybrid(tr, m.base, m.dr)
@@ -171,7 +171,7 @@ func TestDegradationWithLevel(t *testing.T) {
 	for _, p := range []pipeline.Profile{pipeline.GCC, pipeline.Clang} {
 		prods := map[string]float64{}
 		for _, l := range pipeline.Levels(p) {
-			tr := traceFor(t, pipeline.Config{Profile: p, Level: l})
+			tr := traceFor(t, pipeline.MustConfig(p, l))
 			prods[l] = Hybrid(tr, m.base, m.dr).Product
 		}
 		if prods["O3"] > prods["O1"]+1e-9 {
@@ -189,7 +189,7 @@ func TestDegradationWithLevel(t *testing.T) {
 func TestStaticOverestimatesOnGCC(t *testing.T) {
 	m := measureSetup(t)
 	for _, l := range []string{"O2", "O3"} {
-		cfg := pipeline.Config{Profile: pipeline.GCC, Level: l}
+		cfg := pipeline.MustConfig(pipeline.GCC, l)
 		tr := traceFor(t, cfg)
 		dt := tableFor(t, cfg)
 		hyb := Hybrid(tr, m.base, m.dr)

@@ -1,0 +1,86 @@
+package passes
+
+import (
+	"debugtuner/internal/ir"
+	"debugtuner/internal/telemetry"
+)
+
+// The debug-damage ledger compares a function's debug metadata before
+// and after each pass execution. Two event classes come from hooks
+// inside the helpers (RAUW records salvages and gcc-policy range ends,
+// which the diff cannot infer); everything else — bindings turned
+// "optimized out" or deleted, line attributions zeroed or rewritten,
+// instruction churn — falls out of the snapshot diff below. Values are
+// identified by pointer: passes mutate and move *ir.Value nodes but
+// clone them only across functions (inlining), so a value present in
+// both snapshots is the same instruction.
+
+// funcSnap is the per-function debug-metadata snapshot.
+type funcSnap struct {
+	// instrs counts non-debug instructions.
+	instrs int
+	// lines maps each non-debug instruction to its source line.
+	lines map[*ir.Value]int
+	// bound maps each DbgValue marker to whether it carries a binding.
+	bound map[*ir.Value]bool
+}
+
+// snapshotFunc captures f's current debug metadata.
+func snapshotFunc(f *ir.Func) *funcSnap {
+	s := &funcSnap{
+		lines: map[*ir.Value]int{},
+		bound: map[*ir.Value]bool{},
+	}
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			if v.Op == ir.OpDbgValue {
+				s.bound[v] = len(v.Args) > 0
+				continue
+			}
+			s.instrs++
+			s.lines[v] = v.Line
+		}
+	}
+	return s
+}
+
+// diffFunc compares f against its snapshot and returns the damage
+// delta. A nil snapshot (a function the pass created) contributes
+// nothing.
+func diffFunc(before *funcSnap, f *ir.Func) telemetry.Damage {
+	var d telemetry.Damage
+	if before == nil {
+		return d
+	}
+	instrs := 0
+	present := map[*ir.Value]bool{}
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			if v.Op == ir.OpDbgValue {
+				present[v] = true
+				if before.bound[v] && len(v.Args) == 0 {
+					d.DbgDropped++
+				}
+				continue
+			}
+			instrs++
+			if old, ok := before.lines[v]; ok && old != v.Line {
+				if v.Line == 0 {
+					d.LinesZeroed++
+				} else {
+					d.LinesChanged++
+				}
+			}
+		}
+	}
+	// Markers deleted outright (if-conversion removes arm bindings,
+	// DCE sweeps already-dropped ones) count as dropped only if they
+	// still carried a binding.
+	for v, wasBound := range before.bound {
+		if wasBound && !present[v] {
+			d.DbgDropped++
+		}
+	}
+	d.InstrDelta = int64(instrs - before.instrs)
+	return d
+}

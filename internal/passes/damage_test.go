@@ -1,0 +1,174 @@
+package passes
+
+import (
+	"testing"
+
+	"debugtuner/internal/ast"
+	"debugtuner/internal/ir"
+	"debugtuner/internal/telemetry"
+)
+
+// collect installs a private sink around fn and returns its ledger.
+func collect(t *testing.T, fn func()) map[telemetry.DamageKey]telemetry.Damage {
+	t.Helper()
+	snk := telemetry.NewSink()
+	prev := telemetry.Install(snk)
+	defer telemetry.Install(prev)
+	fn()
+	return snk.Ledger()
+}
+
+// handFunc starts an empty hand-built function.
+func handFunc(name string) (*ir.Program, *ir.Func) {
+	p := &ir.Program{}
+	f := &ir.Func{Name: name, Prog: p}
+	p.Funcs = []*ir.Func{f}
+	return p, f
+}
+
+func emit(b *ir.Block, op ir.Op, line int, args ...*ir.Value) *ir.Value {
+	v := b.Func.NewValue(b, op, line, args...)
+	b.Instrs = append(b.Instrs, v)
+	return v
+}
+
+// TestDamageLedgerDCE hand-builds a function with one dead multiply
+// whose value a DbgValue is bound to: DCE must delete the instruction,
+// and the ledger must attribute one dropped binding and a negative
+// instruction delta to "dce".
+func TestDamageLedgerDCE(t *testing.T) {
+	p, f := handFunc("f")
+	b := f.NewBlock()
+	c1 := emit(b, ir.OpConst, 1)
+	c1.AuxInt = 7
+	c2 := emit(b, ir.OpConst, 1)
+	c2.AuxInt = 8
+	dead := emit(b, ir.OpMul, 2, c1, c2)
+	dbg := emit(b, ir.OpDbgValue, 2, dead)
+	dbg.Var = &ast.Symbol{Name: "x"}
+	use := emit(b, ir.OpAdd, 3, c1, c2)
+	emit(b, ir.OpPrint, 3, use)
+	emit(b, ir.OpRet, 4)
+
+	ledger := collect(t, func() {
+		ctx := &Context{Prog: p}
+		Lookup("dce").Run(ctx)
+	})
+	d := ledger[telemetry.DamageKey{Pass: "dce", Func: "f"}]
+	if d.Runs != 1 {
+		t.Fatalf("Runs = %d, want 1", d.Runs)
+	}
+	if d.InstrDelta != -1 {
+		t.Errorf("InstrDelta = %d, want -1 (the dead multiply)", d.InstrDelta)
+	}
+	if d.DbgDropped != 1 {
+		t.Errorf("DbgDropped = %d, want 1 (x's binding)", d.DbgDropped)
+	}
+	if len(dbg.Args) != 0 {
+		t.Error("DbgValue still bound after DCE")
+	}
+}
+
+// TestDamageLedgerGVN builds a redundant multiply in a dominated block
+// with a DbgValue bound to it. Under the gcc policy the cross-block
+// RAUW drops the binding and ends its location range; the same-block
+// variant salvages instead.
+func TestDamageLedgerGVN(t *testing.T) {
+	build := func(sameBlock bool) (*ir.Program, *ir.Value) {
+		p, f := handFunc("f")
+		entry := f.NewBlock()
+		c1 := emit(entry, ir.OpConst, 1)
+		c1.AuxInt = 3
+		c2 := emit(entry, ir.OpConst, 1)
+		c2.AuxInt = 4
+		m1 := emit(entry, ir.OpMul, 2, c1, c2)
+		emit(entry, ir.OpPrint, 2, m1)
+		home := entry
+		if !sameBlock {
+			b2 := f.NewBlock()
+			emit(entry, ir.OpJmp, 2)
+			entry.Succs = []*ir.Block{b2}
+			b2.Preds = []*ir.Block{entry}
+			home = b2
+		}
+		m2 := emit(home, ir.OpMul, 3, c1, c2)
+		dbg := emit(home, ir.OpDbgValue, 3, m2)
+		dbg.Var = &ast.Symbol{Name: "y"}
+		emit(home, ir.OpPrint, 3, m2)
+		emit(home, ir.OpRet, 4)
+		return p, dbg
+	}
+
+	t.Run("cross-block-gcc-drops", func(t *testing.T) {
+		p, dbg := build(false)
+		ledger := collect(t, func() {
+			Lookup("gvn").Run(&Context{Prog: p, Salvage: false})
+		})
+		d := ledger[telemetry.DamageKey{Pass: "gvn", Func: "f"}]
+		if d.InstrDelta != -1 {
+			t.Errorf("InstrDelta = %d, want -1 (redundant multiply)", d.InstrDelta)
+		}
+		if d.DbgDropped != 1 || d.RangesEnded != 1 {
+			t.Errorf("DbgDropped = %d, RangesEnded = %d, want 1 and 1", d.DbgDropped, d.RangesEnded)
+		}
+		if d.DbgSalvaged != 0 {
+			t.Errorf("DbgSalvaged = %d, want 0 under the gcc policy", d.DbgSalvaged)
+		}
+		if len(dbg.Args) != 0 {
+			t.Error("binding survived a cross-block gcc-policy RAUW")
+		}
+	})
+	t.Run("same-block-salvages", func(t *testing.T) {
+		p, dbg := build(true)
+		ledger := collect(t, func() {
+			Lookup("gvn").Run(&Context{Prog: p, Salvage: false})
+		})
+		d := ledger[telemetry.DamageKey{Pass: "gvn", Func: "f"}]
+		if d.DbgSalvaged != 1 || d.DbgDropped != 0 {
+			t.Errorf("DbgSalvaged = %d, DbgDropped = %d, want 1 and 0", d.DbgSalvaged, d.DbgDropped)
+		}
+		if len(dbg.Args) != 1 {
+			t.Error("binding not rewritten to the surviving value")
+		}
+	})
+}
+
+// TestDamageLedgerInline checks the module-pass path: inlining a tiny
+// callee twice must charge positive instruction churn to the caller's
+// cell under "inline".
+func TestDamageLedgerInline(t *testing.T) {
+	src := `
+func tiny(x: int): int { return x + 1; }
+func main() { print(tiny(5)); print(tiny(6)); }`
+	p := buildProgram(t, src)
+	ledger := collect(t, func() {
+		Lookup("inline").Run(newCtx(p, true))
+	})
+	d := ledger[telemetry.DamageKey{Pass: "inline", Func: "main"}]
+	if d.Runs != 1 {
+		t.Fatalf("Runs = %d, want 1", d.Runs)
+	}
+	if d.InstrDelta <= 0 {
+		t.Errorf("InstrDelta = %d, want > 0 (two inlined bodies)", d.InstrDelta)
+	}
+}
+
+// TestRunLabelOverridesAttribution covers the pipeline's cleanup-run
+// labeling: a nonempty Context.RunLabel must redirect the ledger cell.
+func TestRunLabelOverridesAttribution(t *testing.T) {
+	src := `func main() { var a: int = 1; print(a + 2); }`
+	p := buildProgram(t, src)
+	ledger := collect(t, func() {
+		ctx := newCtx(p, true)
+		ctx.RunLabel = "cleanup/dce"
+		Lookup("dce").Run(ctx)
+	})
+	for k := range ledger {
+		if k.Pass != "cleanup/dce" {
+			t.Errorf("ledger cell %+v, want pass cleanup/dce", k)
+		}
+	}
+	if len(ledger) == 0 {
+		t.Fatal("no ledger cells recorded")
+	}
+}

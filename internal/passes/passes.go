@@ -18,13 +18,28 @@ package passes
 
 import (
 	"fmt"
+	"time"
 
 	"debugtuner/internal/ir"
+	"debugtuner/internal/telemetry"
 )
 
 // Context carries compilation-wide settings into passes.
 type Context struct {
 	Prog *ir.Program
+
+	// PassName is the name of the pass currently executing under
+	// (*Pass).Run, set only while telemetry is enabled; the debug
+	// helpers use it to attribute damage events to the responsible
+	// toggle.
+	PassName string
+
+	// RunLabel, when nonempty, overrides the ledger attribution name
+	// for the next pass execution. The pipeline labels its always-on
+	// cleanup entries "cleanup/<name>" so the damage report can rank
+	// user-visible toggles separately from mandatory bookkeeping runs
+	// that no configuration can disable.
+	RunLabel string
 
 	// Salvage selects the clang-like debug policy: on replace-all-uses,
 	// DbgValues follow the replacement value unconditionally. The
@@ -105,8 +120,20 @@ func Register(p *Pass) *Pass {
 // Lookup finds a pass by name, or nil.
 func Lookup(name string) *Pass { return registry[name] }
 
-// Run executes the pass over the whole program.
+// Run executes the pass over the whole program. With telemetry enabled
+// it additionally records, per function, the pass's wall time,
+// instruction delta, and debug-damage events (see damage.go); the
+// disabled path pays one atomic pointer load.
 func (p *Pass) Run(ctx *Context) bool {
+	snk := telemetry.Active()
+	if snk == nil {
+		return p.run(ctx)
+	}
+	return p.runInstrumented(ctx, snk)
+}
+
+// run is the uninstrumented execution path.
+func (p *Pass) run(ctx *Context) bool {
 	if p.RunModule != nil {
 		return p.RunModule(ctx)
 	}
@@ -115,6 +142,54 @@ func (p *Pass) Run(ctx *Context) bool {
 		if p.RunFunc(ctx, f) {
 			changed = true
 		}
+	}
+	return changed
+}
+
+// runInstrumented wraps each function's transformation in a
+// before/after debug-metadata snapshot and folds the diff into the
+// sink's ledger under this pass's name.
+func (p *Pass) runInstrumented(ctx *Context, snk *telemetry.Sink) bool {
+	name := p.Name
+	if ctx.RunLabel != "" {
+		name = ctx.RunLabel
+	}
+	prev := ctx.PassName
+	ctx.PassName = name
+	defer func() { ctx.PassName = prev }()
+
+	if p.RunModule != nil {
+		before := make(map[string]*funcSnap, len(ctx.Prog.Funcs))
+		for _, f := range ctx.Prog.Funcs {
+			before[f.Name] = snapshotFunc(f)
+		}
+		t0 := time.Now()
+		changed := p.RunModule(ctx)
+		wall := time.Since(t0).Nanoseconds()
+		// Module passes (the inliner, toplevel-reorder) transform the
+		// whole program at once; their wall time is split evenly over
+		// the surviving functions.
+		if n := int64(len(ctx.Prog.Funcs)); n > 0 {
+			wall /= n
+		}
+		for _, f := range ctx.Prog.Funcs {
+			d := diffFunc(before[f.Name], f)
+			d.Runs, d.WallNS = 1, wall
+			snk.AddDamage(name, f.Name, d)
+		}
+		return changed
+	}
+
+	changed := false
+	for _, f := range ctx.Prog.Funcs {
+		before := snapshotFunc(f)
+		t0 := time.Now()
+		if p.RunFunc(ctx, f) {
+			changed = true
+		}
+		d := diffFunc(before, f)
+		d.Runs, d.WallNS = 1, time.Since(t0).Nanoseconds()
+		snk.AddDamage(name, f.Name, d)
 	}
 	return changed
 }
@@ -136,8 +211,20 @@ func RAUW(ctx *Context, f *ir.Func, old, new_ *ir.Value) {
 				if v.Op == ir.OpDbgValue {
 					if ctx.Salvage || new_.Block == old.Block {
 						v.Args[i] = new_
+						if ctx.PassName != "" {
+							telemetry.AddDamage(ctx.PassName, f.Name,
+								telemetry.Damage{DbgSalvaged: 1})
+						}
 					} else {
 						v.Args = nil
+						// A gcc-policy cross-block drop ends the
+						// variable's location range at the
+						// replacement point. The binding loss itself
+						// is counted by the pass-level snapshot diff.
+						if ctx.PassName != "" {
+							telemetry.AddDamage(ctx.PassName, f.Name,
+								telemetry.Damage{RangesEnded: 1})
+						}
 					}
 					continue
 				}

@@ -32,6 +32,7 @@ import (
 	"debugtuner/internal/passes"
 	"debugtuner/internal/sema"
 	"debugtuner/internal/source"
+	"debugtuner/internal/telemetry"
 	"debugtuner/internal/vm"
 )
 
@@ -352,8 +353,14 @@ func BuildIR(info *sema.Info) (*ir.Program, error) {
 // Build compiles O0 IR under the configuration. The input program is not
 // modified: optimization runs on a private clone.
 func Build(ir0 *ir.Program, cfg Config) *vm.Binary {
+	var span *telemetry.Span
+	if telemetry.Enabled() {
+		span = telemetry.Begin("pipeline", "build/"+cfg.Name())
+	}
 	prog, opts := OptimizeIR(ir0, cfg)
-	return codegen.Compile(prog, opts)
+	bin := codegen.Compile(prog, opts)
+	span.End()
+	return bin
 }
 
 // OptimizeIR runs the configuration's middle-end pipeline on a private
@@ -399,7 +406,17 @@ func OptimizeIR(ir0 *ir.Program, cfg Config) (*ir.Program, codegen.Options) {
 			if p == nil {
 				panic(fmt.Sprintf("pipeline: unknown pass %q", e.name))
 			}
+			label := e.name
+			if e.internal && telemetry.Enabled() {
+				// Ledger attribution for always-on cleanup runs is kept
+				// apart from the user-visible toggle of the same name.
+				label = "cleanup/" + e.name
+				ctx.RunLabel = label
+			}
+			ps := telemetry.Begin("pass", label)
 			p.Run(ctx)
+			ps.End()
+			ctx.RunLabel = ""
 		}
 	}
 	if cfg.FDO != nil {
@@ -447,6 +464,19 @@ func configureInliner(ctx *passes.Context, cfg Config) {
 }
 
 func enableBackend(opts *codegen.Options, name string) {
+	// note records which toggle enabled a backend stage so telemetry
+	// attributes the stage's damage to the profile's name for it
+	// ("reorder-blocks" vs "block-placement"). Only allocated when a
+	// sink is installed: the disabled path must stay allocation-free.
+	note := func(stage string) {
+		if !telemetry.Enabled() {
+			return
+		}
+		if opts.PassNames == nil {
+			opts.PassNames = map[string]string{}
+		}
+		opts.PassNames[stage] = name
+	}
 	switch name {
 	case "tree-ter":
 		opts.TER = true
@@ -454,16 +484,21 @@ func enableBackend(opts *codegen.Options, name string) {
 		opts.CoalesceVars = true
 	case "schedule-insns2":
 		opts.Schedule = true
+		note("schedule")
 	case "reorder-blocks", "block-placement":
 		opts.Layout = true
+		note("layout")
 	case "crossjumping", "machine-cfg-opt":
 		opts.CrossJump = true
+		note("crossjump")
 	case "shrink-wrap":
 		opts.ShrinkWrap = true
+		note("shrink-wrap")
 	case "ira-share-spill-slots":
 		opts.ShareSpillSlots = true
 	case "machine-sink":
 		opts.MachineSink = true
+		note("machine-sink")
 	default:
 		panic(fmt.Sprintf("pipeline: unknown backend toggle %q", name))
 	}

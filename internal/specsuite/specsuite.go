@@ -6,16 +6,14 @@
 package specsuite
 
 import (
-	"context"
 	"embed"
 	"fmt"
-	"sync"
 
 	"debugtuner/internal/evalcache"
 	"debugtuner/internal/ir"
 	"debugtuner/internal/pipeline"
+	"debugtuner/internal/suite"
 	"debugtuner/internal/vm"
-	"debugtuner/internal/workerpool"
 )
 
 //go:embed benchmarks/*.mc
@@ -49,41 +47,30 @@ func Source(name string) ([]byte, error) {
 	return benchFS.ReadFile("benchmarks/" + f)
 }
 
-var (
-	irMu   sync.Mutex
-	irMemo = map[string]*ir.Program{}
-)
+// irCache memoizes the front-ended O0 IR per benchmark. Routing through
+// evalcache gives singleflight semantics: concurrent loaders of the same
+// benchmark block on one front-end run instead of serializing every
+// benchmark behind a single package mutex.
+var irCache evalcache.Cache[*ir.Program]
 
 // LoadIR front-ends a benchmark once and caches the O0 IR.
 func LoadIR(name string) (*ir.Program, error) {
-	irMu.Lock()
-	defer irMu.Unlock()
-	if p := irMemo[name]; p != nil {
-		return p, nil
-	}
-	src, err := Source(name)
-	if err != nil {
-		return nil, err
-	}
-	info, err := pipeline.Frontend(name, src)
-	if err != nil {
-		return nil, err
-	}
-	p, err := pipeline.BuildIR(info)
-	if err != nil {
-		return nil, err
-	}
-	irMemo[name] = p
-	return p, nil
+	return irCache.Do(name, func() (*ir.Program, error) {
+		src, err := Source(name)
+		if err != nil {
+			return nil, err
+		}
+		info, err := pipeline.Frontend(name, src)
+		if err != nil {
+			return nil, err
+		}
+		return pipeline.BuildIR(info)
+	})
 }
 
-// Result is one benchmark execution's outcome.
-type Result struct {
-	Name   string
-	Cycles int64
-	Steps  int64
-	Output []int64
-}
+// Result is one benchmark execution's outcome, shared with
+// internal/suite so both suites speak one result type.
+type Result = suite.Result
 
 // Run builds the benchmark under the configuration and executes its ref
 // workload, returning cycle counts.
@@ -134,37 +121,68 @@ func Cycles(name string, cfg pipeline.Config) (int64, error) {
 // Speedup measures cycles(cfg) relative to the O0 build of the same
 // profile: the paper's "speedup over O0".
 func Speedup(name string, cfg pipeline.Config) (float64, error) {
-	base, err := Cycles(name, pipeline.Config{Profile: cfg.Profile, Level: "O0"})
+	b, err := Bench(name)
 	if err != nil {
 		return 0, err
 	}
-	opt, err := Cycles(name, cfg)
-	if err != nil {
-		return 0, err
-	}
-	return float64(base) / float64(opt), nil
+	return suite.Speedup(b, cfg)
 }
 
 // SuiteSpeedup returns the per-benchmark and average speedups of a
-// configuration over the whole suite. Benchmarks run concurrently on
-// the worker pool; the average is summed in suite order, so the result
-// is identical at any worker count.
+// configuration over the whole suite (names nil = all), delegating to
+// the shared suite helper: benchmarks run concurrently on the worker
+// pool and the average is summed in suite order, so the result is
+// identical at any worker count.
 func SuiteSpeedup(cfg pipeline.Config, names []string) (map[string]float64, float64, error) {
-	if names == nil {
-		names = Names
-	}
-	speeds, err := workerpool.Map(context.Background(), names,
-		func(_ context.Context, _ int, n string) (float64, error) {
-			return Speedup(n, cfg)
-		})
+	benches, err := Subjects(names)
 	if err != nil {
 		return nil, 0, err
 	}
-	out := map[string]float64{}
-	sum := 0.0
-	for i, n := range names {
-		out[n] = speeds[i]
-		sum += speeds[i]
-	}
-	return out, sum / float64(len(names)), nil
+	return suite.SuiteSpeedup(benches, cfg)
 }
+
+// Benchmark adapts one named benchmark to the suite interfaces. Its
+// measurements share the package-level memo caches, so mixing the
+// adapter with the package functions never duplicates work.
+type Benchmark struct{ name string }
+
+var _ suite.Bench = (*Benchmark)(nil)
+
+// Bench returns the named benchmark as a suite subject.
+func Bench(name string) (*Benchmark, error) {
+	if _, ok := files[name]; !ok {
+		return nil, fmt.Errorf("specsuite: unknown benchmark %q", name)
+	}
+	return &Benchmark{name: name}, nil
+}
+
+// Subjects returns the named benchmarks (nil = the full suite) in order.
+func Subjects(names []string) ([]suite.Bench, error) {
+	if names == nil {
+		names = Names
+	}
+	out := make([]suite.Bench, 0, len(names))
+	for _, n := range names {
+		b, err := Bench(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// Name returns the benchmark's suite name.
+func (b *Benchmark) Name() string { return b.name }
+
+// Source returns the benchmark's MiniC source.
+func (b *Benchmark) Source() ([]byte, error) { return Source(b.name) }
+
+// BuildIR returns the memoized O0 IR.
+func (b *Benchmark) BuildIR() (*ir.Program, error) { return LoadIR(b.name) }
+
+// Run executes the ref workload under the configuration.
+func (b *Benchmark) Run(cfg pipeline.Config) (*Result, error) { return Run(b.name, cfg) }
+
+// Cycles returns the content-addressed ref-workload cycle count.
+func (b *Benchmark) Cycles(cfg pipeline.Config) (int64, error) { return Cycles(b.name, cfg) }

@@ -27,7 +27,7 @@ func TestBenchmarksCorrectAcrossLevels(t *testing.T) {
 		}
 		for _, p := range []pipeline.Profile{pipeline.GCC, pipeline.Clang} {
 			for _, l := range append([]string{"O0"}, pipeline.Levels(p)...) {
-				r, err := Run(name, pipeline.Config{Profile: p, Level: l})
+				r, err := Run(name, pipeline.MustConfig(p, l))
 				if err != nil {
 					t.Fatalf("%s %s-%s: %v", name, p, l, err)
 				}
@@ -48,7 +48,7 @@ func TestOptimizationLevelsOrdering(t *testing.T) {
 	for _, name := range Names {
 		var cyc []int64
 		for _, l := range []string{"O0", "O1", "O2"} {
-			r, err := Run(name, pipeline.Config{Profile: pipeline.GCC, Level: l})
+			r, err := Run(name, pipeline.MustConfig(pipeline.GCC, l))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -71,7 +71,7 @@ func TestOptimizationLevelsOrdering(t *testing.T) {
 // TestDeterministicCycles: identical builds must produce identical cycle
 // counts — benchmarking depends on it.
 func TestDeterministicCycles(t *testing.T) {
-	cfg := pipeline.Config{Profile: pipeline.Clang, Level: "O2"}
+	cfg := pipeline.MustConfig(pipeline.Clang, "O2")
 	r1, err := Run("505.mcf", cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,106 @@
+// Package suite is the common face of the two experiment suites: the
+// thirteen debug-information subjects of internal/testsuite (§IV) and
+// the eight SPEC stand-in benchmarks of internal/specsuite. Consumers
+// that only need "a named program that can be built and run under a
+// configuration" — the experiment tables, the passreport command —
+// program against Subject and stay indifferent to which suite a member
+// came from; the capability interfaces (Debuggable, Bench) expose what
+// only one suite can do.
+//
+// The package is interfaces plus suite-order helpers: both suites
+// implement it structurally and it imports neither, so there is no
+// dependency cycle and a new suite joins by implementing Subject.
+package suite
+
+import (
+	"context"
+
+	"debugtuner/internal/ir"
+	"debugtuner/internal/pipeline"
+	"debugtuner/internal/tuner"
+	"debugtuner/internal/workerpool"
+)
+
+// Result is one subject execution's outcome under a configuration.
+type Result struct {
+	Name   string
+	Cycles int64
+	Steps  int64
+	Output []int64
+}
+
+// Subject is one suite member.
+type Subject interface {
+	// Name is the member's suite name ("libpng", "505.mcf").
+	Name() string
+	// Source returns the member's MiniC source.
+	Source() ([]byte, error)
+	// BuildIR returns the member's O0 IR. The result may be shared and
+	// memoized; callers must not mutate it (pipeline.Build clones).
+	BuildIR() (*ir.Program, error)
+	// Run builds the member under the configuration and executes its
+	// workload — the ref workload for benchmarks, the final corpus
+	// inputs for debug subjects.
+	Run(cfg pipeline.Config) (*Result, error)
+}
+
+// Debuggable is a Subject backed by a tuner.Program: it can be traced,
+// scored with the hybrid metrics, and fed to the pass-ranking engine.
+type Debuggable interface {
+	Subject
+	Tuner() *tuner.Program
+}
+
+// Bench is a Subject with a cached cycle-count measurement, the basis
+// of the paper's speedup-over-O0 columns.
+type Bench interface {
+	Subject
+	Cycles(cfg pipeline.Config) (int64, error)
+}
+
+// Programs extracts the tuner programs from debuggable subjects,
+// preserving order. Non-Debuggable subjects are skipped.
+func Programs(subjects []Subject) []*tuner.Program {
+	out := make([]*tuner.Program, 0, len(subjects))
+	for _, s := range subjects {
+		if d, ok := s.(Debuggable); ok {
+			out = append(out, d.Tuner())
+		}
+	}
+	return out
+}
+
+// Speedup measures a benchmark's cycles under cfg relative to the O0
+// build of the same profile.
+func Speedup(b Bench, cfg pipeline.Config) (float64, error) {
+	base, err := b.Cycles(pipeline.MustConfig(cfg.Profile, "O0"))
+	if err != nil {
+		return 0, err
+	}
+	opt, err := b.Cycles(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return float64(base) / float64(opt), nil
+}
+
+// SuiteSpeedup returns per-subject and average speedups of a
+// configuration across benchmarks. Members run concurrently on the
+// worker pool; the average is summed in input order, so the result is
+// identical at any worker count.
+func SuiteSpeedup(benches []Bench, cfg pipeline.Config) (map[string]float64, float64, error) {
+	speeds, err := workerpool.Map(context.Background(), benches,
+		func(_ context.Context, _ int, b Bench) (float64, error) {
+			return Speedup(b, cfg)
+		})
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make(map[string]float64, len(benches))
+	sum := 0.0
+	for i, b := range benches {
+		out[b.Name()] = speeds[i]
+		sum += speeds[i]
+	}
+	return out, sum / float64(len(benches)), nil
+}

@@ -1,0 +1,70 @@
+package suite
+
+import (
+	"testing"
+
+	"debugtuner/internal/ir"
+	"debugtuner/internal/pipeline"
+	"debugtuner/internal/tuner"
+)
+
+// fakeBench implements Bench with canned cycle counts keyed by level.
+type fakeBench struct {
+	name   string
+	cycles map[string]int64
+}
+
+func (f *fakeBench) Name() string                  { return f.name }
+func (f *fakeBench) Source() ([]byte, error)       { return nil, nil }
+func (f *fakeBench) BuildIR() (*ir.Program, error) { return nil, nil }
+func (f *fakeBench) Run(cfg pipeline.Config) (*Result, error) {
+	c, _ := f.Cycles(cfg)
+	return &Result{Name: f.name, Cycles: c}, nil
+}
+func (f *fakeBench) Cycles(cfg pipeline.Config) (int64, error) {
+	return f.cycles[cfg.Level], nil
+}
+
+type fakeDebuggable struct {
+	fakeBench
+	prog *tuner.Program
+}
+
+func (f *fakeDebuggable) Tuner() *tuner.Program { return f.prog }
+
+func TestSpeedup(t *testing.T) {
+	b := &fakeBench{name: "x", cycles: map[string]int64{"O0": 1000, "O2": 250}}
+	s, err := Speedup(b, pipeline.MustConfig(pipeline.GCC, "O2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 4.0 {
+		t.Errorf("speedup = %v, want 4.0", s)
+	}
+}
+
+func TestSuiteSpeedupOrderIndependent(t *testing.T) {
+	benches := []Bench{
+		&fakeBench{name: "a", cycles: map[string]int64{"O0": 100, "O2": 50}},
+		&fakeBench{name: "b", cycles: map[string]int64{"O0": 300, "O2": 100}},
+	}
+	per, avg, err := SuiteSpeedup(benches, pipeline.MustConfig(pipeline.GCC, "O2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per["a"] != 2.0 || per["b"] != 3.0 || avg != 2.5 {
+		t.Errorf("got per=%v avg=%v", per, avg)
+	}
+}
+
+func TestProgramsSkipsNonDebuggable(t *testing.T) {
+	p := &tuner.Program{Name: "d"}
+	subjects := []Subject{
+		&fakeBench{name: "plain"},
+		&fakeDebuggable{fakeBench: fakeBench{name: "d"}, prog: p},
+	}
+	progs := Programs(subjects)
+	if len(progs) != 1 || progs[0] != p {
+		t.Errorf("Programs = %v, want just the debuggable's program", progs)
+	}
+}

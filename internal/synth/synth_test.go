@@ -82,8 +82,8 @@ func TestSyntheticDiffersFromRealWorld(t *testing.T) {
 		if _, err := it.Call("main"); err != nil {
 			continue
 		}
-		o0 := pipeline.Build(ir0, pipeline.Config{Profile: pipeline.GCC, Level: "O0"})
-		o2 := pipeline.Build(ir0, pipeline.Config{Profile: pipeline.GCC, Level: "O2"})
+		o0 := pipeline.Build(ir0, pipeline.MustConfig(pipeline.GCC, "O0"))
+		o2 := pipeline.Build(ir0, pipeline.MustConfig(pipeline.GCC, "O2"))
 		if len(o2.Code) >= len(o0.Code) {
 			t.Errorf("seed %d: O2 did not shrink the synthetic program", seed)
 		}

@@ -14,8 +14,12 @@ import (
 	"debugtuner/internal/corpus"
 	"debugtuner/internal/dbgtrace"
 	"debugtuner/internal/debugger"
+	"debugtuner/internal/evalcache"
+	"debugtuner/internal/ir"
 	"debugtuner/internal/pipeline"
+	"debugtuner/internal/suite"
 	"debugtuner/internal/tuner"
+	"debugtuner/internal/vm"
 	"debugtuner/internal/workerpool"
 )
 
@@ -55,10 +59,61 @@ type HarnessCorpus struct {
 	Inputs [][]int64
 }
 
-// Subject is one loaded suite member with its corpora.
+// Subject is one loaded suite member with its corpora. It implements
+// suite.Debuggable: the Name/Source/BuildIR/Run methods shadow the
+// promoted tuner.Program fields, so cross-suite consumers see the same
+// surface a specsuite.Benchmark presents (the underlying fields remain
+// reachable through Tuner()).
 type Subject struct {
 	*tuner.Program
 	Corpora []HarnessCorpus
+}
+
+var _ suite.Debuggable = (*Subject)(nil)
+
+// Name returns the subject's suite name.
+func (s *Subject) Name() string { return s.Program.Name }
+
+// Source returns the subject's MiniC source.
+func (s *Subject) Source() ([]byte, error) { return Source(s.Program.Name) }
+
+// BuildIR returns the subject's O0 IR (shared; callers must not mutate).
+func (s *Subject) BuildIR() (*ir.Program, error) { return s.Program.IR0, nil }
+
+// Tuner exposes the backing tuner program for metric evaluation.
+func (s *Subject) Tuner() *tuner.Program { return s.Program }
+
+// Run builds the subject under the configuration and executes its final
+// corpus inputs on the plain VM (each input on a fresh machine, like the
+// fuzzer), totalling cycles and steps; a subject with no harness inputs
+// runs its entry function once.
+func (s *Subject) Run(cfg pipeline.Config) (*suite.Result, error) {
+	bin := s.Program.Build(cfg)
+	res := &suite.Result{Name: s.Program.Name}
+	ran := false
+	for _, h := range s.Program.Info.Harnesses {
+		for _, in := range s.Program.Inputs[h] {
+			m := vm.New(bin)
+			m.StepBudget = s.Program.Budget
+			hd := m.NewArray(in)
+			if _, err := m.Call(h, hd, int64(len(in))); err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", s.Program.Name, h, err)
+			}
+			res.Cycles += m.Cycles
+			res.Steps += m.Steps
+			res.Output = append(res.Output, m.Output()...)
+			ran = true
+		}
+	}
+	if !ran {
+		m := vm.New(bin)
+		m.StepBudget = s.Program.Budget
+		if _, err := m.Call(s.Program.Entry); err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", s.Program.Name, s.Program.Entry, err)
+		}
+		res.Cycles, res.Steps, res.Output = m.Cycles, m.Steps, m.Output()
+	}
+	return res, nil
 }
 
 // Stats reproduces the Table III row for the subject.
@@ -111,7 +166,7 @@ func Load(name string, opts CorpusOptions) (*Subject, error) {
 	// The corpus is grown against the -O0 build: coverage-guided
 	// fuzzing needs the unoptimized edge structure, like OSS-Fuzz's
 	// coverage builds.
-	bin := prog.Build(pipeline.Config{Profile: pipeline.GCC, Level: "O0"})
+	bin := prog.Build(pipeline.MustConfig(pipeline.GCC, "O0"))
 	sess, err := debugger.NewSession(bin)
 	if err != nil {
 		return nil, err
@@ -158,6 +213,27 @@ func Load(name string, opts CorpusOptions) (*Subject, error) {
 	return subject, nil
 }
 
+// liteCache memoizes corpus-less subjects per name.
+var liteCache evalcache.Cache[*Subject]
+
+// LoadLite front-ends a subject without growing a corpus: no fuzzing,
+// no minimization, no inputs installed. Suitable for consumers that
+// only build and inspect the subject (the passreport damage table);
+// Run on a lite subject executes the entry function.
+func LoadLite(name string) (*Subject, error) {
+	return liteCache.Do(name, func() (*Subject, error) {
+		src, err := Source(name)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := tuner.LoadProgram(name, src, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &Subject{Program: prog}, nil
+	})
+}
+
 // LoadAll loads every suite member. Subjects are independent (each owns
 // its front-end, fuzzer PRNG, and debug session), so they load
 // concurrently on the worker pool; the returned slice keeps the paper's
@@ -181,7 +257,7 @@ func Programs(subjects []*Subject) []*tuner.Program {
 // ComputeStats builds the Table III row: input counts, reductions, and
 // debug coverage at -O0.
 func (s *Subject) ComputeStats() (Stats, error) {
-	st := Stats{Name: s.Name}
+	st := Stats{Name: s.Program.Name}
 	base, err := s.Baseline()
 	if err != nil {
 		return st, err

@@ -33,7 +33,7 @@ func TestAllProgramsCompile(t *testing.T) {
 		}
 		for _, p := range []pipeline.Profile{pipeline.GCC, pipeline.Clang} {
 			for _, l := range append([]string{"O0"}, pipeline.Levels(p)...) {
-				bin := pipeline.Build(ir0, pipeline.Config{Profile: p, Level: l})
+				bin := pipeline.Build(ir0, pipeline.MustConfig(p, l))
 				if len(bin.Code) == 0 {
 					t.Errorf("%s %s-%s: empty binary", name, p, l)
 				}
@@ -81,7 +81,7 @@ func TestDifferentialAcrossLevels(t *testing.T) {
 			}
 			for _, p := range []pipeline.Profile{pipeline.GCC, pipeline.Clang} {
 				for _, l := range pipeline.Levels(p) {
-					bin := pipeline.Build(ir0, pipeline.Config{Profile: p, Level: l})
+					bin := pipeline.Build(ir0, pipeline.MustConfig(p, l))
 					for ii, in := range inputs {
 						m := vm.New(bin)
 						m.StepBudget = 1 << 24
@@ -150,7 +150,7 @@ func TestSuiteDebugQualityShape(t *testing.T) {
 		}
 		var prev float64 = 2
 		for _, l := range []string{"Og", "O1", "O2", "O3"} {
-			m, err := s.Product(pipeline.Config{Profile: pipeline.GCC, Level: l})
+			m, err := s.Product(pipeline.MustConfig(pipeline.GCC, l))
 			if err != nil {
 				t.Fatal(err)
 			}

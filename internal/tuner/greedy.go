@@ -42,7 +42,15 @@ func (la *LevelAnalysis) GreedySelect(progs []*Program, maxPasses int, minGain f
 		return sum / float64(len(progs)), nil
 	}
 
-	cfg := pipeline.Config{Profile: la.Profile, Level: la.Level, Disabled: map[string]bool{}}
+	chosen := map[string]bool{}
+	mkCfg := func(extra string) pipeline.Config {
+		opts := []pipeline.Option{pipeline.DisableSet(chosen)}
+		if extra != "" {
+			opts = append(opts, pipeline.Disable(extra))
+		}
+		return pipeline.MustConfig(la.Profile, la.Level, opts...)
+	}
+	cfg := mkCfg("")
 	best, err := avg(cfg)
 	if err != nil {
 		return nil, cfg, err
@@ -52,15 +60,10 @@ func (la *LevelAnalysis) GreedySelect(progs []*Program, maxPasses int, minGain f
 		var bestPass string
 		bestScore := best
 		for _, rp := range la.Ranking {
-			if rp.Name == "inline" || cfg.Disabled[rp.Name] {
+			if rp.Name == "inline" || chosen[rp.Name] {
 				continue
 			}
-			trial := pipeline.Config{Profile: la.Profile, Level: la.Level,
-				Disabled: map[string]bool{rp.Name: true}}
-			for n := range cfg.Disabled {
-				trial.Disabled[n] = true
-			}
-			score, err := avg(trial)
+			score, err := avg(mkCfg(rp.Name))
 			if err != nil {
 				return nil, cfg, err
 			}
@@ -72,7 +75,8 @@ func (la *LevelAnalysis) GreedySelect(progs []*Program, maxPasses int, minGain f
 		if bestPass == "" {
 			break
 		}
-		cfg.Disabled[bestPass] = true
+		chosen[bestPass] = true
+		cfg = mkCfg("")
 		best = bestScore
 		steps = append(steps, GreedyResult{Pass: bestPass, Product: best})
 	}

@@ -24,7 +24,7 @@ func TestGreedySelectImprovesOnRankPrefix(t *testing.T) {
 	// Scores along the accepted path are strictly increasing.
 	ref := 0.0
 	for _, p := range progs {
-		m, err := p.Product(pipeline.Config{Profile: pipeline.GCC, Level: "O2"})
+		m, err := p.Product(pipeline.MustConfig(pipeline.GCC, "O2"))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -77,11 +77,9 @@ func TestBuildDoesNotMutateSharedIR(t *testing.T) {
 		var cfgs []pipeline.Config
 		for _, prof := range []pipeline.Profile{pipeline.GCC, pipeline.Clang} {
 			for _, l := range pipeline.Levels(prof) {
-				cfgs = append(cfgs, pipeline.Config{Profile: prof, Level: l})
-				cfgs = append(cfgs, pipeline.Config{
-					Profile: prof, Level: l,
-					Disabled: map[string]bool{"dce": true, "inline": true},
-				})
+				cfgs = append(cfgs, pipeline.MustConfig(prof, l))
+				cfgs = append(cfgs, pipeline.MustConfig(prof, l,
+					pipeline.Disable("dce", "inline")))
 			}
 		}
 		var wg sync.WaitGroup
@@ -110,12 +108,9 @@ func TestBuildDoesNotMutateSharedIR(t *testing.T) {
 func TestMeasureCachesByFingerprint(t *testing.T) {
 	progs := loadTunerProgs(t)
 	p := progs[0]
-	a := pipeline.Config{Profile: pipeline.GCC, Level: "O2",
-		Disabled: map[string]bool{"dce": true, "dse": true}}
-	b := pipeline.Config{Profile: pipeline.GCC, Level: "O2",
-		Disabled: map[string]bool{"dse": true, "dce": true}}
-	c := pipeline.Config{Profile: pipeline.GCC, Level: "O2",
-		Disabled: map[string]bool{"gvn": true, "tree-ch": true}}
+	a := pipeline.MustConfig(pipeline.GCC, "O2", pipeline.Disable("dce", "dse"))
+	b := pipeline.MustConfig(pipeline.GCC, "O2", pipeline.Disable("dse", "dce"))
+	c := pipeline.MustConfig(pipeline.GCC, "O2", pipeline.Disable("gvn", "tree-ch"))
 
 	ma, err := p.Measure(a)
 	if err != nil {
@@ -145,7 +140,7 @@ func TestMeasureCachesByFingerprint(t *testing.T) {
 // TestFingerprintRejectsFDO: FDO-carrying configs have no stable
 // content identity and must bypass the cache.
 func TestFingerprintRejectsFDO(t *testing.T) {
-	cfg := pipeline.Config{Profile: pipeline.Clang, Level: "O2"}
+	cfg := pipeline.MustConfig(pipeline.Clang, "O2")
 	if _, ok := cfg.Fingerprint(); !ok {
 		t.Fatal("plain config must be fingerprintable")
 	}

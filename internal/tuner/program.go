@@ -110,7 +110,7 @@ func (p *Program) Baseline() (*dbgtrace.Trace, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.baseline == nil {
-		bin := p.Build(pipeline.Config{Profile: pipeline.GCC, Level: "O0"})
+		bin := p.Build(pipeline.MustConfig(pipeline.GCC, "O0"))
 		tr, err := p.Trace(bin)
 		if err != nil {
 			return nil, err

@@ -69,7 +69,7 @@ func AnalyzeLevel(progs []*Program, profile pipeline.Profile, level string) (*Le
 	// Wave 1: reference build+trace per program. Measure routes through
 	// the content-addressed cache, so the plain-level configurations the
 	// table generators also visit are built only once per process.
-	refCfg := pipeline.Config{Profile: profile, Level: level}
+	refCfg := pipeline.MustConfig(profile, level)
 	refs, err := workerpool.Map(ctx, progs, func(_ context.Context, _ int, p *Program) (Measurement, error) {
 		return p.Measure(refCfg)
 	})
@@ -90,10 +90,8 @@ func AnalyzeLevel(progs []*Program, profile pipeline.Profile, level string) (*Le
 	}
 	cells, err := workerpool.Map(ctx, jobs, func(_ context.Context, _ int, j matrixJob) (PassEffect, error) {
 		p := progs[j.pi]
-		cfg := pipeline.Config{
-			Profile: profile, Level: level,
-			Disabled: map[string]bool{passNames[j.xi]: true},
-		}
+		cfg := pipeline.MustConfig(profile, level,
+			pipeline.Disable(passNames[j.xi]))
 		bin := p.Build(cfg)
 		// Stage-1 optimization: identical .text means the pass had
 		// no effect on this program; skip trace extraction (§III.A).
@@ -246,13 +244,8 @@ func (la *LevelAnalysis) TopPasses(k int, excludeInline bool) []string {
 func (la *LevelAnalysis) Configs(ys []int) []pipeline.Config {
 	var out []pipeline.Config
 	for _, y := range ys {
-		dis := map[string]bool{}
-		for _, n := range la.TopPasses(y, true) {
-			dis[n] = true
-		}
-		out = append(out, pipeline.Config{
-			Profile: la.Profile, Level: la.Level, Disabled: dis,
-		})
+		out = append(out, pipeline.MustConfig(la.Profile, la.Level,
+			pipeline.Disable(la.TopPasses(y, true)...)))
 	}
 	return out
 }

@@ -3,6 +3,8 @@ package vm
 import (
 	"errors"
 	"fmt"
+
+	"debugtuner/internal/telemetry"
 )
 
 // Costs of the machine model, in cycles.
@@ -180,7 +182,17 @@ func (m *Machine) Call(name string, args ...int64) (int64, error) {
 	if m.SampleEvery > 0 && m.nextSample == 0 {
 		m.nextSample = m.SampleEvery
 	}
-	return m.run()
+	snk := telemetry.Active()
+	if snk == nil {
+		return m.run()
+	}
+	// Flush the interpreter's counters as one delta per Call so the hot
+	// loop stays untouched.
+	steps0, cycles0 := m.Steps, m.Cycles
+	r, err := m.run()
+	snk.Add("vm.steps", m.Steps-steps0)
+	snk.Add("vm.cycles", m.Cycles-cycles0)
+	return r, err
 }
 
 func evalBin(sub uint8, x, y int64) int64 {

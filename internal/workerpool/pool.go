@@ -13,8 +13,12 @@ package workerpool
 import (
 	"context"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"debugtuner/internal/telemetry"
 )
 
 // workers holds the process-wide override set by the -j flag;
@@ -53,6 +57,10 @@ func Map[T, R any](ctx context.Context, items []T, fn func(ctx context.Context, 
 	}
 	results := make([]R, len(items))
 	if n <= 1 {
+		// Serial inline path: no goroutine, no derived context — fn
+		// receives the caller's ctx unchanged and runs on the calling
+		// goroutine, so single-worker runs are byte-for-byte the serial
+		// loop (the determinism baseline -j1 is compared against).
 		for i, item := range items {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -76,16 +84,36 @@ func Map[T, R any](ctx context.Context, items []T, fn func(ctx context.Context, 
 		poolErr error
 		wg      sync.WaitGroup
 	)
+	snk := telemetry.Active()
 	for w := 0; w < n; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			var busy time.Duration
+			if snk != nil {
+				defer func() {
+					snk.Add("workerpool.busy_ns", busy.Nanoseconds())
+					snk.Add("workerpool.worker."+strconv.Itoa(worker)+".busy_ns",
+						busy.Nanoseconds())
+				}()
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(items) || ctx.Err() != nil {
 					return
 				}
+				var t0 time.Time
+				if snk != nil {
+					// Remaining undispatched items approximate queue
+					// depth at the moment this worker takes one.
+					snk.Max("workerpool.queue", int64(len(items)-i))
+					t0 = time.Now()
+				}
 				r, err := fn(ctx, i, items[i])
+				if snk != nil {
+					busy += time.Since(t0)
+					snk.Add("workerpool.items", 1)
+				}
 				if err != nil {
 					errMu.Lock()
 					if errIdx < 0 || i < errIdx {
@@ -97,7 +125,7 @@ func Map[T, R any](ctx context.Context, items []T, fn func(ctx context.Context, 
 				}
 				results[i] = r
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if errIdx >= 0 {

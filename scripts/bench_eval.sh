@@ -1,7 +1,8 @@
 #!/bin/sh
 # Benchmarks the evaluation engine: wall-clock of `experiments -quick all`
 # serial (-j 1) vs parallel (-j 4), verifies the two stdouts are
-# byte-identical, and writes the numbers to BENCH_eval.json.
+# byte-identical — including a run with telemetry enabled (-trace), whose
+# overhead is recorded — and writes the numbers to BENCH_eval.json.
 #
 # Usage: scripts/bench_eval.sh [jobs]   (default parallel width: 4)
 set -eu
@@ -20,26 +21,35 @@ go build -o "$TMP/experiments" ./cmd/experiments
 export GOMAXPROCS="${GOMAXPROCS:-8}"
 
 time_run() {
-    # Seconds, with subsecond precision where the shell provides it.
+    # time_run <stdout-file> <flags...>: seconds, with subsecond
+    # precision where the shell provides it.
+    out="$1"; shift
     start=$(date +%s.%N 2>/dev/null || date +%s)
-    "$TMP/experiments" -quick -j "$1" all >"$2"
+    "$TMP/experiments" -quick "$@" all >"$out"
     end=$(date +%s.%N 2>/dev/null || date +%s)
     awk -v a="$start" -v b="$end" 'BEGIN { printf "%.1f", b - a }'
 }
 
 echo "serial run (-j 1)..." >&2
-SERIAL=$(time_run 1 "$TMP/serial.txt")
+SERIAL=$(time_run "$TMP/serial.txt" -j 1)
 echo "parallel run (-j $JOBS)..." >&2
-PARALLEL=$(time_run "$JOBS" "$TMP/parallel.txt")
+PARALLEL=$(time_run "$TMP/parallel.txt" -j "$JOBS")
+echo "telemetry run (-j $JOBS -trace)..." >&2
+TELEMETRY=$(time_run "$TMP/telemetry.txt" -j "$JOBS" \
+    -trace "$TMP/trace.json" -metrics "$TMP/metrics.json")
 
-if cmp -s "$TMP/serial.txt" "$TMP/parallel.txt"; then
+if cmp -s "$TMP/serial.txt" "$TMP/parallel.txt" &&
+   cmp -s "$TMP/serial.txt" "$TMP/telemetry.txt"; then
     IDENTICAL=true
 else
     IDENTICAL=false
     diff "$TMP/serial.txt" "$TMP/parallel.txt" | head -20 >&2 || true
+    diff "$TMP/serial.txt" "$TMP/telemetry.txt" | head -20 >&2 || true
 fi
 
 SPEEDUP=$(awk -v s="$SERIAL" -v p="$PARALLEL" 'BEGIN { printf "%.2f", s / p }')
+OVERHEAD=$(awk -v p="$PARALLEL" -v t="$TELEMETRY" \
+    'BEGIN { printf "%.1f", 100 * (t - p) / p }')
 
 # SEED_BASELINE_SECONDS (optional): wall-clock of the pre-engine
 # `-quick all` on the same machine, for the result-cache comparison.
@@ -59,6 +69,8 @@ cat >"$OUT" <<EOF
   "serial_seconds": $SERIAL,
   "parallel_seconds": $PARALLEL,
   "speedup_parallel_vs_serial": $SPEEDUP,
+  "telemetry_seconds": $TELEMETRY,
+  "telemetry_overhead_pct": $OVERHEAD,
   "stdout_byte_identical": $IDENTICAL
 }
 EOF
