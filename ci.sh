@@ -1,6 +1,8 @@
 #!/bin/sh
 # CI gate: vet, build, full test suite, then the race detector on every
-# package that participates in the parallel evaluation engine.
+# package that participates in the parallel evaluation engine, and
+# finally a bounded differential-testing smoke that must be byte-stable
+# across worker counts.
 set -eux
 
 go vet ./...
@@ -14,4 +16,14 @@ go test -race -count=1 \
     ./internal/tuner/ \
     ./internal/experiments/ \
     ./internal/specsuite/ \
-    ./internal/testsuite/
+    ./internal/testsuite/ \
+    ./internal/difftest/
+
+# Differential smoke: a small fixed seed set over the plain level matrix
+# must report zero findings, and stdout must not depend on parallelism.
+go build -o /tmp/ci-experiments ./cmd/experiments
+/tmp/ci-experiments -j 1 -seeds 5 -configs levels difftest > /tmp/ci-difftest-j1.txt
+/tmp/ci-experiments -j 4 -seeds 5 -configs levels difftest > /tmp/ci-difftest-j4.txt
+cmp /tmp/ci-difftest-j1.txt /tmp/ci-difftest-j4.txt
+grep -q '^PASS$' /tmp/ci-difftest-j1.txt
+rm -f /tmp/ci-experiments /tmp/ci-difftest-j1.txt /tmp/ci-difftest-j4.txt

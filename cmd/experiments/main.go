@@ -14,6 +14,11 @@
 // -profile/-level build of the test suite. -trace and -metrics write a
 // Chrome trace-event file and a JSON telemetry summary for any run;
 // stdout stays byte-identical whether or not telemetry is enabled.
+//
+// difftest (not part of "all": it is a correctness gate, not a paper
+// table) cross-checks -seeds synthetic programs and the whole test suite
+// across the -configs matrix and reports behavior mismatches and
+// debug-info invariant violations; see internal/difftest.
 package main
 
 import (
@@ -23,9 +28,11 @@ import (
 	"os"
 	"time"
 
+	"debugtuner/internal/difftest"
 	"debugtuner/internal/experiments"
 	"debugtuner/internal/pipeline"
 	"debugtuner/internal/telemetry"
+	"debugtuner/internal/testsuite"
 	"debugtuner/internal/workerpool"
 )
 
@@ -51,6 +58,12 @@ func main() {
 		"compiler profile for the passreport experiment")
 	prLevel := flag.String("level", "O2",
 		"optimization level for the passreport experiment")
+	dtSeeds := flag.Int("seeds", 50,
+		"synthetic seeds for the difftest experiment")
+	dtConfigs := flag.String("configs", "full",
+		"difftest matrix: full, levels, or a comma list like gcc-O2,clang-O3*")
+	dtSuite := flag.Bool("suite", true,
+		"include the test-suite programs as difftest subjects")
 	flag.Parse()
 	workerpool.SetWorkers(*jobs)
 	var snk *telemetry.Sink
@@ -92,6 +105,26 @@ func main() {
 	// run to run, and "all" output must stay byte-identical.
 	byName["passreport"] = exp{"passreport", func(w io.Writer) error {
 		return experiments.WritePassReport(w, pipeline.Profile(*prProfile), *prLevel)
+	}}
+	// Also absent from "all": difftest is a correctness gate. A run with
+	// findings exits nonzero so CI can gate on it.
+	byName["difftest"] = exp{"difftest", func(w io.Writer) error {
+		dopts := difftest.Options{Spec: *dtConfigs}
+		for seed := int64(1); seed <= int64(*dtSeeds); seed++ {
+			dopts.Seeds = append(dopts.Seeds, seed)
+		}
+		if *dtSuite {
+			dopts.Testsuite = testsuite.Names
+		}
+		rep, err := difftest.Run(w, dopts)
+		if err != nil {
+			return err
+		}
+		if len(rep.Findings) > 0 {
+			return fmt.Errorf("%d behavior mismatches, %d invariant violations",
+				rep.Mismatches, rep.Violations)
+		}
+		return nil
 	}}
 	for _, name := range want {
 		e, ok := byName[name]

@@ -1,0 +1,248 @@
+// Package difftest is the correctness layer under the evaluation engine:
+// a differential-testing subsystem in the style of Di Luna et al.'s
+// "Who's Debugging the Debuggers?" applied to the MiniC toolchain.
+//
+// MiniC's total semantics (wrapping arithmetic, div/rem by zero yielding
+// zero, masked shift counts, tolerated out-of-bounds accesses) were
+// chosen so that every optimization pipeline is unconstrained and
+// therefore differential: any two builds of the same program must agree
+// on observable behavior. This package exploits that with three parts:
+//
+//   - a differential oracle (oracle.go) that compiles each subject under
+//     a matrix of pipeline configurations — both profiles × all levels ×
+//     single-pass-disabled toggles — and cross-checks the print stream,
+//     return values, and termination of every build against the O0
+//     reference (and the O0 reference itself against the IR interpreter,
+//     so back-end bugs at O0 cannot silently become the baseline);
+//
+//   - a debug-info invariant checker (invariants.go) over every emitted
+//     binary: line-table monotonicity, location-list well-formedness and
+//     function-bound containment, owner-tag witnesses for register and
+//     spill locations, and the dynamic ⊆ static availability direction
+//     the hybrid metric depends on (§II);
+//
+//   - a delta-debugging reducer (reduce.go) that shrinks a failing MiniC
+//     program to a 1-minimal line set, for checking in as a regression
+//     fixture under testdata/.
+//
+// Builds fan out over internal/workerpool and are memoized per
+// (subject, config fingerprint) via internal/evalcache; the report is
+// byte-identical at any worker count.
+package difftest
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+
+	"debugtuner/internal/telemetry"
+	"debugtuner/internal/testsuite"
+	"debugtuner/internal/workerpool"
+)
+
+// Options bounds one differential run.
+type Options struct {
+	// Seeds lists the synth program seeds to test.
+	Seeds []int64
+	// Spec selects the configuration matrix, see ParseMatrix.
+	Spec string
+	// Testsuite lists test-suite program names to include as subjects
+	// (nil = none; testsuite.Names = the full suite).
+	Testsuite []string
+	// CorpusExecs > 0 grows real fuzzing corpora for the test-suite
+	// subjects (testsuite.Load); 0 uses deterministic pseudo-corpus
+	// inputs, which keep the smoke run bounded.
+	CorpusExecs int
+	// Budget is the per-run VM step budget (0 = DefaultBudget).
+	Budget int64
+}
+
+// DefaultBudget bounds each VM run. Short subjects finish well inside
+// it; a seed whose nested loop/call chains multiply past the budget is
+// compared on its observable prefix instead — the budget is what keeps
+// per-subject cost bounded across a ~100-config matrix, and divergences
+// overwhelmingly surface within the first stretch of the output stream.
+const DefaultBudget int64 = 1 << 20
+
+// DefaultTraceBudget bounds the debug-trace session behind the dynamic
+// invariant check. Single-stepping with per-stop variable materialization
+// is an order of magnitude slower than plain execution, so the dynamic
+// <= static check runs on a shorter prefix of the same deterministic run.
+const DefaultTraceBudget int64 = 1 << 16
+
+// Report is the deterministic outcome of a Run.
+type Report struct {
+	Subjects   int
+	Configs    int
+	Builds     int
+	Findings   []Finding
+	Mismatches int
+	Violations int
+}
+
+// Run executes the differential matrix and writes a deterministic
+// plain-text report: counts first, then one line per finding in sorted
+// order. It returns an error only on harness failure (a subject that
+// does not front-end, an unknown matrix spec); findings are data.
+func Run(w io.Writer, opts Options) (*Report, error) {
+	span := telemetry.Begin("difftest", "run")
+	defer span.End()
+
+	configs, err := ParseMatrix(opts.Spec)
+	if err != nil {
+		return nil, err
+	}
+	var subjects []*Subject
+	for _, seed := range opts.Seeds {
+		subjects = append(subjects, SynthSubject(seed))
+	}
+	for _, name := range opts.Testsuite {
+		s, err := SuiteSubject(name, opts.CorpusExecs)
+		if err != nil {
+			return nil, err
+		}
+		subjects = append(subjects, s)
+	}
+
+	o := NewOracle(configs)
+	if opts.Budget > 0 {
+		o.Budget = opts.Budget
+	}
+	findings, err := o.Check(subjects)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Subjects: len(subjects),
+		Configs:  len(configs),
+		Builds:   len(subjects) * len(configs),
+		Findings: findings,
+	}
+	for _, f := range findings {
+		if f.Kind == KindInvariant {
+			rep.Violations++
+		} else {
+			rep.Mismatches++
+		}
+	}
+	telemetry.Add("difftest.subjects", int64(rep.Subjects))
+	telemetry.Add("difftest.mismatches", int64(rep.Mismatches))
+	telemetry.Add("difftest.violations", int64(rep.Violations))
+
+	fmt.Fprintf(w, "difftest: %d subjects x %d configs (%s)\n",
+		rep.Subjects, rep.Configs, specName(opts.Spec))
+	fmt.Fprintf(w, "behavior mismatches:  %d\n", rep.Mismatches)
+	fmt.Fprintf(w, "invariant violations: %d\n", rep.Violations)
+	for _, f := range rep.Findings {
+		fmt.Fprintf(w, "FAIL %s\n", f)
+	}
+	if len(rep.Findings) == 0 {
+		fmt.Fprintln(w, "PASS")
+	}
+	return rep, nil
+}
+
+// Check runs every subject against every configuration on the worker
+// pool and returns the findings sorted by (subject, config, kind).
+func (o *Oracle) Check(subjects []*Subject) ([]Finding, error) {
+	perSubject, err := workerpool.Map(context.Background(), subjects,
+		func(_ context.Context, _ int, s *Subject) ([]Finding, error) {
+			return o.CheckSubject(s)
+		})
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, fs := range perSubject {
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Subject != b.Subject {
+			return a.Subject < b.Subject
+		}
+		if a.Config != b.Config {
+			return a.Config < b.Config
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Detail < b.Detail
+	})
+	return findings, nil
+}
+
+// SuiteSubject wraps a test-suite program as a differential subject.
+// With execs > 0 the real corpus pipeline supplies the inputs; otherwise
+// each harness gets a small deterministic pseudo-corpus.
+func SuiteSubject(name string, execs int) (*Subject, error) {
+	if execs > 0 {
+		ts, err := testsuite.Load(name, testsuite.CorpusOptions{Execs: execs})
+		if err != nil {
+			return nil, err
+		}
+		return &Subject{
+			Name:      name,
+			Src:       mustSource(name),
+			Harnesses: ts.Program.Info.Harnesses,
+			Inputs:    ts.Program.Inputs,
+		}, nil
+	}
+	ts, err := testsuite.LoadLite(name)
+	if err != nil {
+		return nil, err
+	}
+	s := &Subject{
+		Name:      name,
+		Src:       mustSource(name),
+		Harnesses: ts.Program.Info.Harnesses,
+		Inputs:    map[string][][]int64{},
+	}
+	for hi, h := range s.Harnesses {
+		s.Inputs[h] = pseudoCorpus(name, hi)
+	}
+	return s, nil
+}
+
+func mustSource(name string) []byte {
+	src, err := testsuite.Source(name)
+	if err != nil {
+		panic(err) // caller already loaded the subject by name
+	}
+	return src
+}
+
+// pseudoCorpus derives a few byte-valued input vectors from a stable
+// per-(program, harness) hash — a stand-in for a grown corpus that keeps
+// the default difftest run bounded and deterministic.
+func pseudoCorpus(name string, harness int) [][]int64 {
+	h := uint64(1469598103934665603)
+	mix := func(x uint64) {
+		h ^= x
+		h *= 1099511628211
+	}
+	for _, c := range name {
+		mix(uint64(c))
+	}
+	mix(uint64(harness) + 7919)
+	var out [][]int64
+	for i := 0; i < 3; i++ {
+		n := 8 + int(h%17)
+		in := make([]int64, n)
+		for j := range in {
+			mix(uint64(i*131 + j))
+			in[j] = int64(h % 256)
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+func specName(spec string) string {
+	if spec == "" {
+		return "full"
+	}
+	return spec
+}

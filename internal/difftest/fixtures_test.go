@@ -1,0 +1,39 @@
+package difftest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFixturesCleanAcrossMatrix replays every checked-in fixture under
+// testdata/ through the oracle over the full configuration matrix. The
+// directory holds the semantic-edge programs (int64-boundary division,
+// shift-count masking) plus any reducer-minimized reproducers of fixed
+// bugs; all must behave identically in every build and carry clean debug
+// info.
+func TestFixturesCleanAcrossMatrix(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.mc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 2 {
+		t.Fatalf("expected at least the two semantic-edge fixtures, found %v", paths)
+	}
+	o := NewOracle(Matrix())
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := strings.TrimSuffix(filepath.Base(p), ".mc")
+		findings, err := o.CheckSubject(SourceSubject(name, src))
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s: %s", p, f)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"debugtuner/internal/ir"
+	"debugtuner/internal/lexer"
+	"debugtuner/internal/pipeline"
+	"debugtuner/internal/source"
+	"debugtuner/internal/synth"
+)
+
+// renderTokens turns a token stream back into source text: identifiers
+// and literals keep their raw text, everything else re-renders through
+// Kind.String() (which is the source spelling for operators and
+// keywords). Comments and layout are lost — by design, they are the
+// only thing lexing is allowed to discard.
+func renderTokens(toks []lexer.Token) string {
+	var parts []string
+	for _, t := range toks {
+		if t.Kind == lexer.EOF {
+			break
+		}
+		if t.Kind == lexer.Ident || t.Kind == lexer.Int {
+			parts = append(parts, t.Text)
+		} else {
+			parts = append(parts, t.Kind.String())
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// irDump concatenates every function's printed IR, as a determinism
+// witness for the front end and lowering.
+func irDump(prog *ir.Program) string {
+	var sb strings.Builder
+	for _, f := range prog.Funcs {
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+// FuzzParseRoundTrip feeds arbitrary text through the front end. For any
+// input that lexes cleanly, re-rendering the token stream and lexing
+// again must reproduce the same tokens (lexing is stable under its own
+// output); for any input that compiles, compiling twice must produce
+// byte-identical IR (the front end is deterministic), and a short bounded
+// interpreter run must not panic.
+func FuzzParseRoundTrip(f *testing.F) {
+	f.Add("var g: int = 1;\nfunc main() { print(g / 0); }\n")
+	f.Add("func main() { var x: int = 1 << 65; print(x); }\n")
+	f.Add("func f(a: int): int { return a % (0 - 1); }\nfunc main() { print(f(5)); }\n")
+	f.Add("var a: int[] = new int[4];\nfunc main() { a[9] = 7; print(a[9]); }\n")
+	for seed := int64(1); seed <= 3; seed++ {
+		f.Add(synth.Generate(seed, synth.DefaultOptions()))
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		lx := lexer.New(source.NewFile("fuzz.mc", []byte(src)))
+		toks := lx.All()
+		if lx.Errors().Err() == nil {
+			relex := lexer.New(source.NewFile("fuzz.mc", []byte(renderTokens(toks))))
+			toks2 := relex.All()
+			if err := relex.Errors().Err(); err != nil {
+				t.Fatalf("re-render does not lex: %v", err)
+			}
+			if len(toks2) != len(toks) {
+				t.Fatalf("re-render: %d tokens, want %d", len(toks2), len(toks))
+			}
+			for i := range toks {
+				a, b := toks[i], toks2[i]
+				if a.Kind != b.Kind || a.Val != b.Val ||
+					((a.Kind == lexer.Ident || a.Kind == lexer.Int) && a.Text != b.Text) {
+					t.Fatalf("token %d: %v %q (val %d) became %v %q (val %d)",
+						i, a.Kind, a.Text, a.Val, b.Kind, b.Text, b.Val)
+				}
+			}
+		}
+		info, err := pipeline.Frontend("fuzz.mc", []byte(src))
+		if err != nil {
+			return
+		}
+		prog1, err := pipeline.BuildIR(info)
+		if err != nil {
+			return
+		}
+		info2, err := pipeline.Frontend("fuzz.mc", []byte(src))
+		if err != nil {
+			t.Fatalf("second front end failed: %v", err)
+		}
+		prog2, err := pipeline.BuildIR(info2)
+		if err != nil {
+			t.Fatalf("second lowering failed: %v", err)
+		}
+		if d1, d2 := irDump(prog1), irDump(prog2); d1 != d2 {
+			t.Fatalf("front end nondeterministic:\n%s\nvs\n%s", d1, d2)
+		}
+		in := ir.NewInterp(prog1, 1<<14)
+		in.Call("main") // bounded; must not panic, errors are fine
+	})
+}
+
+// FuzzDiffOneConfig drives the differential oracle itself: any synth
+// seed under any matrix configuration must produce zero findings. The
+// budgets are small so the seed corpus stays cheap under plain go test.
+func FuzzDiffOneConfig(f *testing.F) {
+	f.Add(int64(1), int64(0))
+	f.Add(int64(7), int64(33))
+	f.Add(int64(99), int64(1000))
+	matrix := Matrix()
+	f.Fuzz(func(t *testing.T, seed, cfgIdx int64) {
+		cfg := matrix[int(uint64(cfgIdx)%uint64(len(matrix)))]
+		o := NewOracle(nil)
+		o.Budget = 1 << 15
+		o.TraceBudget = 1 << 13
+		findings, err := o.DiffOne(SynthSubject(seed), cfg)
+		if err != nil {
+			t.Fatalf("seed %d under %s: %v", seed, configLabel(cfg), err)
+		}
+		for _, fd := range findings {
+			t.Errorf("%s", fd)
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package difftest
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"debugtuner/internal/pipeline"
+)
+
+func TestProfileOneSubject(t *testing.T) {
+	if os.Getenv("DIFFTEST_PROF") == "" {
+		t.Skip("profiling harness")
+	}
+	seed, _ := strconv.ParseInt(os.Getenv("DIFFTEST_PROF"), 10, 64)
+	o := NewOracle(Matrix())
+	t0 := time.Now()
+	if _, err := o.CheckSubject(SynthSubject(seed)); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("seed %d: %v\n", seed, time.Now().Sub(t0))
+}
+
+func TestFrontendAdversarial(t *testing.T) {
+	if os.Getenv("DIFFTEST_PROF") == "" {
+		t.Skip("profiling harness")
+	}
+	cases := map[string]string{
+		"deep parens":  "func main() { print(" + strings.Repeat("(", 20000) + "1" + strings.Repeat(")", 20000) + "); }",
+		"unbalanced":   "func main() { print(" + strings.Repeat("(", 50000),
+		"many stmts":   "func main() {\n" + strings.Repeat("\tvar x0: int = 1; x0 = x0 + 1;\n", 1) + strings.Repeat("\tprint(1+2*3);\n", 30000) + "}",
+		"many funcs":   strings.Repeat("func f(){}\n", 20000),
+		"long chain":   "func main() { print(1" + strings.Repeat("+1", 40000) + "); }",
+		"nested loops": "func main() {" + strings.Repeat("for (var i: int = 0; i < 2; i = i + 1) {", 200) + strings.Repeat("}", 200) + "}",
+	}
+	for name, src := range cases {
+		t0 := time.Now()
+		info, err := pipeline.Frontend("adv.mc", []byte(src))
+		d := time.Now().Sub(t0)
+		status := "err"
+		if err == nil {
+			status = "ok"
+			t1 := time.Now()
+			_, berr := pipeline.BuildIR(info)
+			fmt.Printf("%-12s frontend %v buildir %v (%v)\n", name, d, time.Now().Sub(t1), berr)
+			continue
+		}
+		_ = status
+		fmt.Printf("%-12s frontend %v (err)\n", name, d)
+	}
+}

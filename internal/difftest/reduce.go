@@ -1,0 +1,130 @@
+package difftest
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"debugtuner/internal/pipeline"
+)
+
+// Reduce shrinks a failing MiniC source with line-granular delta
+// debugging (Zeller's ddmin over complements): it repeatedly removes
+// chunks of lines while the failure predicate still holds, then retries
+// single lines until the result is 1-minimal — removing any one
+// remaining line either fixes the failure or breaks compilation (the
+// predicate is expected to return false for sources that do not
+// front-end). A final pair-elimination pass removes two lines at a time,
+// which 1-minimality cannot reach but brace-delimited code needs (an
+// empty function body leaves "header {" and "}" lines that only vanish
+// together). The input source is returned unchanged when it does not
+// satisfy the predicate.
+func Reduce(src []byte, fails func(src []byte) bool) []byte {
+	if !fails(src) {
+		return src
+	}
+	lines := strings.Split(strings.TrimRight(string(src), "\n"), "\n")
+	join := func(ls []string) []byte {
+		return []byte(strings.Join(ls, "\n") + "\n")
+	}
+	n := 2
+	for len(lines) >= 2 && n <= len(lines) {
+		chunk := (len(lines) + n - 1) / n
+		reduced := false
+		for i := 0; i < len(lines); i += chunk {
+			end := i + chunk
+			if end > len(lines) {
+				end = len(lines)
+			}
+			cand := make([]string, 0, len(lines)-(end-i))
+			cand = append(cand, lines[:i]...)
+			cand = append(cand, lines[end:]...)
+			if len(cand) == 0 {
+				continue
+			}
+			if fails(join(cand)) {
+				lines = cand
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(lines) {
+				break
+			}
+			n *= 2
+			if n > len(lines) {
+				n = len(lines)
+			}
+		}
+	}
+	// Pair elimination: retry until no two-line removal still fails.
+	for {
+		reduced := false
+	pairs:
+		for i := 0; i < len(lines)-1 && len(lines) > 2; i++ {
+			for j := i + 1; j < len(lines); j++ {
+				cand := make([]string, 0, len(lines)-2)
+				cand = append(cand, lines[:i]...)
+				cand = append(cand, lines[i+1:j]...)
+				cand = append(cand, lines[j+1:]...)
+				if fails(join(cand)) {
+					lines = cand
+					reduced = true
+					break pairs
+				}
+			}
+		}
+		if !reduced {
+			break
+		}
+	}
+	return join(lines)
+}
+
+// FailsUnder builds a reduction predicate: the source still front-ends
+// and the oracle still reports at least one finding for the
+// configuration (behavior mismatch, reference divergence, or invariant
+// violation). Sources that no longer compile do not "fail" — the
+// reducer must not escape into syntax errors.
+func FailsUnder(cfg pipeline.Config) func(src []byte) bool {
+	return func(src []byte) bool {
+		o := NewOracle(nil)
+		findings, err := o.DiffOne(SourceSubject("reduce", src), cfg)
+		return err == nil && len(findings) > 0
+	}
+}
+
+// WriteFixture stores a reduced reproducer under dir, named after the
+// subject and the configuration that exposed it, with a header comment
+// recording the finding. Returns the written path.
+func WriteFixture(dir string, f Finding, reduced []byte) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("%s-%s.mc", f.Subject, sanitizeLabel(f.Config))
+	path := filepath.Join(dir, name)
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "// difftest reproducer: %s\n// finding: [%s] %s\n",
+		f.Subject, f.Kind, f.Detail)
+	buf.Write(reduced)
+	return path, os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// sanitizeLabel maps a config label to a filename-safe form.
+func sanitizeLabel(label string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, label)
+}

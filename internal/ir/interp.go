@@ -10,14 +10,22 @@ import (
 // print stream) unchanged, and the interpreter provides the reference
 // semantics independent of the back end and VM.
 type Interp struct {
-	prog  *Program
-	heap  [][]int64
-	gvals []int64
-	out   []int64
-	steps int64
-	limit int64
-	lanes map[*Value]int64
+	prog      *Program
+	heap      [][]int64
+	heapWords int64
+	gvals     []int64
+	out       []int64
+	steps     int64
+	limit     int64
+	lanes     map[*Value]int64
 }
+
+// maxHeapWords caps the interpreter's total array heap, mirroring
+// vm.MaxHeapWords exactly: allocations past the cap clamp to the
+// remaining capacity, and out-of-bounds semantics keep the run total.
+// The two constants must stay equal or differential tests diverge on
+// alloc-heavy programs.
+const maxHeapWords int64 = 1 << 24
 
 // ErrStepLimit is returned when execution exceeds the step budget,
 // protecting differential tests from accidental non-termination.
@@ -41,9 +49,10 @@ func (in *Interp) alloc(size int64) int64 {
 	if size < 0 {
 		size = 0
 	}
-	if size > 1<<24 {
-		size = 1 << 24
+	if rem := maxHeapWords - in.heapWords; size > rem {
+		size = rem
 	}
+	in.heapWords += size
 	in.heap = append(in.heap, make([]int64, size))
 	return int64(len(in.heap) - 1)
 }

@@ -184,12 +184,14 @@ func rotateLoop(ctx *Context, f *ir.Func, l *Loop) bool {
 	// by their definitions; repair each through SSA-updater phis. The
 	// guard edge carries init-mapped values, the latch edge next-mapped
 	// values.
+	var batch []repairItem
 	for _, v := range append(append([]*ir.Value(nil), headerPhis...), headerBody...) {
-		repairValue(f, v, []Def{
+		batch = append(batch, repairItem{Orig: v, Defs: []Def{
 			{Block: h, Val: v},
 			{Block: ph, Val: mapped(gm, v), AtEnd: true, OnlyEdgeTo: exit},
 			{Block: l.Latch, Val: mapped(lm, v), AtEnd: true, OnlyEdgeTo: exit},
-		})
+		}})
 	}
+	newRepairer(f).repairValues(batch)
 	return true
 }

@@ -24,55 +24,103 @@ type Def struct {
 	OnlyEdgeTo *ir.Block
 }
 
-// repairValue rewires all uses of orig so that each observes the correct
-// reaching definition among defs. defs must include orig itself (as an
-// at-instruction def). New phis carry no source line and no variable
-// binding; DbgValue uses are rewired like ordinary uses so the binding
-// stays accurate where a definition reaches.
-func repairValue(f *ir.Func, orig *ir.Value, defs []Def) {
+// repairItem is one value to repair together with its definitions, which
+// must include the value itself (as an at-instruction def).
+type repairItem struct {
+	Orig *ir.Value
+	Defs []Def
+}
+
+// repairer caches the dominance structures shared by a batch of repairs.
+// A repair inserts phis and constants but never adds or removes CFG
+// edges, so one dominator computation serves every value repaired after
+// the same transform — recomputing per value made loop rotation
+// quadratic on functions with many header-defined values.
+type repairer struct {
+	f    *ir.Func
+	tree map[*ir.Block][]*ir.Block
+	df   map[*ir.Block][]*ir.Block
+}
+
+// newRepairer computes the dominance structures once for a batch of
+// repairs over f. It must be created after the transform's CFG edits are
+// complete.
+func newRepairer(f *ir.Func) *repairer {
 	idom := ir.Dominators(f)
-	tree := ir.DomTree(f, idom)
-	df := dominanceFrontiers(f, idom)
+	return &repairer{
+		f:    f,
+		tree: ir.DomTree(f, idom),
+		df:   dominanceFrontiers(f, idom),
+	}
+}
 
-	// Phi placement at the iterated dominance frontier of def blocks.
-	phiAt := map[*ir.Block]*ir.Value{}
-	var work []*ir.Block
-	inWork := map[*ir.Block]bool{}
-	for _, d := range defs {
-		if !inWork[d.Block] {
-			inWork[d.Block] = true
-			work = append(work, d.Block)
+// repairValue is the single-shot form for passes repairing one value.
+func repairValue(f *ir.Func, orig *ir.Value, defs []Def) {
+	newRepairer(f).repairValues([]repairItem{{orig, defs}})
+}
+
+// repairValues rewires all uses of each item's Orig so that each use
+// observes the correct reaching definition among the item's Defs, in a
+// single dominator-tree walk for the whole batch. Items must be disjoint:
+// no value may be an instruction-style definition for two items. New phis
+// carry no source line and no variable binding; DbgValue uses are rewired
+// like ordinary uses so the binding stays accurate where a definition
+// reaches.
+func (r *repairer) repairValues(items []repairItem) {
+	f, tree, df := r.f, r.tree, r.df
+	n := len(items)
+
+	// Phi placement at the iterated dominance frontier of each item's def
+	// blocks. phiOf identifies a placed phi's item during the walk.
+	phiAt := make([]map[*ir.Block]*ir.Value, n)
+	phiOf := map[*ir.Value]int{}
+	for k, item := range items {
+		phiAt[k] = map[*ir.Block]*ir.Value{}
+		var work []*ir.Block
+		inWork := map[*ir.Block]bool{}
+		for _, d := range item.Defs {
+			if !inWork[d.Block] {
+				inWork[d.Block] = true
+				work = append(work, d.Block)
+			}
+		}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, j := range df[b] {
+				if phiAt[k][j] != nil {
+					continue
+				}
+				phi := f.NewValue(j, ir.OpPhi, 0)
+				phi.Args = make([]*ir.Value, len(j.Preds))
+				j.Instrs = append([]*ir.Value{phi}, j.Instrs...)
+				phiAt[k][j] = phi
+				phiOf[phi] = k
+				if !inWork[j] {
+					inWork[j] = true
+					work = append(work, j)
+				}
+			}
 		}
 	}
-	for len(work) > 0 {
-		b := work[len(work)-1]
-		work = work[:len(work)-1]
-		for _, j := range df[b] {
-			if phiAt[j] != nil {
-				continue
-			}
-			phi := f.NewValue(j, ir.OpPhi, 0)
-			phi.Args = make([]*ir.Value, len(j.Preds))
-			j.Instrs = append([]*ir.Value{phi}, j.Instrs...)
-			phiAt[j] = phi
-			if !inWork[j] {
-				inWork[j] = true
-				work = append(work, j)
-			}
-		}
-	}
 
+	// Definition lookup tables across the batch.
 	type edgeDef struct {
+		item int
 		val  *ir.Value
 		only *ir.Block
 	}
-	instrDef := map[*ir.Value]bool{}
-	endDef := map[*ir.Block]edgeDef{}
-	for _, d := range defs {
-		if d.AtEnd {
-			endDef[d.Block] = edgeDef{d.Val, d.OnlyEdgeTo}
-		} else {
-			instrDef[d.Val] = true
+	origIdx := map[*ir.Value]int{}
+	instrDef := map[*ir.Value]int{}
+	endDefs := map[*ir.Block][]edgeDef{}
+	for k, item := range items {
+		origIdx[item.Orig] = k
+		for _, d := range item.Defs {
+			if d.AtEnd {
+				endDefs[d.Block] = append(endDefs[d.Block], edgeDef{k, d.Val, d.OnlyEdgeTo})
+			} else {
+				instrDef[d.Val] = k
+			}
 		}
 	}
 
@@ -86,26 +134,36 @@ func repairValue(f *ir.Func, orig *ir.Value, defs []Def) {
 		return zero
 	}
 
-	var rename func(b *ir.Block, cur *ir.Value)
-	rename = func(b *ir.Block, cur *ir.Value) {
-		if phi := phiAt[b]; phi != nil {
-			cur = phi
+	// rename walks the dominator tree once, tracking every item's current
+	// reaching definition.
+	var rename func(b *ir.Block, cur []*ir.Value)
+	rename = func(b *ir.Block, incoming []*ir.Value) {
+		cur := append([]*ir.Value(nil), incoming...)
+		for k := range items {
+			if phi := phiAt[k][b]; phi != nil {
+				cur[k] = phi
+			}
 		}
 		for _, v := range b.Instrs {
-			if v.Op != ir.OpPhi && v != orig {
+			if v.Op != ir.OpPhi {
 				for i, a := range v.Args {
-					if a == orig && cur != nil && cur != orig {
-						v.Args[i] = cur
+					if k, ok := origIdx[a]; ok &&
+						v != items[k].Orig && cur[k] != nil && cur[k] != items[k].Orig {
+						v.Args[i] = cur[k]
 					}
 				}
 			}
-			if instrDef[v] {
-				cur = v
+			if k, ok := instrDef[v]; ok {
+				cur[k] = v
 			}
 		}
-		ed, hasEd := endDef[b]
-		if hasEd && ed.only == nil {
-			cur = ed.val
+		var onlyEdges []edgeDef
+		for _, ed := range endDefs[b] {
+			if ed.only == nil {
+				cur[ed.item] = ed.val
+			} else {
+				onlyEdges = append(onlyEdges, ed)
+			}
 		}
 		seenSucc := map[*ir.Block]bool{}
 		for _, s := range b.Succs {
@@ -114,8 +172,13 @@ func repairValue(f *ir.Func, orig *ir.Value, defs []Def) {
 			}
 			seenSucc[s] = true
 			edgeCur := cur
-			if hasEd && ed.only == s {
-				edgeCur = ed.val
+			for _, ed := range onlyEdges {
+				if ed.only == s {
+					if &edgeCur[0] == &cur[0] {
+						edgeCur = append([]*ir.Value(nil), cur...)
+					}
+					edgeCur[ed.item] = ed.val
+				}
 			}
 			for pi, p := range s.Preds {
 				if p != b {
@@ -125,16 +188,19 @@ func repairValue(f *ir.Func, orig *ir.Value, defs []Def) {
 					if v.Op != ir.OpPhi {
 						break
 					}
-					if v == phiAt[s] {
-						if edgeCur != nil {
-							v.Args[pi] = edgeCur
-						} else {
-							v.Args[pi] = getZero()
+					if k, ok := phiOf[v]; ok {
+						if phiAt[k][s] == v {
+							if edgeCur[k] != nil {
+								v.Args[pi] = edgeCur[k]
+							} else {
+								v.Args[pi] = getZero()
+							}
 						}
 						continue
 					}
-					if v.Args[pi] == orig && edgeCur != nil && edgeCur != orig {
-						v.Args[pi] = edgeCur
+					if k, ok := origIdx[v.Args[pi]]; ok &&
+						edgeCur[k] != nil && edgeCur[k] != items[k].Orig {
+						v.Args[pi] = edgeCur[k]
 					}
 				}
 			}
@@ -143,15 +209,17 @@ func repairValue(f *ir.Func, orig *ir.Value, defs []Def) {
 			rename(c, cur)
 		}
 	}
-	rename(f.Entry(), nil)
+	rename(f.Entry(), make([]*ir.Value, n))
 
 	// Any inserted phi argument still nil sits on a path with no
 	// reaching definition (the value is unused there); zero keeps the
 	// IR well formed.
-	for _, phi := range phiAt {
-		for i, a := range phi.Args {
-			if a == nil {
-				phi.Args[i] = getZero()
+	for k := range items {
+		for _, phi := range phiAt[k] {
+			for i, a := range phi.Args {
+				if a == nil {
+					phi.Args[i] = getZero()
+				}
 			}
 		}
 	}

@@ -337,6 +337,7 @@ func peelOnce(f *ir.Func, l *Loop) bool {
 		inside[b] = true
 		inside[bm[b]] = true
 	}
+	var batch []repairItem
 	for _, b := range blocks {
 		for _, v := range append([]*ir.Value(nil), b.Instrs...) {
 			if v.Op == ir.OpDbgValue || v.Op.IsTerminator() || !v.Op.HasResult() {
@@ -367,21 +368,24 @@ func peelOnce(f *ir.Func, l *Loop) bool {
 					// very loop: already globally consistent.
 					continue
 				}
-				repairValue(f, v, []Def{
+				batch = append(batch, repairItem{Orig: v, Defs: []Def{
 					{Block: h, Val: v},
 					{Block: ph, Val: init, AtEnd: true},
-				})
+				}})
 			} else {
 				clone, ok := vm[v]
 				if !ok {
 					continue // repair-inserted phi, no clone needed
 				}
-				repairValue(f, v, []Def{
+				batch = append(batch, repairItem{Orig: v, Defs: []Def{
 					{Block: v.Block, Val: v},
 					{Block: clone.Block, Val: clone},
-				})
+				}})
 			}
 		}
+	}
+	if len(batch) > 0 {
+		newRepairer(f).repairValues(batch)
 	}
 	return true
 }

@@ -22,6 +22,11 @@ func dominates(a, b Point) bool {
 
 // ParetoFront returns the non-dominated subset, sorted by descending
 // speedup (top-left to bottom-right in the paper's Figure 2).
+//
+// Coincident points — identical (Debug, Speedup) — do not dominate each
+// other, so all of them survive; the sort breaks the tie by ascending
+// Label so the front is a deterministic total order, and exact
+// duplicates (same label and coordinates) collapse to one point.
 func ParetoFront(points []Point) []Point {
 	var front []Point
 	for i, p := range points {
@@ -40,9 +45,19 @@ func ParetoFront(points []Point) []Point {
 		if front[i].Speedup != front[j].Speedup {
 			return front[i].Speedup > front[j].Speedup
 		}
-		return front[i].Debug > front[j].Debug
+		if front[i].Debug != front[j].Debug {
+			return front[i].Debug > front[j].Debug
+		}
+		return front[i].Label < front[j].Label
 	})
-	return front
+	out := front[:0]
+	for i, p := range front {
+		if i > 0 && p == front[i-1] {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
 }
 
 // OnFront reports whether the labeled point is Pareto-optimal.

@@ -1,0 +1,81 @@
+package tuner
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParetoFrontBasic(t *testing.T) {
+	pts := []Point{
+		{Label: "O0", Debug: 1.0, Speedup: 1.0},
+		{Label: "O2", Debug: 0.5, Speedup: 2.0},
+		{Label: "bad", Debug: 0.4, Speedup: 1.5}, // dominated by O2
+	}
+	front := ParetoFront(pts)
+	want := []Point{
+		{Label: "O2", Debug: 0.5, Speedup: 2.0},
+		{Label: "O0", Debug: 1.0, Speedup: 1.0},
+	}
+	if !reflect.DeepEqual(front, want) {
+		t.Fatalf("front = %v, want %v", front, want)
+	}
+}
+
+// TestParetoFrontCoincidentPoints: two configs can land on the same
+// (Debug, Speedup) coordinates. Neither dominates the other, so both
+// stay on the front, ordered by label; exact duplicates (same label too)
+// collapse to one.
+func TestParetoFrontCoincidentPoints(t *testing.T) {
+	pts := []Point{
+		{Label: "gcc-Og", Debug: 0.8, Speedup: 1.5},
+		{Label: "clang-O1", Debug: 0.8, Speedup: 1.5},
+		{Label: "gcc-Og", Debug: 0.8, Speedup: 1.5}, // exact duplicate
+		{Label: "slow", Debug: 0.2, Speedup: 0.9},   // dominated
+	}
+	front := ParetoFront(pts)
+	want := []Point{
+		{Label: "clang-O1", Debug: 0.8, Speedup: 1.5},
+		{Label: "gcc-Og", Debug: 0.8, Speedup: 1.5},
+	}
+	if !reflect.DeepEqual(front, want) {
+		t.Fatalf("front = %v, want %v", front, want)
+	}
+	for _, label := range []string{"gcc-Og", "clang-O1"} {
+		if !OnFront(pts, label) {
+			t.Errorf("%s not reported on front", label)
+		}
+	}
+}
+
+// TestParetoFrontDeterministicOrder: the front must not depend on input
+// permutation, including ties on one axis broken by the other and full
+// coordinate ties broken by label.
+func TestParetoFrontDeterministicOrder(t *testing.T) {
+	base := []Point{
+		{Label: "a", Debug: 0.9, Speedup: 1.2},
+		{Label: "b", Debug: 0.7, Speedup: 1.8},
+		{Label: "c", Debug: 0.7, Speedup: 1.8},
+		{Label: "d", Debug: 0.3, Speedup: 2.5},
+	}
+	perms := [][]int{
+		{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}, {1, 3, 0, 2},
+	}
+	var first []Point
+	for _, perm := range perms {
+		pts := make([]Point, len(base))
+		for i, j := range perm {
+			pts[i] = base[j]
+		}
+		front := ParetoFront(pts)
+		if first == nil {
+			first = front
+			continue
+		}
+		if !reflect.DeepEqual(front, first) {
+			t.Fatalf("permutation %v changed front: %v vs %v", perm, front, first)
+		}
+	}
+	if len(first) != 4 {
+		t.Fatalf("front = %v, want all four points (b and c coincident)", first)
+	}
+}

@@ -57,10 +57,11 @@ type Frame struct {
 
 // Machine executes a Binary.
 type Machine struct {
-	Bin     *Binary
-	Globals []int64
-	heap    [][]int64
-	out     []int64
+	Bin       *Binary
+	Globals   []int64
+	heap      [][]int64
+	heapWords int64
+	out       []int64
 
 	frames []*Frame
 	pc     int
@@ -152,13 +153,22 @@ func (m *Machine) NewArray(data []int64) int64 {
 	return h
 }
 
+// MaxHeapWords caps the machine's total array heap. Allocations past the
+// cap are clamped to the remaining capacity (possibly zero length), and
+// MiniC's out-of-bounds semantics — loads 0, stores ignored — keep such
+// runs total and deterministic. The IR interpreter applies the identical
+// rule so the two engines stay behaviorally equivalent on alloc-heavy
+// programs.
+const MaxHeapWords int64 = 1 << 24
+
 func (m *Machine) alloc(n int64) int64 {
 	if n < 0 {
 		n = 0
 	}
-	if n > 1<<24 {
-		n = 1 << 24
+	if rem := MaxHeapWords - m.heapWords; n > rem {
+		n = rem
 	}
+	m.heapWords += n
 	m.heap = append(m.heap, make([]int64, n))
 	return int64(len(m.heap) - 1)
 }
@@ -194,6 +204,12 @@ func (m *Machine) Call(name string, args ...int64) (int64, error) {
 	snk.Add("vm.cycles", m.Cycles-cycles0)
 	return r, err
 }
+
+// EvalBinOp exposes the machine's binary-operation semantics (total:
+// div/rem by zero yield 0, MinInt64/-1 wraps, shift counts masked to 6
+// bits) so the middle-end folder can be cross-checked against the VM in
+// differential tests.
+func EvalBinOp(sub uint8, x, y int64) int64 { return evalBin(sub, x, y) }
 
 func evalBin(sub uint8, x, y int64) int64 {
 	switch sub {
