@@ -13,6 +13,7 @@ go test -race -count=1 \
     ./internal/suite/ \
     ./internal/workerpool/ \
     ./internal/evalcache/ \
+    ./internal/resilience/ \
     ./internal/tuner/ \
     ./internal/experiments/ \
     ./internal/specsuite/ \
@@ -27,3 +28,27 @@ go build -o /tmp/ci-experiments ./cmd/experiments
 cmp /tmp/ci-difftest-j1.txt /tmp/ci-difftest-j4.txt
 grep -q '^PASS$' /tmp/ci-difftest-j1.txt
 rm -f /tmp/ci-experiments /tmp/ci-difftest-j1.txt /tmp/ci-difftest-j4.txt
+
+# Chaos smoke: under deterministic fault injection the same bounded
+# matrix must (a) complete with quarantined cells and the distinct
+# "completed with gaps" exit code 3, (b) produce byte-identical output
+# at any worker count, and (c) after checkpointing the faulted run to a
+# journal, resume WITHOUT chaos, rerun only the incomplete and
+# quarantined cells, and finish clean with exit 0.
+go build -o /tmp/ci-experiments ./cmd/experiments
+rc=0; /tmp/ci-experiments -j 1 -chaos rate=0.5,seed=21 -seeds 3 -suite=false -configs levels \
+    difftest > /tmp/ci-chaos-j1.txt || rc=$?
+test "$rc" -eq 3
+rc=0; /tmp/ci-experiments -j 4 -chaos rate=0.5,seed=21 -seeds 3 -suite=false -configs levels \
+    difftest > /tmp/ci-chaos-j4.txt || rc=$?
+test "$rc" -eq 3
+cmp /tmp/ci-chaos-j1.txt /tmp/ci-chaos-j4.txt
+grep -q '^QUARANTINED(' /tmp/ci-chaos-j1.txt
+rc=0; /tmp/ci-experiments -j 4 -chaos rate=0.5,seed=21 -seeds 3 -suite=false -configs levels \
+    -journal /tmp/ci-chaos.jsonl difftest > /dev/null || rc=$?
+test "$rc" -eq 3
+/tmp/ci-experiments -j 4 -resume /tmp/ci-chaos.jsonl -seeds 3 -suite=false -configs levels \
+    difftest > /tmp/ci-resume.txt
+grep -q '^PASS$' /tmp/ci-resume.txt
+rm -f /tmp/ci-experiments /tmp/ci-chaos-j1.txt /tmp/ci-chaos-j4.txt \
+    /tmp/ci-chaos.jsonl /tmp/ci-resume.txt

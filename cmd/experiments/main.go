@@ -19,6 +19,16 @@
 // table) cross-checks -seeds synthetic programs and the whole test suite
 // across the -configs matrix and reports behavior mismatches and
 // debug-info invariant violations; see internal/difftest.
+//
+// The resilience flags (-retries, -cell-timeout, -chaos, -journal,
+// -resume) wrap every evaluation cell in the fault-tolerant layer of
+// internal/resilience: cells that panic, stall, or fail transiently are
+// retried and, on exhaustion, quarantined rather than fatal. A run that
+// completes with quarantined cells prints a QUARANTINED(n) report and
+// exits 3; -journal checkpoints completed cells to an append-only JSONL
+// file, and -resume replays it, rerunning only incomplete or quarantined
+// cells. Without these flags nothing is installed and output is
+// byte-identical to the pre-resilience harness.
 package main
 
 import (
@@ -31,6 +41,7 @@ import (
 	"debugtuner/internal/difftest"
 	"debugtuner/internal/experiments"
 	"debugtuner/internal/pipeline"
+	"debugtuner/internal/resilience"
 	"debugtuner/internal/telemetry"
 	"debugtuner/internal/testsuite"
 	"debugtuner/internal/workerpool"
@@ -64,8 +75,61 @@ func main() {
 		"difftest matrix: full, levels, or a comma list like gcc-O2,clang-O3*")
 	dtSuite := flag.Bool("suite", true,
 		"include the test-suite programs as difftest subjects")
+	retries := flag.Int("retries", 2,
+		"resilience: extra attempts per cell after the first")
+	cellTimeout := flag.Duration("cell-timeout", 0,
+		"resilience: per-cell deadline (0 = none); overruns count as transient failures")
+	chaosSpec := flag.String("chaos", "",
+		"resilience: deterministic fault injection, e.g. rate=0.05,seed=7")
+	journalPath := flag.String("journal", "",
+		"resilience: write a fresh checkpoint journal (JSONL) to this file")
+	resumePath := flag.String("resume", "",
+		"resilience: resume from an existing checkpoint journal, skipping completed cells")
 	flag.Parse()
 	workerpool.SetWorkers(*jobs)
+	if *journalPath != "" && *resumePath != "" {
+		fmt.Fprintln(os.Stderr, "-journal and -resume are mutually exclusive")
+		os.Exit(2)
+	}
+	// The resilience layer stays uninstalled (nil executor = direct call,
+	// byte-identical fault-free path) unless a resilience flag asks for it.
+	var ex *resilience.Executor
+	if *chaosSpec != "" || *journalPath != "" || *resumePath != "" ||
+		*cellTimeout > 0 || *retries != 2 {
+		pol := resilience.DefaultPolicy()
+		pol.Retries = *retries
+		pol.CellTimeout = *cellTimeout
+		ex = resilience.NewExecutor(pol)
+		if *chaosSpec != "" {
+			c, err := resilience.ParseChaos(*chaosSpec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-chaos: %v\n", err)
+				os.Exit(2)
+			}
+			ex.Chaos = c
+			ex.Policy.Seed = c.Seed
+		}
+		switch {
+		case *journalPath != "":
+			j, err := resilience.CreateJournal(*journalPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-journal: %v\n", err)
+				os.Exit(1)
+			}
+			ex.Journal = j
+		case *resumePath != "":
+			j, err := resilience.ResumeJournal(*resumePath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-resume: %v\n", err)
+				os.Exit(1)
+			}
+			if j.Torn() {
+				fmt.Fprintln(os.Stderr, "resume: discarded torn final journal record")
+			}
+			ex.Journal = j
+		}
+		resilience.Install(ex)
+	}
 	var snk *telemetry.Sink
 	if *tracePath != "" || *metricsPath != "" {
 		snk = telemetry.Enable()
@@ -120,7 +184,9 @@ func main() {
 		if err != nil {
 			return err
 		}
-		if len(rep.Findings) > 0 {
+		// Quarantined cells are gaps, not verdicts — they surface through
+		// the quarantine report and exit code 3, not as difftest failures.
+		if rep.Mismatches+rep.Violations > 0 {
 			return fmt.Errorf("%d behavior mismatches, %d invariant violations",
 				rep.Mismatches, rep.Violations)
 		}
@@ -145,10 +211,27 @@ func main() {
 		}
 		fmt.Println()
 	}
+	// The quarantine gap report prints after every requested table so the
+	// run's losses are explicit; "completed with gaps" gets a distinct
+	// exit code (3) CI can tell apart from a hard failure (1).
+	exitCode := 0
+	if ex != nil {
+		ex.WriteReport(os.Stdout)
+		if ex.Journal != nil {
+			if err := ex.Journal.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "journal close: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if len(ex.Quarantined()) > 0 {
+			exitCode = 3
+		}
+	}
 	if snk != nil {
 		if err := telemetry.ExportFiles(snk, *tracePath, *metricsPath); err != nil {
 			fmt.Fprintf(os.Stderr, "telemetry export: %v\n", err)
 			os.Exit(1)
 		}
 	}
+	os.Exit(exitCode)
 }

@@ -13,6 +13,7 @@
 package debugger
 
 import (
+	"errors"
 	"fmt"
 
 	"debugtuner/internal/dbgtrace"
@@ -89,7 +90,7 @@ func (s *Session) Trace(harness string, inputs [][]int64, budget int64) (*dbgtra
 	for _, in := range inputs {
 		h := m.NewArray(in)
 		if _, err := m.Call(harness, h, int64(len(in))); err != nil {
-			if err == vm.ErrBudget {
+			if errors.Is(err, vm.ErrBudget) {
 				// Budget exhaustion truncates the trace but the session
 				// remains valid — matching a debugger session killed by
 				// a watchdog.
@@ -129,7 +130,7 @@ func (s *Session) TraceMain(entry string, budget int64) (*dbgtrace.Trace, error)
 			delete(m.Breaks, int(a))
 		}
 	}
-	if _, err := m.Call(entry); err != nil && err != vm.ErrBudget {
+	if _, err := m.Call(entry); err != nil && !errors.Is(err, vm.ErrBudget) {
 		return nil, err
 	}
 	return tr, nil

@@ -79,6 +79,10 @@ type Report struct {
 	Findings   []Finding
 	Mismatches int
 	Violations int
+	// Quarantined counts cells the resilience layer gave up on; their
+	// comparisons are explicit gaps (KindQuarantine findings), not
+	// silently-passing holes.
+	Quarantined int
 }
 
 // Run executes the differential matrix and writes a deterministic
@@ -121,24 +125,39 @@ func Run(w io.Writer, opts Options) (*Report, error) {
 		Findings: findings,
 	}
 	for _, f := range findings {
-		if f.Kind == KindInvariant {
+		switch f.Kind {
+		case KindInvariant:
 			rep.Violations++
-		} else {
+		case KindQuarantine:
+			rep.Quarantined++
+		default:
 			rep.Mismatches++
 		}
 	}
 	telemetry.Add("difftest.subjects", int64(rep.Subjects))
 	telemetry.Add("difftest.mismatches", int64(rep.Mismatches))
 	telemetry.Add("difftest.violations", int64(rep.Violations))
+	telemetry.Add("difftest.quarantined", int64(rep.Quarantined))
 
 	fmt.Fprintf(w, "difftest: %d subjects x %d configs (%s)\n",
 		rep.Subjects, rep.Configs, specName(opts.Spec))
 	fmt.Fprintf(w, "behavior mismatches:  %d\n", rep.Mismatches)
 	fmt.Fprintf(w, "invariant violations: %d\n", rep.Violations)
-	for _, f := range rep.Findings {
-		fmt.Fprintf(w, "FAIL %s\n", f)
+	if rep.Quarantined > 0 {
+		// Printed only when nonzero so fault-free runs stay byte-identical
+		// to pre-resilience reports.
+		fmt.Fprintf(w, "quarantined cells:    %d\n", rep.Quarantined)
 	}
-	if len(rep.Findings) == 0 {
+	for _, f := range rep.Findings {
+		if f.Kind == KindQuarantine {
+			fmt.Fprintf(w, "QUAR %s\n", f)
+		} else {
+			fmt.Fprintf(w, "FAIL %s\n", f)
+		}
+	}
+	// PASS means the comparisons that ran all agreed; quarantined gaps
+	// are reported above and drive the process exit code separately.
+	if rep.Mismatches+rep.Violations == 0 {
 		fmt.Fprintln(w, "PASS")
 	}
 	return rep, nil
@@ -176,8 +195,17 @@ func (o *Oracle) Check(subjects []*Subject) ([]Finding, error) {
 
 // SuiteSubject wraps a test-suite program as a differential subject.
 // With execs > 0 the real corpus pipeline supplies the inputs; otherwise
-// each harness gets a small deterministic pseudo-corpus.
+// each harness gets a small deterministic pseudo-corpus. A subject whose
+// source cannot be loaded is an error, not a panic: the lookup races
+// with nothing, but an embedded-suite rename (or a caller passing a name
+// LoadLite accepted under a different spelling) must surface as a
+// harness failure the runner can report, not a crash that kills every
+// other subject in the matrix.
 func SuiteSubject(name string, execs int) (*Subject, error) {
+	src, err := testsuite.Source(name)
+	if err != nil {
+		return nil, fmt.Errorf("difftest: subject %s: %w", name, err)
+	}
 	if execs > 0 {
 		ts, err := testsuite.Load(name, testsuite.CorpusOptions{Execs: execs})
 		if err != nil {
@@ -185,7 +213,7 @@ func SuiteSubject(name string, execs int) (*Subject, error) {
 		}
 		return &Subject{
 			Name:      name,
-			Src:       mustSource(name),
+			Src:       src,
 			Harnesses: ts.Program.Info.Harnesses,
 			Inputs:    ts.Program.Inputs,
 		}, nil
@@ -196,7 +224,7 @@ func SuiteSubject(name string, execs int) (*Subject, error) {
 	}
 	s := &Subject{
 		Name:      name,
-		Src:       mustSource(name),
+		Src:       src,
 		Harnesses: ts.Program.Info.Harnesses,
 		Inputs:    map[string][][]int64{},
 	}
@@ -204,14 +232,6 @@ func SuiteSubject(name string, execs int) (*Subject, error) {
 		s.Inputs[h] = pseudoCorpus(name, hi)
 	}
 	return s, nil
-}
-
-func mustSource(name string) []byte {
-	src, err := testsuite.Source(name)
-	if err != nil {
-		panic(err) // caller already loaded the subject by name
-	}
-	return src
 }
 
 // pseudoCorpus derives a few byte-valued input vectors from a stable

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"debugtuner/internal/dbgtrace"
 	"debugtuner/internal/debuginfo"
 	"debugtuner/internal/pipeline"
+	"debugtuner/internal/resilience"
 	"debugtuner/internal/vm"
 	"debugtuner/internal/workerpool"
 )
@@ -382,7 +384,7 @@ func main() {
 		if err != nil {
 			return false
 		}
-		for _, v := range res.obs.Output {
+		for _, v := range res.Obs.Output {
 			if v < 0 {
 				return true
 			}
@@ -398,5 +400,61 @@ func main() {
 	}
 	if !strings.Contains(string(red), "print(0 - 42);") {
 		t.Fatalf("culprit line dropped:\n%s", red)
+	}
+}
+
+// TestRunChaosQuarantine drives a tiny matrix under a chaotic resilience
+// executor and checks that quarantined cells surface as explicit QUAR
+// findings — deterministically across worker counts — instead of killing
+// the run.
+func TestRunChaosQuarantine(t *testing.T) {
+	opts := Options{Seeds: []int64{21, 22, 23}, Spec: "levels"}
+	out := func(jobs int) (string, *Report) {
+		p := resilience.DefaultPolicy()
+		p.BackoffBase = time.Microsecond
+		p.BackoffCap = 10 * time.Microsecond
+		ex := resilience.NewExecutor(p)
+		ex.Chaos = &resilience.Chaos{Rate: 1, Seed: 6}
+		prev := resilience.Install(ex)
+		defer resilience.Install(prev)
+		old := workerpool.Workers()
+		workerpool.SetWorkers(jobs)
+		defer workerpool.SetWorkers(old)
+		var buf bytes.Buffer
+		rep, err := Run(&buf, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), rep
+	}
+	serial, rep := out(1)
+	parallel, _ := out(4)
+	if serial != parallel {
+		t.Fatalf("chaos report differs across -j:\n-j1:\n%s\n-j4:\n%s", serial, parallel)
+	}
+	if rep.Quarantined == 0 {
+		t.Fatalf("rate-1 chaos quarantined nothing:\n%s", serial)
+	}
+	if rep.Mismatches+rep.Violations != 0 {
+		t.Fatalf("chaos must produce gaps, not mismatches:\n%s", serial)
+	}
+	if !strings.Contains(serial, "quarantined cells:") || !strings.Contains(serial, "QUAR ") {
+		t.Fatalf("quarantine gaps not reported:\n%s", serial)
+	}
+}
+
+// TestRunNoExecutorByteCompat checks the fault-free fast path: with no
+// executor installed the report must not mention quarantine at all.
+func TestRunNoExecutorByteCompat(t *testing.T) {
+	var buf bytes.Buffer
+	rep, err := Run(&buf, Options{Seeds: []int64{21}, Spec: "gcc-O2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quarantined != 0 || strings.Contains(buf.String(), "quarantined") {
+		t.Fatalf("fault-free run mentions quarantine:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "PASS") {
+		t.Fatalf("expected PASS:\n%s", buf.String())
 	}
 }

@@ -1,6 +1,8 @@
 package difftest
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,6 +11,7 @@ import (
 	"debugtuner/internal/evalcache"
 	"debugtuner/internal/ir"
 	"debugtuner/internal/pipeline"
+	"debugtuner/internal/resilience"
 	"debugtuner/internal/sema"
 	"debugtuner/internal/synth"
 	"debugtuner/internal/telemetry"
@@ -84,6 +87,10 @@ const (
 	// KindReference is a divergence between the O0 build and the IR
 	// interpreter — the reference itself is not trustworthy.
 	KindReference = "reference"
+	// KindQuarantine is a cell the resilience layer quarantined after
+	// exhausting its retries: the comparison did not run, and the report
+	// says so explicitly instead of leaving a silently-passing hole.
+	KindQuarantine = "quarantine"
 )
 
 // Finding is one oracle result.
@@ -108,10 +115,13 @@ type Observation struct {
 	Budget bool
 }
 
-// caseResult memoizes one (subject, config) evaluation.
+// caseResult memoizes one (subject, config) evaluation. Fields are
+// exported so the resilience journal can round-trip the result through
+// JSON: a resumed run restores completed cells from disk instead of
+// rebuilding them.
 type caseResult struct {
-	obs        Observation
-	violations []string
+	Obs        Observation
+	Violations []string
 }
 
 // Oracle drives subjects through a configuration matrix.
@@ -157,17 +167,26 @@ func (o *Oracle) CheckSubject(s *Subject) ([]Finding, error) {
 	// interpreter so a codegen bug at O0 cannot become the baseline.
 	refCfg := pipeline.MustConfig(pipeline.GCC, "O0")
 	ref, err := o.observe(s, refCfg)
+	if resilience.IsQuarantined(err) {
+		// Without a reference every comparison for this subject is
+		// meaningless: report one explicit gap covering the whole subject
+		// and skip its matrix rather than diffing against garbage.
+		return []Finding{{
+			Subject: s.Name, Config: refCfg.Name(), Kind: KindQuarantine,
+			Detail: "O0 reference quarantined, subject skipped: " + err.Error(),
+		}}, nil
+	}
 	if err != nil {
 		return nil, err
 	}
 	interp := o.interpret(s, ir0)
-	if d := compareObs(interp, ref.obs); d != "" {
+	if d := compareObs(interp, ref.Obs); d != "" {
 		findings = append(findings, Finding{
 			Subject: s.Name, Config: refCfg.Name(), Kind: KindReference,
 			Detail: "O0 build vs IR interpreter: " + d,
 		})
 	}
-	for _, vio := range ref.violations {
+	for _, vio := range ref.Violations {
 		findings = append(findings, Finding{
 			Subject: s.Name, Config: refCfg.Name(), Kind: KindInvariant, Detail: vio,
 		})
@@ -175,16 +194,23 @@ func (o *Oracle) CheckSubject(s *Subject) ([]Finding, error) {
 
 	for _, cfg := range o.Configs {
 		res, err := o.observe(s, cfg)
+		if resilience.IsQuarantined(err) {
+			findings = append(findings, Finding{
+				Subject: s.Name, Config: configLabel(cfg), Kind: KindQuarantine,
+				Detail: "cell quarantined: " + err.Error(),
+			})
+			continue
+		}
 		if err != nil {
 			return nil, err
 		}
-		if d := compareObs(ref.obs, res.obs); d != "" {
+		if d := compareObs(ref.Obs, res.Obs); d != "" {
 			telemetry.Add("difftest.mismatch", 1)
 			findings = append(findings, Finding{
 				Subject: s.Name, Config: configLabel(cfg), Kind: KindBehavior, Detail: d,
 			})
 		}
-		for _, vio := range res.violations {
+		for _, vio := range res.Violations {
 			telemetry.Add("difftest.violation", 1)
 			findings = append(findings, Finding{
 				Subject: s.Name, Config: configLabel(cfg), Kind: KindInvariant, Detail: vio,
@@ -205,7 +231,11 @@ func (o *Oracle) DiffOne(s *Subject, cfg pipeline.Config) ([]Finding, error) {
 }
 
 // observe builds the subject under the configuration and runs it,
-// memoized per (subject, fingerprint).
+// memoized per (subject, fingerprint) and — when a resilience executor
+// is installed — isolated, retried, journaled, and quarantined per cell.
+// The resilience wrapper sits inside the cache's singleflight so
+// concurrent requests for one cell still coalesce into a single attempt
+// chain; a quarantined result is Uncacheable and evicts itself.
 func (o *Oracle) observe(s *Subject, cfg pipeline.Config) (*caseResult, error) {
 	compute := func() (*caseResult, error) {
 		ir0, _, err := s.frontend()
@@ -213,18 +243,36 @@ func (o *Oracle) observe(s *Subject, cfg pipeline.Config) (*caseResult, error) {
 			return nil, err
 		}
 		bin := pipeline.Build(ir0, cfg)
-		res := &caseResult{obs: o.execute(s, bin)}
+		res := &caseResult{Obs: o.execute(s, bin)}
 		if o.CheckDebug {
-			res.violations = CheckBinary(bin)
-			res.violations = append(res.violations, o.checkDynamic(s, bin)...)
+			res.Violations = CheckBinary(bin)
+			res.Violations = append(res.Violations, o.checkDynamic(s, bin)...)
 		}
 		return res, nil
 	}
 	fp, cacheable := cfg.Fingerprint()
 	if !cacheable {
-		return compute()
+		// Uncacheable configurations (FDO payloads outside the fingerprint
+		// domain) still get isolation under a label-derived key; the
+		// difftest matrix itself never produces them.
+		return resilience.Run(resilience.Active(), context.Background(),
+			cellKey(s, configLabel(cfg)), func(context.Context) (*caseResult, error) {
+				return compute()
+			})
 	}
-	return o.cache.Do(s.Name+"\x00"+fp, compute)
+	return o.cache.Do(s.Name+"\x00"+fp, func() (*caseResult, error) {
+		return resilience.Run(resilience.Active(), context.Background(),
+			cellKey(s, fp), func(context.Context) (*caseResult, error) {
+				return compute()
+			})
+	})
+}
+
+// cellKey is the journal/quarantine key of one (subject, config) cell:
+// subject name and source hash × config fingerprint, stable across
+// processes so a resumed run addresses the same cells.
+func cellKey(s *Subject, fp string) string {
+	return fmt.Sprintf("difftest|%s#%016x|%s", s.Name, resilience.HashBytes(s.Src), fp)
 }
 
 // execute runs the subject's protocol on a fresh VM per input, matching
@@ -236,7 +284,7 @@ func (o *Oracle) execute(s *Subject, bin *vm.Binary) Observation {
 		m.StepBudget = o.Budget
 		ret, err := m.Call(name, args...)
 		obs.Output = append(obs.Output, m.Output()...)
-		if err == vm.ErrBudget {
+		if errors.Is(err, vm.ErrBudget) {
 			obs.Budget = true
 			return false
 		}

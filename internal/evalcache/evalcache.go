@@ -12,6 +12,7 @@
 package evalcache
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -31,10 +32,17 @@ type Cache[V any] struct {
 	m  map[string]*entry[V]
 }
 
+// uncacheable matches errors that must not be memoized. The resilience
+// layer's CellError implements it: a quarantined cell's failure may be
+// environmental, and pinning it in the cache would make a -resume run's
+// retry return the stale failure instead of recomputing.
+type uncacheable interface{ Uncacheable() bool }
+
 // Do returns the cached value for key, computing it at most once across
-// all goroutines. Errors are cached as well: the evaluation treats any
-// measurement failure as fatal, so retrying a failed key is never
-// useful.
+// all goroutines. Errors are cached as well: the evaluation treats most
+// measurement failures as deterministic, so retrying a failed key is
+// not useful. The exception is errors marked Uncacheable() (quarantined
+// cells) — those evict their entry so a later request recomputes.
 func (c *Cache[V]) Do(key string, compute func() (V, error)) (V, error) {
 	c.mu.Lock()
 	if c.m == nil {
@@ -65,6 +73,19 @@ func (c *Cache[V]) Do(key string, compute func() (V, error)) (V, error) {
 		e.val, e.err = compute()
 		e.done.Store(true)
 	})
+	if e.err != nil {
+		var u uncacheable
+		if errors.As(e.err, &u) && u.Uncacheable() {
+			c.mu.Lock()
+			// Guard against a racing request that already replaced the
+			// entry: only evict the one we observed.
+			if c.m[key] == e {
+				delete(c.m, key)
+			}
+			c.mu.Unlock()
+			telemetry.Add("evalcache.evicted", 1)
+		}
+	}
 	return e.val, e.err
 }
 

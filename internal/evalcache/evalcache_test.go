@@ -62,3 +62,41 @@ func TestDoCachesErrors(t *testing.T) {
 		t.Fatalf("failed compute retried %d times, want 1", calls)
 	}
 }
+
+type evictErr struct{ msg string }
+
+func (e *evictErr) Error() string     { return e.msg }
+func (e *evictErr) Uncacheable() bool { return true }
+
+func TestDoEvictsUncacheableErrors(t *testing.T) {
+	var c Cache[int]
+	calls := 0
+	for i := 0; i < 2; i++ {
+		_, err := c.Do("quarantined", func() (int, error) {
+			calls++
+			return 0, &evictErr{msg: "cell quarantined"}
+		})
+		var u interface{ Uncacheable() bool }
+		if !errors.As(err, &u) {
+			t.Fatalf("err = %v, want uncacheable", err)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("uncacheable failure memoized: %d calls, want 2", calls)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("evicted entry still resident: Len = %d", c.Len())
+	}
+	// A later success on the same key is cached normally.
+	v, err := c.Do("quarantined", func() (int, error) { return 9, nil })
+	if err != nil || v != 9 {
+		t.Fatalf("v=%d err=%v", v, err)
+	}
+	v, err = c.Do("quarantined", func() (int, error) {
+		t.Error("successful result recomputed")
+		return 0, nil
+	})
+	if err != nil || v != 9 {
+		t.Fatalf("v=%d err=%v", v, err)
+	}
+}

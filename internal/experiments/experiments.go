@@ -22,6 +22,7 @@ import (
 	"debugtuner/internal/ir"
 	"debugtuner/internal/metrics"
 	"debugtuner/internal/pipeline"
+	"debugtuner/internal/resilience"
 	"debugtuner/internal/sema"
 	"debugtuner/internal/specsuite"
 	"debugtuner/internal/suite"
@@ -70,8 +71,16 @@ type Runner struct {
 	subjects evalcache.Cache[[]suite.Subject]
 	analyses evalcache.Cache[*tuner.LevelAnalysis]
 	speedups evalcache.Cache[float64]   // config fingerprint -> SPEC average speedup
-	products evalcache.Cache[float64]   // config fingerprint -> suite average product
+	products evalcache.Cache[suiteStat] // config fingerprint -> suite product stats
 	fdo      evalcache.Cache[fdoResult] // bench|final|profiling -> AutoFDO measurement
+}
+
+// suiteStat is the suite-averaged product metric of one configuration
+// plus the number of subjects whose measurements were quarantined (and
+// therefore excluded from the mean).
+type suiteStat struct {
+	Mean        float64
+	Quarantined int
 }
 
 // NewRunner creates a runner.
@@ -133,40 +142,80 @@ func memoKey(cfg pipeline.Config) string {
 }
 
 // SuiteSpeedup measures (once) the SPEC-average speedup of a config over
-// its profile's O0.
+// its profile's O0. The whole SPEC sweep is one resilience cell: a
+// panicking or runaway benchmark run quarantines the configuration's
+// speedup instead of killing the table generator.
 func (r *Runner) SuiteSpeedup(cfg pipeline.Config) (float64, error) {
 	return r.speedups.Do(memoKey(cfg), func() (float64, error) {
 		benches, err := specsuite.Subjects(r.specNames())
 		if err != nil {
 			return 0, err
 		}
-		_, avg, err := suite.SuiteSpeedup(benches, cfg)
-		return avg, err
+		compute := func(context.Context) (float64, error) {
+			_, avg, err := suite.SuiteSpeedup(benches, cfg)
+			return avg, err
+		}
+		if fp, ok := cfg.Fingerprint(); ok {
+			return resilience.Run(resilience.Active(), context.Background(),
+				"speedup|"+fp, compute)
+		}
+		return resilience.RunEphemeral(resilience.Active(), context.Background(),
+			"speedup|"+cfg.Name(), compute)
 	})
 }
 
 // SuiteProduct averages (once per config — same memo discipline as
 // SuiteSpeedup) the hybrid product metric of a configuration over the
-// 13-program suite, fanning the per-subject measurements out over the
-// worker pool and summing in suite order.
+// 13-program suite. Quarantined subjects are excluded from the mean;
+// callers that must render the gap use suiteProductStat.
 func (r *Runner) SuiteProduct(cfg pipeline.Config) (float64, error) {
-	return r.products.Do(memoKey(cfg), func() (float64, error) {
+	st, err := r.suiteProductStat(cfg)
+	return st.Mean, err
+}
+
+// suiteProductStat fans the per-subject measurements out over the worker
+// pool and averages in suite order. Subjects whose cell was quarantined
+// are excluded from the mean and counted in the stat; if every subject
+// is lost the configuration's own result is the (quarantined, and
+// therefore uncacheable) cell error.
+func (r *Runner) suiteProductStat(cfg pipeline.Config) (suiteStat, error) {
+	return r.products.Do(memoKey(cfg), func() (suiteStat, error) {
 		subjects, err := r.Suite()
 		if err != nil {
-			return 0, err
+			return suiteStat{}, err
+		}
+		type cell struct {
+			val  float64
+			quar error
 		}
 		ms, err := workerpool.Map(context.Background(), subjects,
-			func(_ context.Context, _ int, s suite.Subject) (float64, error) {
-				return debuggable(s).Product(cfg)
+			func(_ context.Context, _ int, s suite.Subject) (cell, error) {
+				v, err := debuggable(s).Product(cfg)
+				if resilience.IsQuarantined(err) {
+					return cell{quar: err}, nil
+				}
+				return cell{val: v}, err
 			})
 		if err != nil {
-			return 0, err
+			return suiteStat{}, err
 		}
-		sum := 0.0
-		for _, m := range ms {
-			sum += m
+		var st suiteStat
+		sum, n := 0.0, 0
+		var lastQuar error
+		for _, c := range ms {
+			if c.quar != nil {
+				st.Quarantined++
+				lastQuar = c.quar
+				continue
+			}
+			sum += c.val
+			n++
 		}
-		return sum / float64(len(subjects)), nil
+		if n == 0 {
+			return suiteStat{}, lastQuar
+		}
+		st.Mean = sum / float64(n)
+		return st, nil
 	})
 }
 

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"debugtuner/internal/pipeline"
+	"debugtuner/internal/resilience"
 	"debugtuner/internal/specsuite"
 	"debugtuner/internal/suite"
 	"debugtuner/internal/tuner"
@@ -24,10 +25,17 @@ func (r *Runner) topPasses(w io.Writer, p pipeline.Profile, title string) error 
 	fmt.Fprintf(w, "%s — top 10 critical optimization passes in %s (%% improvement)\n", title, p)
 	var columns [][]tuner.RankedPass
 	levels := pipeline.Levels(p)
-	for _, l := range levels {
+	headers := make([]string, len(levels))
+	for li, l := range levels {
 		la, err := r.Analysis(p, l)
 		if err != nil {
 			return err
+		}
+		headers[li] = l
+		if q := la.Quarantined(); q > 0 {
+			// The gap is explicit: rank aggregation already excluded these
+			// cells, the header says how many are missing.
+			headers[li] = fmt.Sprintf("%s [QUARANTINED(%d)]", l, q)
 		}
 		top := la.Ranking
 		if len(top) > 10 {
@@ -36,8 +44,8 @@ func (r *Runner) topPasses(w io.Writer, p pipeline.Profile, title string) error 
 		columns = append(columns, top)
 	}
 	fmt.Fprintf(w, "%-3s", "#")
-	for _, l := range levels {
-		fmt.Fprintf(w, " | %-32s", l)
+	for _, h := range headers {
+		fmt.Fprintf(w, " | %-32s", h)
 	}
 	fmt.Fprintln(w)
 	hr(w, 4+36*len(levels))
@@ -59,17 +67,29 @@ func (r *Runner) topPasses(w io.Writer, p pipeline.Profile, title string) error 
 	return nil
 }
 
-// configPoint measures one configuration on both axes.
+// configPoint measures one configuration on both axes. A quarantined
+// measurement on either axis — or any quarantined subject inside the
+// product mean, whose loss would silently shift the denominator — marks
+// the whole point as a gap rather than plotting misleading coordinates.
 func (r *Runner) configPoint(cfg pipeline.Config) (tuner.Point, error) {
-	debug, err := r.SuiteProduct(cfg)
+	st, err := r.suiteProductStat(cfg)
+	if resilience.IsQuarantined(err) {
+		return tuner.Point{Label: cfg.Name(), Quarantined: true}, nil
+	}
 	if err != nil {
 		return tuner.Point{}, err
 	}
 	speed, err := r.SuiteSpeedup(cfg)
+	if resilience.IsQuarantined(err) {
+		return tuner.Point{Label: cfg.Name(), Quarantined: true}, nil
+	}
 	if err != nil {
 		return tuner.Point{}, err
 	}
-	return tuner.Point{Label: cfg.Name(), Debug: debug, Speedup: speed}, nil
+	return tuner.Point{
+		Label: cfg.Name(), Debug: st.Mean, Speedup: speed,
+		Quarantined: st.Quarantined > 0,
+	}, nil
 }
 
 // allConfigPoints enumerates standard levels plus every Ox-dy config for
@@ -109,6 +129,10 @@ func (r *Runner) Fig2(w io.Writer) error {
 		fmt.Fprintf(w, "%-16s | %10s | %8s\n", "configuration", "product", "speedup")
 		hr(w, 44)
 		for _, pt := range pts {
+			if pt.Quarantined {
+				fmt.Fprintf(w, "%-16s | %10s | %8s\n", pt.Label, "QUAR", "QUAR")
+				continue
+			}
 			mark := " "
 			if tuner.OnFront(pts, pt.Label) {
 				mark = "*"
@@ -151,6 +175,11 @@ func (r *Runner) Table8(w io.Writer) error {
 				if err != nil {
 					return err
 				}
+				if ref.Quarantined || pt.Quarantined {
+					dbgCells += fmt.Sprintf(" %s:%6s", l, "QUAR")
+					spdCells += fmt.Sprintf(" %s:%6s", l, "QUAR")
+					continue
+				}
 				dbgCells += fmt.Sprintf(" %s:%+6.2f", l, 100*(pt.Debug-ref.Debug)/ref.Debug)
 				spdCells += fmt.Sprintf(" %s:%+6.2f", l, 100*(pt.Speedup-ref.Speedup)/ref.Speedup)
 			}
@@ -191,15 +220,23 @@ func (r *Runner) perProgramDy(w io.Writer, p pipeline.Profile, title string) err
 			}
 			cfgs[li] = la.Configs([]int{y})[0]
 		}
+		type dyCell struct {
+			val  float64
+			quar bool
+		}
 		rows, err := workerpool.Map(context.Background(), subjects,
-			func(_ context.Context, _ int, s suite.Subject) ([]float64, error) {
-				vals := make([]float64, len(cfgs))
+			func(_ context.Context, _ int, s suite.Subject) ([]dyCell, error) {
+				vals := make([]dyCell, len(cfgs))
 				for li, cfg := range cfgs {
 					m, err := debuggable(s).Product(cfg)
+					if resilience.IsQuarantined(err) {
+						vals[li] = dyCell{quar: true}
+						continue
+					}
 					if err != nil {
 						return nil, err
 					}
-					vals[li] = m
+					vals[li] = dyCell{val: m}
 				}
 				return vals, nil
 			})
@@ -207,18 +244,28 @@ func (r *Runner) perProgramDy(w io.Writer, p pipeline.Profile, title string) err
 			return err
 		}
 		sums := make([]float64, len(levels))
+		counts := make([]int, len(levels))
 		for si, s := range subjects {
 			fmt.Fprintf(w, "%-10s |", s.Name())
 			for li := range levels {
-				m := rows[si][li]
-				sums[li] += m
-				fmt.Fprintf(w, " %6.4f", m)
+				c := rows[si][li]
+				if c.quar {
+					fmt.Fprintf(w, " %6s", "QUAR")
+					continue
+				}
+				sums[li] += c.val
+				counts[li]++
+				fmt.Fprintf(w, " %6.4f", c.val)
 			}
 			fmt.Fprintln(w)
 		}
 		fmt.Fprintf(w, "%-10s |", "average")
 		for li := range levels {
-			fmt.Fprintf(w, " %6.4f", sums[li]/float64(len(subjects)))
+			if counts[li] == 0 {
+				fmt.Fprintf(w, " %6s", "QUAR")
+				continue
+			}
+			fmt.Fprintf(w, " %6.4f", sums[li]/float64(counts[li]))
 		}
 		fmt.Fprintln(w)
 	}
@@ -245,10 +292,15 @@ func (r *Runner) specTable(w io.Writer, relative bool) error {
 		for _, p := range []pipeline.Profile{pipeline.GCC, pipeline.Clang} {
 			for _, l := range pipeline.Levels(p) {
 				base, err := specSpeedup(bench, pipeline.MustConfig(p, l))
-				if err != nil {
+				baseQuar := resilience.IsQuarantined(err)
+				if err != nil && !baseQuar {
 					return err
 				}
-				fmt.Fprintf(w, "  %-5s %-3s std=%5.2fx", p, l, base)
+				if baseQuar {
+					fmt.Fprintf(w, "  %-5s %-3s std=%5sx", p, l, "QUAR")
+				} else {
+					fmt.Fprintf(w, "  %-5s %-3s std=%5.2fx", p, l, base)
+				}
 				la, err := r.Analysis(p, l)
 				if err != nil {
 					return err
@@ -256,12 +308,17 @@ func (r *Runner) specTable(w io.Writer, relative bool) error {
 				for _, y := range r.Opts.Dy {
 					cfg := la.Configs([]int{y})[0]
 					s, err := specSpeedup(bench, cfg)
-					if err != nil {
+					quar := resilience.IsQuarantined(err)
+					if err != nil && !quar {
 						return err
 					}
-					if relative {
+					switch {
+					case quar || (relative && baseQuar):
+						// A relative cell needs both measurements.
+						fmt.Fprintf(w, "  d%d=%6s", y, "QUAR")
+					case relative:
 						fmt.Fprintf(w, "  d%d=%+6.2f%%", y, 100*(s-base)/base)
-					} else {
+					default:
 						fmt.Fprintf(w, "  d%d=%5.2fx", y, s)
 					}
 				}
@@ -282,5 +339,13 @@ func specSpeedup(bench string, cfg pipeline.Config) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return suite.Speedup(b, cfg)
+	compute := func(context.Context) (float64, error) {
+		return suite.Speedup(b, cfg)
+	}
+	if fp, ok := cfg.Fingerprint(); ok {
+		return resilience.Run(resilience.Active(), context.Background(),
+			"spec|"+bench+"|"+fp, compute)
+	}
+	return resilience.RunEphemeral(resilience.Active(), context.Background(),
+		"spec|"+bench+"|"+cfg.Name(), compute)
 }

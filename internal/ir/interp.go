@@ -18,6 +18,11 @@ type Interp struct {
 	steps     int64
 	limit     int64
 	lanes     map[*Value]int64
+
+	// HeapBudget, when > 0, turns allocations that would push the total
+	// heap past it into ErrHeapBudget instead of the silent maxHeapWords
+	// clamp. 0 (the default) preserves the clamping semantics.
+	HeapBudget int64
 }
 
 // maxHeapWords caps the interpreter's total array heap, mirroring
@@ -27,9 +32,20 @@ type Interp struct {
 // alloc-heavy programs.
 const maxHeapWords int64 = 1 << 24
 
+// ErrBudget is the base sentinel for execution-budget exhaustion:
+// errors.Is(err, ErrBudget) matches both step- and heap-budget errors.
+// Budget exhaustion is deterministic for a given program and input, so
+// retry layers must classify it as permanent, never transient.
+var ErrBudget = errors.New("ir interp: execution budget exceeded")
+
 // ErrStepLimit is returned when execution exceeds the step budget,
 // protecting differential tests from accidental non-termination.
-var ErrStepLimit = errors.New("ir interp: step limit exceeded")
+var ErrStepLimit = fmt.Errorf("%w: step limit", ErrBudget)
+
+// ErrHeapBudget is returned when an allocation would push the heap past
+// an explicitly configured Interp.HeapBudget. The hard maxHeapWords cap
+// still clamps silently, mirroring the VM.
+var ErrHeapBudget = fmt.Errorf("%w: heap limit", ErrBudget)
 
 // NewInterp prepares an interpreter with initialized globals.
 func NewInterp(prog *Program, limit int64) *Interp {
@@ -129,6 +145,13 @@ func (in *Interp) run(f *Func, args []int64) (int64, error) {
 			case OpGStore:
 				in.gvals[v.AuxInt] = vals[v.Args[0].ID]
 			case OpNewArray:
+				size := vals[v.Args[0].ID]
+				if size < 0 {
+					size = 0
+				}
+				if in.HeapBudget > 0 && in.heapWords+size > in.HeapBudget {
+					return 0, ErrHeapBudget
+				}
 				vals[v.ID] = in.alloc(vals[v.Args[0].ID])
 			case OpALoad:
 				vals[v.ID] = in.aload(vals[v.Args[0].ID], vals[v.Args[1].ID])

@@ -1,6 +1,7 @@
 package ir
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -203,5 +204,39 @@ func TestEstimateFrequenciesLoopWeighting(t *testing.T) {
 	}
 	if exit.Freq > head.Freq {
 		t.Errorf("exit freq %.2f above header %.2f", exit.Freq, head.Freq)
+	}
+}
+
+// buildAllocator constructs a single-block function: newarray(1000); ret 0.
+func buildAllocator() *Program {
+	prog := &Program{}
+	f := &Func{Name: "alloc", Prog: prog}
+	prog.Funcs = append(prog.Funcs, f)
+	b := f.NewBlock()
+	c := f.NewValue(b, OpConst, 1)
+	c.AuxInt = 1000
+	arr := f.NewValue(b, OpNewArray, 2, c)
+	ret := f.NewValue(b, OpRet, 3)
+	b.Instrs = append(b.Instrs, c, arr, ret)
+	return prog
+}
+
+func TestInterpHeapBudget(t *testing.T) {
+	in := NewInterp(buildAllocator(), 1000)
+	in.HeapBudget = 100
+	_, err := in.Call("alloc")
+	if !errors.Is(err, ErrHeapBudget) {
+		t.Fatalf("err = %v, want ErrHeapBudget", err)
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Fatal("ErrHeapBudget must match the base ErrBudget sentinel")
+	}
+	// Unset (the default), the allocation succeeds under clamp semantics.
+	if _, err := NewInterp(buildAllocator(), 1000).Call("alloc"); err != nil {
+		t.Fatalf("default interp rejected allocation: %v", err)
+	}
+	// ErrStepLimit keeps wrapping the base sentinel for old call sites.
+	if !errors.Is(ErrStepLimit, ErrBudget) {
+		t.Fatal("ErrStepLimit must match ErrBudget")
 	}
 }

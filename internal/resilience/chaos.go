@@ -1,0 +1,123 @@
+package resilience
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FaultKind is one injected failure mode.
+type FaultKind int
+
+const (
+	// FaultNone: the cell runs untouched.
+	FaultNone FaultKind = iota
+	// FaultTransient: the attempt fails with a transient error.
+	FaultTransient
+	// FaultPanic: the attempt panics inside the cell goroutine.
+	FaultPanic
+	// FaultStall: the attempt stalls past the cell deadline (or, with no
+	// deadline configured, sleeps briefly and fails transiently).
+	FaultStall
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultTransient:
+		return "transient"
+	case FaultPanic:
+		return "panic"
+	case FaultStall:
+		return "stall"
+	}
+	return "none"
+}
+
+// Chaos is the deterministic fault injector. Whether and how a cell is
+// faulted depends only on (Seed, cell key, attempt) — never on timing,
+// scheduling, or worker count — so two runs with the same seed produce
+// byte-identical quarantine reports at any -j.
+//
+// A faulted cell draws one of five schedules, uniformly by hash:
+//
+//	transient-once, panic-once, stall-once  fail attempt 0 only, proving
+//	                                        the retry path end to end
+//	transient-always, panic-always          fail every attempt, forcing
+//	                                        the cell into quarantine
+type Chaos struct {
+	// Rate is the fraction of cells faulted, in [0, 1].
+	Rate float64
+	// Seed drives every injection decision.
+	Seed uint64
+}
+
+// ParseChaos parses a -chaos flag spec of the form "rate=0.05,seed=7".
+func ParseChaos(spec string) (*Chaos, error) {
+	c := &Chaos{}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("resilience: bad chaos item %q (want key=value)", item)
+		}
+		switch k {
+		case "rate":
+			r, err := strconv.ParseFloat(v, 64)
+			if err != nil || r < 0 || r > 1 {
+				return nil, fmt.Errorf("resilience: bad chaos rate %q (want [0,1])", v)
+			}
+			c.Rate = r
+		case "seed":
+			s, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("resilience: bad chaos seed %q", v)
+			}
+			c.Seed = s
+		default:
+			return nil, fmt.Errorf("resilience: unknown chaos key %q (have rate, seed)", k)
+		}
+	}
+	if c.Rate == 0 {
+		return nil, fmt.Errorf("resilience: chaos spec %q sets no rate", spec)
+	}
+	return c, nil
+}
+
+func (c *Chaos) String() string {
+	return fmt.Sprintf("rate=%g,seed=%d", c.Rate, c.Seed)
+}
+
+// Decide returns the fault to inject into one attempt of one cell.
+func (c *Chaos) Decide(key string, attempt int) FaultKind {
+	if c == nil || c.Rate <= 0 {
+		return FaultNone
+	}
+	const den = 1 << 20
+	h := hashParts(c.Seed, "cell", key)
+	if float64(h%den)/den >= c.Rate {
+		return FaultNone
+	}
+	once := attempt == 0
+	switch hashParts(c.Seed, "kind", key) % 5 {
+	case 0:
+		if once {
+			return FaultTransient
+		}
+	case 1:
+		if once {
+			return FaultPanic
+		}
+	case 2:
+		if once {
+			return FaultStall
+		}
+	case 3:
+		return FaultTransient
+	case 4:
+		return FaultPanic
+	}
+	return FaultNone
+}

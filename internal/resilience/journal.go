@@ -1,0 +1,169 @@
+package resilience
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Record statuses.
+const (
+	// StatusOK marks a completed cell; Value carries its JSON result.
+	StatusOK = "ok"
+	// StatusQuarantined marks a cell that exhausted its retries. Resumed
+	// runs rerun these cells (the environment — or the chaos flags — may
+	// have changed).
+	StatusQuarantined = "quarantined"
+)
+
+// Record is one journal line. Keys are config fingerprint × subject
+// hash, so a journal written by one process addresses the same cells in
+// any other build of the same matrix.
+type Record struct {
+	Key      string          `json:"key"`
+	Status   string          `json:"status"`
+	Attempts int             `json:"attempts,omitempty"`
+	Kind     string          `json:"kind,omitempty"`
+	Pass     string          `json:"pass,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Value    json.RawMessage `json:"value,omitempty"`
+}
+
+// Journal is an append-only JSONL checkpoint file. Every Append is
+// fsynced before returning, so a killed process loses at most the
+// record being written — and that half-written line is detected and
+// discarded on resume. Records are unordered (workers append as cells
+// complete); the last record per key wins.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	seen map[string]Record
+	torn bool
+}
+
+// CreateJournal starts a fresh journal at path, truncating any previous
+// file: the run records cells but consults nothing.
+func CreateJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("resilience: create journal: %w", err)
+	}
+	return &Journal{f: f, seen: map[string]Record{}}, nil
+}
+
+// ResumeJournal opens an existing journal, loads its records (last per
+// key wins), discards a torn final record if the previous process died
+// mid-write, and positions the file for appending.
+func ResumeJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("resilience: resume journal: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("resilience: resume journal: %w", err)
+	}
+	j := &Journal{f: f, seen: map[string]Record{}}
+	keep, err := j.load(data)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(int64(keep)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("resilience: resume journal: %w", err)
+	}
+	if _, err := f.Seek(int64(keep), 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("resilience: resume journal: %w", err)
+	}
+	return j, nil
+}
+
+// load parses the journal body and returns the byte length of the valid
+// prefix to keep. A line that fails to parse is fatal corruption unless
+// it is the final, newline-less line of the file — the torn record an
+// interrupted write leaves — which is discarded.
+func (j *Journal) load(data []byte) (keep int, err error) {
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		line := data[off:]
+		terminated := nl >= 0
+		if terminated {
+			line = data[off : off+nl]
+		}
+		if len(bytes.TrimSpace(line)) > 0 {
+			var rec Record
+			if uerr := json.Unmarshal(line, &rec); uerr != nil {
+				if !terminated {
+					// Torn final record: the write was cut mid-line.
+					j.torn = true
+					return off, nil
+				}
+				return 0, fmt.Errorf("resilience: corrupt journal record at byte %d: %v", off, uerr)
+			}
+			j.seen[rec.Key] = rec
+		}
+		if !terminated {
+			// Final line parsed but carries no newline (e.g. a crash
+			// exactly between the record and its terminator): keep the
+			// record but rewrite from its start so the file stays valid
+			// JSONL after the next append.
+			return off, nil
+		}
+		off += nl + 1
+	}
+	return off, nil
+}
+
+// Torn reports whether a torn final record was discarded on resume.
+func (j *Journal) Torn() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.torn
+}
+
+// Len returns the number of distinct keys loaded or appended.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.seen)
+}
+
+// Lookup returns the last record appended or loaded for key.
+func (j *Journal) Lookup(key string) (Record, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec, ok := j.seen[key]
+	return rec, ok
+}
+
+// Append writes one record as a JSON line and fsyncs it.
+func (j *Journal) Append(rec Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("resilience: marshal journal record: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("resilience: append journal record: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("resilience: sync journal: %w", err)
+	}
+	j.seen[rec.Key] = rec
+	return nil
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 
@@ -40,7 +41,7 @@ func TestGeneratedProgramsAreValid(t *testing.T) {
 		if _, err := it.Call("main"); err != nil {
 			// Budget-limited nested loops are acceptable, anything else
 			// is a generator bug.
-			if err != ir.ErrStepLimit {
+			if !errors.Is(err, ir.ErrBudget) {
 				t.Fatalf("seed %d: %v", seed, err)
 			}
 			skipped++

@@ -9,6 +9,11 @@ type Point struct {
 	Label   string
 	Debug   float64
 	Speedup float64
+	// Quarantined marks configurations whose measurements were lost to
+	// quarantine: their coordinates are meaningless, so they neither
+	// join the front nor dominate anything — the renderers show them as
+	// explicit gaps instead.
+	Quarantined bool
 }
 
 // dominates reports whether a is at least as good as b on both axes and
@@ -30,9 +35,12 @@ func dominates(a, b Point) bool {
 func ParetoFront(points []Point) []Point {
 	var front []Point
 	for i, p := range points {
+		if p.Quarantined {
+			continue
+		}
 		dominated := false
 		for j, q := range points {
-			if i != j && dominates(q, p) {
+			if i != j && !q.Quarantined && dominates(q, p) {
 				dominated = true
 				break
 			}

@@ -6,6 +6,7 @@
 package tuner
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -15,6 +16,7 @@ import (
 	"debugtuner/internal/ir"
 	"debugtuner/internal/metrics"
 	"debugtuner/internal/pipeline"
+	"debugtuner/internal/resilience"
 	"debugtuner/internal/sema"
 	"debugtuner/internal/vm"
 )
@@ -148,13 +150,35 @@ func (p *Program) Scores(cfg pipeline.Config) (metrics.Scores, error) {
 
 // Measure builds, traces, and scores the configuration. Results are
 // content-addressed by the config fingerprint; un-fingerprintable
-// configurations (FDO) are measured uncached.
+// configurations (FDO) are measured uncached. When a resilience executor
+// is installed, each measurement runs as an isolated, retried, journaled
+// cell; the wrapper sits inside the cache's singleflight so concurrent
+// requests coalesce, and a quarantined result (Uncacheable) evicts
+// itself instead of pinning the failure.
 func (p *Program) Measure(cfg pipeline.Config) (Measurement, error) {
 	fp, ok := cfg.Fingerprint()
 	if !ok {
-		return p.measure(cfg)
+		// FDO payloads fall outside the fingerprint domain, so their
+		// results cannot be journaled safely — isolate without journal.
+		return resilience.RunEphemeral(resilience.Active(), context.Background(),
+			p.CellKey(cfg.Name()), func(context.Context) (Measurement, error) {
+				return p.measure(cfg)
+			})
 	}
-	return p.scores.Do(fp, func() (Measurement, error) { return p.measure(cfg) })
+	return p.scores.Do(fp, func() (Measurement, error) {
+		return resilience.Run(resilience.Active(), context.Background(),
+			p.CellKey(fp), func(context.Context) (Measurement, error) {
+				return p.measure(cfg)
+			})
+	})
+}
+
+// CellKey is the resilience journal/quarantine key of one
+// (program, config) measurement: program name and source hash × config
+// fingerprint, stable across processes so a resumed run addresses the
+// same cells.
+func (p *Program) CellKey(fp string) string {
+	return fmt.Sprintf("tuner|%s#%016x|%s", p.Name, resilience.HashBytes(p.Src), fp)
 }
 
 func (p *Program) measure(cfg pipeline.Config) (Measurement, error) {

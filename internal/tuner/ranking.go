@@ -2,10 +2,12 @@ package tuner
 
 import (
 	"context"
+	"math"
 	"sort"
 
 	"debugtuner/internal/metrics"
 	"debugtuner/internal/pipeline"
+	"debugtuner/internal/resilience"
 	"debugtuner/internal/workerpool"
 )
 
@@ -17,6 +19,10 @@ type PassEffect struct {
 	// NoEffect marks builds whose .text was identical to the reference
 	// level (the pass changed nothing; the trace stage was skipped).
 	NoEffect bool
+	// Quarantined marks cells the resilience layer gave up on. They are
+	// excluded from rank aggregation entirely (see rank), not treated as
+	// zero-effect.
+	Quarantined bool
 }
 
 // RankedPass is a row of the final cross-program ranking.
@@ -47,6 +53,19 @@ type LevelAnalysis struct {
 	// Positive/Neutral/Negative count passes by average effect
 	// (Table VII).
 	Positive, Neutral, Negative int
+	// QuarantinedPrograms lists programs whose reference measurement was
+	// quarantined; they contribute to no ranking cell at this level.
+	QuarantinedPrograms []string
+	// QuarantinedCells counts quarantined (program, pass) matrix cells
+	// among the surviving programs.
+	QuarantinedCells int
+}
+
+// Quarantined reports whether any cell of this level's matrix (reference
+// or toggle) was quarantined — the table renderers annotate the level
+// header when so.
+func (la *LevelAnalysis) Quarantined() int {
+	return len(la.QuarantinedPrograms) + la.QuarantinedCells
 }
 
 // AnalyzeLevel runs DebugTuner stage 1+2 for one profile/level: build the
@@ -68,51 +87,80 @@ func AnalyzeLevel(progs []*Program, profile pipeline.Profile, level string) (*Le
 
 	// Wave 1: reference build+trace per program. Measure routes through
 	// the content-addressed cache, so the plain-level configurations the
-	// table generators also visit are built only once per process.
+	// table generators also visit are built only once per process. A
+	// quarantined reference removes the whole program from this level —
+	// without M_ref none of its increments are computable — rather than
+	// failing the analysis.
 	refCfg := pipeline.MustConfig(profile, level)
-	refs, err := workerpool.Map(ctx, progs, func(_ context.Context, _ int, p *Program) (Measurement, error) {
-		return p.Measure(refCfg)
+	type refCell struct {
+		M           Measurement
+		Quarantined bool
+	}
+	refs, err := workerpool.Map(ctx, progs, func(_ context.Context, _ int, p *Program) (refCell, error) {
+		m, err := p.Measure(refCfg)
+		if resilience.IsQuarantined(err) {
+			return refCell{Quarantined: true}, nil
+		}
+		return refCell{M: m}, err
 	})
 	if err != nil {
 		return nil, err
 	}
+	var live []*Program
+	var liveRefs []Measurement
 	for i, p := range progs {
-		la.RefProduct[p.Name] = refs[i].Scores.Product
+		if refs[i].Quarantined {
+			la.QuarantinedPrograms = append(la.QuarantinedPrograms, p.Name)
+			continue
+		}
+		la.RefProduct[p.Name] = refs[i].M.Scores.Product
+		live = append(live, p)
+		liveRefs = append(liveRefs, refs[i].M)
 	}
 
-	// Wave 2: the (program × pass) matrix.
+	// Wave 2: the (program × pass) matrix over the surviving programs.
+	// Each cell is a resilience cell of its own; a quarantined one is an
+	// explicit gap the rank aggregation excludes.
 	type matrixJob struct{ pi, xi int }
-	jobs := make([]matrixJob, 0, len(progs)*len(passNames))
-	for pi := range progs {
+	jobs := make([]matrixJob, 0, len(live)*len(passNames))
+	for pi := range live {
 		for xi := range passNames {
 			jobs = append(jobs, matrixJob{pi, xi})
 		}
 	}
-	cells, err := workerpool.Map(ctx, jobs, func(_ context.Context, _ int, j matrixJob) (PassEffect, error) {
-		p := progs[j.pi]
+	cells, err := workerpool.Map(ctx, jobs, func(ctx context.Context, _ int, j matrixJob) (PassEffect, error) {
+		p := live[j.pi]
 		cfg := pipeline.MustConfig(profile, level,
 			pipeline.Disable(passNames[j.xi]))
-		bin := p.Build(cfg)
-		// Stage-1 optimization: identical .text means the pass had
-		// no effect on this program; skip trace extraction (§III.A).
-		if bin.TextHash() == refs[j.pi].TextHash {
-			return PassEffect{NoEffect: true}, nil
+		fp, _ := cfg.Fingerprint()
+		eff, err := resilience.Run(resilience.Active(), ctx, p.CellKey(fp),
+			func(context.Context) (PassEffect, error) {
+				bin := p.Build(cfg)
+				// Stage-1 optimization: identical .text means the pass had
+				// no effect on this program; skip trace extraction (§III.A).
+				if bin.TextHash() == liveRefs[j.pi].TextHash {
+					return PassEffect{NoEffect: true}, nil
+				}
+				base, err := p.Baseline()
+				if err != nil {
+					return PassEffect{}, err
+				}
+				tr, err := p.Trace(bin)
+				if err != nil {
+					return PassEffect{}, err
+				}
+				m := metrics.Hybrid(tr, base, p.DR).Product
+				refM := liveRefs[j.pi].Scores.Product
+				inc := 0.0
+				if refM > 0 {
+					inc = (m - refM) / refM
+				}
+				return PassEffect{Increment: inc}, nil
+			})
+		if resilience.IsQuarantined(err) {
+			return PassEffect{Quarantined: true}, nil
 		}
-		base, err := p.Baseline()
-		if err != nil {
-			return PassEffect{}, err
-		}
-		tr, err := p.Trace(bin)
-		if err != nil {
-			return PassEffect{}, err
-		}
-		m := metrics.Hybrid(tr, base, p.DR).Product
-		refM := refs[j.pi].Scores.Product
-		inc := 0.0
-		if refM > 0 {
-			inc = (m - refM) / refM
-		}
-		return PassEffect{Increment: inc}, nil
+		return eff, err
 	})
 	if err != nil {
 		return nil, err
@@ -122,11 +170,17 @@ func AnalyzeLevel(progs []*Program, profile pipeline.Profile, level string) (*Le
 		effects[n] = map[string]PassEffect{}
 	}
 	for k, j := range jobs {
-		effects[passNames[j.xi]][progs[j.pi].Name] = cells[k]
+		effects[passNames[j.xi]][live[j.pi].Name] = cells[k]
+		if cells[k].Quarantined {
+			la.QuarantinedCells++
+		}
 	}
 
-	la.Ranking = rank(passNames, progs, effects, profile)
+	la.Ranking = rank(passNames, live, effects, profile)
 	for _, rp := range la.Ranking {
+		if math.IsInf(rp.AvgRank, 1) {
+			continue // fully quarantined: no measured effect to classify
+		}
 		g := rp.GeoIncrementPct
 		switch {
 		case g > 1e-9:
@@ -145,8 +199,17 @@ func AnalyzeLevel(progs []*Program, profile pipeline.Profile, level string) (*Le
 // Per program (§III.B): passes with positive increment are ranked by
 // increment, descending; passes with no measurable effect share the next
 // rank; passes with negative impact rank below them.
+//
+// Quarantined cells are excluded, not defaulted: a missing measurement
+// contributes neither a rank position in its program's ordering nor a
+// factor to the geometric mean, and each pass's average divides by the
+// number of programs that actually measured it. A pass with no surviving
+// measurement gets AvgRank +Inf and sorts last (alphabetically among
+// such passes), so the gap is visible instead of silently flattering or
+// penalizing the pass.
 func rank(passNames []string, progs []*Program, effects map[string]map[string]PassEffect, profile pipeline.Profile) []RankedPass {
 	rankSum := map[string]float64{}
+	rankN := map[string]int{}
 	for _, p := range progs {
 		type pe struct {
 			name string
@@ -157,6 +220,8 @@ func rank(passNames []string, progs []*Program, effects map[string]map[string]Pa
 		for _, n := range passNames {
 			e := effects[n][p.Name]
 			switch {
+			case e.Quarantined:
+				// Excluded: no rank position for this (pass, program).
 			case !e.NoEffect && e.Increment > 1e-12:
 				pos = append(pos, pe{n, e})
 			case !e.NoEffect && e.Increment < -1e-12:
@@ -180,16 +245,19 @@ func rank(passNames []string, progs []*Program, effects map[string]map[string]Pa
 		r := 1
 		for _, x := range pos {
 			rankSum[x.name] += float64(r)
+			rankN[x.name]++
 			r++
 		}
 		for _, n := range zero {
 			rankSum[n] += float64(r) // identical low rank for all
+			rankN[n]++
 		}
 		if len(zero) > 0 {
 			r++
 		}
 		for _, x := range neg {
 			rankSum[x.name] += float64(r)
+			rankN[x.name]++
 			r++
 		}
 	}
@@ -200,18 +268,28 @@ func rank(passNames []string, progs []*Program, effects map[string]map[string]Pa
 			Name:    n,
 			Display: pipeline.DisplayName(profile, n),
 			Backend: pipeline.IsBackend(n),
-			AvgRank: rankSum[n] / float64(len(progs)),
+			AvgRank: math.Inf(1),
 			Effects: effects[n],
+		}
+		if rankN[n] > 0 {
+			rp.AvgRank = rankSum[n] / float64(rankN[n])
 		}
 		var factors []float64
 		for _, p := range progs {
-			factors = append(factors, 1+effects[n][p.Name].Increment)
+			if e := effects[n][p.Name]; !e.Quarantined {
+				factors = append(factors, 1+e.Increment)
+			}
 		}
-		rp.GeoIncrementPct = (metrics.GeoMean(factors) - 1) * 100
+		if len(factors) > 0 {
+			rp.GeoIncrementPct = (metrics.GeoMean(factors) - 1) * 100
+		}
 		out = append(out, rp)
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].AvgRank != out[j].AvgRank {
+			// math.Inf compares normally here, so fully-quarantined
+			// passes (AvgRank +Inf) sort after every measured pass; the
+			// stable sort keeps passNames order among them.
 			return out[i].AvgRank < out[j].AvgRank
 		}
 		return out[i].GeoIncrementPct > out[j].GeoIncrementPct

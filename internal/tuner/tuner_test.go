@@ -1,6 +1,7 @@
 package tuner
 
 import (
+	"math"
 	"testing"
 
 	"debugtuner/internal/pipeline"
@@ -148,12 +149,12 @@ func TestInlinerExcludedFromConfigs(t *testing.T) {
 // TestParetoFront validates non-domination and extremes.
 func TestParetoFront(t *testing.T) {
 	pts := []Point{
-		{"a", 0.9, 1.0},
-		{"b", 0.8, 2.0},
-		{"c", 0.7, 1.5}, // dominated by b
-		{"d", 0.5, 3.0},
-		{"e", 0.5, 2.5}, // dominated by d
-		{"f", 0.9, 0.5}, // dominated by a
+		{Label: "a", Debug: 0.9, Speedup: 1.0},
+		{Label: "b", Debug: 0.8, Speedup: 2.0},
+		{Label: "c", Debug: 0.7, Speedup: 1.5}, // dominated by b
+		{Label: "d", Debug: 0.5, Speedup: 3.0},
+		{Label: "e", Debug: 0.5, Speedup: 2.5}, // dominated by d
+		{Label: "f", Debug: 0.9, Speedup: 0.5}, // dominated by a
 	}
 	front := ParetoFront(pts)
 	want := map[string]bool{"a": true, "b": true, "d": true}
@@ -170,5 +171,69 @@ func TestParetoFront(t *testing.T) {
 	}
 	if !OnFront(pts, "a") || OnFront(pts, "c") {
 		t.Fatal("OnFront misclassifies")
+	}
+}
+
+// TestRankExcludesQuarantinedCells locks the aggregation rule the docs
+// promise: a quarantined (pass, program) cell contributes neither a rank
+// position nor a geomean factor, and the pass's average divides by the
+// number of programs that measured it.
+func TestRankExcludesQuarantinedCells(t *testing.T) {
+	progs := []*Program{{Name: "p1"}, {Name: "p2"}}
+	effects := map[string]map[string]PassEffect{
+		"passA": {
+			"p1": {Increment: 0.2},
+			"p2": {Increment: 0.1},
+		},
+		"passB": {
+			"p1": {Quarantined: true},
+			"p2": {Increment: 0.3},
+		},
+		"passC": {
+			"p1": {Quarantined: true},
+			"p2": {Quarantined: true},
+		},
+	}
+	ranking := rank([]string{"passA", "passB", "passC"}, progs, effects, pipeline.GCC)
+	byName := map[string]RankedPass{}
+	for _, rp := range ranking {
+		byName[rp.Name] = rp
+	}
+	// p1: only passA measured -> rank 1. p2: passB (0.3) rank 1,
+	// passA (0.1) rank 2. So A averages (1+2)/2, B averages 1/1.
+	if got := byName["passA"].AvgRank; got != 1.5 {
+		t.Fatalf("passA AvgRank = %v, want 1.5", got)
+	}
+	if got := byName["passB"].AvgRank; got != 1.0 {
+		t.Fatalf("passB AvgRank = %v, want 1.0 (quarantined cell excluded)", got)
+	}
+	if !math.IsInf(byName["passC"].AvgRank, 1) {
+		t.Fatalf("fully-quarantined passC AvgRank = %v, want +Inf", byName["passC"].AvgRank)
+	}
+	if ranking[len(ranking)-1].Name != "passC" {
+		t.Fatalf("fully-quarantined pass must sort last: %v", ranking)
+	}
+	if g := byName["passC"].GeoIncrementPct; g != 0 {
+		t.Fatalf("passC GeoIncrementPct = %v, want 0 (no factors)", g)
+	}
+	// passB's geomean uses only p2's factor: (1.3 - 1) * 100.
+	if g := byName["passB"].GeoIncrementPct; math.Abs(g-30) > 1e-9 {
+		t.Fatalf("passB GeoIncrementPct = %v, want 30", g)
+	}
+}
+
+// TestParetoFrontSkipsQuarantined: a quarantined point neither joins nor
+// prunes the front, however good its (stale) coordinates look.
+func TestParetoFrontSkipsQuarantined(t *testing.T) {
+	pts := []Point{
+		{Label: "good", Debug: 0.5, Speedup: 1.5},
+		{Label: "lost", Debug: 0.9, Speedup: 3.0, Quarantined: true},
+	}
+	front := ParetoFront(pts)
+	if len(front) != 1 || front[0].Label != "good" {
+		t.Fatalf("front = %v, want only the measured point", front)
+	}
+	if OnFront(pts, "lost") {
+		t.Fatal("quarantined point reported on front")
 	}
 }

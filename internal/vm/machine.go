@@ -31,8 +31,20 @@ const (
 	icacheSets      = 256
 )
 
-// ErrBudget is returned when execution exceeds the step budget.
-var ErrBudget = errors.New("vm: step budget exceeded")
+// ErrBudget is the base sentinel for execution-budget exhaustion:
+// errors.Is(err, ErrBudget) matches both step- and heap-budget errors.
+// Budget exhaustion is deterministic for a given binary and input, so
+// retry layers must classify it as permanent, never transient.
+var ErrBudget = errors.New("vm: execution budget exceeded")
+
+// ErrStepBudget is returned when execution exceeds the step budget.
+var ErrStepBudget = fmt.Errorf("%w: step limit", ErrBudget)
+
+// ErrHeapBudget is returned when an allocation would push the heap past
+// an explicitly configured Machine.HeapBudget. The hard MaxHeapWords cap
+// still clamps silently (that behavior is differential-test load-bearing);
+// the budget error only exists for callers that opt in.
+var ErrHeapBudget = fmt.Errorf("%w: heap limit", ErrBudget)
 
 // Frame is one activation record.
 type Frame struct {
@@ -70,6 +82,10 @@ type Machine struct {
 	Cycles     int64
 	Steps      int64
 	StepBudget int64
+	// HeapBudget, when > 0, turns allocations that would push the total
+	// heap past it into ErrHeapBudget instead of the silent MaxHeapWords
+	// clamp. 0 (the default) preserves the clamping semantics.
+	HeapBudget int64
 	// Cost breakdown counters for ablation analysis.
 	ICacheMisses int64
 	StallCycles  int64
@@ -305,7 +321,7 @@ func (m *Machine) run() (int64, error) {
 		}
 		m.Steps++
 		if m.Steps > m.StepBudget {
-			return 0, ErrBudget
+			return 0, ErrStepBudget
 		}
 		pc := m.pc
 		if m.Breaks != nil && m.Breaks[pc] && m.OnBreak != nil {
@@ -406,11 +422,14 @@ func (m *Machine) run() (int64, error) {
 			m.Globals[in.Imm] = fr.Regs[in.A]
 			m.charge(costStore)
 		case OpNewArr:
-			m.setReg(fr, in.D, m.alloc(fr.Regs[in.A]), 0)
 			n := fr.Regs[in.A]
 			if n < 0 {
 				n = 0
 			}
+			if m.HeapBudget > 0 && m.heapWords+n > m.HeapBudget {
+				return 0, ErrHeapBudget
+			}
+			m.setReg(fr, in.D, m.alloc(fr.Regs[in.A]), 0)
 			m.charge(costNewArrMin + n/8)
 		case OpALoad:
 			m.setReg(fr, in.D, m.aload(fr.Regs[in.A], fr.Regs[in.B]), 0)

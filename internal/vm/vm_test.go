@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -69,7 +70,7 @@ func TestStepBudget(t *testing.T) {
 	}
 	m := New(bin)
 	m.StepBudget = 100
-	if _, err := m.Call("spin"); err != ErrBudget {
+	if _, err := m.Call("spin"); !errors.Is(err, ErrBudget) {
 		t.Fatalf("err = %v, want ErrBudget", err)
 	}
 }
@@ -243,5 +244,37 @@ func TestDeterministicReplay(t *testing.T) {
 	c2, s2 := run()
 	if c1 != c2 || s1 != s2 {
 		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", c1, s1, c2, s2)
+	}
+}
+
+func TestHeapBudget(t *testing.T) {
+	// r0 = 1000; r1 = newarr r0; ret
+	bin := &Binary{
+		Funcs: []FuncInfo{{Name: "alloc", Start: 0, End: 3}},
+		Code: []Instr{
+			{Op: OpConst, D: 0, Imm: 1000},
+			{Op: OpNewArr, A: 0, D: 1},
+			{Op: OpRet},
+		},
+	}
+	m := New(bin)
+	m.HeapBudget = 100
+	_, err := m.Call("alloc")
+	if !errors.Is(err, ErrHeapBudget) {
+		t.Fatalf("err = %v, want ErrHeapBudget", err)
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Fatal("ErrHeapBudget must match the base ErrBudget sentinel")
+	}
+	// Unset (the default), the same allocation succeeds under the silent
+	// MaxHeapWords clamp semantics the differential tests rely on.
+	if _, err := New(bin).Call("alloc"); err != nil {
+		t.Fatalf("default machine rejected allocation: %v", err)
+	}
+	// A budget at least as large as the allocation also succeeds.
+	m3 := New(bin)
+	m3.HeapBudget = 1000
+	if _, err := m3.Call("alloc"); err != nil {
+		t.Fatalf("in-budget allocation rejected: %v", err)
 	}
 }

@@ -12,7 +12,9 @@ package workerpool
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -42,6 +44,67 @@ func Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// taskTimeout holds the optional per-task deadline, in nanoseconds;
+// 0 disables it.
+var taskTimeout atomic.Int64
+
+// SetTaskTimeout applies a deadline to every individual fn invocation:
+// each task receives a context derived with WithTimeout(d). The deadline
+// is advisory — a task that ignores its context runs to completion — but
+// every evaluation loop in this repo threads ctx through to the VM and
+// interpreter, which poll it. d <= 0 disables the deadline, restoring
+// the exact pre-timeout contexts (including the serial path's pass-through
+// of the caller's ctx).
+func SetTaskTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	taskTimeout.Store(int64(d))
+}
+
+// TaskTimeout returns the per-task deadline, or 0 when disabled.
+func TaskTimeout() time.Duration { return time.Duration(taskTimeout.Load()) }
+
+// PanicError is a panic captured from one Map task. Before this type
+// existed a panicking pass anywhere in the (program × config) matrix
+// unwound through the pool and killed the whole run; now it cancels the
+// pool like any other first error, carrying the task index and stack.
+type PanicError struct {
+	// Index is the input index of the panicking task.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("task %d panicked: %v", e.Index, e.Value)
+}
+
+// Transient reports true: under the resilience layer's taxonomy a panic
+// earns a retry (a deterministic one simply exhausts its retries into
+// quarantine).
+func (e *PanicError) Transient() bool { return true }
+
+// call invokes fn on one item with the per-task deadline applied and
+// panics converted to *PanicError. With no deadline configured, ctx is
+// passed through untouched.
+func call[T, R any](ctx context.Context, idx int, item T, fn func(ctx context.Context, idx int, item T) (R, error)) (r R, err error) {
+	if d := TaskTimeout(); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			telemetry.Add("workerpool.panics", 1)
+			err = &PanicError{Index: idx, Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, idx, item)
+}
+
 // Map applies fn to every item on up to Workers() goroutines and returns
 // the results in input order. The first failing item (lowest input
 // index among observed failures) cancels the derived context passed to
@@ -57,15 +120,16 @@ func Map[T, R any](ctx context.Context, items []T, fn func(ctx context.Context, 
 	}
 	results := make([]R, len(items))
 	if n <= 1 {
-		// Serial inline path: no goroutine, no derived context — fn
-		// receives the caller's ctx unchanged and runs on the calling
-		// goroutine, so single-worker runs are byte-for-byte the serial
-		// loop (the determinism baseline -j1 is compared against).
+		// Serial inline path: no goroutine, and (absent a task timeout)
+		// no derived context — fn receives the caller's ctx unchanged and
+		// runs on the calling goroutine, so single-worker runs are
+		// byte-for-byte the serial loop (the determinism baseline -j1 is
+		// compared against).
 		for i, item := range items {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			r, err := fn(ctx, i, item)
+			r, err := call(ctx, i, item, fn)
 			if err != nil {
 				return nil, err
 			}
@@ -109,7 +173,7 @@ func Map[T, R any](ctx context.Context, items []T, fn func(ctx context.Context, 
 					snk.Max("workerpool.queue", int64(len(items)-i))
 					t0 = time.Now()
 				}
-				r, err := fn(ctx, i, items[i])
+				r, err := call(ctx, i, items[i], fn)
 				if snk != nil {
 					busy += time.Since(t0)
 					snk.Add("workerpool.items", 1)

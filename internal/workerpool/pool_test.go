@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -144,5 +145,124 @@ func TestSetWorkers(t *testing.T) {
 	SetWorkers(-3)
 	if Workers() < 1 {
 		t.Fatalf("negative SetWorkers broke auto mode: %d", Workers())
+	}
+}
+
+func TestMapPanicCaptured(t *testing.T) {
+	for _, n := range []int{1, 4} {
+		SetWorkers(n)
+		_, err := Map(context.Background(), []int{0, 1, 2, 3}, func(_ context.Context, idx int, _ int) (int, error) {
+			if idx == 2 {
+				panic("pass exploded")
+			}
+			return idx, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: got %v, want *PanicError", n, err)
+		}
+		if pe.Index != 2 || fmt.Sprint(pe.Value) != "pass exploded" {
+			t.Fatalf("workers=%d: PanicError = %+v", n, pe)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: panic stack not captured", n)
+		}
+		if !pe.Transient() {
+			t.Fatalf("workers=%d: captured panics must classify transient", n)
+		}
+	}
+	SetWorkers(0)
+}
+
+func TestMapTaskTimeout(t *testing.T) {
+	SetTaskTimeout(10 * time.Millisecond)
+	defer SetTaskTimeout(0)
+	for _, n := range []int{1, 4} {
+		SetWorkers(n)
+		start := time.Now()
+		_, err := Map(context.Background(), []int{0, 1}, func(ctx context.Context, idx int, _ int) (int, error) {
+			if idx != 0 {
+				return 0, nil
+			}
+			<-ctx.Done()
+			return 0, ctx.Err()
+		})
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("workers=%d: got %v, want DeadlineExceeded", n, err)
+		}
+		if el := time.Since(start); el > 2*time.Second {
+			t.Fatalf("workers=%d: deadline enforcement took %v", n, el)
+		}
+	}
+	SetWorkers(0)
+}
+
+func TestMapTaskTimeoutDisabledPassesCtxThrough(t *testing.T) {
+	SetWorkers(1)
+	defer SetWorkers(0)
+	parent := context.Background()
+	_, err := Map(parent, []int{0}, func(ctx context.Context, _ int, _ int) (int, error) {
+		if ctx != parent {
+			t.Error("serial path derived a context with no task timeout set")
+		}
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMapCancellationPromptNoLeak is the satellite coverage for parent
+// cancellation: Map must return promptly once the parent context is
+// cancelled mid-run, the serial and parallel paths must agree on the
+// returned error, and no worker goroutine may outlive the call.
+func TestMapCancellationPromptNoLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for _, n := range []int{1, 4} {
+		SetWorkers(n)
+		ctx, cancel := context.WithCancel(context.Background())
+		items := make([]int, 256)
+		var started atomic.Int64
+		go func() {
+			// Cancel once work is demonstrably in flight.
+			for started.Load() == 0 {
+				time.Sleep(time.Millisecond)
+			}
+			cancel()
+		}()
+		start := time.Now()
+		_, err := Map(ctx, items, func(ctx context.Context, _ int, _ int) (int, error) {
+			started.Add(1)
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(5 * time.Millisecond):
+				return 0, nil
+			}
+		})
+		elapsed := time.Since(start)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", n, err)
+		}
+		// 256 items x 5ms would be ~1.3s serially; prompt cancellation
+		// must come back far sooner.
+		if elapsed > time.Second {
+			t.Fatalf("workers=%d: cancellation took %v", n, elapsed)
+		}
+		cancel()
+	}
+	SetWorkers(0)
+	// All worker goroutines must have exited by the time Map returned;
+	// allow the count a moment to settle (the test's own cancel goroutine
+	// and runtime housekeeping).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d at start", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
