@@ -8,6 +8,10 @@ set -eux
 go vet ./...
 go build ./...
 go test ./...
+
+# Repo-local lint: raw pipeline.Config literals and map-order-dependent
+# output are build failures (see internal/lint).
+go run ./cmd/lint -root .
 go test -race -count=1 \
     ./internal/telemetry/ \
     ./internal/suite/ \
@@ -28,6 +32,20 @@ go build -o /tmp/ci-experiments ./cmd/experiments
 cmp /tmp/ci-difftest-j1.txt /tmp/ci-difftest-j4.txt
 grep -q '^PASS$' /tmp/ci-difftest-j1.txt
 rm -f /tmp/ci-experiments /tmp/ci-difftest-j1.txt /tmp/ci-difftest-j4.txt
+
+# Static debug-info verification smoke: one subject under both profiles
+# must be debugify-clean, byte-stable across worker counts; and the
+# verify-each driver must pass on a known-good fixture.
+go build -o /tmp/ci-experiments ./cmd/experiments
+/tmp/ci-experiments -j 1 -dbg-subjects libpng debugify > /tmp/ci-debugify-j1.txt
+/tmp/ci-experiments -j 4 -dbg-subjects libpng debugify > /tmp/ci-debugify-j4.txt
+cmp /tmp/ci-debugify-j1.txt /tmp/ci-debugify-j4.txt
+grep -q '^PASS$' /tmp/ci-debugify-j1.txt
+rm -f /tmp/ci-experiments /tmp/ci-debugify-j1.txt /tmp/ci-debugify-j4.txt
+go run ./cmd/minicc -O 2 -verify-each internal/difftest/testdata/fold_minint_div.mc \
+    | grep -q '^PASS$'
+go run ./cmd/minicc -profile clang -O 3 -verify-each internal/difftest/testdata/fold_shift_mask.mc \
+    | grep -q '^PASS$'
 
 # Chaos smoke: under deterministic fault injection the same bounded
 # matrix must (a) complete with quarantined cells and the distinct

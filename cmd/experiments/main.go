@@ -20,6 +20,14 @@
 // across the -configs matrix and reports behavior mismatches and
 // debug-info invariant violations; see internal/difftest.
 //
+// debugify (not part of "all": it is the static verification gate)
+// runs a debugify-style verified build of every (subject, config) cell
+// — synthetic metadata injected, ir.Verify plus the staticdbg analyzer
+// after every pass and back-end stage — and prints per-config survival
+// and the per-pass static preservation scoreboard; violations exit 1.
+// Scope with -dbg-subjects/-dbg-profile/-dbg-level; -dbg-verify=false
+// builds the same matrix plainly (the bench baseline).
+//
 // The resilience flags (-retries, -cell-timeout, -chaos, -journal,
 // -resume) wrap every evaluation cell in the fault-tolerant layer of
 // internal/resilience: cells that panic, stall, or fail transiently are
@@ -36,6 +44,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"debugtuner/internal/difftest"
@@ -69,6 +78,14 @@ func main() {
 		"compiler profile for the passreport experiment")
 	prLevel := flag.String("level", "O2",
 		"optimization level for the passreport experiment")
+	dbgSubjects := flag.String("dbg-subjects", "",
+		"debugify: comma list of test-suite subjects (default all)")
+	dbgProfile := flag.String("dbg-profile", "",
+		"debugify: restrict to one profile (gcc or clang; default both)")
+	dbgLevel := flag.String("dbg-level", "",
+		"debugify: restrict to one optimization level (default all)")
+	dbgVerify := flag.Bool("dbg-verify", true,
+		"debugify: run the verify-each analyzer (false = plain builds, the bench baseline)")
 	dtSeeds := flag.Int("seeds", 50,
 		"synthetic seeds for the difftest experiment")
 	dtConfigs := flag.String("configs", "full",
@@ -189,6 +206,30 @@ func main() {
 		if rep.Mismatches+rep.Violations > 0 {
 			return fmt.Errorf("%d behavior mismatches, %d invariant violations",
 				rep.Mismatches, rep.Violations)
+		}
+		return nil
+	}}
+	// Also absent from "all": debugify is the static verification gate.
+	// Violations and verify errors make it exit nonzero; quarantined
+	// cells surface through the quarantine report and exit code 3.
+	byName["debugify"] = exp{"debugify", func(w io.Writer) error {
+		dopts := experiments.DefaultDebugifyOptions()
+		dopts.Verify = *dbgVerify
+		if *dbgSubjects != "" {
+			dopts.Subjects = strings.Split(*dbgSubjects, ",")
+		}
+		if *dbgProfile != "" {
+			dopts.Profiles = []pipeline.Profile{pipeline.Profile(*dbgProfile)}
+		}
+		if *dbgLevel != "" {
+			dopts.Levels = []string{*dbgLevel}
+		}
+		rep, err := experiments.WriteDebugify(w, dopts)
+		if err != nil {
+			return err
+		}
+		if n := len(rep.Findings); n > 0 {
+			return fmt.Errorf("%d static debug-info findings", n)
 		}
 		return nil
 	}}

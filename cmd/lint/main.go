@@ -1,0 +1,37 @@
+// Command lint runs the repo-local static analyzer over the module and
+// exits 1 if it finds anything; see internal/lint for the rule set.
+//
+// Usage:
+//
+//	lint [-root dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"debugtuner/internal/lint"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root to analyze")
+	flag.Parse()
+	l, err := lint.New(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(2)
+	}
+	findings, err := l.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "lint: %d findings\n", len(findings))
+		os.Exit(1)
+	}
+}

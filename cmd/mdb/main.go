@@ -108,11 +108,18 @@ func inspectAt(sess *debugger.Session, bin *vm.Binary, entry string, line int, i
 		}
 		hit = true
 		fmt.Printf("stopped at line %d (address %d)\n", line, addr)
-		for id, name := range names {
+		var ordered []string
+		for _, name := range names {
+			ordered = append(ordered, name)
+		}
+		sort.Strings(ordered)
+		for i, name := range ordered {
+			if i > 0 && name == ordered[i-1] {
+				continue
+			}
 			if v, ok := sess.ReadVar(m, name, uint32(addr)); ok {
 				fmt.Printf("  %s = %d\n", name, v)
 			}
-			_ = id
 		}
 		m.Breaks = nil
 	}

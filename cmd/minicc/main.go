@@ -10,6 +10,8 @@
 //	-fdebug-info-for-profiling
 //	-run [func]          execute the named function (default main) and
 //	                     print the output and cycle count
+//	-verify-each         run ir.Verify plus the staticdbg analyzer after
+//	                     every pass/stage; violations exit 3
 //	-emit-ir             print the optimized IR instead of compiling
 //	-dump-debug          print the debug-information section
 //	-text-hash           print the .text identity hash
@@ -24,6 +26,7 @@ import (
 	"debugtuner/internal/debuginfo"
 	"debugtuner/internal/passes"
 	"debugtuner/internal/pipeline"
+	"debugtuner/internal/staticdbg"
 	"debugtuner/internal/vm"
 )
 
@@ -54,6 +57,9 @@ func main() {
 	forProfiling := flag.Bool("fdebug-info-for-profiling", false,
 		"emit extra debug info for sample profiling")
 	run := flag.String("run", "", "execute this function after compiling")
+	verifyEach := flag.Bool("verify-each", false,
+		"run ir.Verify plus the static debug-info analyzer after every pass "+
+			"and back-end stage; violations exit 3 (distinct from hard failure)")
 	emitIR := flag.Bool("emit-ir", false, "print the optimized IR")
 	dumpDebug := flag.Bool("dump-debug", false, "print the debug section")
 	textHash := flag.Bool("text-hash", false, "print the .text hash")
@@ -92,6 +98,36 @@ func main() {
 		for _, f := range prog.Funcs {
 			fmt.Print(f.String())
 		}
+		return
+	}
+	if *verifyEach {
+		rep := pipeline.BuildVerified(ir0, cfg, false)
+		fmt.Printf("verify-each %s %s: baseline lines=%d vars=%d -> binary lines=%d vars=%d\n",
+			flag.Arg(0), cfg.Name(), rep.Total.Lines, rep.Total.Vars,
+			rep.Final.Lines, rep.Final.Vars)
+		for _, st := range rep.Steps {
+			if st.LinesLost == 0 && st.VarsLost == 0 &&
+				len(st.NewViolations) == 0 && st.VerifyErr == "" {
+				continue
+			}
+			fmt.Printf("  %-24s lines-%-4d vars-%-4d violations=%d\n",
+				st.Label, st.LinesLost, st.VarsLost, len(st.NewViolations))
+			if st.VerifyErr != "" {
+				fmt.Printf("  %-24s ir.Verify: %s\n", st.Label, st.VerifyErr)
+			}
+		}
+		viols := rep.Violations()
+		staticdbg.Render(os.Stdout, "FAIL ", viols)
+		errs := rep.VerifyErrs()
+		for _, e := range errs {
+			fmt.Println("FAIL ir.Verify:", e)
+		}
+		if len(viols)+len(errs) > 0 {
+			// Distinct from fail()'s exit 1: the build completed, the
+			// metadata it produced is what's broken.
+			os.Exit(3)
+		}
+		fmt.Println("PASS")
 		return
 	}
 	bin := pipeline.Build(ir0, cfg)

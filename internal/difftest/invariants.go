@@ -7,189 +7,33 @@ import (
 	"debugtuner/internal/dbgtrace"
 	"debugtuner/internal/debugger"
 	"debugtuner/internal/debuginfo"
+	"debugtuner/internal/staticdbg"
 	"debugtuner/internal/vm"
 )
 
 // CheckBinary validates the structural invariants of a binary's debug
-// section and returns one message per violation (nil when clean):
+// section and returns one message per violation (nil when clean). The
+// rule set and the checker itself live in internal/staticdbg — difftest
+// shares the one checker and the one sorted, de-duplicated report
+// format with `experiments debugify` and `minicc -verify-each` — and
+// covers, with typed rule IDs:
 //
-//  1. the section decodes, and its function records agree with the
-//     binary's function table (name, code range, prologue inside it);
-//  2. the line table is sorted with strictly increasing addresses, every
-//     row lies inside the code, and every attributed row (Line > 0, the
-//     is_stmt analog) falls inside a function's range;
-//  3. location-list entries are well-formed ranges (Start <= End)
-//     contained in their function's bounds, with operands inside the
-//     machine (register index < vm.NumRegs, slot index < the frame
-//     size, global index < the global table);
-//  4. per variable, location ranges do not overlap — the emitter closes
-//     an entry before opening the next, so an overlap means two
-//     contradictory claims for the same address;
-//  5. every register and spill location of nonzero length has an owner
-//     tag witness in the covering code: some covered instruction
-//     actually asserts "this register/slot now holds this variable".
-//     A claim with no witness can never materialize at runtime and is
-//     exactly the malformed entry static metrics over-count.
+//   - section: the section decodes at all;
+//   - func-record: function records agree with the binary's function
+//     table (name, code range, prologue inside it);
+//   - line-monotone / line-containment / line-range: the line table is
+//     sorted with strictly increasing addresses, rows lie inside the
+//     code and inside some function, lines are non-negative;
+//   - loc-shape / loc-containment / loc-overlap: location-list entries
+//     are well-formed, contained, machine-valid, and non-overlapping
+//     per variable;
+//   - loc-witness: register/spill claims have an owner-tag witness in
+//     the covering code (the malformed entry static metrics over-count).
 func CheckBinary(bin *vm.Binary) []string {
-	var out []string
-	bad := func(format string, args ...any) {
-		out = append(out, fmt.Sprintf(format, args...))
+	if vs := staticdbg.CheckBinary(bin); len(vs) > 0 {
+		return staticdbg.Strings(vs)
 	}
-	if bin.Debug == nil {
-		return []string{"binary has no debug section"}
-	}
-	table, err := debuginfo.Decode(bin.Debug)
-	if err != nil {
-		return []string{"debug section does not decode: " + err.Error()}
-	}
-
-	// 1. Function records.
-	if len(table.Funcs) != len(bin.Funcs) {
-		bad("func records: debug has %d, binary has %d", len(table.Funcs), len(bin.Funcs))
-	}
-	for i := range table.Funcs {
-		fd := &table.Funcs[i]
-		if fd.Start > fd.End || int(fd.End) > len(bin.Code) {
-			bad("func %s: bad range [%d,%d) over %d instructions",
-				fd.Name, fd.Start, fd.End, len(bin.Code))
-			continue
-		}
-		if fd.PrologueEnd < fd.Start || fd.PrologueEnd > fd.End {
-			bad("func %s: prologue end %d outside [%d,%d]",
-				fd.Name, fd.PrologueEnd, fd.Start, fd.End)
-		}
-		if i < len(bin.Funcs) {
-			bf := &bin.Funcs[i]
-			if fd.Name != bf.Name || int(fd.Start) != bf.Start || int(fd.End) != bf.End {
-				bad("func %s: debug range [%d,%d) disagrees with binary %s [%d,%d)",
-					fd.Name, fd.Start, fd.End, bf.Name, bf.Start, bf.End)
-			}
-		}
-	}
-
-	// 2. Line table.
-	for i := range table.Lines {
-		e := &table.Lines[i]
-		if i > 0 && e.Addr <= table.Lines[i-1].Addr {
-			bad("line table: row %d addr %d not strictly increasing (prev %d)",
-				i, e.Addr, table.Lines[i-1].Addr)
-		}
-		if int(e.Addr) >= len(bin.Code) && len(bin.Code) > 0 {
-			bad("line table: row %d addr %d outside code (%d instructions)",
-				i, e.Addr, len(bin.Code))
-		}
-		if e.Line < 0 {
-			bad("line table: row %d has negative line %d", i, e.Line)
-		}
-		if e.Line > 0 && table.FuncForAddr(e.Addr) == nil {
-			bad("line table: row %d (line %d) addr %d inside no function",
-				i, e.Line, e.Addr)
-		}
-	}
-
-	// 3-5. Location lists.
-	for vi := range table.Vars {
-		v := &table.Vars[vi]
-		if v.FuncIdx == -1 {
-			for _, e := range v.Entries {
-				if e.Kind != debuginfo.LocGlobal {
-					bad("global %s: non-global location kind %v", v.Name, e.Kind)
-					continue
-				}
-				if e.Operand < 0 || e.Operand >= int64(len(bin.Globals)) {
-					bad("global %s: global index %d outside table of %d",
-						v.Name, e.Operand, len(bin.Globals))
-				}
-			}
-			continue
-		}
-		if int(v.FuncIdx) >= len(table.Funcs) {
-			bad("var %s: function index %d outside %d records",
-				v.Name, v.FuncIdx, len(table.Funcs))
-			continue
-		}
-		fd := &table.Funcs[v.FuncIdx]
-		numSlots := 0
-		if int(v.FuncIdx) < len(bin.Funcs) {
-			numSlots = bin.Funcs[v.FuncIdx].NumSlots
-		}
-		for _, e := range v.Entries {
-			where := fmt.Sprintf("var %s in %s [%d,%d) %v", v.Name, fd.Name,
-				e.Start, e.End, e.Kind)
-			if e.Start > e.End {
-				bad("%s: inverted range", where)
-				continue
-			}
-			if e.Start < fd.Start || e.End > fd.End {
-				bad("%s: outside function bounds [%d,%d)", where, fd.Start, fd.End)
-				continue
-			}
-			switch e.Kind {
-			case debuginfo.LocReg:
-				if e.Operand < 0 || e.Operand >= vm.NumRegs {
-					bad("%s: register %d outside machine", where, e.Operand)
-				} else if e.Start < e.End &&
-					!tagWitness(bin, fd, e.End, v.SymID, int(e.Operand), -1) {
-					bad("%s: register never tagged for the variable by covering code", where)
-				}
-			case debuginfo.LocSpill:
-				if e.Operand < 0 || e.Operand >= int64(numSlots) {
-					bad("%s: spill slot %d outside frame of %d", where, e.Operand, numSlots)
-				} else if e.Start < e.End &&
-					!tagWitness(bin, fd, e.End, v.SymID, -1, int(e.Operand)) {
-					bad("%s: spill slot never tagged for the variable by covering code", where)
-				}
-			case debuginfo.LocSlot:
-				if e.Operand < 0 || e.Operand >= int64(numSlots) {
-					bad("%s: slot %d outside frame of %d", where, e.Operand, numSlots)
-				}
-			case debuginfo.LocNone, debuginfo.LocConst:
-				// No operand constraints.
-			default:
-				bad("%s: invalid location kind for a local", where)
-			}
-		}
-		// 4. Non-overlap per variable.
-		entries := append([]debuginfo.LocEntry(nil), v.Entries...)
-		sort.Slice(entries, func(i, j int) bool {
-			if entries[i].Start != entries[j].Start {
-				return entries[i].Start < entries[j].Start
-			}
-			return entries[i].End < entries[j].End
-		})
-		for i := 1; i < len(entries); i++ {
-			if entries[i].Start < entries[i-1].End {
-				bad("var %s in %s: overlapping ranges [%d,%d) and [%d,%d)",
-					v.Name, fd.Name,
-					entries[i-1].Start, entries[i-1].End,
-					entries[i].Start, entries[i].End)
-			}
-		}
-	}
-	return out
-}
-
-// tagWitness scans the function's code up to end for an owner tag
-// binding the variable to the register (reg >= 0) or spill slot
-// (slot >= 0). The emitter attaches the tag to the instruction just
-// before the range opens (or as a pre-tag on the first covered one), so
-// the scan starts at the function head rather than the range start.
-func tagWitness(bin *vm.Binary, fd *debuginfo.FuncDebug, end uint32, symID int32, reg, slot int) bool {
-	want := symID + 1
-	for a := fd.Start; a < end && int(a) < len(bin.Code); a++ {
-		for _, t := range bin.Code[a].Own {
-			if t.Var != want {
-				continue
-			}
-			if reg >= 0 && int(t.Reg) == reg {
-				return true
-			}
-			if slot >= 0 && int(t.Slot) == slot {
-				return true
-			}
-		}
-	}
-	return false
+	return nil
 }
 
 // checkDynamic runs a temporary-breakpoint debug session over the

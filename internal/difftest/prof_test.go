@@ -3,6 +3,7 @@ package difftest
 import (
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -36,7 +37,13 @@ func TestFrontendAdversarial(t *testing.T) {
 		"long chain":   "func main() { print(1" + strings.Repeat("+1", 40000) + "); }",
 		"nested loops": "func main() {" + strings.Repeat("for (var i: int = 0; i < 2; i = i + 1) {", 200) + strings.Repeat("}", 200) + "}",
 	}
-	for name, src := range cases {
+	var order []string
+	for name := range cases {
+		order = append(order, name)
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		src := cases[name]
 		t0 := time.Now()
 		info, err := pipeline.Frontend("adv.mc", []byte(src))
 		d := time.Now().Sub(t0)

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"debugtuner/internal/pipeline"
+	"debugtuner/internal/workerpool"
+)
+
+// TestDebugifyScoreboardOverlapsLedger locks the cross-check between
+// the two attribution systems: the static preservation scoreboard
+// (synthetic metadata destroyed, measured per pass) and the telemetry
+// damage ledger (real metadata damage events, recorded per pass) must
+// largely agree on which gcc-O2 passes are the top offenders. They
+// measure different proxies — the ledger sees dynamic events like
+// binding drops, the scoreboard sees surviving distinct lines — so
+// exact agreement is not expected, but fewer than 6 shared entries in
+// the top 10 would mean one of them is attributing damage to the wrong
+// passes.
+func TestDebugifyScoreboardOverlapsLedger(t *testing.T) {
+	rep, err := Debugify(DebugifyOptions{
+		Profiles: []pipeline.Profile{pipeline.GCC},
+		Levels:   []string{"O2"},
+		Verify:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 0 {
+		t.Fatalf("gcc-O2 matrix not clean: %v", rep.Findings)
+	}
+	static := map[string]bool{}
+	for _, r := range rep.Rows {
+		if r.AlwaysOn {
+			continue
+		}
+		static[r.Pass] = true
+		if len(static) == 10 {
+			break
+		}
+	}
+	rows, err := PassReport(pipeline.GCC, "O2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ledger []string
+	for _, r := range rows {
+		if r.Cleanup {
+			continue
+		}
+		ledger = append(ledger, r.Pass)
+		if len(ledger) == 10 {
+			break
+		}
+	}
+	overlap := 0
+	for _, p := range ledger {
+		if static[p] {
+			overlap++
+		}
+	}
+	if overlap < 6 {
+		t.Errorf("static top-10 %v overlaps ledger top-10 %v by only %d, want >= 6",
+			keys(static), ledger, overlap)
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestDebugifySuiteClean is the suite-wide gate: every subject of the
+// test suite, built under both profiles at every level, preserves 100%
+// of the injectable invariants — zero findings, no allowlist.
+func TestDebugifySuiteClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 91-cell matrix in -short mode")
+	}
+	rep, err := Debugify(DefaultDebugifyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quarantined != 0 {
+		t.Fatalf("%d cells quarantined", rep.Quarantined)
+	}
+	for _, f := range rep.Findings {
+		t.Errorf("FAIL %s", f)
+	}
+}
+
+// TestWriteDebugifyDeterministic pins the report to be byte-identical
+// at any worker-pool size.
+func TestWriteDebugifyDeterministic(t *testing.T) {
+	opts := DebugifyOptions{
+		Subjects: []string{"libpng", "zlib"},
+		Verify:   true,
+	}
+	render := func(workers int) string {
+		workerpool.SetWorkers(workers)
+		defer workerpool.SetWorkers(0)
+		var buf bytes.Buffer
+		if _, err := WriteDebugify(&buf, opts); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := render(1)
+	parallel := render(4)
+	if serial != parallel {
+		t.Fatalf("report differs between -j1 and -j4:\n--- j1 ---\n%s--- j4 ---\n%s",
+			serial, parallel)
+	}
+}

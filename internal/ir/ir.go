@@ -137,6 +137,11 @@ type Program struct {
 	Globals []*Global
 	// Symbols is the semantic symbol table, shared with sema.Info.
 	Symbols []*ast.Symbol
+	// MaxLine is the last line of the source the module was built from
+	// (or the synthetic line count after debugify injection). When
+	// nonzero, Verify rejects any instruction line outside [0, MaxLine]:
+	// a line beyond the source extent is stale garbage, not attribution.
+	MaxLine int
 }
 
 // Func returns the function with the given name, or nil.
@@ -153,7 +158,7 @@ func (p *Program) Func(name string) *Func {
 // run on a private copy. Debug metadata (lines, variable bindings) is
 // preserved; symbol pointers are shared (they are immutable after sema).
 func (p *Program) Clone() *Program {
-	np := &Program{Symbols: p.Symbols}
+	np := &Program{Symbols: p.Symbols, MaxLine: p.MaxLine}
 	np.Globals = append(np.Globals, make([]*Global, 0, len(p.Globals))...)
 	for _, g := range p.Globals {
 		cg := *g

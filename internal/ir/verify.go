@@ -41,6 +41,16 @@ func Verify(f *Func) error {
 			if v.Op == OpDbgValue && v.Var == nil {
 				return fmt.Errorf("%s: %v: dbg.value without variable", f.Name, b)
 			}
+			// Debug-location validity: a line is either a real source line
+			// or the explicit 0 ("artificial") sentinel — never negative,
+			// never beyond the source extent recorded on the module.
+			if v.Line < 0 {
+				return fmt.Errorf("%s: %v: %v has negative line %d", f.Name, b, v, v.Line)
+			}
+			if f.Prog != nil && f.Prog.MaxLine > 0 && v.Line > f.Prog.MaxLine {
+				return fmt.Errorf("%s: %v: %v line %d beyond source extent %d",
+					f.Name, b, v, v.Line, f.Prog.MaxLine)
+			}
 			for _, a := range v.Args {
 				if a == nil {
 					return fmt.Errorf("%s: %v: %v has nil arg", f.Name, b, v)

@@ -1,0 +1,43 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestVerifyRejectsStaleLines checks the debug-location validity rules:
+// a line is a real source line or the 0 sentinel — never negative, and
+// never beyond the module's recorded source extent (stale garbage left
+// by a pass that copied attribution from the wrong instruction).
+func TestVerifyRejectsStaleLines(t *testing.T) {
+	prog, f := buildDiamond()
+	prog.MaxLine = 2 // the diamond attributes lines up to 4
+	err := Verify(f)
+	if err == nil || !strings.Contains(err.Error(), "beyond source extent 2") {
+		t.Fatalf("out-of-extent line not rejected, got %v", err)
+	}
+
+	_, f = buildDiamond()
+	f.Blocks[0].Instrs[0].Line = -5
+	err = Verify(f)
+	if err == nil || !strings.Contains(err.Error(), "negative line -5") {
+		t.Fatalf("negative line not rejected, got %v", err)
+	}
+
+	// Without a recorded extent any non-negative line is acceptable (a
+	// module not built by irbuild, e.g. hand-constructed in tests).
+	prog, f = buildDiamond()
+	prog.MaxLine = 0
+	f.Blocks[0].Instrs[0].Line = 9999
+	if err := Verify(f); err != nil {
+		t.Fatalf("unbounded module rejected: %v", err)
+	}
+
+	// The 0 sentinel is always valid, extent or not.
+	prog, f = buildDiamond()
+	prog.MaxLine = 4
+	f.Blocks[0].Instrs[0].Line = 0
+	if err := Verify(f); err != nil {
+		t.Fatalf("artificial line rejected: %v", err)
+	}
+}

@@ -62,6 +62,13 @@ func Build(info *sema.Info) (*ir.Program, error) {
 		b.prog.Globals = append(b.prog.Globals, ig)
 		b.globalOf[d.Sym] = ig
 	}
+	// The last closing brace bounds the source extent; ir.Verify uses it
+	// to reject stale out-of-range lines, so set it before building.
+	for _, fd := range info.Program.Funcs {
+		if fd.EndPos.Line > b.prog.MaxLine {
+			b.prog.MaxLine = fd.EndPos.Line
+		}
+	}
 	for _, fd := range info.Program.Funcs {
 		if err := b.buildFunc(fd); err != nil {
 			return nil, err

@@ -1,0 +1,329 @@
+// Package lint is a repo-local, stdlib-only static analyzer in the
+// go-vet mold for this codebase's own invariants. It type-checks the
+// tree with go/parser + go/types (no golang.org/x/tools dependency) and
+// reports two determinism-critical mistakes:
+//
+//   - config-literal: a raw pipeline.Config composite literal outside
+//     internal/pipeline. Configurations must come from
+//     pipeline.NewConfig, which validates the profile/level pair and
+//     keeps fingerprints (and therefore the binary cache) canonical; a
+//     hand-rolled literal silently bypasses both.
+//
+//   - map-range-print: an fmt print call inside a `range` over a map.
+//     Map iteration order is randomized, so output written from such a
+//     loop differs run to run — exactly the nondeterminism the
+//     byte-identical-output contract of the experiment harness forbids.
+//     Collect the keys, sort them, and range over the slice.
+//
+// Stdlib imports are resolved from source ($GOROOT/src); any package
+// that cannot be loaded degrades to an empty stub and its type errors
+// are tolerated, so the analyzer never needs network access or
+// compiled export data.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic.
+type Finding struct {
+	Pos  token.Position
+	Code string // "config-literal" or "map-range-print"
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Code, f.Msg)
+}
+
+// Linter analyzes packages of the module rooted at root.
+type Linter struct {
+	root    string
+	modpath string
+	fset    *token.FileSet
+	std     types.Importer
+	memo    map[string]*types.Package
+	loading map[string]bool
+}
+
+// New returns a linter for the module at root. The module path is read
+// from go.mod; repo-internal imports resolve from source under root.
+func New(root string) (*Linter, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modpath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modpath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modpath == "" {
+		return nil, fmt.Errorf("lint: no module line in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	return &Linter{
+		root:    root,
+		modpath: modpath,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		memo:    map[string]*types.Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// Import resolves a dependency for the type checker: module-internal
+// packages from source under the linter's root, everything else through
+// the stdlib source importer, degrading to an empty stub on failure.
+func (l *Linter) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.memo[path]; ok {
+		return pkg, nil
+	}
+	if rel, ok := strings.CutPrefix(path, l.modpath+"/"); ok {
+		if l.loading[path] {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+		l.loading[path] = true
+		defer delete(l.loading, path)
+		files, name, err := l.parseDir(filepath.Join(l.root, filepath.FromSlash(rel)), false)
+		if err != nil {
+			return nil, err
+		}
+		pkg := l.typecheck(path, name, files, nil)
+		l.memo[path] = pkg
+		return pkg, nil
+	}
+	pkg, err := l.std.Import(path)
+	if err != nil {
+		// Offline fallback: an empty, complete package. Member lookups
+		// fail with type errors, which the tolerant checker swallows.
+		pkg = types.NewPackage(path, path[strings.LastIndex(path, "/")+1:])
+		pkg.MarkComplete()
+	}
+	l.memo[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses the directory's Go files into one or two units. With
+// tests false only non-test files of the primary package are returned;
+// with tests true the map may also hold an external "_test" package.
+func (l *Linter) parseDir(dir string, tests bool) ([]*ast.File, string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	var files []*ast.File
+	name := ""
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		if !tests && strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, "", err
+		}
+		files = append(files, f)
+		if !strings.HasSuffix(f.Name.Name, "_test") {
+			name = f.Name.Name
+		}
+	}
+	return files, name, nil
+}
+
+// typecheck runs the tolerant checker and returns the package; when
+// info is non-nil it is filled for the caller's analysis passes.
+func (l *Linter) typecheck(path, name string, files []*ast.File, info *types.Info) *types.Package {
+	conf := types.Config{
+		Importer: l,
+		Error:    func(error) {}, // stubs and test-only refs may not resolve
+	}
+	pkg, _ := conf.Check(path, l.fset, files, info)
+	if pkg == nil {
+		pkg = types.NewPackage(path, name)
+	}
+	return pkg
+}
+
+// CheckDir analyzes one package directory (including its test files)
+// and returns the findings, sorted by position.
+func (l *Linter) CheckDir(dir string) ([]Finding, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	all, _, err := l.parseDir(abs, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(all) == 0 {
+		return nil, nil
+	}
+	// Split into the package unit (with in-package tests) and the
+	// external test unit; each type-checks as its own compilation unit.
+	units := map[string][]*ast.File{}
+	for _, f := range all {
+		units[f.Name.Name] = append(units[f.Name.Name], f)
+	}
+	path := l.pkgPath(abs)
+	var out []Finding
+	for name, files := range units {
+		info := &types.Info{
+			Types: map[ast.Expr]types.TypeAndValue{},
+			Uses:  map[*ast.Ident]types.Object{},
+		}
+		upath := path
+		if strings.HasSuffix(name, "_test") {
+			upath = path + "_test"
+		}
+		l.typecheck(upath, name, files, info)
+		for _, f := range files {
+			out = append(out, l.checkFile(f, info, abs)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}
+
+// pkgPath maps an absolute directory to its import path.
+func (l *Linter) pkgPath(abs string) string {
+	rootAbs, err := filepath.Abs(l.root)
+	if err == nil {
+		if rel, err := filepath.Rel(rootAbs, abs); err == nil && !strings.HasPrefix(rel, "..") {
+			if rel == "." {
+				return l.modpath
+			}
+			return l.modpath + "/" + filepath.ToSlash(rel)
+		}
+	}
+	return "scratch/" + filepath.Base(abs)
+}
+
+var printSinks = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func (l *Linter) checkFile(f *ast.File, info *types.Info, dir string) []Finding {
+	var out []Finding
+	add := func(pos token.Pos, code, msg string) {
+		out = append(out, Finding{Pos: l.fset.Position(pos), Code: code, Msg: msg})
+	}
+	configExempt := l.pkgPath(dir) == l.modpath+"/internal/pipeline"
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if configExempt {
+				return true
+			}
+			tv, ok := info.Types[ast.Expr(n)]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			named, ok := tv.Type.(*types.Named)
+			if !ok {
+				return true
+			}
+			obj := named.Obj()
+			if obj.Name() == "Config" && obj.Pkg() != nil &&
+				obj.Pkg().Path() == l.modpath+"/internal/pipeline" {
+				add(n.Pos(), "config-literal",
+					"raw pipeline.Config composite literal: construct configurations with "+
+						"pipeline.NewConfig so validation and fingerprinting apply")
+			}
+		case *ast.RangeStmt:
+			tv, ok := info.Types[n.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			ast.Inspect(n.Body, func(c ast.Node) bool {
+				call, ok := c.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !printSinks[sel.Sel.Name] {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := info.Uses[id].(*types.PkgName)
+				if !ok || pn.Imported().Path() != "fmt" {
+					return true
+				}
+				add(call.Pos(), "map-range-print",
+					"output written while ranging over a map: iteration order is "+
+						"nondeterministic; collect and sort the keys first")
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// Run analyzes every package directory under the linter's root
+// (skipping testdata and hidden directories) and returns the combined
+// findings, sorted by position.
+func (l *Linter) Run() ([]Finding, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != l.root && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var out []Finding
+	for _, dir := range dirs {
+		fs, err := l.CheckDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fs...)
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func newLinter(t *testing.T) *Linter {
+	t.Helper()
+	l, err := New("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// scratch writes one Go file into a temp dir and analyzes it with a
+// linter whose import resolution is still rooted at the repo.
+func scratch(t *testing.T, src string) []Finding {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "s.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := newLinter(t).CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestRepoIsClean(t *testing.T) {
+	fs, err := newLinter(t).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		t.Errorf("%s", f)
+	}
+}
+
+func TestFlagsRawConfigLiteral(t *testing.T) {
+	fs := scratch(t, `package scratch
+
+import "debugtuner/internal/pipeline"
+
+var cfg = pipeline.Config{Level: "O2"}
+`)
+	if len(fs) != 1 || fs[0].Code != "config-literal" {
+		t.Fatalf("got %v, want one config-literal finding", fs)
+	}
+	if fs[0].Pos.Line != 5 {
+		t.Errorf("finding at line %d, want 5", fs[0].Pos.Line)
+	}
+	if !strings.Contains(fs[0].Msg, "pipeline.NewConfig") {
+		t.Errorf("message %q does not point at NewConfig", fs[0].Msg)
+	}
+}
+
+func TestAllowsNewConfigAndValueCopies(t *testing.T) {
+	fs := scratch(t, `package scratch
+
+import "debugtuner/internal/pipeline"
+
+func ok() (pipeline.Config, error) {
+	cfg, err := pipeline.NewConfig(pipeline.GCC, "O2")
+	if err != nil {
+		return cfg, err
+	}
+	copied := cfg // value copies are fine, only literals are flagged
+	return copied, nil
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("clean use flagged: %v", fs)
+	}
+}
+
+func TestFlagsPrintInsideMapRange(t *testing.T) {
+	fs := scratch(t, `package scratch
+
+import "fmt"
+
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+`)
+	if len(fs) != 1 || fs[0].Code != "map-range-print" {
+		t.Fatalf("got %v, want one map-range-print finding", fs)
+	}
+	if fs[0].Pos.Line != 7 {
+		t.Errorf("finding at line %d, want 7", fs[0].Pos.Line)
+	}
+}
+
+func TestFlagsFprintfIntoWriterInsideMapRange(t *testing.T) {
+	fs := scratch(t, `package scratch
+
+import (
+	"fmt"
+	"io"
+)
+
+func dump(w io.Writer, m map[int]int) {
+	for k := range m {
+		fmt.Fprintf(w, "%d\n", k)
+	}
+}
+`)
+	if len(fs) != 1 || fs[0].Code != "map-range-print" {
+		t.Fatalf("got %v, want one map-range-print finding", fs)
+	}
+}
+
+func TestAllowsSortedKeyIteration(t *testing.T) {
+	fs := scratch(t, `package scratch
+
+import (
+	"fmt"
+	"sort"
+)
+
+func dump(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("sorted iteration flagged: %v", fs)
+	}
+}
+
+func TestAllowsSliceRangePrinting(t *testing.T) {
+	fs := scratch(t, `package scratch
+
+import "fmt"
+
+func dump(xs []int) {
+	for _, x := range xs {
+		fmt.Println(x)
+	}
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("slice iteration flagged: %v", fs)
+	}
+}

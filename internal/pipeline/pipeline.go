@@ -368,6 +368,15 @@ func Build(ir0 *ir.Program, cfg Config) *vm.Binary {
 // the configuration implies. Exposed for tools that inspect IR
 // (minicc -emit-ir).
 func OptimizeIR(ir0 *ir.Program, cfg Config) (*ir.Program, codegen.Options) {
+	return optimizeIR(ir0, cfg, nil)
+}
+
+// optimizeIR is OptimizeIR with an optional observation hook, called
+// after every executed middle-end pass with the ledger-style label
+// ("cleanup/<name>" for always-on runs) and the program in its
+// post-pass state. The verify-each mode hangs the static analyzer here;
+// a nil hook is the ordinary build path, unchanged.
+func optimizeIR(ir0 *ir.Program, cfg Config, hook func(label string, prog *ir.Program)) (*ir.Program, codegen.Options) {
 	prog := ir0.Clone()
 	ctx := &passes.Context{
 		Prog:    prog,
@@ -417,6 +426,13 @@ func OptimizeIR(ir0 *ir.Program, cfg Config) (*ir.Program, codegen.Options) {
 			p.Run(ctx)
 			ps.End()
 			ctx.RunLabel = ""
+			if hook != nil {
+				hl := e.name
+				if e.internal {
+					hl = "cleanup/" + e.name
+				}
+				hook(hl, prog)
+			}
 		}
 	}
 	if cfg.FDO != nil {

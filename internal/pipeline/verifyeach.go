@@ -1,0 +1,221 @@
+package pipeline
+
+import (
+	"debugtuner/internal/codegen"
+	"debugtuner/internal/ir"
+	"debugtuner/internal/staticdbg"
+	"debugtuner/internal/vm"
+)
+
+// VerifyStep is one verified pipeline step: a middle-end pass run (with
+// its ledger-style label) or a back-end stage. Losses are deltas against
+// the previous step's survival, so each step is charged only for what it
+// destroyed; a negative loss means the step re-materialized baseline
+// metadata (e.g. unrolling duplicating attributed code).
+type VerifyStep struct {
+	Label   string
+	Backend bool
+	// VerifyErr is the ir.Verify structural failure after the pass, "".
+	VerifyErr string
+	// NewViolations are analyzer findings absent before this step.
+	NewViolations []staticdbg.Violation
+	LinesLost     int
+	VarsLost      int
+	// InstrDelta is the step's code growth (IR instructions for
+	// middle-end steps, machine instructions for back-end ones),
+	// dbg.values excluded — the churn term of the damage score.
+	InstrDelta int
+}
+
+// VerifyReport is the outcome of one verified build.
+type VerifyReport struct {
+	// Total is the baseline size (the 100% mark).
+	Total staticdbg.Survival
+	// InitialViolations are analyzer findings on the input module —
+	// front-end debt, not attributable to any pass.
+	InitialViolations []staticdbg.Violation
+	Steps             []VerifyStep
+	// FinalIR is survival after the last middle-end pass; Final is
+	// survival in the emitted debug section.
+	FinalIR staticdbg.Survival
+	Final   staticdbg.Survival
+	Bin     *vm.Binary
+}
+
+// Violations returns every violation the build introduced, in step
+// order (initial front-end findings first).
+func (r *VerifyReport) Violations() []staticdbg.Violation {
+	out := append([]staticdbg.Violation{}, r.InitialViolations...)
+	for _, st := range r.Steps {
+		out = append(out, st.NewViolations...)
+	}
+	return out
+}
+
+// VerifyErrs returns the structural ir.Verify failures with their step
+// labels, in step order.
+func (r *VerifyReport) VerifyErrs() []string {
+	var out []string
+	for _, st := range r.Steps {
+		if st.VerifyErr != "" {
+			out = append(out, st.Label+": "+st.VerifyErr)
+		}
+	}
+	return out
+}
+
+// BuildVerified compiles like Build but runs ir.Verify plus the
+// staticdbg analyzer after every middle-end pass and back-end stage,
+// attributing each new violation and each metadata loss to the step
+// that introduced it. With debugify set the build runs on a debugified
+// clone (synthetic 100% baseline, see staticdbg.Inject); otherwise the
+// module's real front-end metadata is the baseline.
+//
+// Back-end stages cannot be observed mid-flight (codegen consumes its
+// input), so they are attributed by prefix compilation: the final IR is
+// compiled once per enabled backend toggle, each compile enabling one
+// more toggle in pipeline order, and successive debug sections are
+// diffed. The always-on remainder (lowering, register allocation,
+// emission) is the "codegen" step. The extra compiles are the price of
+// attribution and scale with the handful of backend toggles, not with
+// program size; Build's output is bit-identical to the last prefix.
+//
+// Verify-each is deliberately a separate entry point rather than a
+// Config field: Config fingerprints cache binaries, and a verification
+// mode must never alias or split cache entries.
+func BuildVerified(ir0 *ir.Program, cfg Config, debugify bool) *VerifyReport {
+	work := ir0
+	var bl *staticdbg.Baseline
+	if debugify {
+		work, bl = staticdbg.Inject(ir0)
+	} else {
+		bl = staticdbg.Capture(ir0)
+	}
+	rep := &VerifyReport{Total: bl.Total()}
+	rep.InitialViolations = staticdbg.CheckModule(work)
+	prevSet := violSet(rep.InitialViolations)
+	prevSurv := bl.MeasureIR(work)
+	prevInstrs := countInstrs(work)
+
+	hook := func(label string, prog *ir.Program) {
+		st := VerifyStep{Label: label}
+		if err := ir.VerifyProgram(prog); err != nil {
+			st.VerifyErr = err.Error()
+		}
+		vs := staticdbg.CheckModule(prog)
+		for _, v := range vs {
+			if !prevSet[v.String()] {
+				st.NewViolations = append(st.NewViolations, v)
+			}
+		}
+		prevSet = violSet(vs)
+		surv := bl.MeasureIR(prog)
+		st.LinesLost = prevSurv.Lines - surv.Lines
+		st.VarsLost = prevSurv.Vars - surv.Vars
+		prevSurv = surv
+		n := countInstrs(prog)
+		st.InstrDelta = n - prevInstrs
+		prevInstrs = n
+		rep.Steps = append(rep.Steps, st)
+	}
+	prog, _ := optimizeIR(work, cfg, hook)
+	rep.FinalIR = prevSurv
+
+	// Back-end attribution by prefix compilation. Binary-level findings
+	// start from an empty set: the "codegen" base step owns everything
+	// the always-on stages introduce.
+	toggles := backendToggles(cfg)
+	mkOpts := func(n int) codegen.Options {
+		o := codegen.Options{
+			OptimisticRanges: cfg.Profile == GCC,
+			ForProfiling:     cfg.ForProfiling,
+		}
+		if cfg.OptimisticOverride != nil {
+			o.OptimisticRanges = *cfg.OptimisticOverride
+		}
+		for _, name := range toggles[:n] {
+			enableBackend(&o, name)
+		}
+		return o
+	}
+	binPrevSet := map[string]bool{}
+	binPrevSurv := prevSurv
+	binPrevCode := 0
+	bin := codegen.Compile(prog.Clone(), mkOpts(0))
+	step := backendStep("codegen", bl, bin, &binPrevSet, &binPrevSurv, &binPrevCode)
+	step.InstrDelta = 0 // lowering expansion is not churn
+	rep.Steps = append(rep.Steps, step)
+	for i := range toggles {
+		bin = codegen.Compile(prog.Clone(), mkOpts(i+1))
+		rep.Steps = append(rep.Steps,
+			backendStep(toggles[i], bl, bin, &binPrevSet, &binPrevSurv, &binPrevCode))
+	}
+	rep.Final = bl.MeasureBinary(bin)
+	rep.Bin = bin
+	return rep
+}
+
+// backendStep diffs one prefix compile against the previous one.
+func backendStep(label string, bl *staticdbg.Baseline, bin *vm.Binary,
+	prevSet *map[string]bool, prevSurv *staticdbg.Survival, prevCode *int) VerifyStep {
+	st := VerifyStep{Label: label, Backend: true}
+	vs := staticdbg.CheckBinary(bin)
+	for _, v := range vs {
+		if !(*prevSet)[v.String()] {
+			st.NewViolations = append(st.NewViolations, v)
+		}
+	}
+	*prevSet = violSet(vs)
+	surv := bl.MeasureBinary(bin)
+	st.LinesLost = prevSurv.Lines - surv.Lines
+	st.VarsLost = prevSurv.Vars - surv.Vars
+	*prevSurv = surv
+	st.InstrDelta = len(bin.Code) - *prevCode
+	*prevCode = len(bin.Code)
+	return st
+}
+
+// backendToggles returns the enabled backend toggle names of the
+// configuration, in pipeline order.
+func backendToggles(cfg Config) []string {
+	if cfg.Level == "O0" {
+		return nil
+	}
+	expensiveOff := cfg.Disabled["expensive-opts"]
+	var names []string
+	for _, e := range pipelines(cfg.Profile, cfg.Level) {
+		if !e.backend {
+			continue
+		}
+		if !e.internal && cfg.Disabled[e.name] {
+			continue
+		}
+		if e.expensive && expensiveOff {
+			continue
+		}
+		names = append(names, e.name)
+	}
+	return names
+}
+
+func violSet(vs []staticdbg.Violation) map[string]bool {
+	m := make(map[string]bool, len(vs))
+	for _, v := range vs {
+		m[v.String()] = true
+	}
+	return m
+}
+
+func countInstrs(prog *ir.Program) int {
+	n := 0
+	for _, f := range prog.Funcs {
+		for _, b := range f.Blocks {
+			for _, v := range b.Instrs {
+				if v.Op != ir.OpDbgValue {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,209 @@
+package staticdbg
+
+import (
+	"fmt"
+	"sort"
+
+	"debugtuner/internal/debuginfo"
+	"debugtuner/internal/vm"
+)
+
+// CheckBinary validates the structural invariants of a binary's debug
+// section against the rule set (nil when clean):
+//
+//   - RuleSection: the section exists and decodes;
+//   - RuleFuncRecord: function records agree with the binary's function
+//     table (name, code range, prologue inside it);
+//   - RuleLineMonotone / RuleLineContainment / RuleLineRange: the line
+//     table is sorted with strictly increasing addresses, every row lies
+//     inside the code, lines are non-negative, and every attributed row
+//     (Line > 0, the is_stmt analog) falls inside a function's range;
+//   - RuleLocShape / RuleLocContainment: location-list entries are
+//     well-formed ranges (Start <= End) contained in their function's
+//     bounds, with operands inside the machine (register < vm.NumRegs,
+//     slot < frame size, global < global table);
+//   - RuleLocOverlap: per variable, location ranges do not overlap — the
+//     emitter closes an entry before opening the next, so an overlap is
+//     two contradictory claims for one address;
+//   - RuleLocWitness: every register and spill location of nonzero
+//     length has an owner-tag witness in the covering code — some
+//     covered instruction actually asserts "this register/slot now
+//     holds this variable". A claim with no witness can never
+//     materialize at runtime and is exactly the malformed entry static
+//     metrics over-count.
+func CheckBinary(bin *vm.Binary) []Violation {
+	var out []Violation
+	bad := func(rule Rule, fn, entity, format string, args ...any) {
+		out = append(out, Violation{
+			Rule: rule, Func: fn, Entity: entity,
+			Detail: fmt.Sprintf(format, args...),
+		})
+	}
+	if bin.Debug == nil {
+		return []Violation{{Rule: RuleSection, Detail: "binary has no debug section"}}
+	}
+	table, err := debuginfo.Decode(bin.Debug)
+	if err != nil {
+		return []Violation{{Rule: RuleSection,
+			Detail: "debug section does not decode: " + err.Error()}}
+	}
+
+	// Function records.
+	if len(table.Funcs) != len(bin.Funcs) {
+		bad(RuleFuncRecord, "", "func records",
+			"debug has %d, binary has %d", len(table.Funcs), len(bin.Funcs))
+	}
+	for i := range table.Funcs {
+		fd := &table.Funcs[i]
+		if fd.Start > fd.End || int(fd.End) > len(bin.Code) {
+			bad(RuleFuncRecord, fd.Name, "",
+				"bad range [%d,%d) over %d instructions", fd.Start, fd.End, len(bin.Code))
+			continue
+		}
+		if fd.PrologueEnd < fd.Start || fd.PrologueEnd > fd.End {
+			bad(RuleFuncRecord, fd.Name, "",
+				"prologue end %d outside [%d,%d]", fd.PrologueEnd, fd.Start, fd.End)
+		}
+		if i < len(bin.Funcs) {
+			bf := &bin.Funcs[i]
+			if fd.Name != bf.Name || int(fd.Start) != bf.Start || int(fd.End) != bf.End {
+				bad(RuleFuncRecord, fd.Name, "",
+					"debug range [%d,%d) disagrees with binary %s [%d,%d)",
+					fd.Start, fd.End, bf.Name, bf.Start, bf.End)
+			}
+		}
+	}
+
+	// Line table.
+	for i := range table.Lines {
+		e := &table.Lines[i]
+		row := fmt.Sprintf("row %d", i)
+		if i > 0 && e.Addr <= table.Lines[i-1].Addr {
+			bad(RuleLineMonotone, "", row,
+				"addr %d not strictly increasing (prev %d)", e.Addr, table.Lines[i-1].Addr)
+		}
+		if int(e.Addr) >= len(bin.Code) && len(bin.Code) > 0 {
+			bad(RuleLineContainment, "", row,
+				"addr %d outside code (%d instructions)", e.Addr, len(bin.Code))
+		}
+		if e.Line < 0 {
+			bad(RuleLineRange, "", row, "negative line %d", e.Line)
+		}
+		if e.Line > 0 && table.FuncForAddr(e.Addr) == nil {
+			bad(RuleLineContainment, "", row,
+				"(line %d) addr %d inside no function", e.Line, e.Addr)
+		}
+	}
+
+	// Location lists.
+	for vi := range table.Vars {
+		v := &table.Vars[vi]
+		ent := "var " + v.Name
+		if v.FuncIdx == -1 {
+			for _, e := range v.Entries {
+				if e.Kind != debuginfo.LocGlobal {
+					bad(RuleLocShape, "", "global "+v.Name,
+						"non-global location kind %v", e.Kind)
+					continue
+				}
+				if e.Operand < 0 || e.Operand >= int64(len(bin.Globals)) {
+					bad(RuleLocShape, "", "global "+v.Name,
+						"global index %d outside table of %d", e.Operand, len(bin.Globals))
+				}
+			}
+			continue
+		}
+		if int(v.FuncIdx) >= len(table.Funcs) {
+			bad(RuleLocShape, "", ent,
+				"function index %d outside %d records", v.FuncIdx, len(table.Funcs))
+			continue
+		}
+		fd := &table.Funcs[v.FuncIdx]
+		numSlots := 0
+		if int(v.FuncIdx) < len(bin.Funcs) {
+			numSlots = bin.Funcs[v.FuncIdx].NumSlots
+		}
+		for _, e := range v.Entries {
+			where := fmt.Sprintf("[%d,%d) %v", e.Start, e.End, e.Kind)
+			if e.Start > e.End {
+				bad(RuleLocShape, fd.Name, ent, "%s: inverted range", where)
+				continue
+			}
+			if e.Start < fd.Start || e.End > fd.End {
+				bad(RuleLocContainment, fd.Name, ent,
+					"%s: outside function bounds [%d,%d)", where, fd.Start, fd.End)
+				continue
+			}
+			switch e.Kind {
+			case debuginfo.LocReg:
+				if e.Operand < 0 || e.Operand >= vm.NumRegs {
+					bad(RuleLocShape, fd.Name, ent,
+						"%s: register %d outside machine", where, e.Operand)
+				} else if e.Start < e.End &&
+					!tagWitness(bin, fd, e.End, v.SymID, int(e.Operand), -1) {
+					bad(RuleLocWitness, fd.Name, ent,
+						"%s: register never tagged for the variable by covering code", where)
+				}
+			case debuginfo.LocSpill:
+				if e.Operand < 0 || e.Operand >= int64(numSlots) {
+					bad(RuleLocShape, fd.Name, ent,
+						"%s: spill slot %d outside frame of %d", where, e.Operand, numSlots)
+				} else if e.Start < e.End &&
+					!tagWitness(bin, fd, e.End, v.SymID, -1, int(e.Operand)) {
+					bad(RuleLocWitness, fd.Name, ent,
+						"%s: spill slot never tagged for the variable by covering code", where)
+				}
+			case debuginfo.LocSlot:
+				if e.Operand < 0 || e.Operand >= int64(numSlots) {
+					bad(RuleLocShape, fd.Name, ent,
+						"%s: slot %d outside frame of %d", where, e.Operand, numSlots)
+				}
+			case debuginfo.LocNone, debuginfo.LocConst:
+				// No operand constraints.
+			default:
+				bad(RuleLocShape, fd.Name, ent,
+					"%s: invalid location kind for a local", where)
+			}
+		}
+		// Non-overlap per variable.
+		entries := append([]debuginfo.LocEntry(nil), v.Entries...)
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].Start != entries[j].Start {
+				return entries[i].Start < entries[j].Start
+			}
+			return entries[i].End < entries[j].End
+		})
+		for i := 1; i < len(entries); i++ {
+			if entries[i].Start < entries[i-1].End {
+				bad(RuleLocOverlap, fd.Name, ent,
+					"overlapping ranges [%d,%d) and [%d,%d)",
+					entries[i-1].Start, entries[i-1].End,
+					entries[i].Start, entries[i].End)
+			}
+		}
+	}
+	return out
+}
+
+// tagWitness scans the function's code up to end for an owner tag
+// binding the variable to the register (reg >= 0) or spill slot
+// (slot >= 0). The emitter attaches the tag to the instruction just
+// before the range opens (or as a pre-tag on the first covered one), so
+// the scan starts at the function head rather than the range start.
+func tagWitness(bin *vm.Binary, fd *debuginfo.FuncDebug, end uint32, symID int32, reg, slot int) bool {
+	want := symID + 1
+	for a := fd.Start; a < end && int(a) < len(bin.Code); a++ {
+		for _, t := range bin.Code[a].Own {
+			if t.Var != want {
+				continue
+			}
+			if reg >= 0 && int(t.Reg) == reg {
+				return true
+			}
+			if slot >= 0 && int(t.Slot) == slot {
+				return true
+			}
+		}
+	}
+	return false
+}

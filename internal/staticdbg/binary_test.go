@@ -1,0 +1,252 @@
+package staticdbg_test
+
+import (
+	"fmt"
+	"testing"
+
+	"debugtuner/internal/debuginfo"
+	"debugtuner/internal/pipeline"
+	"debugtuner/internal/staticdbg"
+	"debugtuner/internal/vm"
+)
+
+const binarySrc = `
+func main(): int {
+	var x: int = 3;
+	var y: int = x * 2;
+	print(x + y);
+	return x + y;
+}
+`
+
+// compileO0 compiles the fixture at gcc-O0: home slots for every local,
+// a dense line table, and a clean debug section to corrupt from.
+func compileO0(t *testing.T) *vm.Binary {
+	t.Helper()
+	info, err := pipeline.Frontend("t.mc", []byte(binarySrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir0, err := pipeline.BuildIR(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := pipeline.NewConfig(pipeline.GCC, "O0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pipeline.Build(ir0, cfg)
+}
+
+// corrupt decodes the fixture's debug section, hands the table to the
+// mutator, re-encodes it into a copy of the binary (the original may be
+// cached by the pipeline and must stay pristine), and returns the copy.
+func corrupt(t *testing.T, bin *vm.Binary, mutate func(*debuginfo.Table)) *vm.Binary {
+	t.Helper()
+	table, err := debuginfo.Decode(bin.Debug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate(table)
+	nb := *bin
+	nb.Debug = table.Encode()
+	return &nb
+}
+
+// wantViolation asserts the exact rendered diagnostic appears, and that
+// every reported violation carries the expected rule.
+func wantViolation(t *testing.T, vs []staticdbg.Violation, rule staticdbg.Rule, want string) {
+	t.Helper()
+	found := false
+	for _, v := range vs {
+		if v.String() == want {
+			found = true
+			if v.Rule != rule {
+				t.Errorf("rule = %q, want %q", v.Rule, rule)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("diagnostic %q not reported; got %v", want, staticdbg.Strings(vs))
+	}
+}
+
+func TestCheckBinaryCleanFixture(t *testing.T) {
+	bin := compileO0(t)
+	if vs := staticdbg.CheckBinary(bin); len(vs) != 0 {
+		t.Fatalf("clean binary flagged: %v", staticdbg.Strings(vs))
+	}
+}
+
+func TestRuleSectionMissing(t *testing.T) {
+	nb := *compileO0(t)
+	nb.Debug = nil
+	vs := staticdbg.CheckBinary(&nb)
+	if len(vs) != 1 {
+		t.Fatalf("got %d violations, want 1", len(vs))
+	}
+	wantViolation(t, vs, staticdbg.RuleSection, "[section] module: binary has no debug section")
+}
+
+func TestRuleSectionUndecodable(t *testing.T) {
+	nb := *compileO0(t)
+	nb.Debug = []byte{0x01, 0x02, 0x03}
+	vs := staticdbg.CheckBinary(&nb)
+	if len(vs) != 1 {
+		t.Fatalf("got %d violations, want 1", len(vs))
+	}
+	wantViolation(t, vs, staticdbg.RuleSection,
+		"[section] module: debug section does not decode: debuginfo: bad magic")
+}
+
+func TestRuleFuncRecordPrologueOutsideRange(t *testing.T) {
+	bin := compileO0(t)
+	var fd debuginfo.FuncDebug
+	nb := corrupt(t, bin, func(tab *debuginfo.Table) {
+		tab.Funcs[0].PrologueEnd = tab.Funcs[0].End + 1
+		fd = tab.Funcs[0]
+	})
+	wantViolation(t, staticdbg.CheckBinary(nb), staticdbg.RuleFuncRecord,
+		fmt.Sprintf("[func-record] %s: prologue end %d outside [%d,%d]",
+			fd.Name, fd.PrologueEnd, fd.Start, fd.End))
+}
+
+func TestRuleFuncRecordDisagreesWithBinary(t *testing.T) {
+	bin := compileO0(t)
+	var fd debuginfo.FuncDebug
+	nb := corrupt(t, bin, func(tab *debuginfo.Table) {
+		tab.Funcs[0].Start++ // shifted range, same name
+		fd = tab.Funcs[0]
+	})
+	bf := &bin.Funcs[0]
+	wantViolation(t, staticdbg.CheckBinary(nb), staticdbg.RuleFuncRecord,
+		fmt.Sprintf("[func-record] %s: debug range [%d,%d) disagrees with binary %s [%d,%d)",
+			fd.Name, fd.Start, fd.End, bf.Name, bf.Start, bf.End))
+}
+
+func TestRuleLineMonotone(t *testing.T) {
+	bin := compileO0(t)
+	var prev uint32
+	nb := corrupt(t, bin, func(tab *debuginfo.Table) {
+		if len(tab.Lines) < 2 {
+			t.Fatal("fixture has fewer than 2 line rows")
+		}
+		tab.Lines[1].Addr = tab.Lines[0].Addr
+		prev = tab.Lines[0].Addr
+	})
+	wantViolation(t, staticdbg.CheckBinary(nb), staticdbg.RuleLineMonotone,
+		fmt.Sprintf("[line-monotone] module row 1: addr %d not strictly increasing (prev %d)",
+			prev, prev))
+}
+
+func TestRuleLineContainmentOutsideCode(t *testing.T) {
+	bin := compileO0(t)
+	addr := uint32(len(bin.Code)) + 7
+	var row int
+	nb := corrupt(t, bin, func(tab *debuginfo.Table) {
+		row = len(tab.Lines) - 1
+		tab.Lines[row].Addr = addr
+	})
+	wantViolation(t, staticdbg.CheckBinary(nb), staticdbg.RuleLineContainment,
+		fmt.Sprintf("[line-containment] module row %d: addr %d outside code (%d instructions)",
+			row, addr, len(bin.Code)))
+}
+
+func TestRuleLineRangeNegativeRow(t *testing.T) {
+	bin := compileO0(t)
+	nb := corrupt(t, bin, func(tab *debuginfo.Table) {
+		tab.Lines[0].Line = -3
+	})
+	wantViolation(t, staticdbg.CheckBinary(nb), staticdbg.RuleLineRange,
+		"[line-range] module row 0: negative line -3")
+}
+
+// localVar returns the index of the first function-scoped variable.
+func localVar(t *testing.T, tab *debuginfo.Table) int {
+	t.Helper()
+	for i := range tab.Vars {
+		if tab.Vars[i].FuncIdx >= 0 {
+			return i
+		}
+	}
+	t.Fatal("fixture has no function-scoped variable")
+	return -1
+}
+
+func TestRuleLocShapeInvertedRange(t *testing.T) {
+	bin := compileO0(t)
+	var fn, name string
+	var s, e uint32
+	nb := corrupt(t, bin, func(tab *debuginfo.Table) {
+		vi := localVar(t, tab)
+		v := &tab.Vars[vi]
+		fd := &tab.Funcs[v.FuncIdx]
+		// Past every live entry so the only finding is the inversion.
+		s, e = fd.End+9, fd.End+8
+		v.Entries = append(v.Entries, debuginfo.LocEntry{Start: s, End: e, Kind: debuginfo.LocSlot})
+		fn, name = fd.Name, v.Name
+	})
+	wantViolation(t, staticdbg.CheckBinary(nb), staticdbg.RuleLocShape,
+		fmt.Sprintf("[loc-shape] %s var %s: [%d,%d) slot: inverted range", fn, name, s, e))
+}
+
+func TestRuleLocContainment(t *testing.T) {
+	bin := compileO0(t)
+	var fn, name string
+	var s, e, fs, fe uint32
+	nb := corrupt(t, bin, func(tab *debuginfo.Table) {
+		vi := localVar(t, tab)
+		v := &tab.Vars[vi]
+		fd := &tab.Funcs[v.FuncIdx]
+		s, e = fd.End, fd.End+1
+		fs, fe = fd.Start, fd.End
+		v.Entries = append(v.Entries, debuginfo.LocEntry{Start: s, End: e, Kind: debuginfo.LocNone})
+		fn, name = fd.Name, v.Name
+	})
+	wantViolation(t, staticdbg.CheckBinary(nb), staticdbg.RuleLocContainment,
+		fmt.Sprintf("[loc-containment] %s var %s: [%d,%d) none: outside function bounds [%d,%d)",
+			fn, name, s, e, fs, fe))
+}
+
+func TestRuleLocOverlap(t *testing.T) {
+	bin := compileO0(t)
+	var fn string
+	var s uint32
+	nb := corrupt(t, bin, func(tab *debuginfo.Table) {
+		fd := &tab.Funcs[0]
+		s = fd.Start
+		tab.Vars = append(tab.Vars, debuginfo.Variable{
+			SymID: 77, Name: "ghost", FuncIdx: 0,
+			Entries: []debuginfo.LocEntry{
+				{Start: s, End: s + 2, Kind: debuginfo.LocNone},
+				{Start: s + 1, End: s + 3, Kind: debuginfo.LocNone},
+			},
+		})
+		fn = fd.Name
+	})
+	wantViolation(t, staticdbg.CheckBinary(nb), staticdbg.RuleLocOverlap,
+		fmt.Sprintf("[loc-overlap] %s var ghost: overlapping ranges [%d,%d) and [%d,%d)",
+			fn, s, s+2, s+1, s+3))
+}
+
+func TestRuleLocWitnessUntaggedRegister(t *testing.T) {
+	bin := compileO0(t)
+	var fn string
+	var s uint32
+	nb := corrupt(t, bin, func(tab *debuginfo.Table) {
+		fd := &tab.Funcs[0]
+		s = fd.Start
+		// A register claim no covering instruction ever asserts: the
+		// malformed entry static coverage metrics over-count.
+		tab.Vars = append(tab.Vars, debuginfo.Variable{
+			SymID: 88, Name: "phantom", FuncIdx: 0,
+			Entries: []debuginfo.LocEntry{
+				{Start: s, End: s + 1, Kind: debuginfo.LocReg, Operand: 0},
+			},
+		})
+		fn = fd.Name
+	})
+	wantViolation(t, staticdbg.CheckBinary(nb), staticdbg.RuleLocWitness,
+		fmt.Sprintf("[loc-witness] %s var phantom: [%d,%d) reg: register never tagged for the variable by covering code",
+			fn, s, s+1))
+}

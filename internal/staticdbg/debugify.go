@@ -1,0 +1,205 @@
+package staticdbg
+
+import (
+	"fmt"
+
+	"debugtuner/internal/ast"
+	"debugtuner/internal/debuginfo"
+	"debugtuner/internal/ir"
+	"debugtuner/internal/vm"
+)
+
+// Baseline records the metadata a module carried before optimization:
+// the set of attributed source lines and the set of variable symbol IDs.
+// Survival is always measured against a baseline, so preservation is a
+// fraction of a known quantity — 100% by construction after Inject.
+type Baseline struct {
+	Lines map[int]bool
+	Vars  map[int]bool
+}
+
+// Survival counts how much of a baseline is still present: distinct
+// baseline lines attributed somewhere, and baseline variables that still
+// have at least one live binding (IR) or readable location (binary).
+type Survival struct {
+	Lines, Vars int
+}
+
+// Total returns the baseline's own size — the denominator for
+// preservation percentages.
+func (bl *Baseline) Total() Survival {
+	return Survival{Lines: len(bl.Lines), Vars: len(bl.Vars)}
+}
+
+// Capture records the real front-end metadata of a module as the
+// baseline: every attributed instruction line, every dbg.value-bound
+// variable, and every variable with a home slot or parameter location.
+// Use this to run verify-each over genuine metadata; use Inject for the
+// synthetic known-100% baseline.
+func Capture(prog *ir.Program) *Baseline {
+	bl := &Baseline{Lines: map[int]bool{}, Vars: map[int]bool{}}
+	for _, f := range prog.Funcs {
+		for _, sym := range f.SlotVars {
+			if sym != nil {
+				bl.Vars[sym.ID] = true
+			}
+		}
+		for _, sym := range f.ParamVars {
+			if sym != nil {
+				bl.Vars[sym.ID] = true
+			}
+		}
+		for _, b := range f.Blocks {
+			for _, v := range b.Instrs {
+				if v.Line > 0 {
+					bl.Lines[v.Line] = true
+				}
+				if v.Op == ir.OpDbgValue && v.Var != nil {
+					bl.Vars[v.Var.ID] = true
+				}
+			}
+		}
+	}
+	return bl
+}
+
+// Inject returns a debugified clone of the module: existing dbg.values
+// are stripped, every remaining instruction gets a distinct synthetic
+// line (1..N module-wide, with MaxLine set to N so ir.Verify bounds
+// them), and every result-producing value gets a dbg.value binding it to
+// a fresh synthetic variable appended to a copy of the symbol table.
+// The input module is not modified. The returned baseline contains
+// every synthetic line and variable — preservation starts at exactly
+// 100%, independent of the front-end.
+func Inject(prog *ir.Program) (*ir.Program, *Baseline) {
+	np := prog.Clone()
+	// The clone shares the symbol slice; copy before appending synthetic
+	// symbols so the input module's table is untouched.
+	syms := append([]*ast.Symbol{}, np.Symbols...)
+	bl := &Baseline{Lines: map[int]bool{}, Vars: map[int]bool{}}
+	line := 0
+	for _, f := range np.Funcs {
+		startLine := line + 1
+		for _, b := range f.Blocks {
+			keep := make([]*ir.Value, 0, len(b.Instrs))
+			for _, v := range b.Instrs {
+				if v.Op == ir.OpDbgValue {
+					continue
+				}
+				line++
+				v.Line = line
+				bl.Lines[line] = true
+				keep = append(keep, v)
+			}
+			b.Instrs = keep
+		}
+		f.StartLine = startLine
+		mkdbg := func(b *ir.Block, v *ir.Value) *ir.Value {
+			sym := &ast.Symbol{
+				Name: fmt.Sprintf("dbg%d", len(syms)),
+				Type: ast.TypeInt, Kind: ast.SymLocal,
+				Func: f.Name, ID: len(syms),
+			}
+			syms = append(syms, sym)
+			bl.Vars[sym.ID] = true
+			d := f.NewValue(b, ir.OpDbgValue, 0, v)
+			d.Var = sym
+			return d
+		}
+		for _, b := range f.Blocks {
+			out := make([]*ir.Value, 0, 2*len(b.Instrs))
+			var phiDbgs []*ir.Value // deferred past the phi prefix
+			for i, v := range b.Instrs {
+				out = append(out, v)
+				if v.Op == ir.OpPhi {
+					phiDbgs = append(phiDbgs, mkdbg(b, v))
+					if i+1 >= len(b.Instrs) || b.Instrs[i+1].Op != ir.OpPhi {
+						out = append(out, phiDbgs...)
+						phiDbgs = nil
+					}
+					continue
+				}
+				if v.Op.HasResult() {
+					out = append(out, mkdbg(b, v))
+				}
+			}
+			b.Instrs = out
+		}
+	}
+	np.Symbols = syms
+	np.MaxLine = line
+	return np, bl
+}
+
+// MeasureIR counts baseline survival in an IR module: distinct baseline
+// lines still attributed to some instruction, and baseline variables
+// that still have a bound dbg.value or a home slot/parameter location
+// (slot-resident variables stay locatable without markers, exactly as
+// the emitter treats them).
+func (bl *Baseline) MeasureIR(prog *ir.Program) Survival {
+	var s Survival
+	lines := make(map[int]bool, len(bl.Lines))
+	vars := make(map[int]bool, len(bl.Vars))
+	for _, f := range prog.Funcs {
+		for _, sym := range f.SlotVars {
+			if sym != nil && bl.Vars[sym.ID] {
+				vars[sym.ID] = true
+			}
+		}
+		for _, sym := range f.ParamVars {
+			if sym != nil && bl.Vars[sym.ID] {
+				vars[sym.ID] = true
+			}
+		}
+		for _, b := range f.Blocks {
+			for _, v := range b.Instrs {
+				if v.Line > 0 && bl.Lines[v.Line] {
+					lines[v.Line] = true
+				}
+				if v.Op == ir.OpDbgValue && v.Var != nil &&
+					len(v.Args) == 1 && bl.Vars[v.Var.ID] {
+					vars[v.Var.ID] = true
+				}
+			}
+		}
+	}
+	s.Lines, s.Vars = len(lines), len(vars)
+	return s
+}
+
+// MeasureBinary counts baseline survival in a compiled binary's debug
+// section: distinct baseline lines present in the line table, and
+// baseline variables with at least one readable (non-LocNone, nonzero
+// length) location entry. An undecodable section counts as zero
+// survival.
+func (bl *Baseline) MeasureBinary(bin *vm.Binary) Survival {
+	var s Survival
+	if bin == nil || bin.Debug == nil {
+		return s
+	}
+	table, err := debuginfo.Decode(bin.Debug)
+	if err != nil {
+		return s
+	}
+	lines := make(map[int]bool, len(bl.Lines))
+	for _, e := range table.Lines {
+		if e.Line > 0 && bl.Lines[int(e.Line)] {
+			lines[int(e.Line)] = true
+		}
+	}
+	vars := make(map[int]bool, len(bl.Vars))
+	for i := range table.Vars {
+		v := &table.Vars[i]
+		if !bl.Vars[int(v.SymID)] || vars[int(v.SymID)] {
+			continue
+		}
+		for _, e := range v.Entries {
+			if e.Kind != debuginfo.LocNone && e.Start < e.End {
+				vars[int(v.SymID)] = true
+				break
+			}
+		}
+	}
+	s.Lines, s.Vars = len(lines), len(vars)
+	return s
+}

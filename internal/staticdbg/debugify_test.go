@@ -1,0 +1,151 @@
+package staticdbg_test
+
+import (
+	"strings"
+	"testing"
+
+	"debugtuner/internal/ir"
+	"debugtuner/internal/pipeline"
+	"debugtuner/internal/staticdbg"
+)
+
+func buildIR(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	info, err := pipeline.Frontend("t.mc", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir0, err := pipeline.BuildIR(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ir0
+}
+
+func dump(prog *ir.Program) string {
+	var sb strings.Builder
+	for _, f := range prog.Funcs {
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+func TestInjectHundredPercentBaseline(t *testing.T) {
+	ir0 := buildIR(t, binarySrc)
+	inj, bl := staticdbg.Inject(ir0)
+	total := bl.Total()
+	if total.Lines == 0 || total.Vars == 0 {
+		t.Fatalf("empty baseline: %+v", total)
+	}
+	if got := bl.MeasureIR(inj); got != total {
+		t.Fatalf("fresh injection measures %+v, want the full baseline %+v", got, total)
+	}
+	if inj.MaxLine != total.Lines {
+		t.Errorf("MaxLine = %d, want the synthetic line count %d", inj.MaxLine, total.Lines)
+	}
+	if err := ir.VerifyProgram(inj); err != nil {
+		t.Errorf("injected module fails ir.Verify: %v", err)
+	}
+	if vs := staticdbg.CheckModule(inj); len(vs) != 0 {
+		t.Errorf("injected module flagged: %v", staticdbg.Strings(vs))
+	}
+}
+
+func TestInjectDistinctLinesAndVariables(t *testing.T) {
+	ir0 := buildIR(t, binarySrc)
+	inj, bl := staticdbg.Inject(ir0)
+	lines := map[int]bool{}
+	nonDbg := 0
+	for _, f := range inj.Funcs {
+		for _, b := range f.Blocks {
+			for _, v := range b.Instrs {
+				if v.Op == ir.OpDbgValue {
+					continue
+				}
+				nonDbg++
+				if v.Line <= 0 || lines[v.Line] {
+					t.Fatalf("%s: %v line %d is zero or duplicated", f.Name, v, v.Line)
+				}
+				lines[v.Line] = true
+			}
+		}
+	}
+	if nonDbg != len(bl.Lines) {
+		t.Errorf("baseline has %d lines for %d instructions", len(bl.Lines), nonDbg)
+	}
+	// Every result-producing value must carry a binding.
+	for _, f := range inj.Funcs {
+		for _, b := range f.Blocks {
+			bound := map[*ir.Value]bool{}
+			for _, v := range b.Instrs {
+				if v.Op == ir.OpDbgValue && len(v.Args) == 1 {
+					bound[v.Args[0]] = true
+				}
+			}
+			for _, v := range b.Instrs {
+				if v.Op != ir.OpDbgValue && v.Op.HasResult() && !bound[v] {
+					t.Errorf("%s: %v (%v) has no synthetic binding", f.Name, v, v.Op)
+				}
+			}
+		}
+	}
+}
+
+func TestInjectLeavesInputUntouched(t *testing.T) {
+	ir0 := buildIR(t, binarySrc)
+	before := dump(ir0)
+	nsyms := len(ir0.Symbols)
+	staticdbg.Inject(ir0)
+	if dump(ir0) != before {
+		t.Fatal("Inject mutated its input module")
+	}
+	if len(ir0.Symbols) != nsyms {
+		t.Fatalf("Inject grew the input symbol table %d -> %d", nsyms, len(ir0.Symbols))
+	}
+}
+
+func TestInjectDeterministic(t *testing.T) {
+	ir0 := buildIR(t, binarySrc)
+	a, abl := staticdbg.Inject(ir0)
+	b, bbl := staticdbg.Inject(ir0)
+	if dump(a) != dump(b) {
+		t.Fatal("two injections of the same module differ")
+	}
+	if abl.Total() != bbl.Total() {
+		t.Fatalf("baselines differ: %+v vs %+v", abl.Total(), bbl.Total())
+	}
+}
+
+func TestCaptureRealMetadata(t *testing.T) {
+	ir0 := buildIR(t, binarySrc)
+	bl := staticdbg.Capture(ir0)
+	total := bl.Total()
+	if total.Lines == 0 || total.Vars == 0 {
+		t.Fatalf("capture found no metadata: %+v", total)
+	}
+	if got := bl.MeasureIR(ir0); got != total {
+		t.Fatalf("unoptimized module measures %+v against its own baseline %+v", got, total)
+	}
+}
+
+func TestMeasureBinarySurvivalAtO0(t *testing.T) {
+	ir0 := buildIR(t, binarySrc)
+	bl := staticdbg.Capture(ir0)
+	bin := compileO0(t)
+	surv := bl.MeasureBinary(bin)
+	total := bl.Total()
+	// O0 keeps every variable locatable in its home slot; lines survive
+	// too (no pass runs to destroy them).
+	if surv.Vars != total.Vars {
+		t.Errorf("O0 variable survival %d/%d, want all", surv.Vars, total.Vars)
+	}
+	if surv.Lines == 0 || surv.Lines > total.Lines {
+		t.Errorf("O0 line survival %d of %d out of range", surv.Lines, total.Lines)
+	}
+	// An undecodable section is zero survival, not an error.
+	nb := *bin
+	nb.Debug = []byte{9}
+	if got := bl.MeasureBinary(&nb); got != (staticdbg.Survival{}) {
+		t.Errorf("undecodable section measures %+v, want zero", got)
+	}
+}

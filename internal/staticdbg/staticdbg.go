@@ -1,0 +1,127 @@
+// Package staticdbg is the static debug-info verification subsystem: a
+// debugify-style metadata injector and an invariant analyzer that check
+// a module — and, post-codegen, the emitted debug section — against a
+// typed rule set, so a pass corrupting or dropping debug metadata is
+// caught at the moment it happens rather than downstream through
+// dynamic traces or aggregate damage counters.
+//
+// It follows LLVM's debugify utility ("Who's Debugging the Debuggers?")
+// and the static coverage bounds of Stinnett & Kell: inject synthetic,
+// maximal metadata (every instruction a distinct line, every SSA value a
+// variable), verify invariants after every transform, and attribute each
+// loss to the pass that caused it. The package is deliberately
+// dependency-light (ir, debuginfo, vm) so the pipeline, difftest, and
+// the experiment harness can all share one checker and one report
+// format.
+package staticdbg
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Rule identifies one invariant class. Every violation carries exactly
+// one rule ID, so reports can be filtered, allowlisted, and asserted on
+// by tests.
+type Rule string
+
+// The rule set. The first four apply to IR modules; the rest apply to
+// the emitted debug section of a compiled binary. line-range applies at
+// both layers (an IR instruction line and a line-table row are the same
+// claim at different stages).
+const (
+	// RuleLineRange: a line is either a valid source line or the explicit
+	// 0 sentinel — never negative, never beyond the source extent.
+	RuleLineRange Rule = "line-range"
+	// RuleDbgOrphan: a dbg.value is malformed or references a value that
+	// no longer exists in its function (dangling after RAUW/DCE).
+	RuleDbgOrphan Rule = "dbg-orphan"
+	// RuleDbgDominance: a dbg.value's bound value must dominate the
+	// binding site, or the binding describes a value that may not exist.
+	RuleDbgDominance Rule = "dbg-dominance"
+	// RuleScopeNesting: a dbg.value's variable must be a member of the
+	// module symbol table (scope identity survives cloning and inlining).
+	RuleScopeNesting Rule = "scope-nesting"
+	// RuleSection: the binary's debug section is missing or undecodable.
+	RuleSection Rule = "section"
+	// RuleFuncRecord: a debug function record disagrees with the
+	// binary's function table or describes an impossible range.
+	RuleFuncRecord Rule = "func-record"
+	// RuleLineMonotone: line-table rows must have strictly increasing
+	// addresses.
+	RuleLineMonotone Rule = "line-monotone"
+	// RuleLineContainment: every row lies inside the code, and every
+	// attributed row lies inside some function's range.
+	RuleLineContainment Rule = "line-containment"
+	// RuleLocShape: a location-list entry is structurally malformed —
+	// inverted range, operand outside the machine/frame/global table, or
+	// a kind invalid for its storage class.
+	RuleLocShape Rule = "loc-shape"
+	// RuleLocContainment: a location entry must lie inside its
+	// function's code bounds.
+	RuleLocContainment Rule = "loc-containment"
+	// RuleLocOverlap: per variable, location ranges must not overlap —
+	// two claims for one address contradict each other.
+	RuleLocOverlap Rule = "loc-overlap"
+	// RuleLocWitness: a register/spill claim of nonzero length needs an
+	// owner-tag witness in the covering code; an unwitnessed claim can
+	// never materialize at runtime (the static over-count pathology).
+	RuleLocWitness Rule = "loc-witness"
+)
+
+// Rules lists every rule ID, in report order.
+func Rules() []Rule {
+	return []Rule{
+		RuleLineRange, RuleDbgOrphan, RuleDbgDominance, RuleScopeNesting,
+		RuleSection, RuleFuncRecord, RuleLineMonotone, RuleLineContainment,
+		RuleLocShape, RuleLocContainment, RuleLocOverlap, RuleLocWitness,
+	}
+}
+
+// Violation is one invariant failure: the rule, the function it occurred
+// in ("" for module/section-level), the offending entity, and a
+// human-readable detail.
+type Violation struct {
+	Rule   Rule
+	Func   string
+	Entity string
+	Detail string
+}
+
+func (v Violation) String() string {
+	site := v.Func
+	if site == "" {
+		site = "module"
+	}
+	if v.Entity != "" {
+		site += " " + v.Entity
+	}
+	return fmt.Sprintf("[%s] %s: %s", v.Rule, site, v.Detail)
+}
+
+// Strings renders violations one line each, sorted and de-duplicated —
+// the canonical stable order shared by every report.
+func Strings(vs []Violation) []string {
+	out := make([]string, 0, len(vs))
+	seen := make(map[string]bool, len(vs))
+	for _, v := range vs {
+		s := v.String()
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Render writes the sorted, de-duplicated violation report, one line
+// each with the given prefix. This is the one formatter `experiments
+// debugify`, `minicc -verify-each`, and difftest findings share; do not
+// grow a second ad-hoc printer.
+func Render(w io.Writer, prefix string, vs []Violation) {
+	for _, s := range Strings(vs) {
+		fmt.Fprintf(w, "%s%s\n", prefix, s)
+	}
+}

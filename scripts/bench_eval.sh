@@ -30,6 +30,22 @@ time_run() {
     awk -v a="$start" -v b="$end" 'BEGIN { printf "%.1f", b - a }'
 }
 
+# Verify-each overhead: the debugify matrix with the per-pass analyzer
+# on, against the same matrix built plainly (-dbg-verify=false).
+echo "debugify run (verify-each on)..." >&2
+DSTART=$(date +%s.%N 2>/dev/null || date +%s)
+"$TMP/experiments" -j "$JOBS" debugify >"$TMP/debugify.txt"
+DEND=$(date +%s.%N 2>/dev/null || date +%s)
+VERIFY=$(awk -v a="$DSTART" -v b="$DEND" 'BEGIN { printf "%.1f", b - a }')
+echo "debugify baseline (plain builds)..." >&2
+DSTART=$(date +%s.%N 2>/dev/null || date +%s)
+"$TMP/experiments" -j "$JOBS" -dbg-verify=false debugify >/dev/null
+DEND=$(date +%s.%N 2>/dev/null || date +%s)
+PLAIN=$(awk -v a="$DSTART" -v b="$DEND" 'BEGIN { printf "%.1f", b - a }')
+VERIFY_OVERHEAD=$(awk -v p="$PLAIN" -v v="$VERIFY" \
+    'BEGIN { if (p == 0) p = 0.1; printf "%.1f", 100 * (v - p) / p }')
+grep -q '^PASS$' "$TMP/debugify.txt"
+
 echo "serial run (-j 1)..." >&2
 SERIAL=$(time_run "$TMP/serial.txt" -j 1)
 echo "parallel run (-j $JOBS)..." >&2
@@ -71,6 +87,9 @@ cat >"$OUT" <<EOF
   "speedup_parallel_vs_serial": $SPEEDUP,
   "telemetry_seconds": $TELEMETRY,
   "telemetry_overhead_pct": $OVERHEAD,
+  "debugify_verify_seconds": $VERIFY,
+  "debugify_plain_seconds": $PLAIN,
+  "verify_each_overhead_pct": $VERIFY_OVERHEAD,
   "stdout_byte_identical": $IDENTICAL
 }
 EOF
