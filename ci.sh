@@ -24,6 +24,12 @@ go test -race -count=1 \
     ./internal/testsuite/ \
     ./internal/difftest/
 
+# Keep the binary smokes hermetic: the persistent evalcache defaults to
+# the user cache dir, which CI must neither read nor pollute.
+DEBUGTUNER_CACHE_DIR=/tmp/ci-default-cache
+export DEBUGTUNER_CACHE_DIR
+rm -rf /tmp/ci-default-cache
+
 # Differential smoke: a small fixed seed set over the plain level matrix
 # must report zero findings, and stdout must not depend on parallelism.
 go build -o /tmp/ci-experiments ./cmd/experiments
@@ -70,3 +76,36 @@ test "$rc" -eq 3
 grep -q '^PASS$' /tmp/ci-resume.txt
 rm -f /tmp/ci-experiments /tmp/ci-chaos-j1.txt /tmp/ci-chaos-j4.txt \
     /tmp/ci-chaos.jsonl /tmp/ci-resume.txt
+
+# Persistent-cache smoke: a cold quick-all into a fresh cache directory,
+# then a warm rerun from it — the warm run must be byte-identical and
+# measurably faster (it skips every fingerprinted build+trace). Then
+# corrupt one entry in place: the store must self-heal (recompute the
+# cell, delete the bad file) and still produce identical output. Last, a
+# -j 4 run with the cache disabled proves stdout depends on neither the
+# cache nor the worker count — this is also the determinism gate for the
+# direct-threaded/fused interpreter cores, which quick-all exercises on
+# every uninstrumented VM run.
+go build -o /tmp/ci-experiments ./cmd/experiments
+rm -rf /tmp/ci-cache
+T0=$(date +%s)
+/tmp/ci-experiments -quick -j 1 -cachedir /tmp/ci-cache all > /tmp/ci-cold.txt
+T1=$(date +%s)
+/tmp/ci-experiments -quick -j 1 -cachedir /tmp/ci-cache all > /tmp/ci-warm.txt
+T2=$(date +%s)
+cmp /tmp/ci-cold.txt /tmp/ci-warm.txt
+COLD=$((T1 - T0)); WARM=$((T2 - T1))
+test $((WARM * 2)) -lt "$COLD"
+ENTRY=$(find /tmp/ci-cache -name '*.json' | head -n 1)
+test -n "$ENTRY"
+printf 'garbage' > "$ENTRY"
+/tmp/ci-experiments -quick -j 1 -cachedir /tmp/ci-cache all > /tmp/ci-heal.txt
+cmp /tmp/ci-cold.txt /tmp/ci-heal.txt
+# The corrupt bytes must be gone: self-heal deletes the bad entry and
+# the recompute rewrites the slot. (Explicit if: `set -e` skips negated
+# commands.)
+if grep -qs garbage "$ENTRY"; then echo "corrupt entry survived"; exit 1; fi
+/tmp/ci-experiments -quick -j 4 -cachedir off all > /tmp/ci-nocache-j4.txt
+cmp /tmp/ci-cold.txt /tmp/ci-nocache-j4.txt
+rm -rf /tmp/ci-experiments /tmp/ci-cache /tmp/ci-default-cache \
+    /tmp/ci-cold.txt /tmp/ci-warm.txt /tmp/ci-heal.txt /tmp/ci-nocache-j4.txt

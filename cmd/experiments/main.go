@@ -44,10 +44,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"debugtuner/internal/difftest"
+	"debugtuner/internal/evalcache"
 	"debugtuner/internal/experiments"
 	"debugtuner/internal/pipeline"
 	"debugtuner/internal/resilience"
@@ -55,6 +58,35 @@ import (
 	"debugtuner/internal/testsuite"
 	"debugtuner/internal/workerpool"
 )
+
+// Profiling state flushed by stopProfiles on every exit path.
+var (
+	cpuProfileFile *os.File
+	memProfilePath string
+)
+
+// stopProfiles finalizes the -cpuprofile and -memprofile outputs. It is
+// safe to call when profiling was never started.
+func stopProfiles() {
+	if cpuProfileFile != nil {
+		pprof.StopCPUProfile()
+		cpuProfileFile.Close()
+		cpuProfileFile = nil
+	}
+	if memProfilePath != "" {
+		f, err := os.Create(memProfilePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+			return
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+		}
+		f.Close()
+		memProfilePath = ""
+	}
+}
 
 func main() {
 	opts := experiments.DefaultOptions()
@@ -102,11 +134,49 @@ func main() {
 		"resilience: write a fresh checkpoint journal (JSONL) to this file")
 	resumePath := flag.String("resume", "",
 		"resilience: resume from an existing checkpoint journal, skipping completed cells")
+	cpuProfile := flag.String("cpuprofile", "",
+		"write a runtime/pprof CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "",
+		"write a runtime/pprof heap profile (after all experiments) to this file")
+	cacheDir := flag.String("cachedir", "",
+		"persistent evalcache directory (default $DEBUGTUNER_CACHE_DIR, "+
+			"else the user cache dir); \"off\" disables persistence")
 	flag.Parse()
+	// exit routes every termination through the profile flush: os.Exit
+	// skips defers, and a truncated pprof file is worse than none.
+	exit := func(code int) {
+		stopProfiles()
+		os.Exit(code)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "-cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		cpuProfileFile = f
+	}
+	memProfilePath = *memProfile
+	// The persistent measurement store makes warm reruns skip the
+	// build+trace work entirely. Results are keyed by tool hash × store
+	// format × subject source hash × config fingerprint, so stdout is
+	// byte-identical with a cold cache, a warm cache, or none at all.
+	if *cacheDir != "off" {
+		d, err := evalcache.OpenDisk(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-cachedir: %v (persistence disabled)\n", err)
+		} else {
+			evalcache.SetDefaultDisk(d)
+		}
+	}
 	workerpool.SetWorkers(*jobs)
 	if *journalPath != "" && *resumePath != "" {
 		fmt.Fprintln(os.Stderr, "-journal and -resume are mutually exclusive")
-		os.Exit(2)
+		exit(2)
 	}
 	// The resilience layer stays uninstalled (nil executor = direct call,
 	// byte-identical fault-free path) unless a resilience flag asks for it.
@@ -121,7 +191,7 @@ func main() {
 			c, err := resilience.ParseChaos(*chaosSpec)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "-chaos: %v\n", err)
-				os.Exit(2)
+				exit(2)
 			}
 			ex.Chaos = c
 			ex.Policy.Seed = c.Seed
@@ -131,14 +201,14 @@ func main() {
 			j, err := resilience.CreateJournal(*journalPath)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "-journal: %v\n", err)
-				os.Exit(1)
+				exit(1)
 			}
 			ex.Journal = j
 		case *resumePath != "":
 			j, err := resilience.ResumeJournal(*resumePath)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "-resume: %v\n", err)
-				os.Exit(1)
+				exit(1)
 			}
 			if j.Torn() {
 				fmt.Fprintln(os.Stderr, "resume: discarded torn final journal record")
@@ -237,13 +307,13 @@ func main() {
 		e, ok := byName[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
-			os.Exit(2)
+			exit(2)
 		}
 		fmt.Printf("==== %s ====\n", e.name)
 		start := time.Now()
 		if err := e.run(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
-			os.Exit(1)
+			exit(1)
 		}
 		if *timings {
 			// Timing goes to stderr so stdout stays byte-identical
@@ -261,7 +331,7 @@ func main() {
 		if ex.Journal != nil {
 			if err := ex.Journal.Close(); err != nil {
 				fmt.Fprintf(os.Stderr, "journal close: %v\n", err)
-				os.Exit(1)
+				exit(1)
 			}
 		}
 		if len(ex.Quarantined()) > 0 {
@@ -271,8 +341,8 @@ func main() {
 	if snk != nil {
 		if err := telemetry.ExportFiles(snk, *tracePath, *metricsPath); err != nil {
 			fmt.Fprintf(os.Stderr, "telemetry export: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
-	os.Exit(exitCode)
+	exit(exitCode)
 }

@@ -97,9 +97,8 @@ func inspectAt(sess *debugger.Session, bin *vm.Binary, entry string, line int, i
 	}
 	m := vm.New(bin)
 	m.StepBudget = 1 << 32
-	m.Breaks = map[int]bool{}
 	for _, a := range addrs {
-		m.Breaks[int(a)] = true
+		m.SetBreak(int(a))
 	}
 	hit := false
 	m.OnBreak = func(m *vm.Machine, addr int) {
@@ -121,7 +120,7 @@ func inspectAt(sess *debugger.Session, bin *vm.Binary, entry string, line int, i
 				fmt.Printf("  %s = %d\n", name, v)
 			}
 		}
-		m.Breaks = nil
+		m.ClearAllBreaks()
 	}
 	if _, err := m.Call(entry); err != nil {
 		fail(err)

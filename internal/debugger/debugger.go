@@ -67,16 +67,15 @@ func (s *Session) Trace(harness string, inputs [][]int64, budget int64) (*dbgtra
 
 	m := vm.New(s.Bin)
 	m.StepBudget = budget
-	m.Breaks = map[int]bool{}
 	for _, addrs := range s.lineAddrs {
 		for _, a := range addrs {
-			m.Breaks[int(a)] = true
+			m.SetBreak(int(a))
 		}
 	}
 	m.OnBreak = func(m *vm.Machine, addr int) {
 		line := int(s.Table.LineForAddr(uint32(addr)))
 		if line <= 0 {
-			delete(m.Breaks, addr)
+			m.ClearBreak(addr)
 			return
 		}
 		vars := s.availableVars(m, uint32(addr))
@@ -84,7 +83,7 @@ func (s *Session) Trace(harness string, inputs [][]int64, budget int64) (*dbgtra
 		// Temporary breakpoint: once the line is stepped, all of its
 		// addresses are released.
 		for _, a := range s.lineAddrs[line] {
-			delete(m.Breaks, int(a))
+			m.ClearBreak(int(a))
 		}
 	}
 	for _, in := range inputs {
@@ -98,7 +97,7 @@ func (s *Session) Trace(harness string, inputs [][]int64, budget int64) (*dbgtra
 			}
 			return nil, err
 		}
-		if len(m.Breaks) == 0 {
+		if m.BreakCount() == 0 {
 			break // every line stepped; later inputs add nothing
 		}
 	}
@@ -113,21 +112,20 @@ func (s *Session) TraceMain(entry string, budget int64) (*dbgtrace.Trace, error)
 	tr.Steppable = len(s.lineAddrs)
 	m := vm.New(s.Bin)
 	m.StepBudget = budget
-	m.Breaks = map[int]bool{}
 	for _, addrs := range s.lineAddrs {
 		for _, a := range addrs {
-			m.Breaks[int(a)] = true
+			m.SetBreak(int(a))
 		}
 	}
 	m.OnBreak = func(m *vm.Machine, addr int) {
 		line := int(s.Table.LineForAddr(uint32(addr)))
 		if line <= 0 {
-			delete(m.Breaks, addr)
+			m.ClearBreak(addr)
 			return
 		}
 		tr.Record(line, s.availableVars(m, uint32(addr)))
 		for _, a := range s.lineAddrs[line] {
-			delete(m.Breaks, int(a))
+			m.ClearBreak(int(a))
 		}
 	}
 	if _, err := m.Call(entry); err != nil && !errors.Is(err, vm.ErrBudget) {

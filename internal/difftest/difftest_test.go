@@ -209,9 +209,9 @@ func mutateDebug(t *testing.T, bin *vm.Binary, mutate func(*debuginfo.Table)) *v
 		t.Fatal(err)
 	}
 	mutate(table)
-	clone := *bin
+	clone := bin.Clone()
 	clone.Debug = table.Encode()
-	return &clone
+	return clone
 }
 
 func TestCheckBinaryCleanBuilds(t *testing.T) {

@@ -1,0 +1,190 @@
+package difftest
+
+import (
+	"fmt"
+	"testing"
+
+	"debugtuner/internal/pipeline"
+	"debugtuner/internal/testsuite"
+	"debugtuner/internal/vm"
+)
+
+// engineObs is one engine's complete observable machine state over a
+// subject's full run protocol: the print stream and return values the
+// behavior oracle compares, plus every cost counter the experiment
+// tables are derived from.
+type engineObs struct {
+	Output []int64
+	Rets   []int64
+	Cycles int64
+	Steps  int64
+	Stall  int64
+	ICM    int64
+	Taken  int64
+	Fall   int64
+	Jmps   int64
+	Slots  int64
+	Errs   []string
+}
+
+// observeEngine runs the subject's protocol with a forced execution
+// engine, accumulating counters across all harness inputs.
+func observeEngine(s *Subject, bin *vm.Binary, eng vm.Engine, budget int64) engineObs {
+	var obs engineObs
+	run := func(name string, args ...int64) {
+		m := vm.New(bin)
+		m.Engine = eng
+		m.StepBudget = budget
+		ret, err := m.Call(name, args...)
+		obs.Output = append(obs.Output, m.Output()...)
+		if err != nil {
+			obs.Errs = append(obs.Errs, err.Error())
+		} else {
+			obs.Rets = append(obs.Rets, ret)
+		}
+		obs.Cycles += m.Cycles
+		obs.Steps += m.Steps
+		obs.Stall += m.StallCycles
+		obs.ICM += m.ICacheMisses
+		obs.Taken += m.TakenBr
+		obs.Fall += m.FallBr
+		obs.Jmps += m.JmpsRun
+		obs.Slots += m.SlotOpsRun
+	}
+	if len(s.Harnesses) == 0 {
+		run(s.entry())
+		return obs
+	}
+	for _, h := range s.Harnesses {
+		for _, in := range s.Inputs[h] {
+			m := vm.New(bin)
+			m.Engine = eng
+			m.StepBudget = budget
+			hd := m.NewArray(in)
+			ret, err := m.Call(h, hd, int64(len(in)))
+			obs.Output = append(obs.Output, m.Output()...)
+			if err != nil {
+				obs.Errs = append(obs.Errs, err.Error())
+			} else {
+				obs.Rets = append(obs.Rets, ret)
+			}
+			obs.Cycles += m.Cycles
+			obs.Steps += m.Steps
+			obs.Stall += m.StallCycles
+			obs.ICM += m.ICacheMisses
+			obs.Taken += m.TakenBr
+			obs.Fall += m.FallBr
+			obs.Jmps += m.JmpsRun
+			obs.Slots += m.SlotOpsRun
+		}
+	}
+	return obs
+}
+
+// TestFusedVsUnfusedOverCorpus is the tentpole differential: every
+// test-suite program plus a band of synth seeds, built at both ends of
+// the optimization range, must produce bit-identical observable machine
+// state — output, return values, and the full cost-counter vector — on
+// the reference switch interpreter, the plain direct-threaded core, and
+// the superinstruction core. Any fusion bug that perturbs semantics or
+// the cycle model (which feeds every experiment table) fails here.
+func TestFusedVsUnfusedOverCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus sweep is the long differential")
+	}
+	var subjects []*Subject
+	for _, name := range testsuite.Names {
+		s, err := SuiteSubject(name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subjects = append(subjects, s)
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		subjects = append(subjects, SynthSubject(seed))
+	}
+	configs := []pipeline.Config{
+		pipeline.MustConfig(pipeline.GCC, "O0"),
+		pipeline.MustConfig(pipeline.GCC, "O2"),
+		pipeline.MustConfig(pipeline.Clang, "O3"),
+	}
+	for _, s := range subjects {
+		ir0, _, err := s.frontend()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		for _, cfg := range configs {
+			bin := pipeline.Build(ir0, cfg)
+			ref := observeEngine(s, bin, vm.EngineReference, DefaultBudget)
+			for eng, label := range map[vm.Engine]string{
+				vm.EnginePlain: "plain",
+				vm.EngineFused: "fused",
+			} {
+				got := observeEngine(s, bin, eng, DefaultBudget)
+				if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", ref) {
+					t.Errorf("%s [%s] %s engine diverges from reference:\n ref %+v\n got %+v",
+						s.Name, cfg.Name(), label, ref, got)
+				}
+			}
+		}
+	}
+}
+
+// TestPairHistogramCoversFusedPairs validates the superinstruction
+// selection empirically: over the real corpus at O0 and O2 (the two
+// ends of the experiment matrix), every pair in the fused set must be
+// dynamically hot (each at least 1% of executed pairs), so the fusion
+// table tracks measured pair frequencies rather than guesses.
+func TestPairHistogramCoversFusedPairs(t *testing.T) {
+	hist := map[uint16]int64{}
+	var total int64
+	for _, lvl := range []string{"O0", "O2"} {
+		cfg := pipeline.MustConfig(pipeline.GCC, lvl)
+		for _, name := range testsuite.Names {
+			s, err := SuiteSubject(name, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ir0, _, err := s.frontend()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bin := pipeline.Build(ir0, cfg)
+			for _, h := range s.Harnesses {
+				for _, in := range s.Inputs[h] {
+					m := vm.New(bin)
+					m.EnablePairCounts()
+					m.StepBudget = DefaultBudget
+					hd := m.NewArray(in)
+					if _, err := m.Call(h, hd, int64(len(in))); err != nil {
+						t.Fatalf("%s/%s: %v", name, h, err)
+					}
+					for k, v := range m.PairCounts {
+						hist[k] += v
+						total += v
+					}
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no dynamic pairs observed")
+	}
+	key := func(a, b vm.Op) uint16 { return uint16(a)<<8 | uint16(b) }
+	fused := []uint16{
+		key(vm.OpBin, vm.OpBr),
+		key(vm.OpBinImm, vm.OpBr),
+		key(vm.OpBinImm, vm.OpStoreSlot),
+		key(vm.OpBinImm, vm.OpBinImm),
+		key(vm.OpLoadSlot, vm.OpBin),
+		key(vm.OpLoadSlot, vm.OpBinImm),
+		key(vm.OpLoadSlot, vm.OpLoadSlot),
+	}
+	for _, k := range fused {
+		share := float64(hist[k]) / float64(total)
+		if share < 0.01 {
+			t.Errorf("fused pair %v->%v covers %.2f%% of dynamic pairs, want >= 1%%",
+				vm.Op(k>>8), vm.Op(k&0xff), 100*share)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package difftest
+
+import (
+	"fmt"
+	"testing"
+
+	"debugtuner/internal/ir"
+	"debugtuner/internal/pipeline"
+	"debugtuner/internal/testsuite"
+)
+
+// interpObs is one interpreter core's complete observable outcome over a
+// subject's full run protocol.
+type interpObs struct {
+	Output []int64
+	Rets   []int64
+	Errs   []string
+}
+
+// observeInterp runs the subject's protocol on the IR interpreter with
+// the chosen core. A fresh Interp per run mirrors the oracle's protocol
+// (interpret in oracle.go), so globals and heap state reset per input.
+func observeInterp(s *Subject, prog *ir.Program, reference bool, budget int64) interpObs {
+	var obs interpObs
+	run := func(mk func(in *ir.Interp) (int64, error)) {
+		in := ir.NewInterp(prog, budget)
+		in.Reference = reference
+		ret, err := mk(in)
+		obs.Output = append(obs.Output, in.Output()...)
+		if err != nil {
+			obs.Errs = append(obs.Errs, err.Error())
+		} else {
+			obs.Rets = append(obs.Rets, ret)
+		}
+	}
+	if len(s.Harnesses) == 0 {
+		run(func(in *ir.Interp) (int64, error) { return in.Call(s.entry()) })
+		return obs
+	}
+	for _, h := range s.Harnesses {
+		for _, input := range s.Inputs[h] {
+			input := input
+			h := h
+			run(func(in *ir.Interp) (int64, error) {
+				hd := in.NewArray(input)
+				return in.Call(h, hd, int64(len(input)))
+			})
+		}
+	}
+	return obs
+}
+
+// TestInterpThreadedVsReference is the IR-interpreter differential: the
+// direct-threaded core must reproduce the reference switch loop exactly
+// — print stream, return values, and error identity (including budget
+// traps) — over the test suite and a band of synth seeds, on both the
+// O0 IR and the optimized IR the differential oracle interprets.
+func TestInterpThreadedVsReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus sweep")
+	}
+	var subjects []*Subject
+	for _, name := range testsuite.Names {
+		s, err := SuiteSubject(name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subjects = append(subjects, s)
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		subjects = append(subjects, SynthSubject(seed))
+	}
+	configs := []pipeline.Config{
+		pipeline.MustConfig(pipeline.GCC, "O0"),
+		pipeline.MustConfig(pipeline.GCC, "O2"),
+		pipeline.MustConfig(pipeline.Clang, "O3"),
+	}
+	for _, s := range subjects {
+		ir0, _, err := s.frontend()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		for _, cfg := range configs {
+			prog, _ := pipeline.OptimizeIR(ir0, cfg)
+			ref := observeInterp(s, prog, true, DefaultBudget)
+			got := observeInterp(s, prog, false, DefaultBudget)
+			if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", ref) {
+				t.Errorf("%s [%s] threaded interp diverges from reference:\n ref %+v\n got %+v",
+					s.Name, cfg.Name(), ref, got)
+			}
+		}
+	}
+}
+
+// TestInterpThreadedBudgetExact sweeps step budgets on one subject and
+// requires the threaded core to trap at exactly the same budget, with
+// the same error and the same partial output, as the reference core.
+func TestInterpThreadedBudgetExact(t *testing.T) {
+	s := SynthSubject(3)
+	ir0, _, err := s.frontend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := observeInterp(s, ir0, true, DefaultBudget)
+	if len(full.Errs) > 0 {
+		t.Fatalf("subject traps at full budget: %v", full.Errs)
+	}
+	for budget := int64(1); budget <= 2000; budget += 7 {
+		ref := observeInterp(s, ir0, true, budget)
+		got := observeInterp(s, ir0, false, budget)
+		if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", ref) {
+			t.Fatalf("budget %d: threaded %+v, reference %+v", budget, got, ref)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Disk is the persistent level of the evaluation cache: a
+// content-addressed store of JSON-encoded measurement results under a
+// cache directory (default ~/.cache/debugtuner, overridable). The VM is
+// cycle-exact and builds are deterministic, so a result keyed by
+// (tool identity × store format × subject source hash × config
+// fingerprint) is valid for as long as the key matches — across
+// processes and machine reboots.
+//
+// Robustness contract: the store is best-effort and self-healing. A
+// torn, truncated, or otherwise corrupt entry is detected (envelope
+// parse, format version, key echo, value checksum), deleted, and
+// reported as a miss — the caller recomputes and rewrites it. Writes go
+// through a temp file plus atomic rename, so two processes sharing one
+// directory never observe partial entries.
+package evalcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"debugtuner/internal/telemetry"
+)
+
+// diskFormatVersion is the on-disk envelope format. Bump it whenever
+// the envelope or value encoding changes shape; old entries then read
+// as misses and are rewritten, never misparsed.
+const diskFormatVersion = 1
+
+// envelope is one stored entry. Key is echoed to defend against
+// filename collisions, and Sum guards the value bytes against torn
+// concurrent writes that survive the rename discipline (e.g. a partial
+// copy restored from backup).
+type envelope struct {
+	Version int             `json:"v"`
+	Tool    string          `json:"tool"`
+	Key     string          `json:"key"`
+	Sum     string          `json:"sum"`
+	Value   json.RawMessage `json:"val"`
+}
+
+// Disk is a handle on one cache directory. The zero value is not
+// usable; OpenDisk validates the directory. A nil *Disk is a valid
+// always-miss store, so callers can thread an optional cache without
+// nil checks.
+type Disk struct {
+	dir string
+	// tool identifies the producing binary (hash of the executable).
+	// Results depend on the whole toolchain — a pass-pipeline change
+	// alters measurements without changing any fingerprint — so entries
+	// written by a different build of the tool must read as misses.
+	tool string
+}
+
+// OpenDisk opens (creating if needed) a cache directory. An empty dir
+// selects the default: $DEBUGTUNER_CACHE_DIR, else ~/.cache/debugtuner
+// (via os.UserCacheDir).
+func OpenDisk(dir string) (*Disk, error) {
+	if dir == "" {
+		dir = os.Getenv("DEBUGTUNER_CACHE_DIR")
+	}
+	if dir == "" {
+		base, err := os.UserCacheDir()
+		if err != nil {
+			return nil, fmt.Errorf("evalcache: no cache dir: %w", err)
+		}
+		dir = filepath.Join(base, "debugtuner")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("evalcache: %w", err)
+	}
+	return &Disk{dir: dir, tool: toolID()}, nil
+}
+
+// Dir returns the store's directory.
+func (d *Disk) Dir() string {
+	if d == nil {
+		return ""
+	}
+	return d.dir
+}
+
+// toolIDCache memoizes the executable hash (it cannot change mid-run).
+var toolIDCache atomic.Pointer[string]
+
+// toolID hashes the running executable. Any rebuild of the tool — new
+// passes, new cost model, new store semantics — yields a new ID and
+// therefore a cold cache, which is the only safe default.
+func toolID() string {
+	if p := toolIDCache.Load(); p != nil {
+		return *p
+	}
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				id = hex.EncodeToString(h.Sum(nil))[:16]
+			}
+			f.Close()
+		}
+	}
+	toolIDCache.Store(&id)
+	return id
+}
+
+// entryPath maps a key to its file: two-level fan-out on the key hash
+// keeps directory sizes bounded.
+func (d *Disk) entryPath(key string) string {
+	sum := sha256.Sum256([]byte(d.tool + "|" + key))
+	name := hex.EncodeToString(sum[:])
+	return filepath.Join(d.dir, name[:2], name[2:34]+".json")
+}
+
+// valueSum checksums the value bytes (FNV-1a 64).
+func valueSum(b []byte) string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= prime64
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+// Get loads the entry for key into out (a JSON-decodable pointer) and
+// reports whether a valid entry was found. Corrupt or mismatched
+// entries are deleted and reported as misses.
+func (d *Disk) Get(key string, out any) bool {
+	if d == nil {
+		return false
+	}
+	path := d.entryPath(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		telemetry.Add("diskcache.miss", 1)
+		return false
+	}
+	var env envelope
+	ok := json.Unmarshal(raw, &env) == nil &&
+		env.Version == diskFormatVersion &&
+		env.Tool == d.tool &&
+		env.Key == key &&
+		env.Sum == valueSum(env.Value) &&
+		json.Unmarshal(env.Value, out) == nil
+	if !ok {
+		// Self-heal: a corrupt entry would otherwise miss forever while
+		// blocking the slot's rewrite path on some filesystems.
+		os.Remove(path)
+		telemetry.Add("diskcache.corrupt", 1)
+		return false
+	}
+	telemetry.Add("diskcache.hit", 1)
+	return true
+}
+
+// Put stores the value for key. Best-effort: failures are counted, not
+// returned — the cache never turns a successful measurement into an
+// error.
+func (d *Disk) Put(key string, val any) {
+	if d == nil {
+		return
+	}
+	vb, err := json.Marshal(val)
+	if err != nil {
+		telemetry.Add("diskcache.write_err", 1)
+		return
+	}
+	env := envelope{
+		Version: diskFormatVersion,
+		Tool:    d.tool,
+		Key:     key,
+		Sum:     valueSum(vb),
+		Value:   vb,
+	}
+	eb, err := json.Marshal(&env)
+	if err != nil {
+		telemetry.Add("diskcache.write_err", 1)
+		return
+	}
+	path := d.entryPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		telemetry.Add("diskcache.write_err", 1)
+		return
+	}
+	// Temp file in the destination directory plus rename: readers see
+	// the old entry or the new one, never a prefix.
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		telemetry.Add("diskcache.write_err", 1)
+		return
+	}
+	_, werr := tmp.Write(eb)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil || os.Rename(tmp.Name(), path) != nil {
+		os.Remove(tmp.Name())
+		telemetry.Add("diskcache.write_err", 1)
+		return
+	}
+	telemetry.Add("diskcache.write", 1)
+}
+
+// defaultDisk is the process-wide store bound by SetDefaultDisk
+// (normally from the -cachedir flag) and consumed by the measurement
+// layers (tuner, specsuite) when they construct their caches.
+var defaultDisk atomic.Pointer[Disk]
+
+// SetDefaultDisk installs the process-wide persistent store (nil
+// disables persistence).
+func SetDefaultDisk(d *Disk) { defaultDisk.Store(d) }
+
+// DefaultDisk returns the process-wide persistent store, or nil.
+func DefaultDisk() *Disk { return defaultDisk.Load() }

@@ -8,11 +8,19 @@
 //
 // Do has singleflight semantics: concurrent workers asking for the same
 // key block on a single computation instead of duplicating it, which is
-// what makes the cache composable with the worker pool.
+// what makes the cache composable with the worker pool. The key space
+// is sharded 64 ways so parallel workers touching different keys do not
+// serialize on one mutex; per-shard contention is counted and surfaced
+// through telemetry (evalcache.contended, evalcache.shardNN.contended).
+//
+// A cache can additionally be bound to an on-disk store (see Disk) that
+// persists successful results across processes, making warm reruns skip
+// the build+trace entirely.
 package evalcache
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -26,10 +34,72 @@ type entry[V any] struct {
 	err  error
 }
 
-// Cache memoizes keyed computations. The zero value is ready to use.
-type Cache[V any] struct {
+// numShards is the shard count of the key space. 64 keeps the worst
+// observed lock hold (a map grow) off the other 63 lanes while staying
+// small enough that Len/Contended stay cheap to aggregate.
+const numShards = 64
+
+type shard[V any] struct {
 	mu sync.Mutex
 	m  map[string]*entry[V]
+	// contended counts lock acquisitions that found the shard lock
+	// held — the signal the sharding exists to minimize.
+	contended atomic.Int64
+}
+
+// lock acquires the shard lock, counting contended acquisitions.
+func (s *shard[V]) lock(idx int) {
+	if s.mu.TryLock() {
+		return
+	}
+	s.contended.Add(1)
+	if snk := telemetry.Active(); snk != nil {
+		snk.Add("evalcache.contended", 1)
+		snk.Add(fmt.Sprintf("evalcache.shard%02d.contended", idx), 1)
+	}
+	s.mu.Lock()
+}
+
+// Cache memoizes keyed computations. The zero value is ready to use.
+type Cache[V any] struct {
+	shards [numShards]shard[V]
+	// disk, when set, is the persistent second level consulted on a
+	// memory miss and written through on successful computes.
+	disk atomic.Pointer[diskBinding]
+}
+
+// diskBinding scopes a cache's disk traffic: the namespace prefixes
+// every key so distinct caches sharing one store cannot collide.
+type diskBinding struct {
+	d         *Disk
+	namespace string
+}
+
+// SetDisk binds the cache to a persistent store. Keys are stored under
+// the namespace (which must capture everything the in-memory key does
+// not — subject identity, source hash), so the disk entry is valid
+// exactly when an equal-keyed recompute would produce the same value.
+// V must round-trip through encoding/json. A nil Disk detaches.
+func (c *Cache[V]) SetDisk(d *Disk, namespace string) {
+	if d == nil {
+		c.disk.Store(nil)
+		return
+	}
+	c.disk.Store(&diskBinding{d: d, namespace: namespace})
+}
+
+// shardFor hashes the key onto a shard (FNV-1a).
+func shardFor(key string) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return int(h % numShards)
 }
 
 // uncacheable matches errors that must not be memoized. The resilience
@@ -43,18 +113,24 @@ type uncacheable interface{ Uncacheable() bool }
 // measurement failures as deterministic, so retrying a failed key is
 // not useful. The exception is errors marked Uncacheable() (quarantined
 // cells) — those evict their entry so a later request recomputes.
+//
+// With a disk store attached, a memory miss consults the store before
+// computing, and a successful compute is written through; errors never
+// persist.
 func (c *Cache[V]) Do(key string, compute func() (V, error)) (V, error) {
-	c.mu.Lock()
-	if c.m == nil {
-		c.m = map[string]*entry[V]{}
+	idx := shardFor(key)
+	s := &c.shards[idx]
+	s.lock(idx)
+	if s.m == nil {
+		s.m = map[string]*entry[V]{}
 	}
-	e := c.m[key]
+	e := s.m[key]
 	hit := e != nil
 	if e == nil {
 		e = &entry[V]{}
-		c.m[key] = e
+		s.m[key] = e
 	}
-	c.mu.Unlock()
+	s.mu.Unlock()
 	if snk := telemetry.Active(); snk != nil {
 		if hit {
 			// A hit on an entry whose compute is still running is a
@@ -70,19 +146,32 @@ func (c *Cache[V]) Do(key string, compute func() (V, error)) (V, error) {
 		}
 	}
 	e.once.Do(func() {
+		if b := c.disk.Load(); b != nil {
+			dk := b.namespace + "|" + key
+			if b.d.Get(dk, &e.val) {
+				e.done.Store(true)
+				return
+			}
+			e.val, e.err = compute()
+			if e.err == nil {
+				b.d.Put(dk, e.val)
+			}
+			e.done.Store(true)
+			return
+		}
 		e.val, e.err = compute()
 		e.done.Store(true)
 	})
 	if e.err != nil {
 		var u uncacheable
 		if errors.As(e.err, &u) && u.Uncacheable() {
-			c.mu.Lock()
+			s.lock(idx)
 			// Guard against a racing request that already replaced the
 			// entry: only evict the one we observed.
-			if c.m[key] == e {
-				delete(c.m, key)
+			if s.m[key] == e {
+				delete(s.m, key)
 			}
-			c.mu.Unlock()
+			s.mu.Unlock()
 			telemetry.Add("evalcache.evicted", 1)
 		}
 	}
@@ -90,9 +179,26 @@ func (c *Cache[V]) Do(key string, compute func() (V, error)) (V, error) {
 }
 
 // Len reports how many keys have been requested (including in-flight
-// ones), for tests and cache-effectiveness accounting.
+// ones), summed across all shards, for tests and cache-effectiveness
+// accounting.
 func (c *Cache[V]) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.m)
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.lock(i)
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Contended reports how many lock acquisitions found a shard lock held,
+// summed across shards — the residual serialization the sharding did
+// not eliminate.
+func (c *Cache[V]) Contended() int64 {
+	var n int64
+	for i := range c.shards {
+		n += c.shards[i].contended.Load()
+	}
+	return n
 }

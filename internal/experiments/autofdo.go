@@ -55,10 +55,12 @@ func (r *Runner) collectProfile(bench string, cfg pipeline.Config) (*autofdo.Pro
 
 // fdoResult is one memoized AutoFDO measurement: collect a profile at
 // the profiling config, rebuild the final config with it, run it.
+// Fields are exported so the result round-trips through the persistent
+// store's JSON envelope.
 type fdoResult struct {
-	cycles    int64
-	steppable int
-	mapped    float64
+	Cycles    int64
+	Steppable int
+	Mapped    float64
 }
 
 // fdoMeasure caches the profile-collect + FDO-rebuild + run pipeline per
@@ -76,7 +78,7 @@ func (r *Runner) fdoMeasure(bench string, final, profiling pipeline.Config) (fdo
 		if err != nil {
 			return fdoResult{}, err
 		}
-		return fdoResult{cycles: c, steppable: step, mapped: prof.MappedFraction()}, nil
+		return fdoResult{Cycles: c, Steppable: step, Mapped: prof.MappedFraction()}, nil
 	})
 }
 
@@ -130,7 +132,7 @@ func (r *Runner) autoFDOStudy(w io.Writer, full bool) error {
 			if err != nil {
 				return br, err
 			}
-			br.fdoBase = base.cycles
+			br.fdoBase = base.Cycles
 			br.best = br.fdoBase
 			for _, y := range r.Opts.Dy {
 				cfg := la.Configs([]int{y})[0]
@@ -141,12 +143,12 @@ func (r *Runner) autoFDOStudy(w io.Writer, full bool) error {
 					return br, err
 				}
 				br.results = append(br.results, dyRes{
-					y: y, cycles: m.cycles,
-					stepPct:   100 * (float64(m.steppable) - float64(base.steppable)) / float64(base.steppable),
-					mappedPct: 100 * m.mapped,
+					y: y, cycles: m.Cycles,
+					stepPct:   100 * (float64(m.Steppable) - float64(base.Steppable)) / float64(base.Steppable),
+					mappedPct: 100 * m.Mapped,
 				})
-				if m.cycles < br.best {
-					br.best = m.cycles
+				if m.Cycles < br.best {
+					br.best = m.Cycles
 				}
 			}
 			return br, nil
@@ -207,8 +209,8 @@ func (r *Runner) Fig4(w io.Writer) error {
 	}
 	fmt.Fprintln(w, "Figure 4 — selfcomp (large workload): O3-dy-AutoFDO vs O3-AutoFDO")
 	fmt.Fprintf(w, "plain O3: %d cycles; O3-AutoFDO: %d cycles (%+.2f%%)\n",
-		plain, base.cycles,
-		100*(float64(plain)-float64(base.cycles))/float64(base.cycles))
+		plain, base.Cycles,
+		100*(float64(plain)-float64(base.Cycles))/float64(base.Cycles))
 	// The per-dy profile collections are independent; fan them out and
 	// print in dy order.
 	rows, err := workerpool.Map(context.Background(), r.Opts.Dy,
@@ -221,8 +223,8 @@ func (r *Runner) Fig4(w io.Writer) error {
 	for yi, y := range r.Opts.Dy {
 		m := rows[yi]
 		fmt.Fprintf(w, "O3-d%d profile: %d cycles (%+.2f%% vs O3-AutoFDO, mapped %.1f%%)\n",
-			y, m.cycles, 100*(float64(base.cycles)-float64(m.cycles))/float64(m.cycles),
-			100*m.mapped)
+			y, m.Cycles, 100*(float64(base.Cycles)-float64(m.Cycles))/float64(m.Cycles),
+			100*m.Mapped)
 	}
 	return nil
 }

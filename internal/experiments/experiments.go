@@ -83,9 +83,17 @@ type suiteStat struct {
 	Quarantined int
 }
 
-// NewRunner creates a runner.
+// NewRunner creates a runner. AutoFDO measurements are bound to the
+// process-wide persistent store when one is installed: their cache key
+// (benchmark × final fingerprint × profiling fingerprint) plus the
+// sampling period in the namespace fully determines the result, since
+// benchmark sources are embedded in the executable and therefore covered
+// by the store's tool hash.
 func NewRunner(opts Options) *Runner {
-	return &Runner{Opts: opts}
+	r := &Runner{Opts: opts}
+	r.fdo.SetDisk(evalcache.DefaultDisk(),
+		fmt.Sprintf("experiments.fdo|sample%d", opts.SampleEvery))
+	return r
 }
 
 // Suite loads (once) the 13-program test suite with fuzzed corpora,

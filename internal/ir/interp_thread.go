@@ -1,0 +1,472 @@
+package ir
+
+import "fmt"
+
+// This file is the interpreter's direct-threaded execution core, the IR
+// analog of the VM's predecoded dispatch (internal/vm/decode.go). Each
+// function is decoded once per Interp into a flat stream of iinstr cells
+// whose first field is the handler to run, so the hot loop is an
+// indirect call per instruction instead of a switch re-deriving operands
+// from the *Value graph every step. Control-flow edges are resolved at
+// decode time: a branch cell carries the target instruction index and
+// the phi-move list of that edge, which removes both the per-edge
+// indexOfPred scan and the per-block phi rescan of the reference loop.
+//
+// The reference switch loop (interp_ref.go) remains the executable
+// specification; Interp.Reference selects it, and the differential
+// tests in internal/difftest run both cores over the corpus.
+
+// phiMove is one edge-resolved phi assignment, applied in phi order —
+// sequential, exactly like the reference loop's phi scan.
+type phiMove struct{ dst, src int32 }
+
+// iframe is one activation: SSA values, stack slots, and arguments.
+type iframe struct {
+	vals  []int64
+	slots []int64
+	args  []int64
+}
+
+// iinstr is one decoded instruction cell.
+type iinstr struct {
+	// fn executes the instruction and returns the next instruction
+	// index, or -1 to stop (return or error, distinguished by in.ferr).
+	fn func(in *Interp, fr *iframe, d *iinstr) int32
+
+	dst        int32 // value ID written, -1 if none
+	a0, a1, a2 int32 // argument value IDs
+	next       int32 // fallthrough target (this cell's index + 1)
+	tgt, tgt2  int32 // branch targets (taken / fallthrough for OpBr)
+	aux        int64 // AuxInt payload (const, slot/global index)
+	op         Op    // binary sub-op for hBin/hVBin; original op for errors
+
+	moves, moves2 []phiMove // phi moves of the tgt / tgt2 edges
+	callee        *Func     // resolved OpCall target (nil: unknown)
+	name          string    // OpCall callee name, for the unknown-callee error
+	argIDs        []int32   // OpCall argument value IDs
+
+	// v and va keep value identity for the vector-lane bookkeeping,
+	// which the reference core keys by *Value.
+	v  *Value
+	va [3]*Value
+}
+
+// dfunc is one decoded function.
+type dfunc struct {
+	code       []iinstr
+	entryMoves []phiMove
+	nvals      int
+	nslots     int
+}
+
+// decode returns the function's decoded stream, building and caching it
+// on first use. The cache lives on the Interp, whose lifetime is one
+// program snapshot, so pass pipelines mutating IR between runs can never
+// observe a stale stream.
+func (in *Interp) decode(f *Func) *dfunc {
+	if in.dcache == nil {
+		in.dcache = map[*Func]*dfunc{}
+	}
+	if df := in.dcache[f]; df != nil {
+		return df
+	}
+	df := decodeFunc(in.prog, f)
+	in.dcache[f] = df
+	return df
+}
+
+// leadingPhis returns the block's phi prefix — the only phis the
+// reference loop evaluates on edge entry (later phis are inert there and
+// stay inert here).
+func leadingPhis(b *Block) []*Value {
+	for i, v := range b.Instrs {
+		if v.Op != OpPhi {
+			return b.Instrs[:i]
+		}
+	}
+	return b.Instrs
+}
+
+// emittable returns the instructions the reference loop actually
+// executes: non-phis up to and including the first terminator.
+func emittable(b *Block) []*Value {
+	var out []*Value
+	for _, v := range b.Instrs {
+		if v.Op == OpPhi {
+			continue
+		}
+		out = append(out, v)
+		if v.Op.IsTerminator() {
+			break
+		}
+	}
+	return out
+}
+
+// edgeMoves resolves the phi moves for entering next from pred.
+func edgeMoves(next, pred *Block) []phiMove {
+	phis := leadingPhis(next)
+	if len(phis) == 0 {
+		return nil
+	}
+	pi := indexOfPred(next, pred)
+	moves := make([]phiMove, len(phis))
+	for i, p := range phis {
+		moves[i] = phiMove{dst: int32(p.ID), src: int32(p.Args[pi].ID)}
+	}
+	return moves
+}
+
+func decodeFunc(prog *Program, f *Func) *dfunc {
+	df := &dfunc{nvals: f.NumValueIDs(), nslots: f.NumSlots}
+
+	// Pass 1: lay out block starts.
+	start := map[*Block]int32{}
+	n := int32(0)
+	for _, b := range f.Blocks {
+		start[b] = n
+		n += int32(len(emittable(b)))
+	}
+	df.code = make([]iinstr, 0, n)
+
+	// The entry block's phis, if any, read edge index 0 — the reference
+	// loop's initial prevPredIdx.
+	if phis := leadingPhis(f.Entry()); len(phis) > 0 {
+		df.entryMoves = make([]phiMove, len(phis))
+		for i, p := range phis {
+			df.entryMoves[i] = phiMove{dst: int32(p.ID), src: int32(p.Args[0].ID)}
+		}
+	}
+
+	// Pass 2: emit.
+	for _, b := range f.Blocks {
+		for _, v := range emittable(b) {
+			d := iinstr{
+				fn: hIUnhandled, op: v.Op,
+				dst: int32(v.ID), a0: -1, a1: -1, a2: -1,
+				next: int32(len(df.code)) + 1,
+				aux:  v.AuxInt, v: v,
+			}
+			for i, a := range v.Args {
+				switch i {
+				case 0:
+					d.a0 = int32(a.ID)
+				case 1:
+					d.a1 = int32(a.ID)
+				case 2:
+					d.a2 = int32(a.ID)
+				}
+				if i < len(d.va) {
+					d.va[i] = a
+				}
+			}
+			switch v.Op {
+			case OpConst:
+				d.fn = hIConst
+			case OpParam:
+				d.fn = hIParam
+			case OpAdd:
+				d.fn = hIAdd
+			case OpSub:
+				d.fn = hISub
+			case OpMul:
+				d.fn = hIMul
+			case OpEq:
+				d.fn = hIEq
+			case OpNe:
+				d.fn = hINe
+			case OpLt:
+				d.fn = hILt
+			case OpLe:
+				d.fn = hILe
+			case OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr, OpGt, OpGe:
+				d.fn = hIBin
+			case OpNeg:
+				d.fn = hINeg
+			case OpNot:
+				d.fn = hINot
+			case OpSelect:
+				d.fn = hISelect
+			case OpSlotLoad:
+				d.fn = hISlotLoad
+			case OpSlotStore:
+				d.fn = hISlotStore
+			case OpGLoad, OpGArr:
+				d.fn = hIGLoad
+			case OpGStore:
+				d.fn = hIGStore
+			case OpNewArray:
+				d.fn = hINewArray
+			case OpALoad:
+				d.fn = hIALoad
+			case OpAStore:
+				d.fn = hIAStore
+			case OpLen:
+				d.fn = hILen
+			case OpVLoad2:
+				d.fn = hIVLoad2
+			case OpVBin:
+				d.fn = hIVBin
+				d.op = Op(v.AuxInt)
+			case OpVStore2:
+				d.fn = hIVStore2
+			case OpCall:
+				d.fn = hICall
+				d.name = v.Aux
+				d.callee = prog.Func(v.Aux)
+				d.argIDs = make([]int32, len(v.Args))
+				for i, a := range v.Args {
+					d.argIDs[i] = int32(a.ID)
+				}
+			case OpPrint:
+				d.fn = hIPrint
+			case OpDbgValue:
+				d.fn = hINop
+			case OpRet:
+				d.fn = hIRet
+				if len(v.Args) == 0 {
+					d.a0 = -1
+				}
+			case OpJmp:
+				d.fn = hIJmp
+				d.tgt = start[b.Succs[0]]
+				d.moves = edgeMoves(b.Succs[0], b)
+			case OpBr:
+				d.fn = hIBr
+				d.tgt = start[b.Succs[0]]
+				d.moves = edgeMoves(b.Succs[0], b)
+				d.tgt2 = start[b.Succs[1]]
+				d.moves2 = edgeMoves(b.Succs[1], b)
+			}
+			df.code = append(df.code, d)
+		}
+	}
+	return df
+}
+
+// runThreaded is the direct-threaded dispatch loop. Step accounting and
+// the budget check sit in the loop, before each handler, exactly where
+// the reference loop increments and checks.
+func (in *Interp) runThreaded(df *dfunc, args []int64) (int64, error) {
+	fr := iframe{
+		vals:  make([]int64, df.nvals),
+		slots: make([]int64, df.nslots),
+		args:  args,
+	}
+	for _, mv := range df.entryMoves {
+		fr.vals[mv.dst] = fr.vals[mv.src]
+	}
+	code := df.code
+	pc := int32(0)
+	for {
+		in.steps++
+		if in.steps > in.limit {
+			return 0, ErrStepLimit
+		}
+		d := &code[pc]
+		if pc = d.fn(in, &fr, d); pc < 0 {
+			return in.fret, in.ferr
+		}
+	}
+}
+
+func hIConst(_ *Interp, fr *iframe, d *iinstr) int32 {
+	fr.vals[d.dst] = d.aux
+	return d.next
+}
+
+func hIParam(_ *Interp, fr *iframe, d *iinstr) int32 {
+	fr.vals[d.dst] = fr.args[d.aux]
+	return d.next
+}
+
+func hIAdd(_ *Interp, fr *iframe, d *iinstr) int32 {
+	fr.vals[d.dst] = fr.vals[d.a0] + fr.vals[d.a1]
+	return d.next
+}
+
+func hISub(_ *Interp, fr *iframe, d *iinstr) int32 {
+	fr.vals[d.dst] = fr.vals[d.a0] - fr.vals[d.a1]
+	return d.next
+}
+
+func hIMul(_ *Interp, fr *iframe, d *iinstr) int32 {
+	fr.vals[d.dst] = fr.vals[d.a0] * fr.vals[d.a1]
+	return d.next
+}
+
+func hIEq(_ *Interp, fr *iframe, d *iinstr) int32 {
+	fr.vals[d.dst] = b2i(fr.vals[d.a0] == fr.vals[d.a1])
+	return d.next
+}
+
+func hINe(_ *Interp, fr *iframe, d *iinstr) int32 {
+	fr.vals[d.dst] = b2i(fr.vals[d.a0] != fr.vals[d.a1])
+	return d.next
+}
+
+func hILt(_ *Interp, fr *iframe, d *iinstr) int32 {
+	fr.vals[d.dst] = b2i(fr.vals[d.a0] < fr.vals[d.a1])
+	return d.next
+}
+
+func hILe(_ *Interp, fr *iframe, d *iinstr) int32 {
+	fr.vals[d.dst] = b2i(fr.vals[d.a0] <= fr.vals[d.a1])
+	return d.next
+}
+
+func hIBin(_ *Interp, fr *iframe, d *iinstr) int32 {
+	fr.vals[d.dst] = EvalBin(d.op, fr.vals[d.a0], fr.vals[d.a1])
+	return d.next
+}
+
+func hINeg(_ *Interp, fr *iframe, d *iinstr) int32 {
+	fr.vals[d.dst] = -fr.vals[d.a0]
+	return d.next
+}
+
+func hINot(_ *Interp, fr *iframe, d *iinstr) int32 {
+	fr.vals[d.dst] = b2i(fr.vals[d.a0] == 0)
+	return d.next
+}
+
+func hISelect(_ *Interp, fr *iframe, d *iinstr) int32 {
+	if fr.vals[d.a0] != 0 {
+		fr.vals[d.dst] = fr.vals[d.a1]
+	} else {
+		fr.vals[d.dst] = fr.vals[d.a2]
+	}
+	return d.next
+}
+
+func hISlotLoad(_ *Interp, fr *iframe, d *iinstr) int32 {
+	fr.vals[d.dst] = fr.slots[d.aux]
+	return d.next
+}
+
+func hISlotStore(_ *Interp, fr *iframe, d *iinstr) int32 {
+	fr.slots[d.aux] = fr.vals[d.a0]
+	return d.next
+}
+
+func hIGLoad(in *Interp, fr *iframe, d *iinstr) int32 {
+	fr.vals[d.dst] = in.gvals[d.aux]
+	return d.next
+}
+
+func hIGStore(in *Interp, fr *iframe, d *iinstr) int32 {
+	in.gvals[d.aux] = fr.vals[d.a0]
+	return d.next
+}
+
+func hINewArray(in *Interp, fr *iframe, d *iinstr) int32 {
+	size := fr.vals[d.a0]
+	if size < 0 {
+		size = 0
+	}
+	if in.HeapBudget > 0 && in.heapWords+size > in.HeapBudget {
+		in.fret, in.ferr = 0, ErrHeapBudget
+		return -1
+	}
+	fr.vals[d.dst] = in.alloc(fr.vals[d.a0])
+	return d.next
+}
+
+func hIALoad(in *Interp, fr *iframe, d *iinstr) int32 {
+	fr.vals[d.dst] = in.aload(fr.vals[d.a0], fr.vals[d.a1])
+	return d.next
+}
+
+func hIAStore(in *Interp, fr *iframe, d *iinstr) int32 {
+	in.astore(fr.vals[d.a0], fr.vals[d.a1], fr.vals[d.a2])
+	return d.next
+}
+
+func hILen(in *Interp, fr *iframe, d *iinstr) int32 {
+	fr.vals[d.dst] = int64(len(in.arr(fr.vals[d.a0])))
+	return d.next
+}
+
+func hIVLoad2(in *Interp, fr *iframe, d *iinstr) int32 {
+	h, idx := fr.vals[d.a0], fr.vals[d.a1]
+	lane0 := in.aload(h, idx)
+	lane1 := in.aload(h, idx+1)
+	fr.vals[d.dst] = lane0
+	in.setLane(nil, d.v, lane1)
+	return d.next
+}
+
+func hIVBin(in *Interp, fr *iframe, d *iinstr) int32 {
+	a0, a1 := fr.vals[d.a0], in.lane(d.va[0])
+	b0, b1 := fr.vals[d.a1], in.lane(d.va[1])
+	fr.vals[d.dst] = EvalBin(d.op, a0, b0)
+	in.setLane(nil, d.v, EvalBin(d.op, a1, b1))
+	return d.next
+}
+
+func hIVStore2(in *Interp, fr *iframe, d *iinstr) int32 {
+	h, idx := fr.vals[d.a0], fr.vals[d.a1]
+	in.astore(h, idx, fr.vals[d.a2])
+	in.astore(h, idx+1, in.lane(d.va[2]))
+	return d.next
+}
+
+func hICall(in *Interp, fr *iframe, d *iinstr) int32 {
+	if d.callee == nil {
+		in.fret, in.ferr = 0, fmt.Errorf("ir interp: call to unknown %q", d.name)
+		return -1
+	}
+	cargs := make([]int64, len(d.argIDs))
+	for i, id := range d.argIDs {
+		cargs[i] = fr.vals[id]
+	}
+	r, err := in.run(d.callee, cargs)
+	if err != nil {
+		in.fret, in.ferr = 0, err
+		return -1
+	}
+	fr.vals[d.dst] = r
+	return d.next
+}
+
+func hIPrint(in *Interp, fr *iframe, d *iinstr) int32 {
+	in.out = append(in.out, fr.vals[d.a0])
+	return d.next
+}
+
+func hINop(_ *Interp, _ *iframe, d *iinstr) int32 { return d.next }
+
+func hIRet(in *Interp, fr *iframe, d *iinstr) int32 {
+	if d.a0 >= 0 {
+		in.fret = fr.vals[d.a0]
+	} else {
+		in.fret = 0
+	}
+	in.ferr = nil
+	return -1
+}
+
+func hIJmp(_ *Interp, fr *iframe, d *iinstr) int32 {
+	for _, mv := range d.moves {
+		fr.vals[mv.dst] = fr.vals[mv.src]
+	}
+	return d.tgt
+}
+
+func hIBr(_ *Interp, fr *iframe, d *iinstr) int32 {
+	if fr.vals[d.a0] != 0 {
+		for _, mv := range d.moves {
+			fr.vals[mv.dst] = fr.vals[mv.src]
+		}
+		return d.tgt
+	}
+	for _, mv := range d.moves2 {
+		fr.vals[mv.dst] = fr.vals[mv.src]
+	}
+	return d.tgt2
+}
+
+func hIUnhandled(in *Interp, _ *iframe, d *iinstr) int32 {
+	in.fret, in.ferr = 0, fmt.Errorf("ir interp: unhandled op %v", d.op)
+	return -1
+}

@@ -8,10 +8,12 @@ package specsuite
 import (
 	"embed"
 	"fmt"
+	"sync"
 
 	"debugtuner/internal/evalcache"
 	"debugtuner/internal/ir"
 	"debugtuner/internal/pipeline"
+	"debugtuner/internal/resilience"
 	"debugtuner/internal/suite"
 	"debugtuner/internal/vm"
 )
@@ -94,15 +96,34 @@ func RunBinary(name string, bin *vm.Binary) (*Result, error) {
 }
 
 // cycleCache content-addresses ref-workload cycle counts by
-// (benchmark, config fingerprint). The VM is cycle-exact and builds are
-// deterministic, so a configuration's cycle count is a pure function of
-// the key; every table that revisits an Ox-dy config (Fig2, Tables
-// VIII/XI/XII) reuses one execution.
+// (benchmark, source hash, config fingerprint). The VM is cycle-exact
+// and builds are deterministic, so a configuration's cycle count is a
+// pure function of the key; every table that revisits an Ox-dy config
+// (Fig2, Tables VIII/XI/XII) reuses one execution. When a persistent
+// store is bound (SetDefaultDisk, normally via -cachedir), counts also
+// survive across processes — the source hash in the key is what keeps a
+// shared cache directory honest about benchmark edits.
 var cycleCache evalcache.Cache[int64]
+
+var bindDiskOnce sync.Once
+
+// srcHashCache memoizes per-benchmark source hashes for cache keys.
+var srcHashCache evalcache.Cache[uint64]
+
+func srcHash(name string) uint64 {
+	h, _ := srcHashCache.Do(name, func() (uint64, error) {
+		src, err := Source(name)
+		if err != nil {
+			return 0, nil // unknown names fail later, in Run
+		}
+		return resilience.HashBytes(src), nil
+	})
+	return h
+}
 
 // Cycles returns the benchmark's ref-workload cycle count under the
 // configuration, cached by content. FDO-carrying configs (no stable
-// fingerprint) are measured uncached.
+// fingerprint) are measured uncached and never touch the disk store.
 func Cycles(name string, cfg pipeline.Config) (int64, error) {
 	run := func() (int64, error) {
 		r, err := Run(name, cfg)
@@ -115,7 +136,8 @@ func Cycles(name string, cfg pipeline.Config) (int64, error) {
 	if !ok {
 		return run()
 	}
-	return cycleCache.Do(name+"|"+fp, run)
+	bindDiskOnce.Do(func() { cycleCache.SetDisk(evalcache.DefaultDisk(), "specsuite") })
+	return cycleCache.Do(fmt.Sprintf("%s#%016x|%s", name, srcHash(name), fp), run)
 }
 
 // Speedup measures cycles(cfg) relative to the O0 build of the same

@@ -48,9 +48,9 @@ func corrupt(t *testing.T, bin *vm.Binary, mutate func(*debuginfo.Table)) *vm.Bi
 		t.Fatal(err)
 	}
 	mutate(table)
-	nb := *bin
+	nb := bin.Clone()
 	nb.Debug = table.Encode()
-	return &nb
+	return nb
 }
 
 // wantViolation asserts the exact rendered diagnostic appears, and that

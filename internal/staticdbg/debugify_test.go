@@ -143,9 +143,9 @@ func TestMeasureBinarySurvivalAtO0(t *testing.T) {
 		t.Errorf("O0 line survival %d of %d out of range", surv.Lines, total.Lines)
 	}
 	// An undecodable section is zero survival, not an error.
-	nb := *bin
+	nb := bin.Clone()
 	nb.Debug = []byte{9}
-	if got := bl.MeasureBinary(&nb); got != (staticdbg.Survival{}) {
+	if got := bl.MeasureBinary(nb); got != (staticdbg.Survival{}) {
 		t.Errorf("undecodable section measures %+v, want zero", got)
 	}
 }

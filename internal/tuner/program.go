@@ -63,11 +63,18 @@ func LoadProgram(name string, src []byte, inputs map[string][][]int64) (*Program
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
-	return &Program{
+	p := &Program{
 		Name: name, Src: src, Info: info,
 		DR: sema.ComputeDefRanges(info), IR0: ir0,
 		Inputs: inputs, Entry: "main", Budget: 1 << 26,
-	}, nil
+	}
+	// Persist measurements across processes when a disk store is bound.
+	// The namespace carries the subject identity and source hash; with
+	// the config fingerprint as the in-memory key, a disk entry is valid
+	// exactly when a recompute would reproduce it.
+	p.scores.SetDisk(evalcache.DefaultDisk(),
+		fmt.Sprintf("tuner|%s#%016x", name, resilience.HashBytes(src)))
+	return p, nil
 }
 
 // Build compiles the program under the configuration.

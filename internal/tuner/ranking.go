@@ -4,7 +4,9 @@ import (
 	"context"
 	"math"
 	"sort"
+	"sync"
 
+	"debugtuner/internal/evalcache"
 	"debugtuner/internal/metrics"
 	"debugtuner/internal/pipeline"
 	"debugtuner/internal/resilience"
@@ -68,6 +70,19 @@ func (la *LevelAnalysis) Quarantined() int {
 	return len(la.QuarantinedPrograms) + la.QuarantinedCells
 }
 
+// effectCache persists the (program, pass-toggle) ranking-matrix cells.
+// A cell is a pure function of its key — subject source hash × config
+// fingerprint (which carries profile, level, and the disabled pass) ×
+// tool identity (added by the disk layer) — because builds are
+// deterministic, the VM is cycle-exact, and the reference measurement
+// the increment is computed against is itself a function of the same
+// source and level. The matrix dominates cold-run time, so persisting
+// cells is what makes warm reruns fast. Quarantined cells surface as
+// errors and are never persisted.
+var effectCache evalcache.Cache[PassEffect]
+
+var effectDiskOnce sync.Once
+
 // AnalyzeLevel runs DebugTuner stage 1+2 for one profile/level: build the
 // reference, rebuild once per disabled pass (pruning .text-identical
 // builds), measure, and rank.
@@ -128,35 +143,40 @@ func AnalyzeLevel(progs []*Program, profile pipeline.Profile, level string) (*Le
 			jobs = append(jobs, matrixJob{pi, xi})
 		}
 	}
+	effectDiskOnce.Do(func() {
+		effectCache.SetDisk(evalcache.DefaultDisk(), "tuner.effect")
+	})
 	cells, err := workerpool.Map(ctx, jobs, func(ctx context.Context, _ int, j matrixJob) (PassEffect, error) {
 		p := live[j.pi]
 		cfg := pipeline.MustConfig(profile, level,
 			pipeline.Disable(passNames[j.xi]))
 		fp, _ := cfg.Fingerprint()
-		eff, err := resilience.Run(resilience.Active(), ctx, p.CellKey(fp),
-			func(context.Context) (PassEffect, error) {
-				bin := p.Build(cfg)
-				// Stage-1 optimization: identical .text means the pass had
-				// no effect on this program; skip trace extraction (§III.A).
-				if bin.TextHash() == liveRefs[j.pi].TextHash {
-					return PassEffect{NoEffect: true}, nil
-				}
-				base, err := p.Baseline()
-				if err != nil {
-					return PassEffect{}, err
-				}
-				tr, err := p.Trace(bin)
-				if err != nil {
-					return PassEffect{}, err
-				}
-				m := metrics.Hybrid(tr, base, p.DR).Product
-				refM := liveRefs[j.pi].Scores.Product
-				inc := 0.0
-				if refM > 0 {
-					inc = (m - refM) / refM
-				}
-				return PassEffect{Increment: inc}, nil
-			})
+		eff, err := effectCache.Do(p.CellKey(fp), func() (PassEffect, error) {
+			return resilience.Run(resilience.Active(), ctx, p.CellKey(fp),
+				func(context.Context) (PassEffect, error) {
+					bin := p.Build(cfg)
+					// Stage-1 optimization: identical .text means the pass had
+					// no effect on this program; skip trace extraction (§III.A).
+					if bin.TextHash() == liveRefs[j.pi].TextHash {
+						return PassEffect{NoEffect: true}, nil
+					}
+					base, err := p.Baseline()
+					if err != nil {
+						return PassEffect{}, err
+					}
+					tr, err := p.Trace(bin)
+					if err != nil {
+						return PassEffect{}, err
+					}
+					m := metrics.Hybrid(tr, base, p.DR).Product
+					refM := liveRefs[j.pi].Scores.Product
+					inc := 0.0
+					if refM > 0 {
+						inc = (m - refM) / refM
+					}
+					return PassEffect{Increment: inc}, nil
+				})
+		})
 		if resilience.IsQuarantined(err) {
 			return PassEffect{Quarantined: true}, nil
 		}

@@ -1,0 +1,280 @@
+// Predecoding for the direct-threaded execution cores (exec.go).
+//
+// The switch-dispatch interpreter (machine.go referenceRun) pays for
+// every instruction twice: once to decode the opcode in a 27-way switch
+// and once more in the load-use stall check, a second switch over the
+// same opcode. Predecoding runs both switches exactly once per
+// instruction per binary: each Instr becomes a dinstr carrying its
+// handler function pointer (slice-of-func direct threading), its static
+// cycle cost, and a register read mask that reduces the stall check to
+// one AND.
+//
+// The fused stream additionally replaces the hottest instruction pairs
+// (chosen from the dynamic opcode-pair histogram, see
+// TestPairHistogramCoversFusedPairs) with superinstructions: one handler
+// executes both micro-ops with a single dispatch. Fusion never changes
+// the machine model — a fused pair charges the same cycles, counts the
+// same steps, models the same load-use stalls and icache misses, and
+// applies the same owner tags as its two constituents. Because a jump
+// may land on the second instruction of a pair, the fused stream keeps
+// every instruction at its original address: the pair head executes both
+// micro-ops and skips the successor slot, while the successor slot keeps
+// its plain handler for incoming control flow.
+package vm
+
+import "sync"
+
+// dinstr is one predecoded instruction.
+type dinstr struct {
+	fn  func(m *Machine, d *dinstr)
+	op  Op
+	sub uint8
+	a   uint8
+	b   uint8
+	c   uint8
+	dd  uint8
+	// readMask has a bit per register the load-use stall model treats as
+	// read by this instruction; loadBit is the dest-register bit when the
+	// instruction is a load (the value lastLoadMask takes after it).
+	readMask uint16
+	loadBit  uint16
+	imm      int64
+	cost     int64 // static cycle cost; 0 for ops with dynamic cost
+	pc       int32
+	next     int32 // pc+1 (pc+2 for fused pairs)
+	tgt      int32 // branch/jump target or callee entry
+	fidx     int32 // callee function index (OpCall)
+	pre      []OwnerTag
+	post     []OwnerTag
+	ownAll   []OwnerTag // full tag list (OpCall defers these to the return)
+	// Fused-pair state: s2 is the plain dinstr of the second micro-op,
+	// mid the first micro-op's post tags (applied between the two), and
+	// stall2 the statically known intra-pair load-use stall.
+	s2     *dinstr
+	mid    []OwnerTag
+	stall2 int64
+}
+
+// staticCost returns the fixed cycle cost of an opcode, or 0 when the
+// cost is computed dynamically (prolog, newarr, call, branches).
+func staticCost(in *Instr) int64 {
+	switch in.Op {
+	case OpBin, OpBinImm, OpVBin:
+		return binCost(in.Sub)
+	case OpLoadSlot, OpGLoad, OpALoad:
+		return costLoad
+	case OpStoreSlot, OpGStore, OpAStore:
+		return costStore
+	case OpVLoad2:
+		return costVLoad
+	case OpVStore2:
+		return costVStore
+	case OpJmp:
+		return costJmp
+	case OpRet:
+		return costRet
+	case OpPrint:
+		return costPrint
+	default:
+		return costDefault
+	}
+}
+
+// readMask reproduces the reference interpreter's load-use stall rules
+// exactly: the registers listed here are the ones referenceRun's second
+// switch treats as read, which is deliberately not the full semantic
+// read set (e.g. OpSelect's condition C is excluded by the model).
+func readMask(in *Instr) uint16 {
+	bit := func(r uint8) uint16 { return 1 << (r & 15) }
+	switch in.Op {
+	case OpMov, OpNeg, OpNot, OpStoreSlot, OpGStore, OpNewArr,
+		OpLen, OpArg, OpPrint, OpBr, OpBinImm:
+		return bit(in.A)
+	case OpBin, OpSelect, OpALoad, OpVLoad2, OpVBin:
+		return bit(in.A) | bit(in.B)
+	case OpAStore, OpVStore2:
+		return bit(in.A) | bit(in.B) | bit(in.C)
+	case OpRet:
+		if in.Sub != 0 {
+			return bit(in.A)
+		}
+	}
+	return 0
+}
+
+// loadBit returns the dest-register bit for load instructions — the ops
+// referenceRun records in lastLoadReg.
+func loadBit(in *Instr) uint16 {
+	switch in.Op {
+	case OpLoadSlot, OpGLoad, OpALoad, OpVLoad2:
+		return 1 << (in.D & 15)
+	}
+	return 0
+}
+
+// splitTags partitions owner tags into the pre-execution and
+// post-execution sets the reference loop applies.
+func splitTags(own []OwnerTag) (pre, post []OwnerTag) {
+	for _, t := range own {
+		if t.Pre {
+			pre = append(pre, t)
+		} else {
+			post = append(post, t)
+		}
+	}
+	return pre, post
+}
+
+// decodePlain lowers Code into the 1:1 direct-threaded stream.
+func (b *Binary) decodePlain() []dinstr {
+	code := make([]dinstr, len(b.Code))
+	for i := range b.Code {
+		in := &b.Code[i]
+		d := &code[i]
+		d.op = in.Op
+		d.sub, d.a, d.b, d.c, d.dd = in.Sub, in.A, in.B, in.C, in.D
+		d.imm = in.Imm
+		d.cost = staticCost(in)
+		d.readMask = readMask(in)
+		d.loadBit = loadBit(in)
+		d.pc = int32(i)
+		d.next = int32(i + 1)
+		d.ownAll = in.Own
+		d.pre, d.post = splitTags(in.Own)
+		if in.Op == OpCall {
+			// Call tags defer to the matching return; the loop must not
+			// apply them after the call dispatches.
+			d.post = nil
+			d.fidx = int32(in.Imm)
+			if d.fidx >= 0 && int(d.fidx) < len(b.Funcs) {
+				d.tgt = int32(b.Funcs[d.fidx].Start)
+			}
+		}
+		if in.Op == OpJmp || in.Op == OpBr {
+			d.tgt = int32(in.Imm)
+		}
+		if int(in.Op) < len(plainHandlers) && plainHandlers[in.Op] != nil {
+			d.fn = plainHandlers[in.Op]
+		} else {
+			d.fn = hBadOp
+		}
+	}
+	return code
+}
+
+// jumpTargets marks every address reachable other than by sequential
+// flow from its predecessor: function entries, branch/jump targets, and
+// call-return addresses. The second instruction of a fused pair must not
+// be such a target.
+func (b *Binary) jumpTargets() []bool {
+	t := make([]bool, len(b.Code)+1)
+	for i := range b.Funcs {
+		s := b.Funcs[i].Start
+		if s >= 0 && s < len(t) {
+			t[s] = true
+		}
+	}
+	for i := range b.Code {
+		in := &b.Code[i]
+		switch in.Op {
+		case OpJmp, OpBr:
+			if in.Imm >= 0 && in.Imm < int64(len(t)) {
+				t[in.Imm] = true
+			}
+		case OpCall:
+			t[i+1] = true
+		}
+	}
+	return t
+}
+
+// fusePair returns the superinstruction handler for an (op1, op2)
+// pair, or nil when the pair is not in the fused set. The set is the
+// hottest pairs of the dynamic opcode-pair histogram over the SPEC
+// stand-in workloads at O0 and O2 (locked by
+// TestPairHistogramCoversFusedPairs): load-then-binop, binop chains,
+// compare-and-branch, binop-then-store, and back-to-back slot loads.
+// (const,storeslot) was evaluated and rejected: it covers under 0.1% of
+// dynamically executed pairs at O2 — constant stores are what the
+// optimizer deletes first.
+func fusePair(op1, op2 *Instr) func(m *Machine, d *dinstr) {
+	switch op1.Op {
+	case OpBin:
+		if op2.Op == OpBr {
+			return hFuseBinBr
+		}
+	case OpBinImm:
+		switch op2.Op {
+		case OpBr:
+			return hFuseBinImmBr
+		case OpStoreSlot:
+			return hFuseBinImmStore
+		case OpBinImm:
+			return hFuseBinImmBinImm
+		}
+	case OpLoadSlot:
+		switch op2.Op {
+		case OpBin:
+			return hFuseLoadSlotBin
+		case OpBinImm:
+			return hFuseLoadSlotBinImm
+		case OpLoadSlot:
+			return hFuseLoadSlotLoadSlot
+		}
+	}
+	return nil
+}
+
+// decodeFused lowers Code into the superinstruction stream: a copy of
+// the plain stream with eligible pair heads replaced by fused handlers.
+func (b *Binary) decodeFused() []dinstr {
+	code := b.decodePlain()
+	targets := b.jumpTargets()
+	for i := 0; i+1 < len(code); i++ {
+		if targets[i+1] {
+			continue
+		}
+		fn := fusePair(&b.Code[i], &b.Code[i+1])
+		if fn == nil {
+			continue
+		}
+		d := &code[i]
+		s2 := &code[i+1]
+		d.fn = fn
+		d.s2 = s2
+		d.next = int32(i + 2)
+		// Intra-pair stall: the second micro-op reading the first's
+		// loaded register is statically known.
+		if d.loadBit&s2.readMask != 0 {
+			d.stall2 = costLoadUse
+		}
+		// After the pair, lastLoadMask reflects the second micro-op.
+		d.loadBit = s2.loadBit
+		// The dispatch loop applies d.pre before and d.post after the
+		// whole pair; the handler applies op1's post (d.mid) and op2's
+		// pre (d.s2.pre) between the micro-ops.
+		d.mid = d.post
+		d.post = s2.post
+		i++ // never start a new pair on a consumed successor
+	}
+	return code
+}
+
+// decoded streams are cached per binary; builds are immutable once
+// executed.
+type decCache struct {
+	plainOnce sync.Once
+	plain     []dinstr
+	fusedOnce sync.Once
+	fused     []dinstr
+}
+
+func (b *Binary) plainProg() []dinstr {
+	b.dec.plainOnce.Do(func() { b.dec.plain = b.decodePlain() })
+	return b.dec.plain
+}
+
+func (b *Binary) fusedProg() []dinstr {
+	b.dec.fusedOnce.Do(func() { b.dec.fused = b.decodeFused() })
+	return b.dec.fused
+}

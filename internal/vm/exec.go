@@ -1,0 +1,561 @@
+// Direct-threaded execution cores. See decode.go for the predecoding
+// that builds the handler streams and machine.go (referenceRun) for the
+// executable specification these cores are differentially tested
+// against: identical output, cycles, steps, stalls, icache misses, and
+// branch/slot/jump counters on every program, locked by exec_test.go and
+// difftest's fused-vs-unfused corpus sweep.
+package vm
+
+import "fmt"
+
+// fail traps the current dispatch loop with an error.
+func (m *Machine) fail(err error) {
+	m.trap = err
+	m.stop = true
+}
+
+// execFast runs the superinstruction stream with no per-step
+// instrumentation checks. Selected when no breakpoints, coverage,
+// sampling, or pair counting are active.
+func (m *Machine) execFast(code []dinstr) (int64, error) {
+	m.stop = false
+	m.trap = nil
+	for {
+		d := &code[m.pc]
+		m.Steps++
+		if m.Steps > m.StepBudget {
+			return 0, ErrStepBudget
+		}
+		m.icache(int(d.pc))
+		if m.lastLoadMask&d.readMask != 0 {
+			m.Cycles += costLoadUse
+			m.StallCycles += costLoadUse
+		}
+		if d.pre != nil {
+			fr := m.fr
+			for _, t := range d.pre {
+				m.applyTag(fr, t)
+			}
+		}
+		d.fn(m, d)
+		if m.stop {
+			if m.trap != nil {
+				return 0, m.trap
+			}
+			return m.retVal, nil
+		}
+		if d.post != nil {
+			fr := m.fr
+			for _, t := range d.post {
+				m.applyTag(fr, t)
+			}
+		}
+		m.lastLoadMask = d.loadBit
+	}
+}
+
+// execInstr runs the unfused stream with the full per-step
+// instrumentation of the reference interpreter: breakpoints, address
+// coverage, and the opcode-pair histogram.
+func (m *Machine) execInstr(code []dinstr) (int64, error) {
+	m.stop = false
+	m.trap = nil
+	for {
+		d := &code[m.pc]
+		m.Steps++
+		if m.Steps > m.StepBudget {
+			return 0, ErrStepBudget
+		}
+		if m.breaks != nil && m.breaks[d.pc] != 0 && m.OnBreak != nil {
+			m.OnBreak(m, int(d.pc))
+		}
+		if m.CovAddrs != nil {
+			m.CovAddrs[int(d.pc)] = true
+		}
+		if m.PairCounts != nil {
+			m.PairCounts[uint16(m.prevOp)<<8|uint16(d.op)]++
+			m.prevOp = d.op
+		}
+		m.icache(int(d.pc))
+		if m.lastLoadMask&d.readMask != 0 {
+			m.Cycles += costLoadUse
+			m.StallCycles += costLoadUse
+		}
+		if d.pre != nil {
+			fr := m.fr
+			for _, t := range d.pre {
+				m.applyTag(fr, t)
+			}
+		}
+		d.fn(m, d)
+		if m.stop {
+			if m.trap != nil {
+				return 0, m.trap
+			}
+			return m.retVal, nil
+		}
+		if d.post != nil {
+			fr := m.fr
+			for _, t := range d.post {
+				m.applyTag(fr, t)
+			}
+		}
+		m.lastLoadMask = d.loadBit
+	}
+}
+
+// ---- Plain handlers: one per opcode, 1:1 with referenceRun's switch ----
+
+var plainHandlers = [...]func(*Machine, *dinstr){
+	OpNop:       hNop,
+	OpProlog:    hProlog,
+	OpConst:     hConst,
+	OpMov:       hMov,
+	OpBin:       hBin,
+	OpBinImm:    hBinImm,
+	OpNeg:       hNeg,
+	OpNot:       hNot,
+	OpSelect:    hSelect,
+	OpLoadSlot:  hLoadSlot,
+	OpStoreSlot: hStoreSlot,
+	OpLoadParam: hLoadParam,
+	OpGLoad:     hGLoad,
+	OpGStore:    hGStore,
+	OpNewArr:    hNewArr,
+	OpALoad:     hALoad,
+	OpAStore:    hAStore,
+	OpLen:       hLen,
+	OpVLoad2:    hVLoad2,
+	OpVBin:      hVBin,
+	OpVStore2:   hVStore2,
+	OpArg:       hArg,
+	OpCall:      hCall,
+	OpRet:       hRet,
+	OpJmp:       hJmp,
+	OpBr:        hBr,
+	OpPrint:     hPrint,
+}
+
+func hBadOp(m *Machine, d *dinstr) {
+	m.fail(fmt.Errorf("vm: bad opcode %v at %d", d.op, d.pc))
+}
+
+func hNop(m *Machine, d *dinstr) {
+	m.charge(costDefault)
+	m.pc = int(d.next)
+}
+
+func hProlog(m *Machine, d *dinstr) {
+	fr := m.fr
+	fr.PrologueDone = true
+	m.charge(2 + int64(len(fr.Slots))/8)
+	m.pc = int(d.next)
+}
+
+func hConst(m *Machine, d *dinstr) {
+	m.setReg(m.fr, d.dd, d.imm, 0)
+	m.charge(costDefault)
+	m.pc = int(d.next)
+}
+
+func hMov(m *Machine, d *dinstr) {
+	fr := m.fr
+	m.setReg(fr, d.dd, fr.Regs[d.a], fr.Lanes[d.a])
+	m.charge(costDefault)
+	m.pc = int(d.next)
+}
+
+func hBin(m *Machine, d *dinstr) {
+	fr := m.fr
+	m.setReg(fr, d.dd, evalBin(d.sub, fr.Regs[d.a], fr.Regs[d.b]), 0)
+	m.charge(d.cost)
+	m.pc = int(d.next)
+}
+
+func hBinImm(m *Machine, d *dinstr) {
+	fr := m.fr
+	m.setReg(fr, d.dd, evalBin(d.sub, fr.Regs[d.a], d.imm), 0)
+	m.charge(d.cost)
+	m.pc = int(d.next)
+}
+
+func hNeg(m *Machine, d *dinstr) {
+	fr := m.fr
+	m.setReg(fr, d.dd, -fr.Regs[d.a], 0)
+	m.charge(costDefault)
+	m.pc = int(d.next)
+}
+
+func hNot(m *Machine, d *dinstr) {
+	fr := m.fr
+	m.setReg(fr, d.dd, b2i(fr.Regs[d.a] == 0), 0)
+	m.charge(costDefault)
+	m.pc = int(d.next)
+}
+
+func hSelect(m *Machine, d *dinstr) {
+	fr := m.fr
+	v := fr.Regs[d.c]
+	if fr.Regs[d.a] != 0 {
+		v = fr.Regs[d.b]
+	}
+	m.setReg(fr, d.dd, v, 0)
+	m.charge(costDefault)
+	m.pc = int(d.next)
+}
+
+func hLoadSlot(m *Machine, d *dinstr) {
+	fr := m.fr
+	m.setReg(fr, d.dd, fr.Slots[d.imm], 0)
+	m.charge(costLoad)
+	m.SlotOpsRun++
+	m.pc = int(d.next)
+}
+
+func hStoreSlot(m *Machine, d *dinstr) {
+	fr := m.fr
+	fr.Slots[d.imm] = fr.Regs[d.a]
+	fr.SlotOwn[d.imm] = 0
+	m.charge(costStore)
+	m.SlotOpsRun++
+	m.pc = int(d.next)
+}
+
+func hLoadParam(m *Machine, d *dinstr) {
+	fr := m.fr
+	var v int64
+	if int(d.imm) < len(fr.Params) {
+		v = fr.Params[d.imm]
+	}
+	m.setReg(fr, d.dd, v, 0)
+	m.charge(costDefault)
+	m.pc = int(d.next)
+}
+
+func hGLoad(m *Machine, d *dinstr) {
+	m.setReg(m.fr, d.dd, m.Globals[d.imm], 0)
+	m.charge(costLoad)
+	m.pc = int(d.next)
+}
+
+func hGStore(m *Machine, d *dinstr) {
+	m.Globals[d.imm] = m.fr.Regs[d.a]
+	m.charge(costStore)
+	m.pc = int(d.next)
+}
+
+func hNewArr(m *Machine, d *dinstr) {
+	fr := m.fr
+	n := fr.Regs[d.a]
+	if n < 0 {
+		n = 0
+	}
+	if m.HeapBudget > 0 && m.heapWords+n > m.HeapBudget {
+		m.fail(ErrHeapBudget)
+		return
+	}
+	m.setReg(fr, d.dd, m.alloc(fr.Regs[d.a]), 0)
+	m.charge(costNewArrMin + n/8)
+	m.pc = int(d.next)
+}
+
+func hALoad(m *Machine, d *dinstr) {
+	fr := m.fr
+	m.setReg(fr, d.dd, m.aload(fr.Regs[d.a], fr.Regs[d.b]), 0)
+	m.charge(costLoad)
+	m.pc = int(d.next)
+}
+
+func hAStore(m *Machine, d *dinstr) {
+	fr := m.fr
+	m.astore(fr.Regs[d.a], fr.Regs[d.b], fr.Regs[d.c])
+	m.charge(costStore)
+	m.pc = int(d.next)
+}
+
+func hLen(m *Machine, d *dinstr) {
+	fr := m.fr
+	m.setReg(fr, d.dd, int64(len(m.Heap(fr.Regs[d.a]))), 0)
+	m.charge(costDefault)
+	m.pc = int(d.next)
+}
+
+func hVLoad2(m *Machine, d *dinstr) {
+	fr := m.fr
+	h, idx := fr.Regs[d.a], fr.Regs[d.b]
+	m.setReg(fr, d.dd, m.aload(h, idx), m.aload(h, idx+1))
+	m.charge(costVLoad)
+	m.pc = int(d.next)
+}
+
+func hVBin(m *Machine, d *dinstr) {
+	fr := m.fr
+	m.setReg(fr, d.dd,
+		evalBin(d.sub, fr.Regs[d.a], fr.Regs[d.b]),
+		evalBin(d.sub, fr.Lanes[d.a], fr.Lanes[d.b]))
+	m.charge(d.cost)
+	m.pc = int(d.next)
+}
+
+func hVStore2(m *Machine, d *dinstr) {
+	fr := m.fr
+	h, idx := fr.Regs[d.a], fr.Regs[d.b]
+	m.astore(h, idx, fr.Regs[d.c])
+	m.astore(h, idx+1, fr.Lanes[d.c])
+	m.charge(costVStore)
+	m.pc = int(d.next)
+}
+
+func hArg(m *Machine, d *dinstr) {
+	m.argBuf = append(m.argBuf, m.fr.Regs[d.a])
+	m.charge(costDefault)
+	m.pc = int(d.next)
+}
+
+func hCall(m *Machine, d *dinstr) {
+	callee := &m.Bin.Funcs[d.fidx]
+	fr := m.newFrame(int(d.fidx), callee.NumSlots, int(d.next), d.dd)
+	fr.Params = append(fr.Params, m.argBuf...)
+	m.argBuf = m.argBuf[:0]
+	fr.retTags = d.ownAll
+	m.frames = append(m.frames, fr)
+	m.fr = fr
+	m.charge(costCallBase + costCallArg*int64(len(fr.Params)))
+	m.edge(int(d.pc), int(d.tgt))
+	m.pc = int(d.tgt)
+}
+
+func hRet(m *Machine, d *dinstr) {
+	fr := m.fr
+	var rv int64
+	if d.sub != 0 {
+		rv = fr.Regs[d.a]
+	}
+	ret := fr.retAddr
+	rr := fr.retReg
+	retTags := fr.retTags
+	m.frames = m.frames[:len(m.frames)-1]
+	m.charge(costRet)
+	if len(m.frames) == m.depth0 {
+		if n := len(m.frames); n > 0 {
+			m.fr = m.frames[n-1]
+		} else {
+			m.fr = nil
+		}
+		m.freeFrame(fr)
+		m.retVal = rv
+		m.stop = true
+		// pc stays on the return site, matching the reference loop.
+		return
+	}
+	caller := m.frames[len(m.frames)-1]
+	m.fr = caller
+	m.setReg(caller, rr, rv, 0)
+	for _, t := range retTags {
+		if !t.Pre {
+			m.applyTag(caller, t)
+		}
+	}
+	m.edge(int(d.pc), ret)
+	m.pc = ret
+	m.freeFrame(fr)
+}
+
+func hJmp(m *Machine, d *dinstr) {
+	m.charge(costJmp)
+	m.JmpsRun++
+	m.edge(int(d.pc), int(d.tgt))
+	m.pc = int(d.tgt)
+}
+
+func hBr(m *Machine, d *dinstr) {
+	fr := m.fr
+	taken := fr.Regs[d.a] != 0
+	if d.sub != 0 {
+		taken = !taken
+	}
+	if taken {
+		m.charge(costBrTaken)
+		m.TakenBr++
+		m.edge(int(d.pc), int(d.tgt))
+		m.pc = int(d.tgt)
+	} else {
+		m.charge(costBrFall)
+		m.FallBr++
+		m.edge(int(d.pc), int(d.next))
+		m.pc = int(d.next)
+	}
+}
+
+func hPrint(m *Machine, d *dinstr) {
+	m.out = append(m.out, m.fr.Regs[d.a])
+	m.charge(costPrint)
+	m.pc = int(d.next)
+}
+
+// ---- Superinstruction handlers ----
+//
+// Each fused handler executes two micro-ops under one dispatch. The
+// second micro-op replays the loop prologue exactly: step count and
+// budget check, icache charge for its own address, the statically known
+// intra-pair load-use stall, and its pre-tags. The dispatch loop
+// applies the pair's pre (op1's) before and post (op2's) after; op1's
+// post tags are d.mid.
+
+// fuseMid applies op1's post tags between the micro-ops.
+func fuseMid(m *Machine, d *dinstr) {
+	if d.mid != nil {
+		fr := m.fr
+		for _, t := range d.mid {
+			m.applyTag(fr, t)
+		}
+	}
+}
+
+// fuseStep2 runs the second micro-op's step prologue; false means the
+// step budget trapped and the handler must return.
+func fuseStep2(m *Machine, d *dinstr) bool {
+	m.Steps++
+	if m.Steps > m.StepBudget {
+		m.fail(ErrStepBudget)
+		return false
+	}
+	s := d.s2
+	m.icache(int(s.pc))
+	if d.stall2 != 0 {
+		m.Cycles += d.stall2
+		m.StallCycles += d.stall2
+	}
+	if s.pre != nil {
+		fr := m.fr
+		for _, t := range s.pre {
+			m.applyTag(fr, t)
+		}
+	}
+	return true
+}
+
+// fuseBr finishes a (..., br) pair.
+func fuseBr(m *Machine, d *dinstr) {
+	s := d.s2
+	fr := m.fr
+	taken := fr.Regs[s.a] != 0
+	if s.sub != 0 {
+		taken = !taken
+	}
+	if taken {
+		m.charge(costBrTaken)
+		m.TakenBr++
+		m.edge(int(s.pc), int(s.tgt))
+		m.pc = int(s.tgt)
+	} else {
+		m.charge(costBrFall)
+		m.FallBr++
+		m.edge(int(s.pc), int(d.next))
+		m.pc = int(d.next)
+	}
+}
+
+// fuseStore finishes a (..., storeslot) pair.
+func fuseStore(m *Machine, d *dinstr) {
+	s := d.s2
+	fr := m.fr
+	fr.Slots[s.imm] = fr.Regs[s.a]
+	fr.SlotOwn[s.imm] = 0
+	m.charge(costStore)
+	m.SlotOpsRun++
+	m.pc = int(d.next)
+}
+
+func hFuseBinBr(m *Machine, d *dinstr) {
+	fr := m.fr
+	m.setReg(fr, d.dd, evalBin(d.sub, fr.Regs[d.a], fr.Regs[d.b]), 0)
+	m.charge(d.cost)
+	fuseMid(m, d)
+	if !fuseStep2(m, d) {
+		return
+	}
+	fuseBr(m, d)
+}
+
+func hFuseBinImmBr(m *Machine, d *dinstr) {
+	fr := m.fr
+	m.setReg(fr, d.dd, evalBin(d.sub, fr.Regs[d.a], d.imm), 0)
+	m.charge(d.cost)
+	fuseMid(m, d)
+	if !fuseStep2(m, d) {
+		return
+	}
+	fuseBr(m, d)
+}
+
+func hFuseBinImmStore(m *Machine, d *dinstr) {
+	fr := m.fr
+	m.setReg(fr, d.dd, evalBin(d.sub, fr.Regs[d.a], d.imm), 0)
+	m.charge(d.cost)
+	fuseMid(m, d)
+	if !fuseStep2(m, d) {
+		return
+	}
+	fuseStore(m, d)
+}
+
+func hFuseBinImmBinImm(m *Machine, d *dinstr) {
+	fr := m.fr
+	m.setReg(fr, d.dd, evalBin(d.sub, fr.Regs[d.a], d.imm), 0)
+	m.charge(d.cost)
+	fuseMid(m, d)
+	if !fuseStep2(m, d) {
+		return
+	}
+	s := d.s2
+	m.setReg(fr, s.dd, evalBin(s.sub, fr.Regs[s.a], s.imm), 0)
+	m.charge(s.cost)
+	m.pc = int(d.next)
+}
+
+func hFuseLoadSlotLoadSlot(m *Machine, d *dinstr) {
+	fr := m.fr
+	m.setReg(fr, d.dd, fr.Slots[d.imm], 0)
+	m.charge(costLoad)
+	m.SlotOpsRun++
+	fuseMid(m, d)
+	if !fuseStep2(m, d) {
+		return
+	}
+	s := d.s2
+	m.setReg(fr, s.dd, fr.Slots[s.imm], 0)
+	m.charge(costLoad)
+	m.SlotOpsRun++
+	m.pc = int(d.next)
+}
+
+func hFuseLoadSlotBin(m *Machine, d *dinstr) {
+	fr := m.fr
+	m.setReg(fr, d.dd, fr.Slots[d.imm], 0)
+	m.charge(costLoad)
+	m.SlotOpsRun++
+	fuseMid(m, d)
+	if !fuseStep2(m, d) {
+		return
+	}
+	s := d.s2
+	m.setReg(fr, s.dd, evalBin(s.sub, fr.Regs[s.a], fr.Regs[s.b]), 0)
+	m.charge(s.cost)
+	m.pc = int(d.next)
+}
+
+func hFuseLoadSlotBinImm(m *Machine, d *dinstr) {
+	fr := m.fr
+	m.setReg(fr, d.dd, fr.Slots[d.imm], 0)
+	m.charge(costLoad)
+	m.SlotOpsRun++
+	fuseMid(m, d)
+	if !fuseStep2(m, d) {
+		return
+	}
+	s := d.s2
+	m.setReg(fr, s.dd, evalBin(s.sub, fr.Regs[s.a], s.imm), 0)
+	m.charge(s.cost)
+	m.pc = int(d.next)
+}

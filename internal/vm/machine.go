@@ -67,6 +67,31 @@ type Frame struct {
 	retTags []OwnerTag
 }
 
+// Engine selects the execution core. The zero value (EngineAuto) picks
+// the fastest core that supports the machine's active instrumentation;
+// the other values force a specific core for differential testing.
+type Engine uint8
+
+const (
+	// EngineAuto picks EngineFused when no per-step instrumentation
+	// (breakpoints, coverage, sampling, pair counting) is active, and
+	// EnginePlain otherwise.
+	EngineAuto Engine = iota
+	// EngineReference is the original switch-dispatch interpreter, kept
+	// as the executable specification the threaded cores are
+	// differentially tested against.
+	EngineReference
+	// EnginePlain is the direct-threaded core on the unfused instruction
+	// stream with full per-step instrumentation (breakpoints, coverage,
+	// opcode-pair counting).
+	EnginePlain
+	// EngineFused is the direct-threaded core on the superinstruction
+	// stream. Cycle/step accounting is identical to the other engines;
+	// per-step instrumentation (breakpoints, address coverage, pair
+	// counting) is not consulted.
+	EngineFused
+)
+
 // Machine executes a Binary.
 type Machine struct {
 	Bin       *Binary
@@ -77,6 +102,23 @@ type Machine struct {
 
 	frames []*Frame
 	pc     int
+
+	// Engine forces an execution core; leave zero for automatic
+	// selection (see Engine).
+	Engine Engine
+
+	// Direct-threaded dispatch state (exec.go).
+	fr           *Frame // cached top of frames
+	depth0       int    // frame depth the active Call returns past
+	stop         bool
+	trap         error
+	retVal       int64
+	lastLoadMask uint16
+
+	// Frame pool and heap arena: Call/Ret recycle frames instead of
+	// allocating, and small array allocations carve from chunked arenas.
+	framePool []*Frame
+	arena     []int64
 
 	// Cost accounting.
 	Cycles     int64
@@ -96,15 +138,25 @@ type Machine struct {
 	icacheTags   [icacheSets]int64
 	lastLoadReg  int // register written by the immediately preceding load, or -1
 
-	// Breakpoints: address -> set. The OnBreak handler runs before the
-	// instruction at the address executes.
-	Breaks  map[int]bool
+	// Breakpoints: a dense per-address flag set maintained through
+	// SetBreak/ClearBreak. The OnBreak handler runs before the
+	// instruction at the address executes. Breakpoints present when Call
+	// starts select the instrumented core; OnBreak may clear breakpoints
+	// mid-run but additions only take effect at the next Call.
+	breaks  []uint8
+	nbreaks int
 	OnBreak func(m *Machine, addr int)
 
 	// Coverage, enabled by EnableCoverage: executed addresses and
 	// control-flow edge hit counts.
 	CovAddrs map[int]bool
 	CovEdges map[uint64]int64
+
+	// PairCounts, enabled by EnablePairCounts, histograms dynamically
+	// executed opcode pairs (prev<<8|cur) — the telemetry that selects
+	// the superinstruction set (see decode.go).
+	PairCounts map[uint16]int64
+	prevOp     Op
 
 	// Sampling, enabled when SampleEvery > 0: the PC is recorded every
 	// SampleEvery cycles (deterministically, on the instruction that
@@ -139,6 +191,53 @@ func (m *Machine) EnableCoverage() {
 	m.CovAddrs = make(map[int]bool)
 	m.CovEdges = make(map[uint64]int64)
 }
+
+// EnablePairCounts turns on the dynamic opcode-pair histogram used to
+// select superinstruction candidates.
+func (m *Machine) EnablePairCounts() {
+	m.PairCounts = make(map[uint16]int64)
+}
+
+// SetBreak plants a breakpoint at the address. Breakpoints set before
+// Call are honored on every step; OnBreak fires before the instruction
+// at the address executes.
+func (m *Machine) SetBreak(addr int) {
+	if addr < 0 || addr >= len(m.Bin.Code) {
+		return
+	}
+	if m.breaks == nil {
+		m.breaks = make([]uint8, len(m.Bin.Code))
+	}
+	if m.breaks[addr] == 0 {
+		m.breaks[addr] = 1
+		m.nbreaks++
+	}
+}
+
+// ClearBreak removes the breakpoint at the address.
+func (m *Machine) ClearBreak(addr int) {
+	if m.breaks == nil || addr < 0 || addr >= len(m.breaks) || m.breaks[addr] == 0 {
+		return
+	}
+	m.breaks[addr] = 0
+	m.nbreaks--
+}
+
+// ClearAllBreaks removes every breakpoint.
+func (m *Machine) ClearAllBreaks() {
+	for i := range m.breaks {
+		m.breaks[i] = 0
+	}
+	m.nbreaks = 0
+}
+
+// HasBreak reports whether a breakpoint is set at the address.
+func (m *Machine) HasBreak(addr int) bool {
+	return m.breaks != nil && addr >= 0 && addr < len(m.breaks) && m.breaks[addr] != 0
+}
+
+// BreakCount returns the number of live breakpoints.
+func (m *Machine) BreakCount() int { return m.nbreaks }
 
 // Output returns the print stream.
 func (m *Machine) Output() []int64 { return m.out }
@@ -177,6 +276,12 @@ func (m *Machine) NewArray(data []int64) int64 {
 // programs.
 const MaxHeapWords int64 = 1 << 24
 
+// arenaChunk is the allocation quantum of the heap arena. Small arrays
+// carve zeroed regions out of one chunk instead of hitting the Go
+// allocator per OpNewArr; regions are handed out once and never reused,
+// so the zero-initialization guarantee is preserved.
+const arenaChunk = 1 << 15
+
 func (m *Machine) alloc(n int64) int64 {
 	if n < 0 {
 		n = 0
@@ -185,8 +290,56 @@ func (m *Machine) alloc(n int64) int64 {
 		n = rem
 	}
 	m.heapWords += n
-	m.heap = append(m.heap, make([]int64, n))
+	var a []int64
+	switch {
+	case n <= int64(len(m.arena)):
+		a = m.arena[:n:n]
+		m.arena = m.arena[n:]
+	case n < arenaChunk/4:
+		m.arena = make([]int64, arenaChunk)
+		a = m.arena[:n:n]
+		m.arena = m.arena[n:]
+	default:
+		a = make([]int64, n)
+	}
+	m.heap = append(m.heap, a)
 	return int64(len(m.heap) - 1)
+}
+
+// newFrame returns a zeroed frame for the function, recycling one from
+// the pool when possible. Slots and SlotOwn keep their backing arrays
+// across recycles; Params is reset to zero length for the caller to
+// fill.
+func (m *Machine) newFrame(fi, nslots, retAddr int, retReg uint8) *Frame {
+	var fr *Frame
+	if n := len(m.framePool); n > 0 {
+		fr = m.framePool[n-1]
+		m.framePool = m.framePool[:n-1]
+		*fr = Frame{Slots: fr.Slots, SlotOwn: fr.SlotOwn, Params: fr.Params[:0]}
+	} else {
+		fr = &Frame{}
+	}
+	if cap(fr.Slots) < nslots {
+		fr.Slots = make([]int64, nslots)
+		fr.SlotOwn = make([]int32, nslots)
+	} else {
+		fr.Slots = fr.Slots[:nslots]
+		fr.SlotOwn = fr.SlotOwn[:nslots]
+		for i := range fr.Slots {
+			fr.Slots[i] = 0
+			fr.SlotOwn[i] = 0
+		}
+	}
+	fr.FnIdx = fi
+	fr.retAddr = retAddr
+	fr.retReg = retReg
+	return fr
+}
+
+// freeFrame returns a popped frame to the pool.
+func (m *Machine) freeFrame(fr *Frame) {
+	fr.retTags = nil
+	m.framePool = append(m.framePool, fr)
 }
 
 // Call runs the named function to completion and returns its result.
@@ -195,30 +348,60 @@ func (m *Machine) Call(name string, args ...int64) (int64, error) {
 	if fi < 0 {
 		return 0, fmt.Errorf("vm: no function %q", name)
 	}
+	// The threaded cores keep dispatch state on the Machine (referenceRun
+	// keeps it in locals); save it so a nested Call from an OnBreak
+	// callback cannot corrupt the suspended outer loop.
+	prevFr, prevDepth0 := m.fr, m.depth0
+	prevStop, prevTrap, prevRet := m.stop, m.trap, m.retVal
 	f := &m.Bin.Funcs[fi]
-	fr := &Frame{
-		FnIdx:   fi,
-		Slots:   make([]int64, f.NumSlots),
-		SlotOwn: make([]int32, f.NumSlots),
-		Params:  append([]int64(nil), args...),
-		retAddr: -1,
-	}
+	fr := m.newFrame(fi, f.NumSlots, -1, 0)
+	fr.Params = append(fr.Params, args...)
 	m.frames = append(m.frames, fr)
+	m.fr = fr
+	m.depth0 = len(m.frames) - 1
 	m.pc = f.Start
 	if m.SampleEvery > 0 && m.nextSample == 0 {
 		m.nextSample = m.SampleEvery
 	}
-	snk := telemetry.Active()
-	if snk == nil {
-		return m.run()
+	var r int64
+	var err error
+	if snk := telemetry.Active(); snk != nil {
+		// Flush the interpreter's counters as one delta per Call so the
+		// hot loop stays untouched.
+		steps0, cycles0 := m.Steps, m.Cycles
+		r, err = m.dispatch()
+		snk.Add("vm.steps", m.Steps-steps0)
+		snk.Add("vm.cycles", m.Cycles-cycles0)
+	} else {
+		r, err = m.dispatch()
 	}
-	// Flush the interpreter's counters as one delta per Call so the hot
-	// loop stays untouched.
-	steps0, cycles0 := m.Steps, m.Cycles
-	r, err := m.run()
-	snk.Add("vm.steps", m.Steps-steps0)
-	snk.Add("vm.cycles", m.Cycles-cycles0)
+	m.fr, m.depth0 = prevFr, prevDepth0
+	m.stop, m.trap, m.retVal = prevStop, prevTrap, prevRet
 	return r, err
+}
+
+// instrumented reports whether per-step instrumentation demands the
+// plain (unfused) core.
+func (m *Machine) instrumented() bool {
+	return m.nbreaks > 0 || m.OnBreak != nil || m.CovAddrs != nil ||
+		m.PairCounts != nil || m.SampleEvery > 0
+}
+
+// dispatch selects the execution core for one Call.
+func (m *Machine) dispatch() (int64, error) {
+	switch m.Engine {
+	case EngineReference:
+		return m.referenceRun()
+	case EnginePlain:
+		return m.execInstr(m.Bin.plainProg())
+	case EngineFused:
+		return m.execFast(m.Bin.fusedProg())
+	default:
+		if m.instrumented() {
+			return m.execInstr(m.Bin.plainProg())
+		}
+		return m.execFast(m.Bin.fusedProg())
+	}
 }
 
 // EvalBinOp exposes the machine's binary-operation semantics (total:
@@ -312,8 +495,13 @@ func (m *Machine) icache(pc int) {
 	}
 }
 
-func (m *Machine) run() (int64, error) {
-	depth0 := len(m.frames) - 1
+// referenceRun is the original switch-dispatch interpreter, retained as
+// the executable specification: the direct-threaded cores in exec.go are
+// differentially tested against it (identical output, cycles, steps, and
+// counters on every program). Changes to machine semantics MUST be made
+// here first and mirrored into the handlers.
+func (m *Machine) referenceRun() (int64, error) {
+	depth0 := m.depth0
 	var retVal int64
 	for {
 		if len(m.frames) == depth0 {
@@ -324,7 +512,7 @@ func (m *Machine) run() (int64, error) {
 			return 0, ErrStepBudget
 		}
 		pc := m.pc
-		if m.Breaks != nil && m.Breaks[pc] && m.OnBreak != nil {
+		if m.breaks != nil && m.breaks[pc] != 0 && m.OnBreak != nil {
 			m.OnBreak(m, pc)
 		}
 		if m.CovAddrs != nil {

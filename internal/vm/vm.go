@@ -123,6 +123,18 @@ type Binary struct {
 	// Debug is the serialized debug-information section; see package
 	// debuginfo. nil when compiled without -g.
 	Debug []byte
+
+	// dec caches the predecoded direct-threaded instruction streams
+	// (see decode.go). Decoding treats Code as immutable: mutating a
+	// binary after its first execution is not supported.
+	dec decCache
+}
+
+// Clone returns a copy of the binary sharing the code, function, and
+// global tables but with a fresh decode cache. Use it instead of a value
+// copy (which would share — or tear — the cache's sync state).
+func (b *Binary) Clone() *Binary {
+	return &Binary{Code: b.Code, Funcs: b.Funcs, Globals: b.Globals, Debug: b.Debug}
 }
 
 // FuncIndex returns the index of the named function, or -1.

@@ -87,7 +87,9 @@ func TestOwnerTagsAndClobbering(t *testing.T) {
 	}
 	m := New(bin)
 	var ownedAt []int32
-	m.Breaks = map[int]bool{1: true, 2: true, 3: true}
+	for _, a := range []int{1, 2, 3} {
+		m.SetBreak(a)
+	}
 	m.OnBreak = func(m *Machine, addr int) {
 		ownedAt = append(ownedAt, m.Frame().Owner[2])
 	}
@@ -114,7 +116,8 @@ func TestPrologueFlag(t *testing.T) {
 	}
 	m := New(bin)
 	var flags []bool
-	m.Breaks = map[int]bool{0: true, 2: true}
+	m.SetBreak(0)
+	m.SetBreak(2)
 	m.OnBreak = func(m *Machine, addr int) {
 		flags = append(flags, m.Frame().PrologueDone)
 	}
