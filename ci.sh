@@ -109,3 +109,74 @@ if grep -qs garbage "$ENTRY"; then echo "corrupt entry survived"; exit 1; fi
 cmp /tmp/ci-cold.txt /tmp/ci-nocache-j4.txt
 rm -rf /tmp/ci-experiments /tmp/ci-cache /tmp/ci-default-cache \
     /tmp/ci-cold.txt /tmp/ci-warm.txt /tmp/ci-heal.txt /tmp/ci-nocache-j4.txt
+
+# tunerd smoke: boot the service on an ephemeral port, tune + report
+# through the real client, and hold the serving contract: (a) two
+# identical requests return byte-identical bodies with the second a
+# response-cache hit per /debug/metrics, (b) response bytes do not
+# depend on -j or cache state (a second, differently-configured server
+# must agree byte for byte), (c) SIGTERM drains gracefully — new
+# requests get the typed 503 during the grace window and the process
+# exits 0.
+go build -o /tmp/ci-tunerd ./cmd/tunerd
+go build -o /tmp/ci-tunerd-client ./cmd/tunerd-client
+rm -rf /tmp/ci-tunerd-cache
+/tmp/ci-tunerd -addr 127.0.0.1:0 -j 4 -cachedir /tmp/ci-tunerd-cache \
+    -drain-grace 2s > /tmp/ci-tunerd.log 2>&1 &
+TUNERD_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^tunerd listening on //p' /tmp/ci-tunerd.log)
+    test -n "$ADDR" && break
+    sleep 0.1
+done
+test -n "$ADDR"
+cat > /tmp/ci-fib.mc <<'EOF'
+func fib(n: int): int {
+    if (n < 2) {
+        return n;
+    }
+    return fib(n - 1) + fib(n - 2);
+}
+
+func main() {
+    print(fib(12));
+}
+EOF
+/tmp/ci-tunerd-client -addr "$ADDR" tune -level O1 -raw /tmp/ci-fib.mc > /tmp/ci-tune-1.json
+/tmp/ci-tunerd-client -addr "$ADDR" tune -level O1 -raw /tmp/ci-fib.mc > /tmp/ci-tune-2.json
+cmp /tmp/ci-tune-1.json /tmp/ci-tune-2.json
+/tmp/ci-tunerd-client -addr "$ADDR" metrics | grep -q '"tunerd.cache.hit"'
+/tmp/ci-tunerd-client -addr "$ADDR" report -configs gcc-O0,gcc-O2 -raw /tmp/ci-fib.mc \
+    | grep -q '"kind":"report"'
+/tmp/ci-tunerd-client -addr "$ADDR" tune -level O1 /tmp/ci-fib.mc \
+    | grep -q 'pass ranking'
+# Determinism across servers: a cold instance with different worker
+# count and no disk cache must return the exact same bytes.
+/tmp/ci-tunerd -addr 127.0.0.1:0 -j 1 -cachedir off \
+    > /tmp/ci-tunerd2.log 2>&1 &
+TUNERD2_PID=$!
+ADDR2=""
+for _ in $(seq 1 50); do
+    ADDR2=$(sed -n 's/^tunerd listening on //p' /tmp/ci-tunerd2.log)
+    test -n "$ADDR2" && break
+    sleep 0.1
+done
+test -n "$ADDR2"
+/tmp/ci-tunerd-client -addr "$ADDR2" tune -level O1 -raw /tmp/ci-fib.mc > /tmp/ci-tune-3.json
+cmp /tmp/ci-tune-1.json /tmp/ci-tune-3.json
+kill -TERM "$TUNERD2_PID"
+wait "$TUNERD2_PID"
+# Graceful drain: during the grace window a new request must be
+# rejected with the typed draining error, and the server must exit 0.
+kill -TERM "$TUNERD_PID"
+sleep 0.3
+rc=0; /tmp/ci-tunerd-client -addr "$ADDR" tune -level O1 /tmp/ci-fib.mc \
+    2> /tmp/ci-drain-err.txt || rc=$?
+test "$rc" -ne 0
+grep -q 'draining' /tmp/ci-drain-err.txt
+wait "$TUNERD_PID"
+rm -rf /tmp/ci-tunerd /tmp/ci-tunerd-client /tmp/ci-tunerd-cache \
+    /tmp/ci-tunerd.log /tmp/ci-tunerd2.log /tmp/ci-fib.mc \
+    /tmp/ci-tune-1.json /tmp/ci-tune-2.json /tmp/ci-tune-3.json \
+    /tmp/ci-drain-err.txt

@@ -12,8 +12,12 @@
 //	-dy 3,5,7,9           configuration sizes
 //	-top 10               ranking rows to print
 //	-perf                 also measure SPEC speedups per configuration
-//	-trace out.json       write spans/counters as Chrome trace-event JSON
-//	-metrics out.json     write a JSON telemetry summary
+//
+// plus the shared runtime flags (-j, -cachedir, -trace, -metrics,
+// -journal, -resume, -chaos, -cell-timeout, -retries) of
+// internal/options. The result tables are rendered from the same
+// internal/api structs the tunerd server serves, so CLI output and
+// service responses cannot drift.
 package main
 
 import (
@@ -23,9 +27,10 @@ import (
 	"strconv"
 	"strings"
 
+	"debugtuner/internal/api"
+	"debugtuner/internal/options"
 	"debugtuner/internal/pipeline"
 	"debugtuner/internal/specsuite"
-	"debugtuner/internal/telemetry"
 	"debugtuner/internal/testsuite"
 	"debugtuner/internal/tuner"
 )
@@ -38,14 +43,15 @@ func main() {
 	perf := flag.Bool("perf", false, "measure SPEC speedups per configuration")
 	execs := flag.Int("execs", 400, "fuzzing executions per harness")
 	greedy := flag.Int("greedy", 0, "also run a greedy subset search up to N passes")
-	tracePath := flag.String("trace", "",
-		"write spans and counters as Chrome trace-event JSON to this file")
-	metricsPath := flag.String("metrics", "",
-		"write a JSON telemetry summary to this file")
+	shared := options.Install(flag.CommandLine)
 	flag.Parse()
-	var snk *telemetry.Sink
-	if *tracePath != "" || *metricsPath != "" {
-		snk = telemetry.Enable()
+	rt, err := shared.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "debugtuner:", err)
+		if options.IsUsage(err) {
+			os.Exit(2)
+		}
+		os.Exit(1)
 	}
 
 	profile := pipeline.Profile(*compiler)
@@ -71,60 +77,54 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("\npass ranking for %s-%s (%d toggles; %d improve, %d neutral, %d degrade)\n",
-		profile, *level, len(la.Ranking), la.Positive, la.Neutral, la.Negative)
-	fmt.Printf("%-3s %-28s %10s %9s\n", "#", "pass", "avg rank", "Δ%")
-	for i, rp := range la.Ranking {
-		if i >= *top {
-			break
-		}
-		name := rp.Display
-		if rp.Backend {
-			name += " *"
-		}
-		fmt.Printf("%-3d %-28s %10.2f %+8.2f\n", i+1, name, rp.AvgRank, rp.GeoIncrementPct)
+
+	res := &api.TuneResult{
+		Profile:             string(profile),
+		Level:               *level,
+		Positive:            la.Positive,
+		Neutral:             la.Neutral,
+		Negative:            la.Negative,
+		Ranking:             api.RankedPassesFrom(la.Ranking),
+		QuarantinedSubjects: la.QuarantinedPrograms,
+		QuarantinedCells:    la.QuarantinedCells,
+	}
+	for _, p := range progs {
+		res.Subjects = append(res.Subjects, p.Name)
 	}
 
-	fmt.Printf("\nconfigurations (suite-average hybrid product metric)\n")
-	ref := 0.0
-	for _, p := range progs {
-		m, err := p.Product(pipeline.MustConfig(profile, *level))
-		if err != nil {
-			fail(err)
-		}
-		ref += m
+	ref, err := meanProduct(progs, pipeline.MustConfig(profile, *level))
+	if err != nil {
+		fail(err)
 	}
-	ref /= float64(len(progs))
-	fmt.Printf("%-10s product=%.4f", *level, ref)
+	res.Reference = api.TunedConfig{Name: *level, Product: ref}
 	if *perf {
 		_, spd, err := specsuite.SuiteSpeedup(pipeline.MustConfig(profile, *level), nil)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("  speedup=%.2fx", spd)
+		res.Reference.Speedup = &spd
 	}
-	fmt.Println()
 	for _, cfg := range la.Configs(dys) {
-		sum := 0.0
-		for _, p := range progs {
-			m, err := p.Product(cfg)
-			if err != nil {
-				fail(err)
-			}
-			sum += m
+		avg, err := meanProduct(progs, cfg)
+		if err != nil {
+			fail(err)
 		}
-		avg := sum / float64(len(progs))
-		fmt.Printf("%-10s product=%.4f (%+.2f%%)", cfg.Name(), avg, 100*(avg-ref)/ref)
+		tc := api.TunedConfig{
+			Name:     cfg.Name(),
+			Disabled: api.SortedNames(cfg.Disabled),
+			Product:  avg,
+			DeltaPct: 100 * (avg - ref) / ref,
+		}
 		if *perf {
 			_, spd, err := specsuite.SuiteSpeedup(cfg, nil)
 			if err != nil {
 				fail(err)
 			}
-			fmt.Printf("  speedup=%.2fx", spd)
+			tc.Speedup = &spd
 		}
-		fmt.Println()
-		fmt.Printf("           disabled: %s\n", strings.Join(sortedNames(cfg.Disabled), ", "))
+		res.Configs = append(res.Configs, tc)
 	}
+	api.RenderTuneResult(os.Stdout, res, *top)
 
 	if *greedy > 0 {
 		fmt.Printf("\ngreedy subset search (<= %d passes)\n", *greedy)
@@ -136,29 +136,26 @@ func main() {
 			fmt.Printf("%2d. disable %-26s -> product %.4f\n", i+1, s.Pass, s.Product)
 		}
 		fmt.Printf("final: %s disabling %s\n", gcfg.Name(),
-			strings.Join(sortedNames(gcfg.Disabled), ", "))
+			strings.Join(api.SortedNames(gcfg.Disabled), ", "))
 	}
 
-	if snk != nil {
-		if err := telemetry.ExportFiles(snk, *tracePath, *metricsPath); err != nil {
-			fail(err)
-		}
+	code, err := rt.Finish(os.Stdout)
+	if err != nil {
+		fail(err)
 	}
+	os.Exit(code)
 }
 
-func sortedNames(m map[string]bool) []string {
-	var out []string
-	for n := range m {
-		out = append(out, n)
-	}
-	for i := 0; i < len(out); i++ {
-		for j := i + 1; j < len(out); j++ {
-			if out[j] < out[i] {
-				out[i], out[j] = out[j], out[i]
-			}
+func meanProduct(progs []*tuner.Program, cfg pipeline.Config) (float64, error) {
+	sum := 0.0
+	for _, p := range progs {
+		m, err := p.Product(cfg)
+		if err != nil {
+			return 0, err
 		}
+		sum += m
 	}
-	return out
+	return sum / float64(len(progs)), nil
 }
 
 func fail(err error) {

@@ -50,13 +50,10 @@ import (
 	"time"
 
 	"debugtuner/internal/difftest"
-	"debugtuner/internal/evalcache"
 	"debugtuner/internal/experiments"
+	"debugtuner/internal/options"
 	"debugtuner/internal/pipeline"
-	"debugtuner/internal/resilience"
-	"debugtuner/internal/telemetry"
 	"debugtuner/internal/testsuite"
-	"debugtuner/internal/workerpool"
 )
 
 // Profiling state flushed by stopProfiles on every exit path.
@@ -98,14 +95,8 @@ func main() {
 		"AutoFDO sampling period in cycles")
 	quick := flag.Bool("quick", false,
 		"shrink every knob for a fast smoke run")
-	jobs := flag.Int("j", 0,
-		"worker-pool size for the evaluation engine (0 = GOMAXPROCS)")
 	timings := flag.Bool("timings", false,
 		"print per-experiment wall-clock to stderr (stdout stays byte-identical)")
-	tracePath := flag.String("trace", "",
-		"write spans and counters as Chrome trace-event JSON to this file")
-	metricsPath := flag.String("metrics", "",
-		"write a JSON telemetry summary (counters, maxima, damage ledger) to this file")
 	prProfile := flag.String("profile", "gcc",
 		"compiler profile for the passreport experiment")
 	prLevel := flag.String("level", "O2",
@@ -124,23 +115,11 @@ func main() {
 		"difftest matrix: full, levels, or a comma list like gcc-O2,clang-O3*")
 	dtSuite := flag.Bool("suite", true,
 		"include the test-suite programs as difftest subjects")
-	retries := flag.Int("retries", 2,
-		"resilience: extra attempts per cell after the first")
-	cellTimeout := flag.Duration("cell-timeout", 0,
-		"resilience: per-cell deadline (0 = none); overruns count as transient failures")
-	chaosSpec := flag.String("chaos", "",
-		"resilience: deterministic fault injection, e.g. rate=0.05,seed=7")
-	journalPath := flag.String("journal", "",
-		"resilience: write a fresh checkpoint journal (JSONL) to this file")
-	resumePath := flag.String("resume", "",
-		"resilience: resume from an existing checkpoint journal, skipping completed cells")
 	cpuProfile := flag.String("cpuprofile", "",
 		"write a runtime/pprof CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "",
 		"write a runtime/pprof heap profile (after all experiments) to this file")
-	cacheDir := flag.String("cachedir", "",
-		"persistent evalcache directory (default $DEBUGTUNER_CACHE_DIR, "+
-			"else the user cache dir); \"off\" disables persistence")
+	shared := options.Install(flag.CommandLine)
 	flag.Parse()
 	// exit routes every termination through the profile flush: os.Exit
 	// skips defers, and a truncated pprof file is worse than none.
@@ -161,65 +140,13 @@ func main() {
 		cpuProfileFile = f
 	}
 	memProfilePath = *memProfile
-	// The persistent measurement store makes warm reruns skip the
-	// build+trace work entirely. Results are keyed by tool hash × store
-	// format × subject source hash × config fingerprint, so stdout is
-	// byte-identical with a cold cache, a warm cache, or none at all.
-	if *cacheDir != "off" {
-		d, err := evalcache.OpenDisk(*cacheDir)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "-cachedir: %v (persistence disabled)\n", err)
-		} else {
-			evalcache.SetDefaultDisk(d)
+	rt, err := shared.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		if options.IsUsage(err) {
+			exit(2)
 		}
-	}
-	workerpool.SetWorkers(*jobs)
-	if *journalPath != "" && *resumePath != "" {
-		fmt.Fprintln(os.Stderr, "-journal and -resume are mutually exclusive")
-		exit(2)
-	}
-	// The resilience layer stays uninstalled (nil executor = direct call,
-	// byte-identical fault-free path) unless a resilience flag asks for it.
-	var ex *resilience.Executor
-	if *chaosSpec != "" || *journalPath != "" || *resumePath != "" ||
-		*cellTimeout > 0 || *retries != 2 {
-		pol := resilience.DefaultPolicy()
-		pol.Retries = *retries
-		pol.CellTimeout = *cellTimeout
-		ex = resilience.NewExecutor(pol)
-		if *chaosSpec != "" {
-			c, err := resilience.ParseChaos(*chaosSpec)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "-chaos: %v\n", err)
-				exit(2)
-			}
-			ex.Chaos = c
-			ex.Policy.Seed = c.Seed
-		}
-		switch {
-		case *journalPath != "":
-			j, err := resilience.CreateJournal(*journalPath)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "-journal: %v\n", err)
-				exit(1)
-			}
-			ex.Journal = j
-		case *resumePath != "":
-			j, err := resilience.ResumeJournal(*resumePath)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "-resume: %v\n", err)
-				exit(1)
-			}
-			if j.Torn() {
-				fmt.Fprintln(os.Stderr, "resume: discarded torn final journal record")
-			}
-			ex.Journal = j
-		}
-		resilience.Install(ex)
-	}
-	var snk *telemetry.Sink
-	if *tracePath != "" || *metricsPath != "" {
-		snk = telemetry.Enable()
+		exit(1)
 	}
 	if *quick {
 		opts.SynthCount = 20
@@ -325,24 +252,10 @@ func main() {
 	// The quarantine gap report prints after every requested table so the
 	// run's losses are explicit; "completed with gaps" gets a distinct
 	// exit code (3) CI can tell apart from a hard failure (1).
-	exitCode := 0
-	if ex != nil {
-		ex.WriteReport(os.Stdout)
-		if ex.Journal != nil {
-			if err := ex.Journal.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "journal close: %v\n", err)
-				exit(1)
-			}
-		}
-		if len(ex.Quarantined()) > 0 {
-			exitCode = 3
-		}
-	}
-	if snk != nil {
-		if err := telemetry.ExportFiles(snk, *tracePath, *metricsPath); err != nil {
-			fmt.Fprintf(os.Stderr, "telemetry export: %v\n", err)
-			exit(1)
-		}
+	exitCode, err := rt.Finish(os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(1)
 	}
 	exit(exitCode)
 }

@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"debugtuner/internal/debuginfo"
+	"debugtuner/internal/options"
 	"debugtuner/internal/passes"
 	"debugtuner/internal/pipeline"
 	"debugtuner/internal/staticdbg"
@@ -63,7 +64,28 @@ func main() {
 	emitIR := flag.Bool("emit-ir", false, "print the optimized IR")
 	dumpDebug := flag.Bool("dump-debug", false, "print the debug section")
 	textHash := flag.Bool("text-hash", false, "print the .text hash")
+	shared := options.Install(flag.CommandLine)
 	flag.Parse()
+	rt, err := shared.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "minicc:", err)
+		if options.IsUsage(err) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+	// exit merges the command's own code with the shared runtime's
+	// (quarantine report, telemetry export) and terminates.
+	exit := func(code int) {
+		c, err := rt.Finish(os.Stdout)
+		if err != nil {
+			fail(err)
+		}
+		if code == 0 {
+			code = c
+		}
+		os.Exit(code)
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: minicc [flags] file.mc")
@@ -98,7 +120,7 @@ func main() {
 		for _, f := range prog.Funcs {
 			fmt.Print(f.String())
 		}
-		return
+		exit(0)
 	}
 	if *verifyEach {
 		rep := pipeline.BuildVerified(ir0, cfg, false)
@@ -125,10 +147,10 @@ func main() {
 		if len(viols)+len(errs) > 0 {
 			// Distinct from fail()'s exit 1: the build completed, the
 			// metadata it produced is what's broken.
-			os.Exit(3)
+			exit(3)
 		}
 		fmt.Println("PASS")
-		return
+		exit(0)
 	}
 	bin := pipeline.Build(ir0, cfg)
 	if *textHash {
@@ -170,6 +192,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "compiled %s: %d instructions, %d functions (%s)\n",
 			flag.Arg(0), len(bin.Code), len(bin.Funcs), cfg.Name())
 	}
+	exit(0)
 }
 
 func fail(err error) {

@@ -1,0 +1,218 @@
+// Command tunerd-client is the CLI counterpart of the tunerd server.
+// It speaks the versioned wire format of internal/api and renders
+// responses with the same text renderers cmd/debugtuner and
+// cmd/experiments use, so tuning a program over HTTP prints the same
+// tables the batch tools do.
+//
+// Usage:
+//
+//	tunerd-client -addr host:port <command> [flags] [file.mc ...]
+//
+// Commands:
+//
+//	tune    -profile gcc -level O2 [-dy 3,5,7,9] [-top N] [-raw] files...
+//	pareto  -profile gcc -level O2 [-dy 3,5,7,9] [-raw] files...
+//	report  [-configs levels] [-raw] files...
+//	load    [-n 1000] [-c 100] [-distinct 8] [-profile gcc] [-level O2] [-o out.json]
+//	metrics
+//	quarantine
+//	health
+//
+// -raw prints the server's response body verbatim (the ci.sh
+// byte-determinism gate compares these). load fires a synthetic
+// concurrent load at the server and writes the throughput/latency
+// summary — as an api envelope — to -o (BENCH_serve.json in CI).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"debugtuner/internal/api"
+	"debugtuner/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8347", "tunerd server address")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	c := api.NewClient(*addr)
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "tune":
+		runTune(c, args)
+	case "pareto":
+		runPareto(c, args)
+	case "report":
+		runReport(c, args)
+	case "load":
+		runLoad(*addr, args)
+	case "metrics":
+		raw, err := c.Metrics()
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(raw)
+	case "quarantine":
+		_, raw, err := c.Quarantine()
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(raw)
+	case "health":
+		if err := c.Healthz(); err != nil {
+			fail(err)
+		}
+		fmt.Println("ok")
+	default:
+		fmt.Fprintf(os.Stderr, "tunerd-client: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr,
+		"usage: tunerd-client -addr host:port {tune|pareto|report|load|metrics|quarantine|health} [flags] [file.mc ...]")
+}
+
+// readUnits loads the positional .mc files as request units, named by
+// their base filename.
+func readUnits(paths []string) []api.Unit {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "tunerd-client: at least one .mc file is required")
+		os.Exit(2)
+	}
+	var units []api.Unit
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			fail(err)
+		}
+		name := strings.TrimSuffix(filepath.Base(p), ".mc")
+		units = append(units, api.Unit{Name: name, Source: string(src)})
+	}
+	return units
+}
+
+func parseDy(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var dys []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fail(fmt.Errorf("-dy: %v", err))
+		}
+		dys = append(dys, n)
+	}
+	return dys
+}
+
+func runTune(c *api.Client, args []string) {
+	fs := flag.NewFlagSet("tune", flag.ExitOnError)
+	profile := fs.String("profile", "gcc", "compiler profile")
+	level := fs.String("level", "O2", "optimization level")
+	dy := fs.String("dy", "", "Ox-dy sizes, comma separated (default server's)")
+	top := fs.Int("top", 0, "ranking rows to print (0 = all)")
+	raw := fs.Bool("raw", false, "print the raw response body")
+	fs.Parse(args)
+	req := &api.TuneRequest{
+		Profile: *profile, Level: *level, Dy: parseDy(*dy), Units: readUnits(fs.Args()),
+	}
+	res, rawBody, err := c.Tune(req)
+	if err != nil {
+		fail(err)
+	}
+	if *raw {
+		os.Stdout.Write(rawBody)
+		return
+	}
+	api.RenderTuneResult(os.Stdout, res, *top)
+}
+
+func runPareto(c *api.Client, args []string) {
+	fs := flag.NewFlagSet("pareto", flag.ExitOnError)
+	profile := fs.String("profile", "gcc", "compiler profile")
+	level := fs.String("level", "O2", "optimization level")
+	dy := fs.String("dy", "", "Ox-dy sizes, comma separated (default server's)")
+	raw := fs.Bool("raw", false, "print the raw response body")
+	fs.Parse(args)
+	req := &api.TuneRequest{
+		Profile: *profile, Level: *level, Dy: parseDy(*dy), Units: readUnits(fs.Args()),
+	}
+	res, rawBody, err := c.Pareto(req)
+	if err != nil {
+		fail(err)
+	}
+	if *raw {
+		os.Stdout.Write(rawBody)
+		return
+	}
+	api.RenderPareto(os.Stdout, fmt.Sprintf(
+		"Pareto (%s-%s) — product metric vs speedup over O0; * = Pareto-optimal",
+		res.Profile, res.Level), res)
+}
+
+func runReport(c *api.Client, args []string) {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	configs := fs.String("configs", "levels",
+		"difftest matrix: full, levels, or a comma list like gcc-O2,clang-O3*")
+	raw := fs.Bool("raw", false, "print the raw response body")
+	fs.Parse(args)
+	req := &api.ReportRequest{Configs: *configs, Units: readUnits(fs.Args())}
+	res, rawBody, err := c.Report(req)
+	if err != nil {
+		fail(err)
+	}
+	if *raw {
+		os.Stdout.Write(rawBody)
+		return
+	}
+	api.RenderDebugReport(os.Stdout, res)
+}
+
+func runLoad(addr string, args []string) {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	n := fs.Int("n", 1000, "total requests")
+	conc := fs.Int("c", 100, "concurrent workers")
+	distinct := fs.Int("distinct", 8, "distinct request bodies to cycle through")
+	profile := fs.String("profile", "gcc", "compiler profile for generated requests")
+	level := fs.String("level", "O2", "optimization level for generated requests")
+	out := fs.String("o", "", "also write the summary as an api envelope to this file")
+	fs.Parse(args)
+	lr, err := serve.RunLoad(serve.LoadOptions{
+		Addr: addr, Requests: *n, Concurrency: *conc, Distinct: *distinct,
+		Profile: *profile, Level: *level,
+	})
+	if err != nil {
+		fail(err)
+	}
+	api.RenderLoadReport(os.Stdout, lr)
+	if *out != "" {
+		body, err := api.MarshalEnvelope(&api.Envelope{Kind: "load", Load: lr})
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*out, body, 0o644); err != nil {
+			fail(err)
+		}
+	}
+	if lr.Errors > 0 {
+		fail(fmt.Errorf("%d of %d requests failed", lr.Errors, lr.Requests))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tunerd-client:", err)
+	os.Exit(1)
+}

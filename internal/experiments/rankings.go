@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"debugtuner/internal/api"
 	"debugtuner/internal/pipeline"
 	"debugtuner/internal/resilience"
 	"debugtuner/internal/specsuite"
@@ -118,29 +119,18 @@ func (r *Runner) allConfigPoints(p pipeline.Profile) ([]tuner.Point, error) {
 }
 
 // Fig2 prints the debuggability/speedup scatter and its Pareto front for
-// both profiles (paper Figure 2, with Tables XIII/XIV values).
+// both profiles (paper Figure 2, with Tables XIII/XIV values). The table
+// is rendered from the same api.ParetoResult struct the tunerd server
+// serves, so figure and service response cannot drift.
 func (r *Runner) Fig2(w io.Writer) error {
 	for _, p := range []pipeline.Profile{pipeline.GCC, pipeline.Clang} {
 		pts, err := r.allConfigPoints(p)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "Figure 2 (%s) — product metric vs speedup over O0; * = Pareto-optimal\n", p)
-		fmt.Fprintf(w, "%-16s | %10s | %8s\n", "configuration", "product", "speedup")
-		hr(w, 44)
-		for _, pt := range pts {
-			if pt.Quarantined {
-				fmt.Fprintf(w, "%-16s | %10s | %8s\n", pt.Label, "QUAR", "QUAR")
-				continue
-			}
-			mark := " "
-			if tuner.OnFront(pts, pt.Label) {
-				mark = "*"
-			}
-			fmt.Fprintf(w, "%-16s | %10.4f | %7.2fx %s\n", pt.Label, pt.Debug, pt.Speedup, mark)
-		}
-		front := tuner.ParetoFront(pts)
-		fmt.Fprintf(w, "Pareto-optimal: %d of %d configurations\n\n", len(front), len(pts))
+		res := api.ParetoResultFrom(string(p), "", pts)
+		api.RenderPareto(w, fmt.Sprintf(
+			"Figure 2 (%s) — product metric vs speedup over O0; * = Pareto-optimal", p), res)
 	}
 	return nil
 }

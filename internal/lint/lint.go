@@ -15,6 +15,15 @@
 //     byte-identical-output contract of the experiment harness forbids.
 //     Collect the keys, sort them, and range over the slice.
 //
+//   - api-marshal: a direct json.Marshal (or MarshalIndent, or
+//     json.Encoder.Encode) of a struct or map that is not an
+//     internal/api DTO, inside a cmd/ package. Everything a command
+//     puts on the wire or into a JSON artifact must be a versioned
+//     api struct rendered through api.MarshalEnvelope; ad-hoc structs
+//     recreate exactly the format drift the typed API removed. (Maps
+//     additionally marshal in sorted-key order only by convention —
+//     DTOs are map-free by contract.)
+//
 // Stdlib imports are resolved from source ($GOROOT/src); any package
 // that cannot be loaded degrades to an empty stub and its type errors
 // are tolerated, so the analyzer never needs network access or
@@ -232,8 +241,29 @@ func (l *Linter) checkFile(f *ast.File, info *types.Info, dir string) []Finding 
 		out = append(out, Finding{Pos: l.fset.Position(pos), Code: code, Msg: msg})
 	}
 	configExempt := l.pkgPath(dir) == l.modpath+"/internal/pipeline"
+	// The api-marshal rule applies to command packages. Detection is by
+	// a "cmd" path element of the directory (not the import path) so the
+	// tests' out-of-root scratch dirs can opt in by layout.
+	inCmd := false
+	for _, el := range strings.Split(filepath.ToSlash(dir), "/") {
+		if el == "cmd" {
+			inCmd = true
+			break
+		}
+	}
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !inCmd {
+				return true
+			}
+			if arg, ok := l.jsonMarshalArg(n, info); ok {
+				if t, bad := l.nonAPIPayload(info, arg); bad {
+					add(n.Pos(), "api-marshal",
+						fmt.Sprintf("direct JSON marshaling of %s in a command: wire payloads "+
+							"must be internal/api DTOs rendered via api.MarshalEnvelope", t))
+				}
+			}
 		case *ast.CompositeLit:
 			if configExempt {
 				return true
@@ -287,6 +317,93 @@ func (l *Linter) checkFile(f *ast.File, info *types.Info, dir string) []Finding 
 		return true
 	})
 	return out
+}
+
+// jsonMarshalArg returns the payload expression when call is
+// json.Marshal(x), json.MarshalIndent(x, ...), or enc.Encode(x) on an
+// *encoding/json.Encoder.
+func (l *Linter) jsonMarshalArg(call *ast.CallExpr, info *types.Info) (ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil, false
+	}
+	switch sel.Sel.Name {
+	case "Marshal", "MarshalIndent":
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return nil, false
+		}
+		pn, ok := info.Uses[id].(*types.PkgName)
+		if !ok || pn.Imported().Path() != "encoding/json" {
+			return nil, false
+		}
+		return call.Args[0], true
+	case "Encode":
+		tv, ok := info.Types[sel.X]
+		if !ok || tv.Type == nil {
+			return nil, false
+		}
+		t := tv.Type
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return nil, false
+		}
+		obj := named.Obj()
+		if obj.Name() != "Encoder" || obj.Pkg() == nil || obj.Pkg().Path() != "encoding/json" {
+			return nil, false
+		}
+		return call.Args[0], true
+	}
+	return nil, false
+}
+
+// nonAPIPayload reports whether the expression's core type — pointers
+// dereferenced, slices and arrays unwrapped — is a struct or map that
+// is not an internal/api DTO, and names it for the diagnostic.
+func (l *Linter) nonAPIPayload(info *types.Info, arg ast.Expr) (string, bool) {
+	tv, ok := info.Types[arg]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	t := tv.Type
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Slice:
+			t = u.Elem()
+			continue
+		case *types.Array:
+			t = u.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == l.modpath+"/internal/api" {
+			return "", false
+		}
+		if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+			name := obj.Name()
+			if obj.Pkg() != nil {
+				name = obj.Pkg().Name() + "." + name
+			}
+			return name, true
+		}
+		t = named.Underlying()
+	}
+	switch t.(type) {
+	case *types.Struct:
+		return "an anonymous struct", true
+	case *types.Map:
+		return "a map", true
+	}
+	return "", false
 }
 
 // Run analyzes every package directory under the linter's root

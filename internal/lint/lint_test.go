@@ -140,6 +140,116 @@ func dump(m map[string]int) {
 	}
 }
 
+// cmdScratch writes one Go file into a temp dir with a "cmd" path
+// element, which opts the package into the api-marshal rule.
+func cmdScratch(t *testing.T, src string) []Finding {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "cmd", "x")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "s.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := newLinter(t).CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestFlagsMarshalOfNonAPIStructInCmd(t *testing.T) {
+	fs := cmdScratch(t, `package main
+
+import "encoding/json"
+
+type report struct {
+	Count int
+}
+
+func dump() ([]byte, error) {
+	return json.Marshal(report{Count: 1})
+}
+`)
+	if len(fs) != 1 || fs[0].Code != "api-marshal" {
+		t.Fatalf("got %v, want one api-marshal finding", fs)
+	}
+	if !strings.Contains(fs[0].Msg, "main.report") {
+		t.Errorf("message %q does not name the payload type", fs[0].Msg)
+	}
+}
+
+func TestFlagsEncoderEncodeOfMapInCmd(t *testing.T) {
+	fs := cmdScratch(t, `package main
+
+import (
+	"encoding/json"
+	"os"
+)
+
+func dump(m map[string]int) error {
+	return json.NewEncoder(os.Stdout).Encode(m)
+}
+`)
+	if len(fs) != 1 || fs[0].Code != "api-marshal" {
+		t.Fatalf("got %v, want one api-marshal finding", fs)
+	}
+}
+
+func TestAllowsMarshalOfAPIStructInCmd(t *testing.T) {
+	fs := cmdScratch(t, `package main
+
+import (
+	"encoding/json"
+
+	"debugtuner/internal/api"
+)
+
+func dump(req *api.TuneRequest) ([]byte, error) {
+	return json.Marshal(req)
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("api DTO marshal flagged: %v", fs)
+	}
+}
+
+func TestAllowsNonAPIMarshalOutsideCmd(t *testing.T) {
+	fs := scratch(t, `package scratch
+
+import "encoding/json"
+
+type blob struct {
+	N int
+}
+
+func dump() ([]byte, error) {
+	return json.Marshal(blob{N: 1})
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("internal-package marshal flagged: %v", fs)
+	}
+}
+
+func TestAllowsUnmarshalAndBasicMarshalInCmd(t *testing.T) {
+	fs := cmdScratch(t, `package main
+
+import "encoding/json"
+
+func roundtrip(data []byte) ([]byte, error) {
+	var n int
+	if err := json.Unmarshal(data, &n); err != nil {
+		return nil, err
+	}
+	return json.Marshal(n)
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("basic-type marshal flagged: %v", fs)
+	}
+}
+
 func TestAllowsSliceRangePrinting(t *testing.T) {
 	fs := scratch(t, `package scratch
 

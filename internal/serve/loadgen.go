@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"debugtuner/internal/api"
+)
+
+// LoadOptions configures a synthetic load run against a live tunerd.
+type LoadOptions struct {
+	// Addr is the server base URL or host:port.
+	Addr string
+	// Requests is the total request count.
+	Requests int
+	// Concurrency is the number of in-flight client workers.
+	Concurrency int
+	// Distinct is how many distinct request bodies the run cycles
+	// through; Requests/Distinct is the expected duplication factor the
+	// server's cache and single-flight should absorb.
+	Distinct int
+	// Profile and Level parameterize the generated tune requests.
+	Profile string
+	Level   string
+}
+
+// synthSource renders the i-th synthetic MiniC unit. The programs
+// differ in real constants (loop trip counts, seeds) so distinct bodies
+// produce distinct measurement matrices, but stay small enough that a
+// load run measures the serving layer, not the compiler.
+func synthSource(i int) string {
+	trips := 40 + (i%7)*11
+	seed := 1 + i%13
+	return fmt.Sprintf(`var acc: int = 0;
+
+func mix(x: int): int {
+    var h: int = x * 2654435761;
+    h = h ^ (h / 1024);
+    return h;
+}
+
+func work(n: int, seed: int): int {
+    var s: int = seed;
+    var i: int = 0;
+    while (i < n) {
+        s = mix(s + i);
+        if (s < 0) {
+            s = 0 - s;
+        }
+        i = i + 1;
+    }
+    return s;
+}
+
+func main() {
+    acc = work(%d, %d);
+    print(acc);
+}
+`, trips, seed)
+}
+
+// loadUnit builds the i-th distinct request body.
+func loadUnit(opts LoadOptions, i int) *api.TuneRequest {
+	return &api.TuneRequest{
+		V:       api.Version,
+		Profile: opts.Profile,
+		Level:   opts.Level,
+		Units: []api.Unit{
+			{Name: fmt.Sprintf("synth%03d", i), Source: synthSource(i)},
+		},
+	}
+}
+
+// RunLoad fires opts.Requests tune requests at the server from
+// opts.Concurrency workers, cycling over opts.Distinct request bodies,
+// and reports throughput, latency percentiles, server cache behavior,
+// and quarantine leakage.
+func RunLoad(opts LoadOptions) (*api.LoadReport, error) {
+	if opts.Requests <= 0 {
+		opts.Requests = 1000
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 100
+	}
+	if opts.Distinct <= 0 {
+		opts.Distinct = 8
+	}
+	if opts.Profile == "" {
+		opts.Profile = "gcc"
+	}
+	if opts.Level == "" {
+		opts.Level = "O2"
+	}
+
+	c := api.NewClient(opts.Addr)
+	c.HTTP = &http.Client{
+		Timeout: 10 * time.Minute,
+		Transport: &http.Transport{
+			MaxIdleConns:        opts.Concurrency,
+			MaxIdleConnsPerHost: opts.Concurrency,
+		},
+	}
+	if err := c.Healthz(); err != nil {
+		return nil, fmt.Errorf("server not healthy: %w", err)
+	}
+	before, err := c.Counters()
+	if err != nil {
+		return nil, err
+	}
+	quarBefore, _, err := c.Quarantine()
+	if err != nil {
+		return nil, err
+	}
+
+	bodies := make([]*api.TuneRequest, opts.Distinct)
+	for i := range bodies {
+		bodies[i] = loadUnit(opts, i)
+	}
+
+	var (
+		next      atomic.Int64
+		errCount  atomic.Int64
+		latencies = make([]time.Duration, opts.Requests)
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= opts.Requests {
+					return
+				}
+				t0 := time.Now()
+				_, _, err := c.Tune(bodies[i%opts.Distinct])
+				latencies[i] = time.Since(t0)
+				if err != nil {
+					errCount.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	after, err := c.Counters()
+	if err != nil {
+		return nil, err
+	}
+	quarAfter, _, err := c.Quarantine()
+	if err != nil {
+		return nil, err
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(latencies)-1))
+		return float64(latencies[idx]) / float64(time.Millisecond)
+	}
+	delta := func(name string) int64 { return after[name] - before[name] }
+
+	return &api.LoadReport{
+		Requests:       opts.Requests,
+		Concurrency:    opts.Concurrency,
+		Distinct:       opts.Distinct,
+		Errors:         int(errCount.Load()),
+		DurationSec:    wall.Seconds(),
+		Throughput:     float64(opts.Requests) / wall.Seconds(),
+		P50ms:          pct(0.50),
+		P95ms:          pct(0.95),
+		P99ms:          pct(0.99),
+		CacheHits:      delta("tunerd.cache.hit"),
+		CacheCoalesced: delta("tunerd.cache.coalesced"),
+		CacheMisses:    delta("tunerd.cache.miss"),
+		Quarantined:    len(quarAfter) - len(quarBefore),
+	}, nil
+}

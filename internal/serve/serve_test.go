@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"debugtuner/internal/api"
+	"debugtuner/internal/telemetry"
+)
+
+const testSource = `func fib(n: int): int {
+	if (n < 2) {
+		return n;
+	}
+	return fib(n - 1) + fib(n - 2);
+}
+
+func main() {
+	print(fib(12));
+}
+`
+
+func tuneBody(name string) string {
+	return fmt.Sprintf(
+		`{"v":1,"profile":"gcc","level":"O1","units":[{"name":%q,"source":%q}]}`,
+		name, testSource)
+}
+
+func post(t *testing.T, h http.Handler, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	resp := rr.Result()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+func decodeErr(t *testing.T, raw []byte) *api.Error {
+	t.Helper()
+	env, err := api.DecodeEnvelope(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("response is not an envelope: %v (%s)", err, raw)
+	}
+	if env.Error == nil {
+		t.Fatalf("expected an error envelope, got kind %q", env.Kind)
+	}
+	return env.Error
+}
+
+// TestTuneEndToEnd drives a real tune computation through the handler
+// and checks the core serving contract: a valid response envelope, and
+// byte-identical bodies for repeated identical requests with the second
+// served from the response cache.
+func TestTuneEndToEnd(t *testing.T) {
+	if telemetry.Active() == nil {
+		telemetry.Enable()
+	}
+	h := New(Options{}).Handler()
+	resp1, raw1 := post(t, h, "/v1/tune", tuneBody("fib"))
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first request: HTTP %d: %s", resp1.StatusCode, raw1)
+	}
+	env, err := api.DecodeEnvelope(bytes.NewReader(raw1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Kind != "tune" || env.Tune == nil {
+		t.Fatalf("envelope kind %q, want tune payload", env.Kind)
+	}
+	if got := env.Tune.Subjects; len(got) != 1 || got[0] != "fib" {
+		t.Errorf("subjects %v, want [fib]", got)
+	}
+	if len(env.Tune.Ranking) == 0 || len(env.Tune.Configs) == 0 {
+		t.Errorf("tune result missing ranking/configs: %+v", env.Tune)
+	}
+
+	hit0 := telemetry.Active().Counter("tunerd.cache.hit")
+	resp2, raw2 := post(t, h, "/v1/tune", tuneBody("fib"))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second request: HTTP %d", resp2.StatusCode)
+	}
+	if !bytes.Equal(raw1, raw2) {
+		t.Error("identical requests returned different bytes")
+	}
+	if got := telemetry.Active().Counter("tunerd.cache.hit"); got != hit0+1 {
+		t.Errorf("cache hits %d, want %d (second identical request must hit)", got, hit0+1)
+	}
+
+	// Whitespace and field-order variants normalize onto the same cache
+	// entry and therefore the same bytes.
+	variant := `{
+  "units": [{"source": ` + fmt.Sprintf("%q", testSource) + `, "name": "fib"}],
+  "level": "O1",
+  "profile": "gcc",
+  "v": 1
+}`
+	_, raw3 := post(t, h, "/v1/tune", variant)
+	if !bytes.Equal(raw1, raw3) {
+		t.Error("reordered-field request returned different bytes")
+	}
+}
+
+// TestSingleFlight fires identical concurrent requests and checks they
+// coalesce onto one computation.
+func TestSingleFlight(t *testing.T) {
+	if telemetry.Active() == nil {
+		telemetry.Enable()
+	}
+	h := New(Options{}).Handler()
+	miss0 := telemetry.Active().Counter("tunerd.cache.miss")
+	const n = 8
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := httptest.NewRequest(http.MethodPost, "/v1/tune",
+				strings.NewReader(tuneBody("flight")))
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, req)
+			bodies[i] = rr.Body.Bytes()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("concurrent identical requests diverged at %d", i)
+		}
+	}
+	if got := telemetry.Active().Counter("tunerd.cache.miss") - miss0; got != 1 {
+		t.Errorf("%d computations for %d identical concurrent requests, want 1", got, n)
+	}
+}
+
+// TestDeterministicAcrossServers locks the acceptance property that
+// response bytes do not depend on server instance or cache state: a
+// fresh server (cold cache) and a warmed one agree byte for byte.
+func TestDeterministicAcrossServers(t *testing.T) {
+	_, a := post(t, New(Options{}).Handler(), "/v1/tune", tuneBody("det"))
+	_, b := post(t, New(Options{}).Handler(), "/v1/tune", tuneBody("det"))
+	if !bytes.Equal(a, b) {
+		t.Error("two fresh servers returned different bytes for one request")
+	}
+}
+
+func TestTypedErrors(t *testing.T) {
+	h := New(Options{}).Handler()
+	cases := []struct {
+		name, path, body string
+		status           int
+		code             string
+	}{
+		{"malformed", "/v1/tune", `{not json`, 400, api.CodeBadRequest},
+		{"unknown field", "/v1/tune", `{"v":1,"bogus":1}`, 400, api.CodeBadRequest},
+		{"wrong version", "/v1/tune", `{"v":9,"profile":"gcc","level":"O1","units":[{"name":"a","source":"x"}]}`, 400, api.CodeUnsupportedVersion},
+		{"bad profile", "/v1/tune", `{"v":1,"profile":"tcc","level":"O1","units":[{"name":"a","source":"x"}]}`, 400, api.CodeInvalidArgument},
+		{"no units", "/v1/report", `{"v":1,"units":[]}`, 400, api.CodeInvalidArgument},
+		{"compile error", "/v1/tune", `{"v":1,"profile":"gcc","level":"O1","units":[{"name":"a","source":"not minic"}]}`, 400, api.CodeCompileError},
+		{"bad matrix", "/v1/report", fmt.Sprintf(`{"v":1,"configs":"nope-O9","units":[{"name":"a","source":%q}]}`, testSource), 400, api.CodeInvalidArgument},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, raw := post(t, h, tc.path, tc.body)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("HTTP %d, want %d (%s)", resp.StatusCode, tc.status, raw)
+			}
+			if aerr := decodeErr(t, raw); aerr.Code != tc.code {
+				t.Errorf("code %q, want %q", aerr.Code, tc.code)
+			}
+		})
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/tune", nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != 400 {
+		t.Errorf("GET on POST endpoint: HTTP %d, want 400", rr.Code)
+	}
+	req = httptest.NewRequest(http.MethodGet, "/nope", nil)
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != 404 {
+		t.Errorf("unknown endpoint: HTTP %d, want 404", rr.Code)
+	}
+}
+
+// TestAdmissionControl exercises the slot/queue accounting directly:
+// the queue bound rejects, the semaphore serializes, and release
+// restores capacity.
+func TestAdmissionControl(t *testing.T) {
+	s := New(Options{MaxInflight: 1, MaxQueue: 1})
+	if err := s.admit(); err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	if err := s.admit(); err == nil {
+		t.Fatal("second admit beyond the queue bound succeeded")
+	} else if _, ok := err.(overloadedErr); !ok {
+		t.Fatalf("rejection is %T, want overloadedErr", err)
+	}
+	s.release()
+	if err := s.admit(); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	s.release()
+}
+
+// TestOverloadNotCached locks the hazard the Uncacheable marker exists
+// for: an admission rejection must not become the pinned forever-answer
+// for that request body.
+func TestOverloadNotCached(t *testing.T) {
+	s := New(Options{MaxInflight: 1, MaxQueue: 1})
+	// Occupy the only queue slot so the request is rejected.
+	if err := s.admit(); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	resp, raw := post(t, h, "/v1/tune", tuneBody("ovl"))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overloaded request: HTTP %d (%s)", resp.StatusCode, raw)
+	}
+	if aerr := decodeErr(t, raw); aerr.Code != api.CodeOverloaded {
+		t.Fatalf("code %q, want %q", aerr.Code, api.CodeOverloaded)
+	}
+	s.release()
+	resp2, raw2 := post(t, h, "/v1/tune", tuneBody("ovl"))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("retry after overload: HTTP %d (%s) — overload was cached", resp2.StatusCode, raw2)
+	}
+}
+
+// TestPanicQuarantine: a compute panic becomes a typed 500, does not
+// kill the process, and is not pinned in the response cache.
+func TestPanicQuarantine(t *testing.T) {
+	s := New(Options{})
+	calls := 0
+	boom := func() (*api.Envelope, error) {
+		calls++
+		if calls == 1 {
+			panic("synthetic cell failure")
+		}
+		return &api.Envelope{Kind: "tune", Tune: &api.TuneResult{Profile: "gcc"}}, nil
+	}
+	_, aerr := s.cached("tune", map[string]string{"k": "panic-test"}, boom)
+	if aerr == nil || aerr.Code != api.CodeInternal {
+		t.Fatalf("panic surfaced as %+v, want internal error", aerr)
+	}
+	cr, aerr := s.cached("tune", map[string]string{"k": "panic-test"}, boom)
+	if aerr != nil {
+		t.Fatalf("retry after panic: %v — panic was cached", aerr)
+	}
+	if cr.Status != http.StatusOK {
+		t.Fatalf("retry status %d", cr.Status)
+	}
+}
+
+// TestDrain locks the graceful-shutdown contract: after Drain begins,
+// new requests get the typed 503 "draining" error while the listener
+// stays up for the grace window, and Drain returns cleanly.
+func TestDrain(t *testing.T) {
+	s := New(Options{DrainGrace: 200 * time.Millisecond})
+	addr, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := api.NewClient(addr)
+	if err := c.Healthz(); err != nil {
+		t.Fatalf("healthz before drain: %v", err)
+	}
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	// Within the grace window the listener must answer with the typed
+	// draining error rather than refusing connections.
+	deadline := time.Now().Add(150 * time.Millisecond)
+	saw503 := false
+	for time.Now().Before(deadline) {
+		_, _, err := c.Tune(&api.TuneRequest{
+			Profile: "gcc", Level: "O1",
+			Units: []api.Unit{{Name: "d", Source: testSource}},
+		})
+		if aerr, ok := err.(*api.Error); ok && aerr.Code == api.CodeDraining {
+			saw503 = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !saw503 {
+		t.Error("no typed draining rejection observed during the grace window")
+	}
+	if err := <-drained; err != nil {
+		t.Errorf("drain: %v", err)
+	}
+}

@@ -1,0 +1,57 @@
+#!/bin/sh
+# Benchmarks the tunerd service and writes BENCH_serve.json.
+#
+# Boots tunerd on an ephemeral port, then fires the synthetic load
+# generator at it: N requests over C concurrent workers cycling through
+# DISTINCT generated MiniC units. The summary — throughput and
+# p50/p95/p99 latency, plus the response-cache hit/coalesce/miss split
+# and the quarantine delta — is the wire-format api envelope the load
+# subcommand emits, so BENCH_serve.json is itself a v1 payload.
+#
+# The run fails if any request errors or if the server leaks a
+# quarantined cell, which makes this the "sustains concurrent load"
+# acceptance gate as well as a benchmark.
+#
+# Usage: scripts/bench_serve.sh
+#   N        total requests      (default 5000)
+#   C        concurrent workers  (default 1000)
+#   DISTINCT distinct bodies     (default 12)
+#   JOBS     tunerd -j           (default: number of CPUs)
+set -eu
+
+cd "$(dirname "$0")/.."
+N="${N:-5000}"
+C="${C:-1000}"
+DISTINCT="${DISTINCT:-12}"
+NUM_CPUS=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+JOBS="${JOBS:-$NUM_CPUS}"
+OUT=BENCH_serve.json
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"; [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true' EXIT
+
+go build -o "$TMP/tunerd" ./cmd/tunerd
+go build -o "$TMP/tunerd-client" ./cmd/tunerd-client
+
+"$TMP/tunerd" -addr 127.0.0.1:0 -j "$JOBS" -cachedir "$TMP/cache" \
+    > "$TMP/tunerd.log" 2>&1 &
+PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^tunerd listening on //p' "$TMP/tunerd.log")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "tunerd did not come up:" >&2
+    cat "$TMP/tunerd.log" >&2
+    exit 1
+fi
+echo "tunerd up on $ADDR (-j $JOBS); load: n=$N c=$C distinct=$DISTINCT" >&2
+
+"$TMP/tunerd-client" -addr "$ADDR" load \
+    -n "$N" -c "$C" -distinct "$DISTINCT" -o "$OUT"
+
+kill -TERM "$PID"
+wait "$PID"
+PID=""
+cat "$OUT"
