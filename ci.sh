@@ -110,6 +110,25 @@ cmp /tmp/ci-cold.txt /tmp/ci-nocache-j4.txt
 rm -rf /tmp/ci-experiments /tmp/ci-cache /tmp/ci-default-cache \
     /tmp/ci-cold.txt /tmp/ci-warm.txt /tmp/ci-heal.txt /tmp/ci-nocache-j4.txt
 
+# Multi-worker smoke: `experiments work` distributes one run across N
+# worker processes leasing cells from a shared journal directory, then
+# merges and renders. The render must be byte-identical to the
+# single-process run for N=1 and N=3 — including when a worker is
+# killed -9 one second in (its leases expire, peers re-lease the cells)
+# — and the killed run must still exit 0.
+go build -o /tmp/ci-experiments ./cmd/experiments
+/tmp/ci-experiments -cachedir off -seeds 3 -suite=false -configs levels \
+    difftest > /tmp/ci-work-ref.txt
+/tmp/ci-experiments work -workers 1 -cachedir off -seeds 3 -suite=false \
+    -configs levels difftest > /tmp/ci-work-1.txt
+cmp /tmp/ci-work-ref.txt /tmp/ci-work-1.txt
+/tmp/ci-experiments work -workers 3 -kill-worker 1:1s -lease-ttl 2s \
+    -cachedir off -seeds 3 -suite=false -configs levels \
+    difftest > /tmp/ci-work-3.txt
+cmp /tmp/ci-work-ref.txt /tmp/ci-work-3.txt
+rm -f /tmp/ci-experiments /tmp/ci-work-ref.txt /tmp/ci-work-1.txt \
+    /tmp/ci-work-3.txt
+
 # tunerd smoke: boot the service on an ephemeral port, tune + report
 # through the real client, and hold the serving contract: (a) two
 # identical requests return byte-identical bodies with the second a
@@ -176,7 +195,25 @@ rc=0; /tmp/ci-tunerd-client -addr "$ADDR" tune -level O1 /tmp/ci-fib.mc \
 test "$rc" -ne 0
 grep -q 'draining' /tmp/ci-drain-err.txt
 wait "$TUNERD_PID"
+# Fleet smoke: a -workers 2 supervisor (admission + round-robin proxy
+# over re-exec'd worker tunerds) must serve the exact same bytes as the
+# single-process servers above, and SIGTERM must drain the whole fleet
+# with exit 0.
+/tmp/ci-tunerd -workers 2 -addr 127.0.0.1:0 -cachedir off \
+    > /tmp/ci-tunerd3.log 2>&1 &
+TUNERD3_PID=$!
+ADDR3=""
+for _ in $(seq 1 50); do
+    ADDR3=$(sed -n 's/^tunerd listening on //p' /tmp/ci-tunerd3.log)
+    test -n "$ADDR3" && break
+    sleep 0.1
+done
+test -n "$ADDR3"
+/tmp/ci-tunerd-client -addr "$ADDR3" tune -level O1 -raw /tmp/ci-fib.mc > /tmp/ci-tune-4.json
+cmp /tmp/ci-tune-1.json /tmp/ci-tune-4.json
+kill -TERM "$TUNERD3_PID"
+wait "$TUNERD3_PID"
 rm -rf /tmp/ci-tunerd /tmp/ci-tunerd-client /tmp/ci-tunerd-cache \
-    /tmp/ci-tunerd.log /tmp/ci-tunerd2.log /tmp/ci-fib.mc \
-    /tmp/ci-tune-1.json /tmp/ci-tune-2.json /tmp/ci-tune-3.json \
-    /tmp/ci-drain-err.txt
+    /tmp/ci-tunerd.log /tmp/ci-tunerd2.log /tmp/ci-tunerd3.log \
+    /tmp/ci-fib.mc /tmp/ci-tune-1.json /tmp/ci-tune-2.json \
+    /tmp/ci-tune-3.json /tmp/ci-tune-4.json /tmp/ci-drain-err.txt

@@ -5,6 +5,7 @@
 //	experiments [flags] [table1 table2 table3 table4 table5 table6 table7
 //	                     fig2 table8 table9 table10 table11 table12
 //	                     fig3 table15 fig4 passreport | all]
+//	experiments work -workers N [flags] [experiments...]
 //
 // Flags scale the evaluation; the defaults finish in minutes. Outputs are
 // plain-text tables matching the paper's rows.
@@ -37,6 +38,14 @@
 // file, and -resume replays it, rerunning only incomplete or quarantined
 // cells. Without these flags nothing is installed and output is
 // byte-identical to the pre-resilience harness.
+//
+// The work subcommand shards the same run across worker processes: it
+// re-execs -workers N copies of this binary against a shared journal
+// directory, where workers lease (subject × config) cells, checkpoint
+// results to per-worker journals, and re-lease expired cells from
+// crashed peers; the supervisor then merges the journals and renders
+// stdout — byte-identical to the single-process run — by resuming from
+// the merge. See internal/resilience and cmd/experiments/work.go.
 package main
 
 import (
@@ -56,11 +65,99 @@ import (
 	"debugtuner/internal/testsuite"
 )
 
+// cli is the full experiments flag surface, registered on its own flag
+// set so both the plain command and the work supervisor share it.
+type cli struct {
+	fs   *flag.FlagSet
+	opts experiments.Options
+
+	quick      *bool
+	timings    *bool
+	prProfile  *string
+	prLevel    *string
+	dbgSubjects *string
+	dbgProfile *string
+	dbgLevel   *string
+	dbgVerify  *bool
+	dtSeeds    *int
+	dtConfigs  *string
+	dtSuite    *bool
+	cpuProfile *string
+	memProfile *string
+	shared     *options.Flags
+}
+
+func newCLI(name string) *cli {
+	c := &cli{fs: flag.NewFlagSet(name, flag.ExitOnError)}
+	c.opts = experiments.DefaultOptions()
+	c.fs.IntVar(&c.opts.SynthCount, "synth", c.opts.SynthCount,
+		"synthetic programs for Table I (paper: 5000)")
+	c.fs.IntVar(&c.opts.CorpusExecs, "execs", c.opts.CorpusExecs,
+		"fuzzing executions per harness")
+	c.fs.Int64Var(&c.opts.SampleEvery, "sample-every", c.opts.SampleEvery,
+		"AutoFDO sampling period in cycles")
+	c.quick = c.fs.Bool("quick", false,
+		"shrink every knob for a fast smoke run")
+	c.timings = c.fs.Bool("timings", false,
+		"print per-experiment wall-clock to stderr (stdout stays byte-identical)")
+	c.prProfile = c.fs.String("profile", "gcc",
+		"compiler profile for the passreport experiment")
+	c.prLevel = c.fs.String("level", "O2",
+		"optimization level for the passreport experiment")
+	c.dbgSubjects = c.fs.String("dbg-subjects", "",
+		"debugify: comma list of test-suite subjects (default all)")
+	c.dbgProfile = c.fs.String("dbg-profile", "",
+		"debugify: restrict to one profile (gcc or clang; default both)")
+	c.dbgLevel = c.fs.String("dbg-level", "",
+		"debugify: restrict to one optimization level (default all)")
+	c.dbgVerify = c.fs.Bool("dbg-verify", true,
+		"debugify: run the verify-each analyzer (false = plain builds, the bench baseline)")
+	c.dtSeeds = c.fs.Int("seeds", 50,
+		"synthetic seeds for the difftest experiment")
+	c.dtConfigs = c.fs.String("configs", "full",
+		"difftest matrix: full, levels, or a comma list like gcc-O2,clang-O3*")
+	c.dtSuite = c.fs.Bool("suite", true,
+		"include the test-suite programs as difftest subjects")
+	c.cpuProfile = c.fs.String("cpuprofile", "",
+		"write a runtime/pprof CPU profile of the whole run to this file")
+	c.memProfile = c.fs.String("memprofile", "",
+		"write a runtime/pprof heap profile (after all experiments) to this file")
+	c.shared = options.Install(c.fs)
+	return c
+}
+
+// applyQuick shrinks the knobs the way the -quick flag promises.
+func (c *cli) applyQuick() {
+	if *c.quick {
+		c.opts.SynthCount = 20
+		c.opts.CorpusExecs = 120
+		c.opts.Dy = []int{3, 5}
+		c.opts.SpecSubset = []string{"505.mcf", "531.deepsjeng", "557.xz"}
+	}
+}
+
 // Profiling state flushed by stopProfiles on every exit path.
 var (
 	cpuProfileFile *os.File
 	memProfilePath string
 )
+
+// startProfiles begins the -cpuprofile/-memprofile captures.
+func startProfiles(c *cli) error {
+	if *c.cpuProfile != "" {
+		f, err := os.Create(*c.cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-cpuprofile: %v", err)
+		}
+		cpuProfileFile = f
+	}
+	memProfilePath = *c.memProfile
+	return nil
+}
 
 // stopProfiles finalizes the -cpuprofile and -memprofile outputs. It is
 // safe to call when profiling was never started.
@@ -86,76 +183,42 @@ func stopProfiles() {
 }
 
 func main() {
-	opts := experiments.DefaultOptions()
-	flag.IntVar(&opts.SynthCount, "synth", opts.SynthCount,
-		"synthetic programs for Table I (paper: 5000)")
-	flag.IntVar(&opts.CorpusExecs, "execs", opts.CorpusExecs,
-		"fuzzing executions per harness")
-	flag.Int64Var(&opts.SampleEvery, "sample-every", opts.SampleEvery,
-		"AutoFDO sampling period in cycles")
-	quick := flag.Bool("quick", false,
-		"shrink every knob for a fast smoke run")
-	timings := flag.Bool("timings", false,
-		"print per-experiment wall-clock to stderr (stdout stays byte-identical)")
-	prProfile := flag.String("profile", "gcc",
-		"compiler profile for the passreport experiment")
-	prLevel := flag.String("level", "O2",
-		"optimization level for the passreport experiment")
-	dbgSubjects := flag.String("dbg-subjects", "",
-		"debugify: comma list of test-suite subjects (default all)")
-	dbgProfile := flag.String("dbg-profile", "",
-		"debugify: restrict to one profile (gcc or clang; default both)")
-	dbgLevel := flag.String("dbg-level", "",
-		"debugify: restrict to one optimization level (default all)")
-	dbgVerify := flag.Bool("dbg-verify", true,
-		"debugify: run the verify-each analyzer (false = plain builds, the bench baseline)")
-	dtSeeds := flag.Int("seeds", 50,
-		"synthetic seeds for the difftest experiment")
-	dtConfigs := flag.String("configs", "full",
-		"difftest matrix: full, levels, or a comma list like gcc-O2,clang-O3*")
-	dtSuite := flag.Bool("suite", true,
-		"include the test-suite programs as difftest subjects")
-	cpuProfile := flag.String("cpuprofile", "",
-		"write a runtime/pprof CPU profile of the whole run to this file")
-	memProfile := flag.String("memprofile", "",
-		"write a runtime/pprof heap profile (after all experiments) to this file")
-	shared := options.Install(flag.CommandLine)
-	flag.Parse()
-	// exit routes every termination through the profile flush: os.Exit
-	// skips defers, and a truncated pprof file is worse than none.
-	exit := func(code int) {
+	if len(os.Args) > 1 && os.Args[1] == "work" {
+		code := workMain(os.Args[2:])
 		stopProfiles()
 		os.Exit(code)
 	}
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "-cpuprofile: %v\n", err)
-			os.Exit(1)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "-cpuprofile: %v\n", err)
-			os.Exit(1)
-		}
-		cpuProfileFile = f
+	code := runMain(os.Args[1:])
+	stopProfiles()
+	os.Exit(code)
+}
+
+// runMain is the plain single-process command.
+func runMain(argv []string) int {
+	c := newCLI("experiments")
+	c.fs.Parse(argv)
+	if err := startProfiles(c); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
 	}
-	memProfilePath = *memProfile
-	rt, err := shared.Build()
+	rt, err := c.shared.Build()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		if options.IsUsage(err) {
-			exit(2)
+			return 2
 		}
-		exit(1)
+		return 1
 	}
-	if *quick {
-		opts.SynthCount = 20
-		opts.CorpusExecs = 120
-		opts.Dy = []int{3, 5}
-		opts.SpecSubset = []string{"505.mcf", "531.deepsjeng", "557.xz"}
-	}
+	return runExperiments(c, rt, c.fs.Args())
+}
 
-	r := experiments.NewRunner(opts)
+// runExperiments executes the requested experiment set and finishes the
+// runtime (quarantine report, journal close, telemetry export). Both the
+// plain command and the work supervisor's render phase funnel through
+// it, which is what keeps their stdout byte-identical.
+func runExperiments(c *cli, rt *options.Runtime, want []string) int {
+	c.applyQuick()
+	r := experiments.NewRunner(c.opts)
 	type exp struct {
 		name string
 		run  func(io.Writer) error
@@ -168,7 +231,6 @@ func main() {
 		{"table11", r.Table11}, {"table12", r.Table12},
 		{"fig3", r.Fig3}, {"table15", r.Table15}, {"fig4", r.Fig4},
 	}
-	want := flag.Args()
 	if len(want) == 0 || (len(want) == 1 && want[0] == "all") {
 		want = nil
 		for _, e := range all {
@@ -182,16 +244,16 @@ func main() {
 	// Deliberately absent from "all": the report's wall-ms column varies
 	// run to run, and "all" output must stay byte-identical.
 	byName["passreport"] = exp{"passreport", func(w io.Writer) error {
-		return experiments.WritePassReport(w, pipeline.Profile(*prProfile), *prLevel)
+		return experiments.WritePassReport(w, pipeline.Profile(*c.prProfile), *c.prLevel)
 	}}
 	// Also absent from "all": difftest is a correctness gate. A run with
 	// findings exits nonzero so CI can gate on it.
 	byName["difftest"] = exp{"difftest", func(w io.Writer) error {
-		dopts := difftest.Options{Spec: *dtConfigs}
-		for seed := int64(1); seed <= int64(*dtSeeds); seed++ {
+		dopts := difftest.Options{Spec: *c.dtConfigs}
+		for seed := int64(1); seed <= int64(*c.dtSeeds); seed++ {
 			dopts.Seeds = append(dopts.Seeds, seed)
 		}
-		if *dtSuite {
+		if *c.dtSuite {
 			dopts.Testsuite = testsuite.Names
 		}
 		rep, err := difftest.Run(w, dopts)
@@ -211,15 +273,15 @@ func main() {
 	// cells surface through the quarantine report and exit code 3.
 	byName["debugify"] = exp{"debugify", func(w io.Writer) error {
 		dopts := experiments.DefaultDebugifyOptions()
-		dopts.Verify = *dbgVerify
-		if *dbgSubjects != "" {
-			dopts.Subjects = strings.Split(*dbgSubjects, ",")
+		dopts.Verify = *c.dbgVerify
+		if *c.dbgSubjects != "" {
+			dopts.Subjects = strings.Split(*c.dbgSubjects, ",")
 		}
-		if *dbgProfile != "" {
-			dopts.Profiles = []pipeline.Profile{pipeline.Profile(*dbgProfile)}
+		if *c.dbgProfile != "" {
+			dopts.Profiles = []pipeline.Profile{pipeline.Profile(*c.dbgProfile)}
 		}
-		if *dbgLevel != "" {
-			dopts.Levels = []string{*dbgLevel}
+		if *c.dbgLevel != "" {
+			dopts.Levels = []string{*c.dbgLevel}
 		}
 		rep, err := experiments.WriteDebugify(w, dopts)
 		if err != nil {
@@ -234,15 +296,15 @@ func main() {
 		e, ok := byName[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
-			exit(2)
+			return 2
 		}
 		fmt.Printf("==== %s ====\n", e.name)
 		start := time.Now()
 		if err := e.run(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
-			exit(1)
+			return 1
 		}
-		if *timings {
+		if *c.timings {
 			// Timing goes to stderr so stdout stays byte-identical
 			// across worker counts.
 			fmt.Fprintf(os.Stderr, "[%s: %.2fs]\n", e.name, time.Since(start).Seconds())
@@ -255,7 +317,7 @@ func main() {
 	exitCode, err := rt.Finish(os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		exit(1)
+		return 1
 	}
-	exit(exitCode)
+	return exitCode
 }

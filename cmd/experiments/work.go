@@ -1,0 +1,193 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"debugtuner/internal/options"
+	"debugtuner/internal/resilience"
+)
+
+// workMain is the `experiments work` supervisor: it re-execs -workers N
+// copies of this binary against a shared journal directory, where the
+// workers lease (subject × config) cells, checkpoint results to
+// per-worker journals, and re-lease expired cells from crashed peers.
+// Once the fleet exits, the supervisor merges the worker journals and
+// renders stdout by resuming from the merge in-process — every journaled
+// cell replays, anything missing (a cell lost with a killed worker
+// before any peer re-leased it, or FDO cells outside the fingerprint
+// domain) is recomputed — so the output is byte-identical to a
+// single-process run.
+func workMain(argv []string) int {
+	c := newCLI("experiments work")
+	workers := c.fs.Int("workers", 2, "worker processes to spawn")
+	killWorker := c.fs.String("kill-worker", "",
+		"test hook: I:DUR — kill -9 worker I after DUR, exercising lease expiry and re-leasing")
+	keepWork := c.fs.Bool("keep-work", false,
+		"keep the work directory (worker journals, lease ledger, logs) after success")
+	c.fs.Parse(argv)
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "experiments work:", err)
+		return 1
+	}
+	usage := func(msg string) int {
+		fmt.Fprintln(os.Stderr, "experiments work:", msg)
+		return 2
+	}
+	if *workers < 1 {
+		return usage("-workers must be >= 1")
+	}
+	if *c.shared.Journal != "" || *c.shared.Resume != "" {
+		return usage("-journal/-resume are owned by the supervisor; use -work-dir to place the work directory")
+	}
+	if *c.shared.WorkID != "" {
+		return usage("-work-id is assigned by the supervisor")
+	}
+	killIdx, killAfter, err := parseKillWorker(*killWorker)
+	if err != nil {
+		return usage(err.Error())
+	}
+
+	dir := *c.shared.WorkDir
+	madeTemp := false
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "experiments-work-")
+		if err != nil {
+			return fail(err)
+		}
+		madeTemp = true
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fail(err)
+	}
+	exps := c.fs.Args()
+
+	// Workers get exactly the flags the user set (supervisor-only and
+	// profile flags excluded — N workers sharing one pprof path would
+	// clobber it), plus their work-dir identity.
+	var passthrough []string
+	c.fs.Visit(func(fl *flag.Flag) {
+		switch fl.Name {
+		case "workers", "kill-worker", "keep-work",
+			"work-dir", "work-id", "journal", "resume",
+			"cpuprofile", "memprofile":
+			return
+		}
+		passthrough = append(passthrough, "-"+fl.Name+"="+fl.Value.String())
+	})
+	exe, err := os.Executable()
+	if err != nil {
+		return fail(err)
+	}
+
+	type worker struct {
+		cmd *exec.Cmd
+		log *os.File
+	}
+	procs := make([]worker, *workers)
+	for i := range procs {
+		args := append([]string{}, passthrough...)
+		args = append(args,
+			"-work-dir="+dir,
+			fmt.Sprintf("-work-id=w%d", i))
+		args = append(args, exps...)
+		logf, err := os.Create(filepath.Join(dir, fmt.Sprintf("w%d.log", i)))
+		if err != nil {
+			return fail(err)
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Stdout = logf
+		cmd.Stderr = logf
+		if err := cmd.Start(); err != nil {
+			logf.Close()
+			return fail(fmt.Errorf("start worker %d: %w", i, err))
+		}
+		procs[i] = worker{cmd: cmd, log: logf}
+	}
+	if killIdx >= 0 {
+		if killIdx >= len(procs) {
+			return usage(fmt.Sprintf("-kill-worker index %d out of range", killIdx))
+		}
+		victim := procs[killIdx].cmd
+		time.AfterFunc(killAfter, func() {
+			// SIGKILL, not SIGTERM: the point is a worker that dies
+			// mid-append without any cleanup. Killing an already-exited
+			// worker is a no-op, which keeps the hook race-free.
+			victim.Process.Kill()
+		})
+	}
+
+	failed := 0
+	for i, p := range procs {
+		err := p.cmd.Wait()
+		p.log.Close()
+		// Exit 0 (clean) and 3 (completed with quarantined cells) are
+		// both useful journals; anything else — including a kill —
+		// means this worker's unclaimed cells were re-leased by peers
+		// or will be recomputed during the render.
+		if err != nil && p.cmd.ProcessState.ExitCode() != 3 {
+			fmt.Fprintf(os.Stderr, "experiments work: worker %d: %v (its leases expire and peers take over)\n", i, err)
+			failed++
+		}
+	}
+	if failed == len(procs) {
+		return fail(fmt.Errorf("all %d workers failed; see %s/w*.log", failed, dir))
+	}
+
+	recs, err := resilience.MergeDir(dir)
+	if err != nil {
+		return fail(err)
+	}
+	merged := filepath.Join(dir, "merged.jsonl")
+	if err := resilience.WriteMerged(merged, recs); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "experiments work: merged %d cells from %d workers\n", len(recs), len(procs))
+
+	// Render: resume from the merged journal in this process. Journaled
+	// cells replay; anything missing recomputes here, so the output is
+	// complete and byte-identical to the single-process run either way.
+	*c.shared.WorkDir = ""
+	*c.shared.WorkID = ""
+	*c.shared.Resume = merged
+	if err := startProfiles(c); err != nil {
+		return fail(err)
+	}
+	rt, err := c.shared.Build()
+	if err != nil {
+		if options.IsUsage(err) {
+			return usage(err.Error())
+		}
+		return fail(err)
+	}
+	code := runExperiments(c, rt, exps)
+	if code == 0 && madeTemp && !*keepWork {
+		os.RemoveAll(dir)
+	}
+	return code
+}
+
+// parseKillWorker parses the I:DUR test hook ("" = disabled).
+func parseKillWorker(s string) (idx int, after time.Duration, err error) {
+	if s == "" {
+		return -1, 0, nil
+	}
+	i := strings.IndexByte(s, ':')
+	if i < 0 {
+		return -1, 0, fmt.Errorf("-kill-worker wants I:DUR, got %q", s)
+	}
+	idx, err = strconv.Atoi(s[:i])
+	if err != nil || idx < 0 {
+		return -1, 0, fmt.Errorf("-kill-worker index %q", s[:i])
+	}
+	after, err = time.ParseDuration(s[i+1:])
+	if err != nil {
+		return -1, 0, fmt.Errorf("-kill-worker duration %q: %v", s[i+1:], err)
+	}
+	return idx, after, nil
+}

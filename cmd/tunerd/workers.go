@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"debugtuner/internal/serve"
+)
+
+// runFleet is tunerd's -workers N supervisor mode: it re-execs N worker
+// tunerds on ephemeral ports (inheriting every flag the user set except
+// -workers and -addr), scrapes each child's bound address from its
+// "tunerd listening on" line, and fronts the fleet with the admission
+// layer — bounded queue, round-robin proxying, typed 503s while
+// draining, respawn on worker death. Workers share the persistent disk
+// cache (and the -work-dir lease journal when configured), so the fleet
+// serves one coherent cache despite being many processes.
+func runFleet(n int, addr string, maxQueue int, drainGrace, drainTimeout time.Duration) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tunerd:", err)
+		return 1
+	}
+	var passthrough []string
+	flag.Visit(func(fl *flag.Flag) {
+		switch fl.Name {
+		case "workers", "addr":
+			return
+		}
+		passthrough = append(passthrough, "-"+fl.Name+"="+fl.Value.String())
+	})
+	spawn := func(i int) (*serve.WorkerHandle, error) {
+		return spawnWorker(exe, append([]string{"-addr=127.0.0.1:0"}, passthrough...))
+	}
+	fleet, err := serve.NewFleet(serve.FleetOptions{
+		Addr:       addr,
+		Workers:    n,
+		MaxQueue:   maxQueue,
+		DrainGrace: drainGrace,
+		Spawn:      spawn,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tunerd:", err)
+		return 1
+	}
+	bound, err := fleet.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tunerd:", err)
+		return 1
+	}
+	fmt.Printf("tunerd listening on %s\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	s := <-sig
+	fmt.Printf("tunerd: %s, draining fleet\n", s)
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := fleet.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "tunerd: drain:", err)
+	}
+	return 0
+}
+
+// spawnWorker starts one worker tunerd and waits for its listening line.
+func spawnWorker(exe string, args []string) (*serve.WorkerHandle, error) {
+	cmd := exec.Command(exe, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	done := make(chan struct{})
+	go func() {
+		cmd.Wait()
+		close(done)
+	}()
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "tunerd listening on "); ok {
+				addrCh <- a
+				break
+			}
+		}
+		// Keep draining so the worker never blocks on a full pipe.
+		io.Copy(io.Discard, stdout)
+	}()
+	var bound string
+	select {
+	case bound = <-addrCh:
+	case <-done:
+		return nil, fmt.Errorf("worker exited before listening")
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		return nil, fmt.Errorf("worker did not report an address within 30s")
+	}
+	u, err := url.Parse("http://" + bound)
+	if err != nil {
+		cmd.Process.Kill()
+		return nil, err
+	}
+	return &serve.WorkerHandle{
+		URL: u,
+		Stop: func(ctx context.Context) error {
+			cmd.Process.Signal(syscall.SIGTERM)
+			select {
+			case <-done:
+				return nil
+			case <-ctx.Done():
+				cmd.Process.Kill()
+				return ctx.Err()
+			}
+		},
+		Done: done,
+	}, nil
+}

@@ -3,7 +3,9 @@ package resilience
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 )
@@ -16,11 +18,23 @@ const (
 	// runs rerun these cells (the environment — or the chaos flags — may
 	// have changed).
 	StatusQuarantined = "quarantined"
+	// StatusLeased marks a lease claim in a multi-process work directory:
+	// the owner promised to compute the cell before the deadline. Leases
+	// live only in the lease ledger, never in merged journals.
+	StatusLeased = "leased"
 )
+
+// ErrJournalLive is wrapped by CreateJournal when the target file is
+// advisorily locked by a live journal — truncating another process's
+// checkpoints would silently destroy its run, so the caller must pick a
+// different path (or resume instead).
+var ErrJournalLive = errors.New("journal is held by a live process")
 
 // Record is one journal line. Keys are config fingerprint × subject
 // hash, so a journal written by one process addresses the same cells in
-// any other build of the same matrix.
+// any other build of the same matrix. Owner/Epoch/Deadline exist for the
+// multi-process protocol: a lease record carries all three, and result
+// records written by workers carry Owner/Epoch for provenance.
 type Record struct {
 	Key      string          `json:"key"`
 	Status   string          `json:"status"`
@@ -29,6 +43,14 @@ type Record struct {
 	Pass     string          `json:"pass,omitempty"`
 	Error    string          `json:"error,omitempty"`
 	Value    json.RawMessage `json:"value,omitempty"`
+	// Owner identifies the worker process that wrote the record.
+	Owner string `json:"owner,omitempty"`
+	// Epoch counts lease generations for a key: a re-lease after expiry
+	// appends a record with a higher epoch, which supersedes the old one.
+	Epoch int `json:"epoch,omitempty"`
+	// Deadline is the lease expiry as unix milliseconds; a lease past it
+	// may be claimed by any worker (the owner is presumed dead).
+	Deadline int64 `json:"deadline,omitempty"`
 }
 
 // Journal is an append-only JSONL checkpoint file. Every Append is
@@ -41,13 +63,41 @@ type Journal struct {
 	f    *os.File
 	seen map[string]Record
 	torn bool
+	// pending is a final record that parsed but lacked its newline (a
+	// crash exactly between record and terminator): load truncates the
+	// file to the record's start, and resume must re-write it immediately
+	// — otherwise a process that exits without re-appending that key has
+	// silently dropped a completed cell from the durable file.
+	pending *Record
 }
 
-// CreateJournal starts a fresh journal at path, truncating any previous
-// file: the run records cells but consults nothing.
+// CreateJournal starts a fresh journal at path: the run records cells
+// but consults nothing. The journal holds an advisory exclusive lock for
+// its lifetime, and creation refuses — with a typed ErrJournalLive —
+// to truncate a file another live journal holds, so two processes
+// pointed at the same -journal path cannot clobber each other's
+// checkpoints.
 func CreateJournal(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
+		return nil, fmt.Errorf("resilience: create journal: %w", err)
+	}
+	locked, err := flockExclusive(f, false)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("resilience: create journal: lock %s: %w", path, err)
+	}
+	if !locked {
+		f.Close()
+		return nil, fmt.Errorf("resilience: create journal %s: %w", path, ErrJournalLive)
+	}
+	// Only truncate once the lock proves no live journal owns the file.
+	if err := f.Truncate(0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("resilience: create journal: %w", err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		f.Close()
 		return nil, fmt.Errorf("resilience: create journal: %w", err)
 	}
 	return &Journal{f: f, seen: map[string]Record{}}, nil
@@ -55,13 +105,39 @@ func CreateJournal(path string) (*Journal, error) {
 
 // ResumeJournal opens an existing journal, loads its records (last per
 // key wins), discards a torn final record if the previous process died
-// mid-write, and positions the file for appending.
+// mid-write, and positions the file for appending. It blocks until any
+// live journal holding the file releases it (normally: until the owning
+// process exits).
 func ResumeJournal(path string) (*Journal, error) {
+	return resumeJournal(path, true)
+}
+
+// resumeJournal is ResumeJournal with an explicit blocking mode: the
+// multi-process worker journals resume non-blocking so a duplicate
+// worker id fails fast with ErrJournalLive instead of deadlocking on a
+// peer that never exits.
+func resumeJournal(path string, block bool) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("resilience: resume journal: %w", err)
 	}
-	data, err := os.ReadFile(path)
+	locked, err := flockExclusive(f, block)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("resilience: resume journal: lock %s: %w", path, err)
+	}
+	if !locked {
+		f.Close()
+		return nil, fmt.Errorf("resilience: resume journal %s: %w", path, ErrJournalLive)
+	}
+	// Read through the locked descriptor, not the path: a separate
+	// os.ReadFile could race a concurrent appender (or a path swap) and
+	// the Truncate below would then destroy records we never loaded.
+	if _, err := f.Seek(0, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("resilience: resume journal: %w", err)
+	}
+	data, err := io.ReadAll(f)
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("resilience: resume journal: %w", err)
@@ -79,6 +155,17 @@ func ResumeJournal(path string) (*Journal, error) {
 	if _, err := f.Seek(int64(keep), 0); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("resilience: resume journal: %w", err)
+	}
+	if rec := j.pending; rec != nil {
+		// The truncation above dropped a record that parsed fine and is
+		// in seen; re-write it (with its newline) right now, so the cell
+		// stays in the durable file even if this process never appends
+		// that key again.
+		j.pending = nil
+		if err := j.append(*rec); err != nil {
+			f.Close()
+			return nil, err
+		}
 	}
 	return j, nil
 }
@@ -107,12 +194,17 @@ func (j *Journal) load(data []byte) (keep int, err error) {
 				return 0, fmt.Errorf("resilience: corrupt journal record at byte %d: %v", off, uerr)
 			}
 			j.seen[rec.Key] = rec
+			if !terminated {
+				// Final line parsed but carries no newline (e.g. a crash
+				// exactly between the record and its terminator): keep
+				// the record, truncate from its start, and have resume
+				// re-write it immediately so the file stays valid JSONL
+				// and the cell survives even if this process never
+				// re-appends its key.
+				j.pending = &rec
+			}
 		}
 		if !terminated {
-			// Final line parsed but carries no newline (e.g. a crash
-			// exactly between the record and its terminator): keep the
-			// record but rewrite from its start so the file stays valid
-			// JSONL after the next append.
 			return off, nil
 		}
 		off += nl + 1
@@ -144,13 +236,19 @@ func (j *Journal) Lookup(key string) (Record, bool) {
 
 // Append writes one record as a JSON line and fsyncs it.
 func (j *Journal) Append(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.append(rec)
+}
+
+// append is Append without the mutex, for use while the journal is
+// still private to its constructor.
+func (j *Journal) append(rec Record) error {
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("resilience: marshal journal record: %w", err)
 	}
 	line = append(line, '\n')
-	j.mu.Lock()
-	defer j.mu.Unlock()
 	if _, err := j.f.Write(line); err != nil {
 		return fmt.Errorf("resilience: append journal record: %w", err)
 	}

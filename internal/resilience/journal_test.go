@@ -1,0 +1,152 @@
+package resilience
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// writeJournalFile writes raw journal bytes for crash-shape tests.
+func writeJournalFile(t *testing.T, path, body string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustResume(t *testing.T, path string) *Journal {
+	t.Helper()
+	j, err := ResumeJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// TestResumeRewritesUnterminatedFinalRecord locks the fix for the
+// lost-checkpoint bug: a final record that parses but lacks its newline
+// (a crash exactly between record and terminator) was kept in memory but
+// truncated from disk, so a resumed process that never re-appended that
+// key silently dropped a completed cell from the durable file. Resume
+// must re-write the record (with newline) immediately after truncating.
+func TestResumeRewritesUnterminatedFinalRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	writeJournalFile(t, path,
+		`{"key":"a","status":"ok","value":1}`+"\n"+
+			`{"key":"b","status":"ok","value":2}`) // no trailing newline
+
+	j := mustResume(t, path)
+	if _, ok := j.Lookup("b"); !ok {
+		t.Fatal("parseable unterminated record not loaded")
+	}
+	// Close WITHOUT appending anything: the pre-fix journal leaves "b"
+	// truncated away at this point.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(data), "\n") {
+		t.Fatalf("journal does not end in a newline after resume: %q", data)
+	}
+	j2 := mustResume(t, path)
+	defer j2.Close()
+	rec, ok := j2.Lookup("b")
+	if !ok {
+		t.Fatal("record b lost: resume truncated it without re-writing")
+	}
+	var v int
+	if err := json.Unmarshal(rec.Value, &v); err != nil || v != 2 {
+		t.Fatalf("record b value = %s, want 2", rec.Value)
+	}
+	if _, ok := j2.Lookup("a"); !ok {
+		t.Fatal("record a lost")
+	}
+}
+
+// TestResumeReadsThroughLockedDescriptor locks the fix for the
+// read-aside bug: resume used to os.ReadFile the path separately from
+// the descriptor it would then truncate, so it could load a stale
+// snapshot while a live journal was still appending — and truncate away
+// records it never saw. Post-fix, resume blocks on the file lock until
+// the live journal closes and reads through the same descriptor, so it
+// must observe every appended record. (flock attaches to the open file
+// description, so two opens conflict even within one process.)
+func TestResumeReadsThroughLockedDescriptor(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j1, err := CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Append(Record{Key: "early", Status: StatusOK}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(150 * time.Millisecond)
+		if err := j1.Append(Record{Key: "late", Status: StatusOK}); err != nil {
+			t.Error(err)
+		}
+		j1.Close()
+	}()
+
+	// Blocks until j1 releases the lock; must then see both records.
+	j2 := mustResume(t, path)
+	defer j2.Close()
+	<-done
+	if _, ok := j2.Lookup("early"); !ok {
+		t.Fatal("record appended before resume is missing")
+	}
+	if _, ok := j2.Lookup("late"); !ok {
+		t.Fatal("resume read a stale snapshot: record appended while it waited is missing")
+	}
+}
+
+// TestCreateJournalRefusesLiveJournal locks the fix for the O_TRUNC
+// clobber bug: CreateJournal used to truncate unconditionally, so two
+// processes pointed at the same -journal path silently destroyed each
+// other's checkpoints. Creation must fail with the typed ErrJournalLive
+// while another journal holds the file, leave its contents intact, and
+// succeed again once the holder closes.
+func TestCreateJournalRefusesLiveJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j1, err := CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Append(Record{Key: "precious", Status: StatusOK}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := CreateJournal(path); !errors.Is(err, ErrJournalLive) {
+		t.Fatalf("second CreateJournal on a live journal: err = %v, want ErrJournalLive", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "precious") {
+		t.Fatalf("refused create still clobbered the live journal: %q", data)
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// With the holder gone, create (and its truncate) is legitimate.
+	j2, err := CreateJournal(path)
+	if err != nil {
+		t.Fatalf("CreateJournal after holder closed: %v", err)
+	}
+	defer j2.Close()
+	if j2.Len() != 0 {
+		t.Fatalf("fresh journal has %d records, want 0", j2.Len())
+	}
+}

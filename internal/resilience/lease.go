@@ -1,0 +1,385 @@
+package resilience
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"debugtuner/internal/telemetry"
+)
+
+// Multi-process work distribution over one journal directory.
+//
+// N worker processes share a directory:
+//
+//	<dir>/lease.jsonl        append-only lease ledger, every append under
+//	                         an exclusive flock on the file
+//	<dir>/worker-<id>.jsonl  one result journal per worker, flocked for
+//	                         the worker's lifetime, appended lock-free
+//
+// The claim-or-skip protocol runs entirely inside Lookup: under the
+// ledger lock a worker scans every file for new records, and for the
+// requested cell either (a) finds a completed record — skip, use it;
+// (b) finds a live foreign lease — wait and poll; or (c) finds the cell
+// free, expired, or stale — append a lease with a bumped epoch and
+// compute it. A worker that dies holding leases simply stops renewing
+// its promises: after the deadline passes any peer re-leases the cell.
+// Leases are never renewed, so a cell whose compute outlives the TTL may
+// be computed twice; results are deterministic and the merge dedupes, so
+// duplicate compute is safe where a lost cell would not be.
+
+// DefaultLeaseTTL is the lease deadline used when none is configured.
+const DefaultLeaseTTL = 15 * time.Second
+
+const (
+	leaseFileName = "lease.jsonl"
+	workerPrefix  = "worker-"
+	workerSuffix  = ".jsonl"
+)
+
+// WorkJournal is one worker's view of a shared journal directory. It
+// implements Checkpointer: Lookup blocks until the cell is completed by
+// a peer (returned) or leased to this worker (the caller computes it),
+// and Append checkpoints results to this worker's own journal file.
+type WorkJournal struct {
+	dir   string
+	owner string
+	ttl   time.Duration
+	poll  time.Duration
+	now   func() time.Time // test hook
+
+	own    *Journal // worker-<owner>.jsonl, flocked for our lifetime
+	leasef *os.File // lease.jsonl, flocked per operation
+
+	mu      sync.Mutex
+	seen    map[string]Record // completed cells, all workers
+	leases  map[string]Record // latest lease per key
+	mine    map[string]bool   // leased by this process, not yet completed
+	tails   map[string]*tail  // incremental per-file readers
+	skipped int               // corrupt terminated lines skipped in peers' files
+}
+
+// OpenWork joins (creating if needed) the shared work directory dir as
+// worker owner. An empty owner derives one from the pid; owners must be
+// unique among live workers — a second process with the same id fails
+// with ErrJournalLive. ttl <= 0 means DefaultLeaseTTL.
+func OpenWork(dir, owner string, ttl time.Duration) (*WorkJournal, error) {
+	if owner == "" {
+		owner = fmt.Sprintf("w%d", os.Getpid())
+	}
+	if strings.ContainsAny(owner, "/\\ ") {
+		return nil, fmt.Errorf("resilience: work journal: invalid worker id %q", owner)
+	}
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resilience: work journal: %w", err)
+	}
+	// Resume (never truncate) our own journal: a restarted worker keeps
+	// the cells its previous incarnation completed. Non-blocking, so a
+	// duplicate live worker id fails fast instead of deadlocking.
+	own, err := resumeJournal(filepath.Join(dir, workerPrefix+owner+workerSuffix), false)
+	if err != nil {
+		return nil, err
+	}
+	leasef, err := os.OpenFile(filepath.Join(dir, leaseFileName),
+		os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		own.Close()
+		return nil, fmt.Errorf("resilience: work journal: %w", err)
+	}
+	return &WorkJournal{
+		dir: dir, owner: owner, ttl: ttl,
+		poll: 25 * time.Millisecond, now: time.Now,
+		own: own, leasef: leasef,
+		seen:   map[string]Record{},
+		leases: map[string]Record{},
+		mine:   map[string]bool{},
+		tails:  map[string]*tail{},
+	}, nil
+}
+
+// Owner returns this worker's id.
+func (w *WorkJournal) Owner() string { return w.owner }
+
+// Lookup implements the claim-or-skip protocol for one cell. It returns
+// (record, true) when a completed record exists — Run then uses the
+// value (or, for a quarantined record, reruns per resume semantics) —
+// and (zero, false) once this worker holds the cell's lease and must
+// compute it. It blocks, polling, while a live peer holds the lease.
+func (w *WorkJournal) Lookup(key string) (Record, bool) {
+	for {
+		rec, done, wait := w.step(key)
+		if !wait {
+			return rec, done
+		}
+		time.Sleep(w.poll)
+	}
+}
+
+// step is one protocol round under the ledger lock; wait=true means the
+// cell is being computed elsewhere and the caller should poll again.
+func (w *WorkJournal) step(key string) (rec Record, done, wait bool) {
+	if _, err := flockExclusive(w.leasef, true); err != nil {
+		// Cannot coordinate: claim anyway. Duplicate compute is safe
+		// (deterministic results, merge dedupes); a lost cell is not.
+		return Record{}, false, false
+	}
+	defer funlock(w.leasef)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.scanLocked()
+	if rec, ok := w.seen[key]; ok {
+		telemetry.Add("resilience.lease.skips", 1)
+		return rec, true, false
+	}
+	l, leased := w.leases[key]
+	if leased {
+		if l.Owner == w.owner {
+			if w.mine[key] {
+				// Another goroutine of this process is computing it.
+				return Record{}, false, true
+			}
+			// A stale lease from a previous incarnation of our id:
+			// reclaim below.
+		} else if w.now().UnixMilli() < l.Deadline {
+			return Record{}, false, true
+		}
+		// Foreign lease past its deadline: the owner is presumed dead;
+		// reclaim below.
+	}
+	lease := Record{
+		Key: key, Status: StatusLeased, Owner: w.owner,
+		Epoch: l.Epoch + 1, Deadline: w.now().Add(w.ttl).UnixMilli(),
+	}
+	if err := w.appendLeaseLocked(lease); err != nil {
+		// The claim is not durable, but computing is still the safe
+		// direction (see above).
+		return Record{}, false, false
+	}
+	w.leases[key] = lease
+	w.mine[key] = true
+	telemetry.Add("resilience.lease.claims", 1)
+	if leased && l.Owner != w.owner {
+		telemetry.Add("resilience.lease.reclaims", 1)
+	}
+	return Record{}, false, false
+}
+
+// appendLeaseLocked writes one lease record to the ledger; the caller
+// holds the ledger flock. The descriptor is O_APPEND, so the write
+// lands at the end even though peers appended since we opened it.
+func (w *WorkJournal) appendLeaseLocked(rec Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := w.leasef.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return w.leasef.Sync()
+}
+
+// Append checkpoints one completed cell to this worker's own journal.
+func (w *WorkJournal) Append(rec Record) error {
+	if rec.Owner == "" {
+		rec.Owner = w.owner
+	}
+	w.mu.Lock()
+	if l, ok := w.leases[rec.Key]; ok && l.Owner == w.owner {
+		rec.Epoch = l.Epoch
+	}
+	w.mu.Unlock()
+	err := w.own.Append(rec)
+	w.mu.Lock()
+	w.applyLocked(rec)
+	delete(w.mine, rec.Key)
+	w.mu.Unlock()
+	return err
+}
+
+// scanLocked drains new records from every journal file in the
+// directory. Caller holds w.mu and the ledger flock (so the lease file
+// is quiescent; worker files are append-only and torn tails are simply
+// retried next scan).
+func (w *WorkJournal) scanLocked() {
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if name != leaseFileName &&
+			!(strings.HasPrefix(name, workerPrefix) && strings.HasSuffix(name, workerSuffix)) {
+			continue
+		}
+		t := w.tails[name]
+		if t == nil {
+			t = &tail{}
+			w.tails[name] = t
+		}
+		t.drain(filepath.Join(w.dir, name), w.applyLocked, &w.skipped)
+	}
+}
+
+// applyLocked folds one record into the in-memory state.
+func (w *WorkJournal) applyLocked(rec Record) {
+	switch rec.Status {
+	case StatusLeased:
+		if cur, ok := w.leases[rec.Key]; !ok || rec.Epoch >= cur.Epoch {
+			w.leases[rec.Key] = rec
+		}
+	case StatusOK:
+		w.seen[rec.Key] = rec
+	case StatusQuarantined:
+		// Never let a quarantine verdict shadow a completed value.
+		if cur, ok := w.seen[rec.Key]; !ok || cur.Status != StatusOK {
+			w.seen[rec.Key] = rec
+		}
+	}
+}
+
+// Len returns the number of completed cells visible to this worker.
+func (w *WorkJournal) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.seen)
+}
+
+// Close releases this worker's journal and the lease ledger.
+func (w *WorkJournal) Close() error {
+	err := w.own.Close()
+	if cerr := w.leasef.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// tail incrementally reads complete JSONL lines from a growing file.
+// An unterminated final line (a peer mid-write, or a kill -9 torn
+// record) is left pending: the offset does not advance past it, so a
+// later completion is picked up and a permanently torn tail is ignored.
+type tail struct{ off int64 }
+
+func (t *tail) drain(path string, apply func(Record), skipped *int) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	if _, err := f.Seek(t.off, 0); err != nil {
+		return
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return
+	}
+	for {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			return
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		t.off += int64(nl) + 1
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A peer's corrupt-but-terminated line. Unlike a private
+			// journal resume this must not be fatal — one worker's bad
+			// sector would kill the whole fleet — so skip and count; the
+			// cell reruns if its record was the casualty.
+			*skipped++
+			telemetry.Add("resilience.lease.skipped_corrupt", 1)
+			continue
+		}
+		apply(rec)
+	}
+}
+
+// MergeDir reads every worker journal under dir — tolerating torn tails
+// and skipping corrupt terminated lines — and returns the completed
+// records deduplicated by key (StatusOK preferred over quarantined,
+// higher epoch breaking ties) sorted by key. Lease records are ledger
+// state, not results, and never appear in the merge.
+func MergeDir(dir string) ([]Record, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("resilience: merge journals: %w", err)
+	}
+	byKey := map[string]Record{}
+	skipped := 0
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, workerPrefix) || !strings.HasSuffix(name, workerSuffix) {
+			continue
+		}
+		t := &tail{}
+		t.drain(filepath.Join(dir, name), func(rec Record) {
+			switch rec.Status {
+			case StatusOK:
+				cur, ok := byKey[rec.Key]
+				if !ok || cur.Status != StatusOK || rec.Epoch >= cur.Epoch {
+					byKey[rec.Key] = rec
+				}
+			case StatusQuarantined:
+				if cur, ok := byKey[rec.Key]; !ok || cur.Status != StatusOK {
+					byKey[rec.Key] = rec
+				}
+			}
+		}, &skipped)
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Record, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, byKey[k])
+	}
+	return out, nil
+}
+
+// WriteMerged writes records as a plain JSONL journal at path via a
+// temp file + rename, so a crashed merge never leaves a half journal a
+// resume could mistake for the whole run.
+func WriteMerged(path string, recs []Record) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".merge-*")
+	if err != nil {
+		return fmt.Errorf("resilience: write merged journal: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	for _, rec := range recs {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("resilience: write merged journal: %w", err)
+		}
+		if _, err := tmp.Write(append(line, '\n')); err != nil {
+			tmp.Close()
+			return fmt.Errorf("resilience: write merged journal: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("resilience: write merged journal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("resilience: write merged journal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("resilience: write merged journal: %w", err)
+	}
+	return nil
+}

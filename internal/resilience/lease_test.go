@@ -1,0 +1,361 @@
+package resilience
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openWork(t *testing.T, dir, owner string, ttl time.Duration) *WorkJournal {
+	t.Helper()
+	w, err := OpenWork(dir, owner, ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+func okRecord(key, val string) Record {
+	return Record{Key: key, Status: StatusOK, Value: json.RawMessage(strconv.Quote(val))}
+}
+
+// TestWorkJournalClaimAndSkip is the protocol's happy path: the first
+// worker to ask for a cell claims it, a peer asking afterwards waits and
+// then skips with the completed record.
+func TestWorkJournalClaimAndSkip(t *testing.T) {
+	dir := t.TempDir()
+	w1 := openWork(t, dir, "a", time.Minute)
+	w2 := openWork(t, dir, "b", time.Minute)
+
+	if _, done := w1.Lookup("cell"); done {
+		t.Fatal("first lookup of a fresh cell must claim, not skip")
+	}
+	// w2 would block on the live lease; complete the cell first.
+	if err := w1.Append(okRecord("cell", "v")); err != nil {
+		t.Fatal(err)
+	}
+	rec, done := w2.Lookup("cell")
+	if !done {
+		t.Fatal("peer lookup of a completed cell must skip")
+	}
+	if rec.Owner != "a" || string(rec.Value) != `"v"` {
+		t.Fatalf("peer saw %+v", rec)
+	}
+	// Same-worker re-lookup also skips.
+	if _, done := w1.Lookup("cell"); !done {
+		t.Fatal("own completed cell not skipped")
+	}
+}
+
+// TestWorkJournalLeaseExpiry kills the owner (logically: it just never
+// completes) and checks a peer re-leases after the deadline, with a
+// bumped epoch.
+func TestWorkJournalLeaseExpiry(t *testing.T) {
+	dir := t.TempDir()
+	w1 := openWork(t, dir, "dead", 80*time.Millisecond)
+	w2 := openWork(t, dir, "live", time.Minute)
+
+	if _, done := w1.Lookup("cell"); done {
+		t.Fatal("fresh cell must claim")
+	}
+	// w1 never completes; w2 must wait out the deadline then claim.
+	start := time.Now()
+	if _, done := w2.Lookup("cell"); done {
+		t.Fatal("expired lease must be re-claimed, not skipped")
+	}
+	if waited := time.Since(start); waited < 50*time.Millisecond {
+		t.Fatalf("peer claimed after %v, before the lease deadline", waited)
+	}
+	if err := w2.Append(okRecord("cell", "rescued")); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := MergeDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Owner != "live" || recs[0].Epoch != 2 {
+		t.Fatalf("merge = %+v, want one epoch-2 record owned by live", recs)
+	}
+}
+
+// TestWorkJournalDuplicateOwnerRefused: two live processes with the same
+// worker id would append to the same journal file; the second must fail
+// fast with the typed error instead.
+func TestWorkJournalDuplicateOwnerRefused(t *testing.T) {
+	dir := t.TempDir()
+	openWork(t, dir, "w0", time.Minute)
+	if _, err := OpenWork(dir, "w0", time.Minute); !errors.Is(err, ErrJournalLive) {
+		t.Fatalf("duplicate live owner: err = %v, want ErrJournalLive", err)
+	}
+}
+
+// TestMergeDirPrefersOKAndTolerableCorruption: quarantine never shadows
+// a completed value, and a torn tail or corrupt line in one worker's
+// file must not poison the merge.
+func TestMergeDirPrefersOKAndTolerableCorruption(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("worker-a.jsonl",
+		`{"key":"k1","status":"quarantined","error":"boom"}`+"\n"+
+			`{"key":"k2","status":"ok","value":"a2","epoch":1}`+"\n"+
+			`{"key":"k3","status":"ok"`) // torn tail: kill -9 mid-append
+	write("worker-b.jsonl",
+		`{"key":"k1","status":"ok","value":"b1"}`+"\n"+
+			"not json at all\n"+
+			`{"key":"k2","status":"ok","value":"b2","epoch":2}`+"\n")
+	write("lease.jsonl", `{"key":"k1","status":"leased","owner":"a","epoch":1}`+"\n")
+
+	recs, err := MergeDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("merge has %d records, want 2 (torn k3 dropped, leases excluded): %+v", len(recs), recs)
+	}
+	if recs[0].Key != "k1" || recs[0].Status != StatusOK || string(recs[0].Value) != `"b1"` {
+		t.Fatalf("k1 = %+v, want OK to beat quarantined", recs[0])
+	}
+	if recs[1].Key != "k2" || string(recs[1].Value) != `"b2"` {
+		t.Fatalf("k2 = %+v, want the higher epoch", recs[1])
+	}
+}
+
+// workHelper* drive the two-process tests' re-exec, following the
+// evalcache disk_test pattern.
+var (
+	workHelperMode = flag.String("work-helper", "", "internal: run as work journal helper (worker id)")
+	workHelperDir  = flag.String("work-helper-dir", "", "internal: helper work dir")
+	workHelperKeys = flag.Int("work-helper-keys", 0, "internal: key-space size")
+	workHelperTTL  = flag.Duration("work-helper-ttl", time.Minute, "internal: lease ttl")
+	workHelperHang = flag.Bool("work-helper-hang", false, "internal: claim all, complete 2, then hang for kill -9")
+)
+
+// TestWorkHelperProcess is re-executed as a separate OS process by the
+// multi-process tests below.
+func TestWorkHelperProcess(t *testing.T) {
+	if *workHelperMode == "" {
+		t.Skip("not in helper mode")
+	}
+	w, err := OpenWork(*workHelperDir, *workHelperMode, *workHelperTTL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *workHelperHang {
+		// Crash shape: lease every cell, complete only the first two, then
+		// announce readiness and hang until the parent kills -9 us. The
+		// remaining leases must expire and be rescued by a peer.
+		for k := 0; k < *workHelperKeys; k++ {
+			key := fmt.Sprintf("cell-%d", k)
+			if _, done := w.Lookup(key); done {
+				t.Fatalf("fresh cell %s already done", key)
+			}
+			if k < 2 {
+				if err := w.Append(okRecord(key, "crasher:"+key)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		fmt.Println("CRASH_READY")
+		os.Stdout.Sync()
+		time.Sleep(time.Minute) // killed long before this returns
+		return
+	}
+	computed := 0
+	for k := 0; k < *workHelperKeys; k++ {
+		key := fmt.Sprintf("cell-%d", k)
+		rec, done := w.Lookup(key)
+		if done {
+			if rec.Status != StatusOK {
+				t.Fatalf("peer record for %s has status %s", key, rec.Status)
+			}
+			continue
+		}
+		if err := w.Append(okRecord(key, "value-of-"+key)); err != nil {
+			t.Fatal(err)
+		}
+		computed++
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("WORK_OK", *workHelperMode, "computed", computed)
+}
+
+// TestWorkJournalTwoProcesses hammers one work directory from two real
+// OS processes. Every cell must be computed exactly once in total (the
+// generous TTL means no lease expires, so a duplicate would be a
+// protocol bug) and the merge must contain every cell exactly once.
+func TestWorkJournalTwoProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	const keys = 12
+	dir := t.TempDir()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	outs := make([]string, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cmd := exec.Command(exe,
+				"-test.run", "TestWorkHelperProcess", "-test.v",
+				"-work-helper", fmt.Sprintf("p%d", i),
+				"-work-helper-dir", dir,
+				"-work-helper-keys", strconv.Itoa(keys))
+			out, err := cmd.CombinedOutput()
+			outs[i], errs[i] = string(out), err
+		}(i)
+	}
+	wg.Wait()
+	total := 0
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil || !strings.Contains(outs[i], "WORK_OK") {
+			t.Fatalf("helper %d failed: err=%v\n%s", i, errs[i], outs[i])
+		}
+		_, after, _ := strings.Cut(outs[i], "computed ")
+		n, err := strconv.Atoi(strings.Fields(after)[0])
+		if err != nil {
+			t.Fatalf("helper %d output unparseable: %s", i, outs[i])
+		}
+		total += n
+	}
+	if total != keys {
+		t.Fatalf("workers computed %d cells for %d keys: lost or duplicated work", total, keys)
+	}
+	recs, err := MergeDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != keys {
+		t.Fatalf("merge has %d records, want %d", len(recs), keys)
+	}
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("cell-%d", k)
+		if recs[k].Key != key && !hasKey(recs, key) {
+			t.Fatalf("cell %s missing from merge", key)
+		}
+	}
+}
+
+func hasKey(recs []Record, key string) bool {
+	for _, r := range recs {
+		if r.Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// TestWorkJournalKillNineRescue is the crash drill: a worker process
+// leases five cells, completes two, and is killed -9 mid-run; its
+// journal additionally gets a torn final record. A rescue worker must
+// wait out the expired leases, recompute the three unfinished cells, and
+// the merge must hold exactly five correct records.
+func TestWorkJournalKillNineRescue(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	const keys = 5
+	dir := t.TempDir()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe,
+		"-test.run", "TestWorkHelperProcess", "-test.v",
+		"-work-helper", "crasher",
+		"-work-helper-dir", dir,
+		"-work-helper-keys", strconv.Itoa(keys),
+		"-work-helper-ttl", "500ms",
+		"-work-helper-hang")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	ready := false
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), "CRASH_READY") {
+			ready = true
+			break
+		}
+	}
+	if !ready {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("crasher never reached CRASH_READY")
+	}
+	cmd.Process.Kill() // SIGKILL: no deferred cleanup, flocks drop with the process
+	cmd.Wait()
+
+	// Simulate the torn record a kill mid-append leaves.
+	f, err := os.OpenFile(filepath.Join(dir, "worker-crasher.jsonl"),
+		os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"cell-4","status":"ok","val`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	rescue := openWork(t, dir, "rescue", 200*time.Millisecond)
+	recomputed := 0
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("cell-%d", k)
+		rec, done := rescue.Lookup(key) // waits out the crasher's 500ms leases
+		if done {
+			if rec.Owner != "crasher" || rec.Status != StatusOK {
+				t.Fatalf("completed cell %s = %+v", key, rec)
+			}
+			continue
+		}
+		if err := rescue.Append(okRecord(key, "rescue:"+key)); err != nil {
+			t.Fatal(err)
+		}
+		recomputed++
+	}
+	if recomputed != 3 {
+		t.Fatalf("rescue recomputed %d cells, want 3 (two were completed pre-kill)", recomputed)
+	}
+	recs, err := MergeDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != keys {
+		t.Fatalf("merge has %d records, want %d: %+v", len(recs), keys, recs)
+	}
+	owners := map[string]int{}
+	for _, r := range recs {
+		owners[r.Owner]++
+		if r.Status != StatusOK {
+			t.Fatalf("record %+v not ok", r)
+		}
+	}
+	if owners["crasher"] != 2 || owners["rescue"] != 3 {
+		t.Fatalf("owner split = %v, want crasher:2 rescue:3", owners)
+	}
+}

@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"debugtuner/internal/api"
+	"debugtuner/internal/telemetry"
+)
+
+// Fleet is the multi-process tunerd supervisor: it owns the listen
+// address and fronts N worker processes with the admission layer, so a
+// panicking or OOM-killed worker costs in-flight requests on that
+// worker only — the supervisor respawns it and keeps serving. Requests
+// are admitted (bounded queue, typed 503 beyond it) and then proxied
+// round-robin to a live worker; worker responses are byte-identical
+// across workers (the serving contract), so routing never changes
+// response bytes. Workers share the persistent disk cache (and the
+// lease-journal work directory when one is configured), which is what
+// makes a fleet of processes behave like one warm server.
+type Fleet struct {
+	opts FleetOptions
+
+	mu      sync.Mutex
+	workers []*WorkerHandle // index-stable slots; nil while respawning
+
+	rr       atomic.Uint64
+	draining atomic.Bool
+	inflight sync.WaitGroup
+	admitted atomic.Int64
+
+	proxy   *httputil.ReverseProxy
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// WorkerHandle is one live worker process the fleet proxies to.
+type WorkerHandle struct {
+	// URL is the worker's base URL.
+	URL *url.URL
+	// Stop asks the worker to exit gracefully (bounded by ctx).
+	Stop func(ctx context.Context) error
+	// Done is closed when the worker process exits, however it exits.
+	Done <-chan struct{}
+}
+
+// FleetOptions configures the supervisor.
+type FleetOptions struct {
+	// Addr is the supervisor's listen address ("127.0.0.1:0" = ephemeral).
+	Addr string
+	// Workers is the fleet size.
+	Workers int
+	// MaxQueue bounds concurrently proxied requests; beyond it new
+	// requests get the typed "overloaded" 503. 0 means 4096. (Per-worker
+	// compute concurrency is bounded by each worker's own admission.)
+	MaxQueue int
+	// DrainGrace is the 503 window after Drain begins (0 = 500ms).
+	DrainGrace time.Duration
+	// Spawn starts (or restarts) worker i. The fleet calls it for
+	// 0..Workers-1 at Start and again whenever a worker dies while not
+	// draining.
+	Spawn func(i int) (*WorkerHandle, error)
+}
+
+func (o FleetOptions) maxQueue() int {
+	if o.MaxQueue > 0 {
+		return o.MaxQueue
+	}
+	return 4096
+}
+
+func (o FleetOptions) drainGrace() time.Duration {
+	if o.DrainGrace > 0 {
+		return o.DrainGrace
+	}
+	return 500 * time.Millisecond
+}
+
+type fleetTargetKey struct{}
+
+// NewFleet returns an unstarted fleet.
+func NewFleet(opts FleetOptions) (*Fleet, error) {
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("serve: fleet needs at least 1 worker")
+	}
+	if opts.Spawn == nil {
+		return nil, fmt.Errorf("serve: fleet needs a Spawn function")
+	}
+	f := &Fleet{opts: opts, workers: make([]*WorkerHandle, opts.Workers)}
+	f.proxy = &httputil.ReverseProxy{
+		Rewrite: func(pr *httputil.ProxyRequest) {
+			pr.SetURL(pr.In.Context().Value(fleetTargetKey{}).(*url.URL))
+		},
+		ErrorHandler: func(w http.ResponseWriter, r *http.Request, err error) {
+			telemetry.Add("fleet.proxy_errors", 1)
+			writeError(w, &api.Error{Code: api.CodeInternal,
+				Msg: fmt.Sprintf("worker unavailable: %v", err)})
+		},
+	}
+	return f, nil
+}
+
+// Start spawns the workers and begins serving.
+func (f *Fleet) Start() (string, error) {
+	for i := 0; i < f.opts.Workers; i++ {
+		w, err := f.opts.Spawn(i)
+		if err != nil {
+			f.stopAll(context.Background())
+			return "", fmt.Errorf("serve: spawn worker %d: %w", i, err)
+		}
+		f.adopt(i, w)
+	}
+	ln, err := net.Listen("tcp", f.opts.Addr)
+	if err != nil {
+		f.stopAll(context.Background())
+		return "", err
+	}
+	f.ln = ln
+	f.httpSrv = &http.Server{Handler: f.Handler(), ReadHeaderTimeout: 30 * time.Second}
+	go f.httpSrv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// adopt installs worker w in slot i and watches for its death: a worker
+// that exits while the fleet is not draining is respawned (with a small
+// pause so a crash-looping worker cannot spin the supervisor).
+func (f *Fleet) adopt(i int, w *WorkerHandle) {
+	f.mu.Lock()
+	f.workers[i] = w
+	f.mu.Unlock()
+	go func() {
+		<-w.Done
+		f.mu.Lock()
+		if f.workers[i] == w {
+			f.workers[i] = nil
+		}
+		f.mu.Unlock()
+		if f.draining.Load() {
+			return
+		}
+		telemetry.Add("fleet.worker_deaths", 1)
+		time.Sleep(100 * time.Millisecond)
+		if f.draining.Load() {
+			return
+		}
+		nw, err := f.opts.Spawn(i)
+		if err != nil {
+			telemetry.Add("fleet.respawn_failures", 1)
+			return
+		}
+		telemetry.Add("fleet.respawns", 1)
+		f.adopt(i, nw)
+	}()
+}
+
+// pick returns the next live worker round-robin, or nil when none is up.
+func (f *Fleet) pick() *WorkerHandle {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := len(f.workers)
+	for t := 0; t < n; t++ {
+		w := f.workers[int(f.rr.Add(1))%n]
+		if w != nil {
+			return w
+		}
+	}
+	return nil
+}
+
+// Handler returns the supervisor's routing handler: /healthz is
+// answered locally, everything else is admitted and proxied.
+func (f *Fleet) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if f.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		f.inflight.Add(1)
+		defer f.inflight.Done()
+		telemetry.Add("fleet.requests", 1)
+		if f.draining.Load() {
+			telemetry.Add("fleet.drained503", 1)
+			writeError(w, &api.Error{Code: api.CodeDraining, Msg: "server is draining"})
+			return
+		}
+		if n := f.admitted.Add(1); n > int64(f.opts.maxQueue()) {
+			f.admitted.Add(-1)
+			telemetry.Add("fleet.rejected", 1)
+			writeError(w, &api.Error{Code: api.CodeOverloaded, Msg: "admission queue full"})
+			return
+		}
+		defer f.admitted.Add(-1)
+		target := f.pick()
+		if target == nil {
+			telemetry.Add("fleet.no_worker", 1)
+			writeError(w, &api.Error{Code: api.CodeOverloaded, Msg: "no live worker"})
+			return
+		}
+		r = r.WithContext(context.WithValue(r.Context(), fleetTargetKey{}, target.URL))
+		f.proxy.ServeHTTP(w, r)
+	})
+	return mux
+}
+
+// stopAll stops every live worker in parallel.
+func (f *Fleet) stopAll(ctx context.Context) {
+	f.mu.Lock()
+	ws := append([]*WorkerHandle(nil), f.workers...)
+	f.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, w := range ws {
+		if w == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(w *WorkerHandle) {
+			defer wg.Done()
+			w.Stop(ctx)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Drain shuts the fleet down gracefully: new requests get the typed 503
+// "draining" error, in-flight proxied requests finish, the workers are
+// stopped, and the listener stays up for the grace window before
+// closing. The context bounds the total wait.
+func (f *Fleet) Drain(ctx context.Context) error {
+	if !f.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	start := time.Now()
+	done := make(chan struct{})
+	go func() {
+		f.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+	f.stopAll(ctx)
+	if rem := f.opts.drainGrace() - time.Since(start); rem > 0 {
+		t := time.NewTimer(rem)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+		}
+	}
+	if f.httpSrv != nil {
+		return f.httpSrv.Close()
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeFleetWorker is an in-process stand-in for a worker tunerd: an
+// httptest server whose handler reports which worker answered.
+type fakeFleetWorker struct {
+	id      int
+	srv     *httptest.Server
+	hits    atomic.Int64
+	done    chan struct{}
+	stopped atomic.Bool
+}
+
+func (w *fakeFleetWorker) handle(rw http.ResponseWriter, r *http.Request) {
+	w.hits.Add(1)
+	fmt.Fprintf(rw, "worker-%d", w.id)
+}
+
+// die simulates the worker process exiting (crash or stop).
+func (w *fakeFleetWorker) die() {
+	if w.stopped.CompareAndSwap(false, true) {
+		w.srv.Close()
+		close(w.done)
+	}
+}
+
+func (w *fakeFleetWorker) handle2() *WorkerHandle {
+	u, _ := url.Parse(w.srv.URL)
+	return &WorkerHandle{
+		URL: u,
+		Stop: func(context.Context) error {
+			w.die()
+			return nil
+		},
+		Done: w.done,
+	}
+}
+
+// fleetHarness spawns fake workers and records every spawn call.
+type fleetHarness struct {
+	mu      sync.Mutex
+	spawned []*fakeFleetWorker
+}
+
+func (h *fleetHarness) spawn(i int) (*WorkerHandle, error) {
+	w := &fakeFleetWorker{id: i, done: make(chan struct{})}
+	w.srv = httptest.NewServer(http.HandlerFunc(w.handle))
+	h.mu.Lock()
+	h.spawned = append(h.spawned, w)
+	h.mu.Unlock()
+	return w.handle2(), nil
+}
+
+func (h *fleetHarness) count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.spawned)
+}
+
+func get(t *testing.T, base, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestFleetRoundRobinAndRespawn(t *testing.T) {
+	h := &fleetHarness{}
+	f, err := NewFleet(FleetOptions{
+		Addr: "127.0.0.1:0", Workers: 2, DrainGrace: time.Millisecond, Spawn: h.spawn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+	defer f.Drain(context.Background())
+
+	// Both workers must see traffic (round-robin).
+	for i := 0; i < 6; i++ {
+		if st, _ := get(t, base, "/v1/anything"); st != 200 {
+			t.Fatalf("request %d: status %d", i, st)
+		}
+	}
+	if h.spawned[0].hits.Load() == 0 || h.spawned[1].hits.Load() == 0 {
+		t.Fatalf("round-robin skipped a worker: hits=%d,%d",
+			h.spawned[0].hits.Load(), h.spawned[1].hits.Load())
+	}
+
+	// /healthz is answered by the supervisor itself.
+	if st, body := get(t, base, "/healthz"); st != 200 || body != "ok\n" {
+		t.Fatalf("healthz: %d %q", st, body)
+	}
+
+	// Kill worker 0: the fleet keeps serving from worker 1 and respawns
+	// a replacement.
+	h.spawned[0].die()
+	deadline := time.Now().Add(5 * time.Second)
+	for h.count() < 3 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if h.count() < 3 {
+		t.Fatal("dead worker was not respawned")
+	}
+	for i := 0; i < 4; i++ {
+		if st, _ := get(t, base, "/v1/anything"); st != 200 {
+			t.Fatalf("post-respawn request %d: status %d", i, st)
+		}
+	}
+	if h.spawned[2].hits.Load() == 0 {
+		t.Fatal("respawned worker got no traffic")
+	}
+}
+
+func TestFleetDrainRejectsTyped(t *testing.T) {
+	h := &fleetHarness{}
+	f, err := NewFleet(FleetOptions{
+		Addr: "127.0.0.1:0", Workers: 1, DrainGrace: 300 * time.Millisecond, Spawn: h.spawn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+
+	drained := make(chan error, 1)
+	go func() { drained <- f.Drain(context.Background()) }()
+	// During the grace window requests get the typed draining error.
+	var sawDraining bool
+	for i := 0; i < 20 && !sawDraining; i++ {
+		st, body := get(t, base, "/v1/anything")
+		var env struct {
+			Error *struct {
+				Code string `json:"code"`
+			} `json:"error"`
+		}
+		if st == 503 && json.Unmarshal([]byte(body), &env) == nil &&
+			env.Error != nil && env.Error.Code == "draining" {
+			sawDraining = true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !sawDraining {
+		t.Fatal("no typed draining rejection observed during the grace window")
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// The worker must have been stopped, not respawned.
+	if !h.spawned[0].stopped.Load() {
+		t.Fatal("worker not stopped on drain")
+	}
+	if h.count() != 1 {
+		t.Fatalf("drain respawned workers: %d spawns", h.count())
+	}
+}
