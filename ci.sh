@@ -217,3 +217,36 @@ rm -rf /tmp/ci-tunerd /tmp/ci-tunerd-client /tmp/ci-tunerd-cache \
     /tmp/ci-tunerd.log /tmp/ci-tunerd2.log /tmp/ci-tunerd3.log \
     /tmp/ci-fib.mc /tmp/ci-tune-1.json /tmp/ci-tune-2.json \
     /tmp/ci-tune-3.json /tmp/ci-tune-4.json /tmp/ci-drain-err.txt
+
+# Hunt smoke: a small seeded campaign with a planted bug must (a) find
+# and bucket the plant with byte-identical reports across two runs,
+# (b) survive SIGTERM mid-campaign — distinct exit code 4, journal
+# flushed — and resume to the uninterrupted run's exact bytes, and
+# (c) render the same bytes when the candidates are leased across two
+# worker processes and merged.
+go build -o /tmp/ci-experiments ./cmd/experiments
+HUNT='-hunt-epochs 1 -hunt-candidates 4 -hunt-configs gcc-O2 -hunt-plant scope-nesting@dse'
+# shellcheck disable=SC2086  # HUNT is a word list by construction
+/tmp/ci-experiments $HUNT hunt > /tmp/ci-hunt-ref.txt
+grep -q 'HUNT FINDINGS' /tmp/ci-hunt-ref.txt
+grep -q 'scope-nesting @ dse' /tmp/ci-hunt-ref.txt
+/tmp/ci-experiments $HUNT hunt > /tmp/ci-hunt-2.txt
+cmp /tmp/ci-hunt-ref.txt /tmp/ci-hunt-2.txt
+rm -f /tmp/ci-hunt.jsonl
+/tmp/ci-experiments -journal /tmp/ci-hunt.jsonl $HUNT hunt \
+    > /tmp/ci-hunt-int.txt &
+HUNT_PID=$!
+sleep 1.5
+kill -TERM "$HUNT_PID"
+rc=0; wait "$HUNT_PID" || rc=$?
+test "$rc" -eq 4
+grep -q 'HUNT INTERRUPTED' /tmp/ci-hunt-int.txt
+test -s /tmp/ci-hunt.jsonl
+/tmp/ci-experiments -resume /tmp/ci-hunt.jsonl $HUNT hunt \
+    > /tmp/ci-hunt-resume.txt
+cmp /tmp/ci-hunt-ref.txt /tmp/ci-hunt-resume.txt
+/tmp/ci-experiments work -workers 2 $HUNT hunt > /tmp/ci-hunt-w2.txt
+cmp /tmp/ci-hunt-ref.txt /tmp/ci-hunt-w2.txt
+rm -f /tmp/ci-experiments /tmp/ci-hunt-ref.txt /tmp/ci-hunt-2.txt \
+    /tmp/ci-hunt.jsonl /tmp/ci-hunt-int.txt /tmp/ci-hunt-resume.txt \
+    /tmp/ci-hunt-w2.txt

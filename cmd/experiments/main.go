@@ -29,6 +29,23 @@
 // Scope with -dbg-subjects/-dbg-profile/-dbg-level; -dbg-verify=false
 // builds the same matrix plainly (the bench baseline).
 //
+// hunt (not part of "all": it is the feedback-directed finding
+// campaign, see internal/hunt) generates candidate programs biased by
+// the telemetry damage ledger and past findings, runs each through the
+// differential oracle and the verify-each analyzer, buckets findings by
+// (rule, pass), ddmin-reduces one witness per new bucket, and maintains
+// a regression corpus (-hunt-corpus) with a cross-run trend report.
+// Scale with -hunt-seed/-hunt-epochs/-hunt-candidates/-hunt-configs;
+// -hunt-plant rule@pass arms the planted-bug self-test. Findings are
+// the campaign's product, not an error: a fruitful hunt exits 0.
+//
+// SIGINT/SIGTERM stops the journal-writing experiments (difftest,
+// debugify, hunt) between cells: work in flight finishes and
+// checkpoints, the journal is flushed, and the run exits 4 — distinct
+// from failure (1), usage (2), and quarantine gaps (3) — so -resume
+// picks up exactly where the signal landed. A second signal kills the
+// process the default way.
+//
 // The resilience flags (-retries, -cell-timeout, -chaos, -journal,
 // -resume) wrap every evaluation cell in the fault-tolerant layer of
 // internal/resilience: cells that panic, stall, or fail transiently are
@@ -49,6 +66,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -60,6 +79,8 @@ import (
 
 	"debugtuner/internal/difftest"
 	"debugtuner/internal/experiments"
+	"debugtuner/internal/hunt"
+	"debugtuner/internal/metrics"
 	"debugtuner/internal/options"
 	"debugtuner/internal/pipeline"
 	"debugtuner/internal/testsuite"
@@ -85,6 +106,20 @@ type cli struct {
 	cpuProfile *string
 	memProfile *string
 	shared     *options.Flags
+
+	huntSeed         *int64
+	huntEpochs       *int
+	huntCandidates   *int
+	huntConfigs      *string
+	huntDenom        *string
+	huntPlant        *string
+	huntCorpus       *string
+	huntState        *string
+	huntReduceProbes *int
+
+	// interrupt is cancelled by the first SIGINT/SIGTERM; journal-writing
+	// experiments stop between cells and the command exits ExitInterrupted.
+	interrupt context.Context
 }
 
 func newCLI(name string) *cli {
@@ -122,6 +157,24 @@ func newCLI(name string) *cli {
 		"write a runtime/pprof CPU profile of the whole run to this file")
 	c.memProfile = c.fs.String("memprofile", "",
 		"write a runtime/pprof heap profile (after all experiments) to this file")
+	hd := hunt.DefaultOptions()
+	c.huntSeed = c.fs.Int64("hunt-seed", hd.Seed, "hunt: campaign seed")
+	c.huntEpochs = c.fs.Int("hunt-epochs", hd.Epochs,
+		"hunt: feedback epochs (buckets found in epoch e bias epoch e+1)")
+	c.huntCandidates = c.fs.Int("hunt-candidates", hd.Candidates,
+		"hunt: candidate programs per epoch")
+	c.huntConfigs = c.fs.String("hunt-configs", hd.Spec,
+		"hunt: configuration matrix; the first entry is the primary config")
+	c.huntDenom = c.fs.String("hunt-denom", string(hd.Denom),
+		"hunt: score denominator (stmt-lines, stepped-o0, or def-ranges)")
+	c.huntPlant = c.fs.String("hunt-plant", "",
+		"hunt: planted-bug drill, rule@pass (e.g. scope-nesting@dse)")
+	c.huntCorpus = c.fs.String("hunt-corpus", "",
+		"hunt: regression corpus directory; enables fixture and trend-state commits")
+	c.huntState = c.fs.String("hunt-state", "",
+		"hunt: trend state file (default <hunt-corpus>/hunt-state.json)")
+	c.huntReduceProbes = c.fs.Int("hunt-reduce-probes", hd.ReduceProbes,
+		"hunt: ddmin probe budget per witness reduction")
 	c.shared = options.Install(c.fs)
 	return c
 }
@@ -209,6 +262,7 @@ func runMain(argv []string) int {
 		}
 		return 1
 	}
+	c.interrupt = options.NotifyInterrupt()
 	return runExperiments(c, rt, c.fs.Args())
 }
 
@@ -249,7 +303,7 @@ func runExperiments(c *cli, rt *options.Runtime, want []string) int {
 	// Also absent from "all": difftest is a correctness gate. A run with
 	// findings exits nonzero so CI can gate on it.
 	byName["difftest"] = exp{"difftest", func(w io.Writer) error {
-		dopts := difftest.Options{Spec: *c.dtConfigs}
+		dopts := difftest.Options{Spec: *c.dtConfigs, Interrupt: c.interrupt}
 		for seed := int64(1); seed <= int64(*c.dtSeeds); seed++ {
 			dopts.Seeds = append(dopts.Seeds, seed)
 		}
@@ -258,6 +312,9 @@ func runExperiments(c *cli, rt *options.Runtime, want []string) int {
 		}
 		rep, err := difftest.Run(w, dopts)
 		if err != nil {
+			if options.IsInterrupted(err) {
+				return options.ErrInterrupted
+			}
 			return err
 		}
 		// Quarantined cells are gaps, not verdicts — they surface through
@@ -274,6 +331,7 @@ func runExperiments(c *cli, rt *options.Runtime, want []string) int {
 	byName["debugify"] = exp{"debugify", func(w io.Writer) error {
 		dopts := experiments.DefaultDebugifyOptions()
 		dopts.Verify = *c.dbgVerify
+		dopts.Interrupt = c.interrupt
 		if *c.dbgSubjects != "" {
 			dopts.Subjects = strings.Split(*c.dbgSubjects, ",")
 		}
@@ -285,10 +343,40 @@ func runExperiments(c *cli, rt *options.Runtime, want []string) int {
 		}
 		rep, err := experiments.WriteDebugify(w, dopts)
 		if err != nil {
+			if options.IsInterrupted(err) {
+				return options.ErrInterrupted
+			}
 			return err
 		}
 		if n := len(rep.Findings); n > 0 {
 			return fmt.Errorf("%d static debug-info findings", n)
+		}
+		return nil
+	}}
+	// Also absent from "all": hunt is the feedback-directed finding
+	// campaign. Findings are its product, not a failure — CI gates on
+	// report bytes and new-bucket fixtures, so a fruitful campaign still
+	// exits 0. Under -work-dir the leased workers run with commits off;
+	// only the supervisor's render pass writes fixtures and trend state.
+	byName["hunt"] = exp{"hunt", func(w io.Writer) error {
+		hopts := hunt.DefaultOptions()
+		hopts.Seed = *c.huntSeed
+		hopts.Epochs = *c.huntEpochs
+		hopts.Candidates = *c.huntCandidates
+		hopts.Spec = *c.huntConfigs
+		hopts.Denom = metrics.Denom(*c.huntDenom)
+		hopts.Plant = *c.huntPlant
+		hopts.CorpusDir = *c.huntCorpus
+		hopts.StatePath = *c.huntState
+		hopts.ReduceProbes = *c.huntReduceProbes
+		hopts.Commit = *c.shared.WorkDir == ""
+		hopts.Interrupt = c.interrupt
+		rep, err := hunt.Run(w, hopts)
+		if err != nil {
+			return err
+		}
+		if rep.Interrupted {
+			return options.ErrInterrupted
 		}
 		return nil
 	}}
@@ -301,6 +389,17 @@ func runExperiments(c *cli, rt *options.Runtime, want []string) int {
 		fmt.Printf("==== %s ====\n", e.name)
 		start := time.Now()
 		if err := e.run(os.Stdout); err != nil {
+			if errors.Is(err, options.ErrInterrupted) {
+				// Flush the journal and quarantine report before exiting so
+				// the work completed so far is resumable, then exit with the
+				// distinct interrupted code.
+				fmt.Fprintf(os.Stderr, "%s: interrupted; journal flushed, resume with -resume\n", e.name)
+				if _, ferr := rt.Finish(os.Stdout); ferr != nil {
+					fmt.Fprintln(os.Stderr, ferr)
+					return 1
+				}
+				return options.ExitInterrupted
+			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
 			return 1
 		}

@@ -5,9 +5,12 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"debugtuner/internal/options"
@@ -109,6 +112,25 @@ func workMain(argv []string) int {
 		}
 		procs[i] = worker{cmd: cmd, log: logf}
 	}
+	// Graceful-stop plumbing: the first SIGINT/SIGTERM marks the run
+	// interrupted; SIGTERM (delivered to the supervisor alone) is
+	// forwarded so workers drain and flush their journals. SIGINT is not
+	// forwarded — the terminal already delivered it to the whole process
+	// group, and a second signal would kill a worker mid-flush (each
+	// worker uninstalls its handler after the first).
+	var interrupted atomic.Bool
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		signal.Stop(sigCh)
+		interrupted.Store(true)
+		if sig == syscall.SIGTERM {
+			for _, p := range procs {
+				p.cmd.Process.Signal(syscall.SIGTERM)
+			}
+		}
+	}()
 	if killIdx >= 0 {
 		if killIdx >= len(procs) {
 			return usage(fmt.Sprintf("-kill-worker index %d out of range", killIdx))
@@ -126,16 +148,18 @@ func workMain(argv []string) int {
 	for i, p := range procs {
 		err := p.cmd.Wait()
 		p.log.Close()
-		// Exit 0 (clean) and 3 (completed with quarantined cells) are
-		// both useful journals; anything else — including a kill —
-		// means this worker's unclaimed cells were re-leased by peers
-		// or will be recomputed during the render.
-		if err != nil && p.cmd.ProcessState.ExitCode() != 3 {
+		// Exit 0 (clean), 3 (completed with quarantined cells), and 4
+		// (interrupted after a journal flush) are all useful journals;
+		// anything else — including a kill — means this worker's
+		// unclaimed cells were re-leased by peers or will be recomputed
+		// during the render.
+		code := p.cmd.ProcessState.ExitCode()
+		if err != nil && code != 3 && code != 4 {
 			fmt.Fprintf(os.Stderr, "experiments work: worker %d: %v (its leases expire and peers take over)\n", i, err)
 			failed++
 		}
 	}
-	if failed == len(procs) {
+	if failed == len(procs) && !interrupted.Load() {
 		return fail(fmt.Errorf("all %d workers failed; see %s/w*.log", failed, dir))
 	}
 
@@ -148,6 +172,16 @@ func workMain(argv []string) int {
 		return fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "experiments work: merged %d cells from %d workers\n", len(recs), len(procs))
+
+	// An interrupted fleet stops here: rendering would recompute every
+	// cell the drained workers never reached, the opposite of a graceful
+	// stop. The merge above is the checkpoint — a later run resumes from
+	// it and only computes the remainder.
+	if interrupted.Load() {
+		fmt.Fprintf(os.Stderr,
+			"experiments work: interrupted; resume with -resume %s\n", merged)
+		return options.ExitInterrupted
+	}
 
 	// Render: resume from the merged journal in this process. Journaled
 	// cells replay; anything missing recomputes here, so the output is
@@ -165,6 +199,10 @@ func workMain(argv []string) int {
 		}
 		return fail(err)
 	}
+	// The fleet is done; the render phase handles its own signals (the
+	// fleet handler above stays parked on a dead channel).
+	signal.Stop(sigCh)
+	c.interrupt = options.NotifyInterrupt()
 	code := runExperiments(c, rt, exps)
 	if code == 0 && madeTemp && !*keepWork {
 		os.RemoveAll(dir)

@@ -90,6 +90,20 @@ func TestCMinPreservesCoverage(t *testing.T) {
 	}
 }
 
+// TestCMinDeterministicAcrossRuns: minimization over an independently
+// regrown corpus must keep the same entries — CMin's greedy order may
+// not leak map iteration order, or every downstream Table III number
+// (and the hunt corpus built on it) goes nondeterministic.
+func TestCMinDeterministicAcrossRuns(t *testing.T) {
+	kept1 := CMin(buildTarget(t).Run())
+	for round := 0; round < 3; round++ {
+		kept2 := CMin(buildTarget(t).Run())
+		if !reflect.DeepEqual(kept1, kept2) {
+			t.Fatalf("cmin kept %v on one run, %v on another", kept1, kept2)
+		}
+	}
+}
+
 func TestBuckets(t *testing.T) {
 	cases := map[int64]uint64{
 		0: 0, 1: 0, 2: 1, 3: 2, 4: 3, 7: 3, 8: 4, 15: 4, 16: 5, 31: 5,

@@ -56,6 +56,11 @@ type Options struct {
 	CorpusExecs int
 	// Budget is the per-run VM step budget (0 = DefaultBudget).
 	Budget int64
+	// Interrupt, when non-nil, stops the run between subjects once the
+	// context is cancelled (a SIGINT/SIGTERM drain): subjects already in
+	// flight finish and checkpoint, no new subject starts, and Run
+	// returns the context error so the caller can exit distinctly.
+	Interrupt context.Context
 }
 
 // DefaultBudget bounds each VM run. Short subjects finish well inside
@@ -113,7 +118,11 @@ func Run(w io.Writer, opts Options) (*Report, error) {
 	if opts.Budget > 0 {
 		o.Budget = opts.Budget
 	}
-	findings, err := o.Check(subjects)
+	ctx := opts.Interrupt
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	findings, err := o.CheckContext(ctx, subjects)
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +175,13 @@ func Run(w io.Writer, opts Options) (*Report, error) {
 // Check runs every subject against every configuration on the worker
 // pool and returns the findings sorted by (subject, config, kind).
 func (o *Oracle) Check(subjects []*Subject) ([]Finding, error) {
-	perSubject, err := workerpool.Map(context.Background(), subjects,
+	return o.CheckContext(context.Background(), subjects)
+}
+
+// CheckContext is Check under a cancellation context: once ctx is
+// cancelled no new subject starts and the context error is returned.
+func (o *Oracle) CheckContext(ctx context.Context, subjects []*Subject) ([]Finding, error) {
+	perSubject, err := workerpool.Map(ctx, subjects,
 		func(_ context.Context, _ int, s *Subject) ([]Finding, error) {
 			return o.CheckSubject(s)
 		})

@@ -416,6 +416,27 @@ func prefixOf(partial, full []int64) string {
 	return ""
 }
 
+// ConfigLabel renders the unambiguous configuration label findings
+// carry in their Config field — exported so campaign drivers can map
+// labels back to configurations and parse the disabled-toggle suffix.
+func ConfigLabel(cfg pipeline.Config) string { return configLabel(cfg) }
+
+// ParseConfigLabel inverts ConfigLabel: "gcc-O2!licm!dse" becomes the
+// gcc O2 configuration with licm and dse disabled.
+func ParseConfigLabel(label string) (pipeline.Config, error) {
+	parts := strings.Split(label, "!")
+	profile, level, ok := strings.Cut(parts[0], "-")
+	if !ok {
+		var zero pipeline.Config
+		return zero, fmt.Errorf("difftest: bad config label %q", label)
+	}
+	var opts []pipeline.Option
+	if len(parts) > 1 {
+		opts = append(opts, pipeline.Disable(parts[1:]...))
+	}
+	return pipeline.NewConfig(pipeline.Profile(profile), level, opts...)
+}
+
 // configLabel renders an unambiguous configuration label: unlike
 // Config.Name (which collapses every disabled set to "-dN"), the label
 // spells out the disabled toggles, so findings are actionable.

@@ -28,6 +28,10 @@ type DebugifyOptions struct {
 	// With it false the same matrix is built plainly — the baseline
 	// bench_eval.sh measures verify-each overhead against.
 	Verify bool
+	// Interrupt, when non-nil and cancelled, stops the matrix before the
+	// next cell: completed cells are already journaled, so a -resume run
+	// replays them and only the remainder is rebuilt.
+	Interrupt context.Context
 }
 
 // DefaultDebugifyOptions is the full matrix with verification on.
@@ -141,7 +145,11 @@ func Debugify(opts DebugifyOptions) (*DebugifyReport, error) {
 		}
 	}
 
-	results, err := workerpool.Map(context.Background(), cells,
+	mctx := context.Background()
+	if opts.Interrupt != nil {
+		mctx = opts.Interrupt
+	}
+	results, err := workerpool.Map(mctx, cells,
 		func(_ context.Context, _ int, c debugifyCell) (*debugifyCellResult, error) {
 			fp, _ := c.cfg.Fingerprint()
 			key := fmt.Sprintf("debugify|%s#%016x|%s", c.subject, c.srcHash, fp)

@@ -1,0 +1,313 @@
+package hunt
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"debugtuner/internal/resilience"
+	"debugtuner/internal/workerpool"
+)
+
+func cancelledContext() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+// smallOpts is a campaign small enough for unit tests.
+func smallOpts() Options {
+	o := DefaultOptions()
+	o.Epochs = 1
+	o.Candidates = 3
+	o.Spec = "gcc-O2"
+	o.ReduceProbes = 120
+	return o
+}
+
+func runCampaign(t *testing.T, opts Options) (string, *Report) {
+	t.Helper()
+	var buf bytes.Buffer
+	rep, err := Run(&buf, opts)
+	if err != nil {
+		t.Fatalf("hunt.Run: %v\n%s", err, buf.String())
+	}
+	return buf.String(), rep
+}
+
+// TestPlantedBugFoundBucketedReduced is the campaign acceptance drill:
+// a violation planted after a known pass must be found by every
+// candidate, bucketed under exactly (rule, pass), reduced, and
+// committed to the corpus with trend state.
+func TestPlantedBugFoundBucketedReduced(t *testing.T) {
+	dir := t.TempDir()
+	opts := smallOpts()
+	opts.Plant = "scope-nesting@dse"
+	opts.CorpusDir = dir
+
+	out, rep := runCampaign(t, opts)
+	if rep.Findings == 0 || rep.NewBuckets == 0 {
+		t.Fatalf("planted bug not found:\n%s", out)
+	}
+	if !strings.Contains(out, "[scope-nesting @ dse] count 3") {
+		t.Fatalf("planted bug not bucketed under (scope-nesting, dse):\n%s", out)
+	}
+	if !strings.Contains(out, "reduced ") {
+		t.Fatalf("witness not reduced:\n%s", out)
+	}
+	fixture := filepath.Join(dir, "scope-nesting-dse.mc")
+	data, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatalf("fixture not committed: %v\n%s", err, out)
+	}
+	if !strings.HasPrefix(string(data), "// hunt witness: [scope-nesting @ dse]") {
+		t.Fatalf("fixture missing provenance header:\n%s", data)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "hunt-state.json")); err != nil {
+		t.Fatalf("trend state not committed: %v", err)
+	}
+}
+
+// TestCampaignDeterministicAcrossWorkers: report bytes must not depend
+// on the worker-pool size.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	opts := smallOpts()
+	workerpool.SetWorkers(1)
+	a, _ := runCampaign(t, opts)
+	workerpool.SetWorkers(4)
+	b, _ := runCampaign(t, opts)
+	workerpool.SetWorkers(0)
+	if a != b {
+		t.Fatalf("report differs between -j1 and -j4:\n--- j1:\n%s--- j4:\n%s", a, b)
+	}
+	c, _ := runCampaign(t, opts)
+	if a != c {
+		t.Fatalf("report differs between runs:\n%s\nvs\n%s", a, c)
+	}
+}
+
+// TestResumeByteIdentical: a journaled campaign resumed from its own
+// journal replays every cell from disk and renders identical bytes.
+func TestResumeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "hunt.jsonl")
+	opts := smallOpts()
+	opts.Plant = "dbg-orphan@dce"
+
+	withJournal := func(open func() (resilience.Checkpointer, error)) string {
+		j, err := open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex := resilience.NewExecutor(resilience.DefaultPolicy())
+		ex.Journal = j
+		prev := resilience.Install(ex)
+		defer resilience.Install(prev)
+		out, _ := runCampaign(t, opts)
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	first := withJournal(func() (resilience.Checkpointer, error) {
+		return resilience.CreateJournal(jpath)
+	})
+	resumed := withJournal(func() (resilience.Checkpointer, error) {
+		return resilience.ResumeJournal(jpath)
+	})
+	if first != resumed {
+		t.Fatalf("resumed report differs:\n--- first:\n%s--- resumed:\n%s", first, resumed)
+	}
+}
+
+// TestWorkerLeaseMergeDedup: two workers sharing a -work-dir report the
+// same buckets; the merge deduplicates cells, the render pass commits
+// exactly one fixture, and the merged report matches the
+// single-process run byte for byte.
+func TestWorkerLeaseMergeDedup(t *testing.T) {
+	opts := smallOpts()
+	// The dse plant stays a single bucket: later passes do not clone the
+	// planted binding (an early-pass plant gets duplicated by downstream
+	// unrolling/jump-threading into extra per-pass buckets).
+	opts.Plant = "scope-nesting@dse"
+
+	// Reference: plain single-process run with a commit dir.
+	refDir := t.TempDir()
+	refOpts := opts
+	refOpts.CorpusDir = refDir
+	want, _ := runCampaign(t, refOpts)
+
+	workDir := t.TempDir()
+	runWorker := func(id string) {
+		wj, err := resilience.OpenWork(workDir, id, resilience.DefaultLeaseTTL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex := resilience.NewExecutor(resilience.DefaultPolicy())
+		ex.Journal = wj
+		prev := resilience.Install(ex)
+		defer resilience.Install(prev)
+		wopts := opts
+		wopts.Commit = false // leased workers never write fixtures
+		runCampaign(t, wopts)
+		if err := wj.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runWorker("w1")
+	runWorker("w2") // every cell already journaled: pure replay, no dup work
+
+	recs, err := resilience.MergeDir(workDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := filepath.Join(workDir, "merged.jsonl")
+	if err := resilience.WriteMerged(merged, recs); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, r := range recs {
+		seen[r.Key]++
+	}
+	for k, n := range seen {
+		if n > 1 {
+			t.Fatalf("merge kept %d records for cell %s", n, k)
+		}
+	}
+
+	// Render pass: resume from the merge with commit on.
+	j, err := resilience.ResumeJournal(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := resilience.NewExecutor(resilience.DefaultPolicy())
+	ex.Journal = j
+	prev := resilience.Install(ex)
+	defer resilience.Install(prev)
+	outDir := t.TempDir()
+	ropts := opts
+	ropts.CorpusDir = outDir
+	got, _ := runCampaign(t, ropts)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got != want {
+		t.Fatalf("merged render differs from single-process run:\n--- merged:\n%s--- plain:\n%s", got, want)
+	}
+	entries, err := os.ReadDir(outDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtures := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".mc") {
+			fixtures++
+		}
+	}
+	if fixtures != 1 {
+		t.Fatalf("want exactly 1 fixture from the merged render, got %d", fixtures)
+	}
+}
+
+// TestInterruptedCampaignReportsAndSkipsCommit: a cancelled Interrupt
+// context stops the run, marks the report interrupted, and commits
+// nothing.
+func TestInterruptedCampaignReportsAndSkipsCommit(t *testing.T) {
+	dir := t.TempDir()
+	opts := smallOpts()
+	opts.CorpusDir = dir
+	opts.Interrupt = cancelledContext()
+
+	var buf bytes.Buffer
+	rep, err := Run(&buf, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Interrupted {
+		t.Fatal("report not marked interrupted")
+	}
+	if !strings.Contains(buf.String(), "HUNT INTERRUPTED") {
+		t.Fatalf("missing interrupted banner:\n%s", buf.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "hunt-state.json")); !os.IsNotExist(err) {
+		t.Fatal("interrupted run committed state")
+	}
+}
+
+// TestCommittedCorpusReplays: every reduced witness committed under
+// testdata/hunt must still reproduce a finding of its recorded
+// (rule, pass) class — the regression corpus is only worth committing
+// if it keeps regressing.
+func TestCommittedCorpusReplays(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "hunt")
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		t.Skip("no committed corpus")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".mc") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rule, pass, plant string
+		for _, line := range strings.Split(string(data), "\n") {
+			if s, ok := strings.CutPrefix(line, "// hunt witness: ["); ok {
+				if r, p, ok := strings.Cut(strings.TrimSuffix(s, "]"), " @ "); ok {
+					rule, pass = r, p
+				}
+			}
+			if s, ok := strings.CutPrefix(line, "// plant: "); ok {
+				plant = s
+			}
+		}
+		if rule == "" {
+			t.Errorf("%s: missing witness header", e.Name())
+			continue
+		}
+		opts := smallOpts()
+		opts.Plant = plant
+		c, err := newCampaign(opts)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if !c.verifyPredicate(rule, pass)(data) {
+			t.Errorf("%s: no longer reproduces [%s @ %s]", e.Name(), rule, pass)
+		}
+		replayed++
+	}
+	if replayed == 0 {
+		t.Fatal("committed corpus has no fixtures")
+	}
+}
+
+// TestBadOptionsRejected: bad specs fail at option time, not mid-run.
+func TestBadOptionsRejected(t *testing.T) {
+	for _, mod := range []func(*Options){
+		func(o *Options) { o.Plant = "nonsense" },
+		func(o *Options) { o.Plant = "loc-overlap@dse" },            // no plant recipe
+		func(o *Options) { o.Plant = "scope-nesting@no-such" },      // unknown pass
+		func(o *Options) { o.Plant = "scope-nesting@crossjumping" }, // back-end stage: hook never fires
+		func(o *Options) { o.Spec = "gcc-O9" },
+		func(o *Options) { o.Denom = "line-table" },
+		func(o *Options) { o.Epochs = 0 },
+		func(o *Options) { o.Spec = "gcc-O0" }, // unoptimized primary
+	} {
+		opts := smallOpts()
+		mod(&opts)
+		if _, err := Run(&bytes.Buffer{}, opts); err == nil {
+			t.Fatalf("options %+v accepted", opts)
+		}
+	}
+}

@@ -209,9 +209,24 @@ func (f *Func) clone(prog *Program) *Func {
 			for _, a := range v.Args {
 				na := valueMap[a]
 				if na == nil {
-					// Cross-block dangling arg would be a verifier error;
-					// keep the panic loud during development.
-					panic(fmt.Sprintf("clone: unmapped arg %v of %v in %s", a, v, f.Name))
+					if v.Op == OpDbgValue {
+						// A binding whose referent is placed in no block is
+						// exactly what a DCE that forgets its dbg.value users
+						// leaves behind (staticdbg's dbg-orphan rule). Clone
+						// the referent detached so the corruption survives
+						// for the analyzer to report — crashing a copy
+						// utility on already-corrupt debug metadata would
+						// turn a diagnosable finding into a dead pipeline.
+						na = &Value{
+							Op: a.Op, ID: a.ID, AuxInt: a.AuxInt,
+							Aux: a.Aux, Line: a.Line, Var: a.Var,
+						}
+						valueMap[a] = na
+					} else {
+						// Real dataflow with a dangling arg is a verifier
+						// error; keep the panic loud during development.
+						panic(fmt.Sprintf("clone: unmapped arg %v of %v in %s", a, v, f.Name))
+					}
 				}
 				nv.Args = append(nv.Args, na)
 			}

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"debugtuner/internal/dbgtrace"
+	"debugtuner/internal/debuginfo"
+	"debugtuner/internal/sema"
+)
+
+// Denom selects the line-coverage denominator — the set of source lines
+// a debugger is charged with being able to stop on. Stinnett & Kell's
+// "Accurate Coverage Metrics" observation is that this choice, not the
+// numerator, separates the published methods: each denominator below
+// turns the same static measurement into a different member of the
+// metric family, so campaigns can score under any of them.
+type Denom string
+
+const (
+	// DenomStmtLines: every source statement line — the plain static
+	// method's baseline, dead code included (overestimates loss).
+	DenomStmtLines Denom = "stmt-lines"
+	// DenomSteppedO0: lines actually stepped at -O0 — the static-dbg
+	// correction, which needs a baseline trace.
+	DenomSteppedO0 Denom = "stepped-o0"
+	// DenomDefRanges: statement lines inside at least one variable's
+	// source-level definition range — the coverage-metrics refinement
+	// that charges the compiler only for lines where debug state exists
+	// to show.
+	DenomDefRanges Denom = "def-ranges"
+)
+
+// Denoms lists the denominator family in report order.
+func Denoms() []Denom {
+	return []Denom{DenomStmtLines, DenomSteppedO0, DenomDefRanges}
+}
+
+// ParseDenom resolves a flag value to a family member.
+func ParseDenom(s string) (Denom, error) {
+	for _, d := range Denoms() {
+		if string(d) == s {
+			return d, nil
+		}
+	}
+	var names []string
+	for _, d := range Denoms() {
+		names = append(names, string(d))
+	}
+	return "", fmt.Errorf("metrics: unknown denominator %q (want %s)",
+		s, strings.Join(names, ", "))
+}
+
+// BaselineLines materializes the chosen denominator as a line set.
+// stmtLines is required for stmt-lines and def-ranges; baseO0 for
+// stepped-o0; dr for def-ranges.
+func BaselineLines(d Denom, stmtLines map[int]bool, baseO0 *dbgtrace.Trace, dr *sema.DefRanges) (map[int]bool, error) {
+	switch d {
+	case DenomStmtLines:
+		if stmtLines == nil {
+			return nil, fmt.Errorf("metrics: %s needs statement lines", d)
+		}
+		return stmtLines, nil
+	case DenomSteppedO0:
+		if baseO0 == nil {
+			return nil, fmt.Errorf("metrics: %s needs an O0 baseline trace", d)
+		}
+		lines := make(map[int]bool, len(baseO0.Stepped))
+		for l := range baseO0.Stepped {
+			lines[l] = true
+		}
+		return lines, nil
+	case DenomDefRanges:
+		if stmtLines == nil || dr == nil {
+			return nil, fmt.Errorf("metrics: %s needs statement lines and definition ranges", d)
+		}
+		lines := map[int]bool{}
+		for _, l := range sortedLines(stmtLines) {
+			if len(dr.ExpectedAt(l)) > 0 {
+				lines[l] = true
+			}
+		}
+		return lines, nil
+	}
+	return nil, fmt.Errorf("metrics: unknown denominator %q", d)
+}
+
+// StaticWith is the static measurement under an explicit denominator:
+// Static == StaticWith(DenomStmtLines), StaticDbg == StaticWith
+// (DenomSteppedO0). This is the campaign-facing entry point — the
+// denominator is a run parameter, not a method choice.
+func StaticWith(table *debuginfo.Table, d Denom, stmtLines map[int]bool,
+	baseO0 *dbgtrace.Trace, dr *sema.DefRanges) (Scores, error) {
+	lines, err := BaselineLines(d, stmtLines, baseO0, dr)
+	if err != nil {
+		return Scores{}, err
+	}
+	return staticScores(table, lines, dr), nil
+}
+
+// DenomSizes reports each materializable denominator's line count for
+// one subject — the campaign trend report shows them side by side so a
+// score shift can be told apart from a baseline shift.
+func DenomSizes(stmtLines map[int]bool, baseO0 *dbgtrace.Trace, dr *sema.DefRanges) map[Denom]int {
+	out := map[Denom]int{}
+	for _, d := range Denoms() {
+		lines, err := BaselineLines(d, stmtLines, baseO0, dr)
+		if err != nil {
+			continue
+		}
+		out[d] = len(lines)
+	}
+	return out
+}
+
+// sortKeys is a tiny helper for deterministic map iteration in tests.
+func sortKeys(m map[Denom]int) []Denom {
+	out := make([]Denom, 0, len(m))
+	for d := range m {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"testing"
+
+	"debugtuner/internal/pipeline"
+	"debugtuner/internal/sema"
+)
+
+// TestParseDenom round-trips every family member and rejects strangers.
+func TestParseDenom(t *testing.T) {
+	for _, d := range Denoms() {
+		got, err := ParseDenom(string(d))
+		if err != nil || got != d {
+			t.Fatalf("ParseDenom(%q) = %v, %v", d, got, err)
+		}
+	}
+	if _, err := ParseDenom("line-table"); err == nil {
+		t.Fatal("unknown denominator accepted")
+	}
+}
+
+// TestStaticWithMatchesNamedMethods: the family generalizes the two
+// published methods exactly — stmt-lines is Static, stepped-o0 is
+// StaticDbg.
+func TestStaticWithMatchesNamedMethods(t *testing.T) {
+	m := measureSetup(t)
+	stmt := sema.StatementLines(m.info)
+	cfg := pipeline.MustConfig(pipeline.GCC, "O2")
+	dt := tableFor(t, cfg)
+
+	sw, err := StaticWith(dt, DenomStmtLines, stmt, nil, m.dr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Static(dt, stmt, m.dr); sw != want {
+		t.Fatalf("StaticWith(stmt-lines) = %+v, Static = %+v", sw, want)
+	}
+	sd, err := StaticWith(dt, DenomSteppedO0, nil, m.base, m.dr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := StaticDbg(dt, m.base, m.dr); sd != want {
+		t.Fatalf("StaticWith(stepped-o0) = %+v, StaticDbg = %+v", sd, want)
+	}
+}
+
+// TestDenomOrdering: def-ranges is a subset of stmt-lines by
+// construction, and every denominator is nonempty on a real subject.
+func TestDenomOrdering(t *testing.T) {
+	m := measureSetup(t)
+	stmt := sema.StatementLines(m.info)
+	sizes := DenomSizes(stmt, m.base, m.dr)
+	for _, d := range sortKeys(sizes) {
+		if sizes[d] == 0 {
+			t.Errorf("denominator %s empty on the measurement subject", d)
+		}
+	}
+	if sizes[DenomDefRanges] > sizes[DenomStmtLines] {
+		t.Fatalf("def-ranges (%d lines) exceeds stmt-lines (%d)",
+			sizes[DenomDefRanges], sizes[DenomStmtLines])
+	}
+	dd, err := BaselineLines(DenomDefRanges, stmt, nil, m.dr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range dd {
+		if !stmt[l] {
+			t.Fatalf("def-ranges line %d not a statement line", l)
+		}
+	}
+}
+
+// TestBaselineLinesMissingInputs: each member reports what it needs
+// instead of silently scoring against an empty baseline.
+func TestBaselineLinesMissingInputs(t *testing.T) {
+	if _, err := BaselineLines(DenomStmtLines, nil, nil, nil); err == nil {
+		t.Error("stmt-lines accepted nil statement lines")
+	}
+	if _, err := BaselineLines(DenomSteppedO0, nil, nil, nil); err == nil {
+		t.Error("stepped-o0 accepted nil baseline trace")
+	}
+	if _, err := BaselineLines(DenomDefRanges, map[int]bool{1: true}, nil, nil); err == nil {
+		t.Error("def-ranges accepted nil definition ranges")
+	}
+}

@@ -126,10 +126,7 @@ func Static(table *debuginfo.Table, stmtLines map[int]bool, dr *sema.DefRanges) 
 // stepped in the unoptimized binary, removing dead and unreachable code
 // from the denominator.
 func StaticDbg(table *debuginfo.Table, baseO0 *dbgtrace.Trace, dr *sema.DefRanges) Scores {
-	lines := map[int]bool{}
-	for l := range baseO0.Stepped {
-		lines[l] = true
-	}
+	lines, _ := BaselineLines(DenomSteppedO0, nil, baseO0, dr)
 	return staticScores(table, lines, dr)
 }
 

@@ -84,6 +84,18 @@ func (r *VerifyReport) VerifyErrs() []string {
 // Config field: Config fingerprints cache binaries, and a verification
 // mode must never alias or split cache entries.
 func BuildVerified(ir0 *ir.Program, cfg Config, debugify bool) *VerifyReport {
+	return BuildVerifiedTamper(ir0, cfg, debugify, nil)
+}
+
+// BuildVerifiedTamper is BuildVerified with a tamper hook invoked after
+// each middle-end pass runs and before the analyzer measures that step,
+// receiving the pass label and the live module. It exists for the hunt
+// campaign's planted-bug drills: a tamper that corrupts metadata after
+// pass P is caught by the very next analyzer run and attributed to P,
+// exactly as a real bug in P would be — an end-to-end self-test of the
+// attribution machinery. A nil tamper is BuildVerified.
+func BuildVerifiedTamper(ir0 *ir.Program, cfg Config, debugify bool,
+	tamper func(label string, prog *ir.Program)) *VerifyReport {
 	work := ir0
 	var bl *staticdbg.Baseline
 	if debugify {
@@ -98,6 +110,9 @@ func BuildVerified(ir0 *ir.Program, cfg Config, debugify bool) *VerifyReport {
 	prevInstrs := countInstrs(work)
 
 	hook := func(label string, prog *ir.Program) {
+		if tamper != nil {
+			tamper(label, prog)
+		}
 		st := VerifyStep{Label: label}
 		if err := ir.VerifyProgram(prog); err != nil {
 			st.VerifyErr = err.Error()

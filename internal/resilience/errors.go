@@ -193,6 +193,13 @@ func HashBytes(b []byte) uint64 {
 	return h.Sum64()
 }
 
+// HashString mixes the parts into one FNV-1a hash with NUL separators,
+// so ("ab","c") and ("a","bc") differ. Campaign drivers use it to
+// fingerprint their parameter set into stable journal-key suffixes.
+func HashString(parts ...string) uint64 {
+	return hashParts(0, parts...)
+}
+
 // hashParts mixes a seed and strings into one FNV-1a hash, the basis of
 // every deterministic decision (chaos schedule, backoff jitter).
 func hashParts(seed uint64, parts ...string) uint64 {

@@ -1,0 +1,86 @@
+package staticdbg
+
+import (
+	"fmt"
+
+	"debugtuner/internal/ast"
+	"debugtuner/internal/ir"
+)
+
+// Plant seeds one deterministic violation of rule into the module, in
+// place. It is the exported form of the seeded-violation recipes the
+// analyzer tests use, for the hunt campaign's planted-bug drills: a
+// known corruption injected after a chosen pass must be found by the
+// analyzer, attributed to that pass, and survive reduction — an
+// end-to-end self-test of the whole find/bucket/reduce machinery.
+//
+// Only IR-layer rules with a codegen-neutral recipe are supported: the
+// planted entity is a zero-argument dbg.value (codegen emits nothing
+// for an unbound binding), so the corruption is visible to CheckModule
+// at every subsequent step without perturbing the binary or seeding
+// violations of other rules. Unsupported rules return an error.
+func Plant(prog *ir.Program, rule Rule) error {
+	if !Plantable(rule) {
+		return fmt.Errorf("staticdbg: no plant recipe for rule %s", rule)
+	}
+	var f *ir.Func
+	for _, fn := range prog.Funcs {
+		if len(fn.Blocks) > 0 {
+			f = fn
+			break
+		}
+	}
+	if f == nil {
+		return fmt.Errorf("staticdbg: plant %s: module has no function with blocks", rule)
+	}
+	b := f.Entry()
+	switch rule {
+	case RuleLineRange:
+		// A negative line on the planted binding: flagged at every layer
+		// pass over the module, removed by nothing (dbg.values carry no
+		// dataflow for DCE to collect).
+		d := f.NewValue(b, ir.OpDbgValue, -7)
+		d.Var = tableSymbol(prog)
+		b.Instrs = append([]*ir.Value{d}, b.Instrs...)
+	case RuleScopeNesting:
+		// A binding whose variable is not a member of the module symbol
+		// table — the corruption inlining-style cloning bugs leave.
+		d := f.NewValue(b, ir.OpDbgValue, 0)
+		d.Var = &ast.Symbol{Name: "planted", Type: ast.TypeInt,
+			Kind: ast.SymLocal, Func: f.Name, ID: 0}
+		b.Instrs = append([]*ir.Value{d}, b.Instrs...)
+	case RuleDbgOrphan:
+		// A dangling reference: the bound value is allocated but never
+		// placed in the function — what a DCE that forgets its dbg.value
+		// users leaves behind.
+		gone := f.NewValue(b, ir.OpConst, 0)
+		d := f.NewValue(b, ir.OpDbgValue, 0, gone)
+		d.Var = tableSymbol(prog)
+		b.Instrs = append([]*ir.Value{d}, b.Instrs...)
+	}
+	return nil
+}
+
+// Plantable reports whether Plant has a recipe for the rule, so
+// campaign drivers can reject a bad drill spec at option-parse time.
+func Plantable(rule Rule) bool {
+	switch rule {
+	case RuleLineRange, RuleScopeNesting, RuleDbgOrphan:
+		return true
+	}
+	return false
+}
+
+// tableSymbol returns a symbol-table member for a well-scoped planted
+// binding, creating one when the module has no symbols at all.
+func tableSymbol(prog *ir.Program) *ast.Symbol {
+	for id, sym := range prog.Symbols {
+		if sym != nil && sym.ID == id {
+			return sym
+		}
+	}
+	sym := &ast.Symbol{Name: "planted", Type: ast.TypeInt,
+		Kind: ast.SymGlobal, ID: len(prog.Symbols)}
+	prog.Symbols = append(prog.Symbols, sym)
+	return sym
+}

@@ -1,0 +1,75 @@
+package staticdbg_test
+
+import (
+	"testing"
+
+	"debugtuner/internal/ir"
+	"debugtuner/internal/staticdbg"
+)
+
+// plantable is the rule set Plant supports; the hunt campaign's -plant
+// flag accepts exactly these.
+var plantable = []staticdbg.Rule{
+	staticdbg.RuleLineRange, staticdbg.RuleScopeNesting, staticdbg.RuleDbgOrphan,
+}
+
+// TestPlantSeedsExactlyOneRule: each recipe turns a clean module into
+// one flagged under exactly the requested rule.
+func TestPlantSeedsExactlyOneRule(t *testing.T) {
+	for _, rule := range plantable {
+		prog, f, b, sym := newModule()
+		c := f.NewValue(b, ir.OpConst, 1)
+		d := f.NewValue(b, ir.OpDbgValue, 0, c)
+		d.Var = sym
+		ret := f.NewValue(b, ir.OpRet, 1, c)
+		b.Instrs = append(b.Instrs, c, d, ret)
+		if vs := staticdbg.CheckModule(prog); len(vs) != 0 {
+			t.Fatalf("%s: substrate not clean: %v", rule, staticdbg.Strings(vs))
+		}
+		if err := staticdbg.Plant(prog, rule); err != nil {
+			t.Fatalf("%s: %v", rule, err)
+		}
+		vs := staticdbg.CheckModule(prog)
+		if len(vs) != 1 {
+			t.Fatalf("%s: got %d violations %v, want 1", rule, len(vs), staticdbg.Strings(vs))
+		}
+		if vs[0].Rule != rule {
+			t.Fatalf("planted %s, analyzer flagged %s", rule, vs[0].Rule)
+		}
+	}
+}
+
+// TestPlantDeterministic: two plants into identical modules yield the
+// same rendered violation — bucket keys and witness diffs depend on it.
+func TestPlantDeterministic(t *testing.T) {
+	mk := func() *ir.Program {
+		prog, f, b, sym := newModule()
+		c := f.NewValue(b, ir.OpConst, 1)
+		d := f.NewValue(b, ir.OpDbgValue, 0, c)
+		d.Var = sym
+		b.Instrs = append(b.Instrs, c, d)
+		return prog
+	}
+	for _, rule := range plantable {
+		a, b := mk(), mk()
+		if err := staticdbg.Plant(a, rule); err != nil {
+			t.Fatal(err)
+		}
+		if err := staticdbg.Plant(b, rule); err != nil {
+			t.Fatal(err)
+		}
+		va, vb := staticdbg.Strings(staticdbg.CheckModule(a)), staticdbg.Strings(staticdbg.CheckModule(b))
+		if len(va) != 1 || len(vb) != 1 || va[0] != vb[0] {
+			t.Fatalf("%s: nondeterministic plant: %v vs %v", rule, va, vb)
+		}
+	}
+}
+
+// TestPlantUnsupportedRule: rules without a recipe error out instead of
+// silently planting nothing.
+func TestPlantUnsupportedRule(t *testing.T) {
+	prog, _, _, _ := newModule()
+	if err := staticdbg.Plant(prog, staticdbg.RuleLocOverlap); err == nil {
+		t.Fatal("binary-layer rule accepted by Plant")
+	}
+}

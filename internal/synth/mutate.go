@@ -1,0 +1,69 @@
+package synth
+
+import "math/rand"
+
+// Weights bias candidate generation toward construct families. 1 is
+// neutral; above 1 the family's knobs grow. The hunt campaign derives
+// them from the telemetry damage ledger and its bucket history: loop
+// passes that historically produced findings raise Loops, inliner
+// damage raises Calls, and so on — the feedback signal that turns a
+// random generator into a directed one.
+type Weights struct {
+	Loops float64 // loop statements and nesting depth
+	Calls float64 // helper functions and call expressions
+	Exprs float64 // expression depth
+	Vars  float64 // locals, globals, arrays
+	Stmts float64 // statements per block
+}
+
+// Neutral returns the all-ones weight vector.
+func Neutral() Weights {
+	return Weights{Loops: 1, Calls: 1, Exprs: 1, Vars: 1, Stmts: 1}
+}
+
+// Mutate derives a generation profile from base: each knob is scaled by
+// its family weight and jittered ±1 from rng, clamped to bounds the
+// generator stays healthy inside (a zero-function or zero-statement
+// profile generates degenerate programs). Weights above neutral also
+// arm the corresponding generation bias. Deterministic per rng state.
+func Mutate(rng *rand.Rand, base Options, w Weights) Options {
+	o := base
+	o.Funcs = clampi(scalei(rng, base.Funcs, w.Calls), 1, 8)
+	o.MaxDepth = clampi(scalei(rng, base.MaxDepth, w.Loops), 1, 4)
+	o.MaxStmts = clampi(scalei(rng, base.MaxStmts, w.Stmts), 2, 8)
+	o.MaxVars = clampi(scalei(rng, base.MaxVars, w.Vars), 2, 10)
+	o.MaxExpr = clampi(scalei(rng, base.MaxExpr, w.Exprs), 1, 6)
+	o.Arrays = clampi(scalei(rng, base.Arrays, w.Vars), 1, 4)
+	o.Globals = clampi(scalei(rng, base.Globals, w.Vars), 1, 6)
+	o.LoopBias = biasFor(w.Loops)
+	o.CallBias = biasFor(w.Calls)
+	return o
+}
+
+// scalei scales an integer knob by a weight with ±1 jitter. A weight
+// of zero (an uninitialized family) is treated as neutral.
+func scalei(rng *rand.Rand, v int, w float64) int {
+	if w <= 0 {
+		w = 1
+	}
+	jitter := rng.Intn(3) - 1
+	return int(float64(v)*w+0.5) + jitter
+}
+
+// biasFor maps an above-neutral weight to a generation bias in 0..6.
+func biasFor(w float64) int {
+	if w <= 1 {
+		return 0
+	}
+	return clampi(int((w-1)*4)+1, 1, 6)
+}
+
+func clampi(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -25,6 +25,15 @@ type Options struct {
 	MaxExpr  int // expression depth
 	Arrays   int // global arrays
 	Globals  int // global scalars
+
+	// LoopBias and CallBias (0..8, 0 = off) skew statement choice toward
+	// loops and expression choice toward helper calls — the mutation
+	// hooks a feedback-directed campaign turns up when loop or inliner
+	// passes historically produced findings. At 0 no extra random draw
+	// happens, so default-option generation is byte-identical to the
+	// historical generator for every seed.
+	LoopBias int
+	CallBias int
 }
 
 // DefaultOptions mirrors a Csmith-ish profile.
@@ -146,6 +155,11 @@ func (g *gen) stmt(depth int) {
 	if depth <= 0 && choice >= 5 {
 		choice = g.rng.Intn(5)
 	}
+	// The bias draw is guarded so unbiased generation consumes exactly
+	// the historical random stream.
+	if g.opts.LoopBias > 0 && depth > 0 && g.rng.Intn(10) < g.opts.LoopBias {
+		choice = 7
+	}
 	switch choice {
 	case 0, 1: // assignment
 		if len(g.locals) > 0 {
@@ -223,6 +237,14 @@ var binOps = []string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
 func (g *gen) expr(depth int) string {
 	if depth <= 0 || g.rng.Intn(4) == 0 {
 		return g.leaf()
+	}
+	if g.opts.CallBias > 0 && len(g.funcs) > 0 && g.rng.Intn(10) < g.opts.CallBias {
+		f := g.funcs[g.rng.Intn(len(g.funcs))]
+		var args []string
+		for i := 0; i < f.params; i++ {
+			args = append(args, g.expr(depth-1))
+		}
+		return fmt.Sprintf("%s(%s)", f.name, strings.Join(args, ", "))
 	}
 	switch g.rng.Intn(8) {
 	case 0:
