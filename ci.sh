@@ -250,3 +250,36 @@ cmp /tmp/ci-hunt-ref.txt /tmp/ci-hunt-w2.txt
 rm -f /tmp/ci-experiments /tmp/ci-hunt-ref.txt /tmp/ci-hunt-2.txt \
     /tmp/ci-hunt.jsonl /tmp/ci-hunt-int.txt /tmp/ci-hunt-resume.txt \
     /tmp/ci-hunt-w2.txt
+
+# Dataflow-analyzer smoke: loc-stale is a binary-level violation the IR
+# analyzer cannot see — a planted one must be caught through the
+# verify-each mid-chain attribution path and bucketed at the planted
+# pass, byte-identically at -j 1 and -j 4 and across SIGTERM + -resume.
+# Then the full debugify matrix (every subject x both profiles x every
+# level) must be clean: zero non-advisory findings, no allowlist.
+go build -o /tmp/ci-experiments ./cmd/experiments
+DFHUNT='-hunt-epochs 1 -hunt-candidates 4 -hunt-configs gcc-O2 -hunt-plant loc-stale@dse'
+# shellcheck disable=SC2086  # DFHUNT is a word list by construction
+/tmp/ci-experiments -j 1 $DFHUNT hunt > /tmp/ci-df-j1.txt
+grep -q 'HUNT FINDINGS' /tmp/ci-df-j1.txt
+grep -q 'loc-stale @ dse' /tmp/ci-df-j1.txt
+/tmp/ci-experiments -j 4 $DFHUNT hunt > /tmp/ci-df-j4.txt
+cmp /tmp/ci-df-j1.txt /tmp/ci-df-j4.txt
+rm -f /tmp/ci-df.jsonl
+/tmp/ci-experiments -journal /tmp/ci-df.jsonl $DFHUNT hunt \
+    > /tmp/ci-df-int.txt &
+DF_PID=$!
+sleep 1.5
+kill -TERM "$DF_PID"
+rc=0; wait "$DF_PID" || rc=$?
+test "$rc" -eq 4
+grep -q 'HUNT INTERRUPTED' /tmp/ci-df-int.txt
+test -s /tmp/ci-df.jsonl
+/tmp/ci-experiments -resume /tmp/ci-df.jsonl $DFHUNT hunt \
+    > /tmp/ci-df-resume.txt
+cmp /tmp/ci-df-j1.txt /tmp/ci-df-resume.txt
+/tmp/ci-experiments -j 4 debugify > /tmp/ci-df-matrix.txt
+grep -q '^PASS$' /tmp/ci-df-matrix.txt
+rm -f /tmp/ci-experiments /tmp/ci-df-j1.txt /tmp/ci-df-j4.txt \
+    /tmp/ci-df.jsonl /tmp/ci-df-int.txt /tmp/ci-df-resume.txt \
+    /tmp/ci-df-matrix.txt

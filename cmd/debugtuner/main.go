@@ -53,6 +53,12 @@ func main() {
 		}
 		os.Exit(1)
 	}
+	// fail is a closure so every os.Exit stays lexically inside main —
+	// the lint exit-owner rule's single-owner contract.
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "debugtuner:", err)
+		os.Exit(1)
+	}
 
 	profile := pipeline.Profile(*compiler)
 	var dys []int
@@ -156,9 +162,4 @@ func meanProduct(progs []*tuner.Program, cfg pipeline.Config) (float64, error) {
 		sum += m
 	}
 	return sum / float64(len(progs)), nil
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "debugtuner:", err)
-	os.Exit(1)
 }

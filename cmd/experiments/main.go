@@ -92,20 +92,20 @@ type cli struct {
 	fs   *flag.FlagSet
 	opts experiments.Options
 
-	quick      *bool
-	timings    *bool
-	prProfile  *string
-	prLevel    *string
+	quick       *bool
+	timings     *bool
+	prProfile   *string
+	prLevel     *string
 	dbgSubjects *string
-	dbgProfile *string
-	dbgLevel   *string
-	dbgVerify  *bool
-	dtSeeds    *int
-	dtConfigs  *string
-	dtSuite    *bool
-	cpuProfile *string
-	memProfile *string
-	shared     *options.Flags
+	dbgProfile  *string
+	dbgLevel    *string
+	dbgVerify   *bool
+	dtSeeds     *int
+	dtConfigs   *string
+	dtSuite     *bool
+	cpuProfile  *string
+	memProfile  *string
+	shared      *options.Flags
 
 	huntSeed         *int64
 	huntEpochs       *int

@@ -26,6 +26,8 @@ import (
 	"debugtuner/internal/vm"
 )
 
+// main owns the exit codes (2 usage, 1 failure); everything below it
+// reports errors by return.
 func main() {
 	profile := flag.String("profile", "gcc", "compiler profile")
 	level := flag.String("O", "0", "optimization level")
@@ -42,38 +44,44 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: mdb [flags] file.mc")
 		os.Exit(2)
 	}
+	if err := run(*profile, *level, disabled, *entry, *trace, *breakLine); err != nil {
+		fmt.Fprintln(os.Stderr, "mdb:", err)
+		os.Exit(1)
+	}
+}
+
+func run(profile, level string, disabled []string, entry string, trace bool, breakLine int) error {
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		fail(err)
+		return err
 	}
-	lvl := "O" + strings.ToUpper(*level)
-	if *level == "g" {
+	lvl := "O" + strings.ToUpper(level)
+	if level == "g" {
 		lvl = "Og"
 	}
-	cfg, err := pipeline.NewConfig(pipeline.Profile(*profile), lvl,
+	cfg, err := pipeline.NewConfig(pipeline.Profile(profile), lvl,
 		pipeline.Disable(disabled...))
 	if err != nil {
-		fail(err)
+		return err
 	}
 	bin, info, err := pipeline.CompileSource(flag.Arg(0), src, cfg)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	sess, err := debugger.NewSession(bin)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	fmt.Printf("loaded %s (%s): %d steppable lines\n",
 		flag.Arg(0), cfg.Name(), sess.SteppableLines())
 
-	if *breakLine > 0 {
-		inspectAt(sess, bin, *entry, *breakLine, info)
-		return
+	if breakLine > 0 {
+		return inspectAt(sess, bin, entry, breakLine, info)
 	}
-	if *trace {
-		tr, err := sess.TraceMain(*entry, 1<<32)
+	if trace {
+		tr, err := sess.TraceMain(entry, 1<<32)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		names := info.SymbolNames()
 		for _, line := range tr.Lines() {
@@ -86,14 +94,15 @@ func main() {
 		}
 		fmt.Printf("stepped %d of %d steppable lines\n", len(tr.Stepped), tr.Steppable)
 	}
+	return nil
 }
 
 // inspectAt stops at the first address of the line and prints variables.
-func inspectAt(sess *debugger.Session, bin *vm.Binary, entry string, line int, info *sema.Info) {
+func inspectAt(sess *debugger.Session, bin *vm.Binary, entry string, line int, info *sema.Info) error {
 	names := info.SymbolNames()
 	addrs := sess.Table.BreakAddrs()[line]
 	if len(addrs) == 0 {
-		fail(fmt.Errorf("line %d is not steppable in this build", line))
+		return fmt.Errorf("line %d is not steppable in this build", line)
 	}
 	m := vm.New(bin)
 	m.StepBudget = 1 << 32
@@ -123,14 +132,10 @@ func inspectAt(sess *debugger.Session, bin *vm.Binary, entry string, line int, i
 		m.ClearAllBreaks()
 	}
 	if _, err := m.Call(entry); err != nil {
-		fail(err)
+		return err
 	}
 	if !hit {
 		fmt.Println("line never reached")
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "mdb:", err)
-	os.Exit(1)
+	return nil
 }

@@ -74,6 +74,12 @@ func main() {
 		}
 		os.Exit(1)
 	}
+	// fail and exit are closures so every os.Exit stays lexically inside
+	// main — the lint exit-owner rule's single-owner contract.
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "minicc:", err)
+		os.Exit(1)
+	}
 	// exit merges the command's own code with the shared runtime's
 	// (quarantine report, telemetry export) and terminates.
 	exit := func(code int) {
@@ -193,9 +199,4 @@ func main() {
 			flag.Arg(0), len(bin.Code), len(bin.Funcs), cfg.Name())
 	}
 	exit(0)
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "minicc:", err)
-	os.Exit(1)
 }

@@ -25,6 +25,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +37,10 @@ import (
 	"debugtuner/internal/serve"
 )
 
+// errUsage marks command-line mistakes; main maps it to exit code 2,
+// keeping the 0/1/2 exit contract in the one function allowed to exit.
+var errUsage = errors.New("usage")
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8347", "tunerd server address")
 	flag.Usage = usage
@@ -46,36 +51,41 @@ func main() {
 	}
 	c := api.NewClient(*addr)
 	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
 	switch cmd {
 	case "tune":
-		runTune(c, args)
+		err = runTune(c, args)
 	case "pareto":
-		runPareto(c, args)
+		err = runPareto(c, args)
 	case "report":
-		runReport(c, args)
+		err = runReport(c, args)
 	case "load":
-		runLoad(*addr, args)
+		err = runLoad(*addr, args)
 	case "metrics":
-		raw, err := c.Metrics()
-		if err != nil {
-			fail(err)
+		var raw []byte
+		if raw, err = c.Metrics(); err == nil {
+			os.Stdout.Write(raw)
 		}
-		os.Stdout.Write(raw)
 	case "quarantine":
-		_, raw, err := c.Quarantine()
-		if err != nil {
-			fail(err)
+		var raw []byte
+		if _, raw, err = c.Quarantine(); err == nil {
+			os.Stdout.Write(raw)
 		}
-		os.Stdout.Write(raw)
 	case "health":
-		if err := c.Healthz(); err != nil {
-			fail(err)
+		if err = c.Healthz(); err == nil {
+			fmt.Println("ok")
 		}
-		fmt.Println("ok")
 	default:
 		fmt.Fprintf(os.Stderr, "tunerd-client: unknown command %q\n", cmd)
 		usage()
 		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tunerd-client:", err)
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		os.Exit(1)
 	}
 }
 
@@ -86,39 +96,38 @@ func usage() {
 
 // readUnits loads the positional .mc files as request units, named by
 // their base filename.
-func readUnits(paths []string) []api.Unit {
+func readUnits(paths []string) ([]api.Unit, error) {
 	if len(paths) == 0 {
-		fmt.Fprintln(os.Stderr, "tunerd-client: at least one .mc file is required")
-		os.Exit(2)
+		return nil, fmt.Errorf("%w: at least one .mc file is required", errUsage)
 	}
 	var units []api.Unit
 	for _, p := range paths {
 		src, err := os.ReadFile(p)
 		if err != nil {
-			fail(err)
+			return nil, err
 		}
 		name := strings.TrimSuffix(filepath.Base(p), ".mc")
 		units = append(units, api.Unit{Name: name, Source: string(src)})
 	}
-	return units
+	return units, nil
 }
 
-func parseDy(s string) []int {
+func parseDy(s string) ([]int, error) {
 	if s == "" {
-		return nil
+		return nil, nil
 	}
 	var dys []int
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
-			fail(fmt.Errorf("-dy: %v", err))
+			return nil, fmt.Errorf("%w: -dy: %v", errUsage, err)
 		}
 		dys = append(dys, n)
 	}
-	return dys
+	return dys, nil
 }
 
-func runTune(c *api.Client, args []string) {
+func runTune(c *api.Client, args []string) error {
 	fs := flag.NewFlagSet("tune", flag.ExitOnError)
 	profile := fs.String("profile", "gcc", "compiler profile")
 	level := fs.String("level", "O2", "optimization level")
@@ -126,62 +135,81 @@ func runTune(c *api.Client, args []string) {
 	top := fs.Int("top", 0, "ranking rows to print (0 = all)")
 	raw := fs.Bool("raw", false, "print the raw response body")
 	fs.Parse(args)
-	req := &api.TuneRequest{
-		Profile: *profile, Level: *level, Dy: parseDy(*dy), Units: readUnits(fs.Args()),
+	dys, err := parseDy(*dy)
+	if err != nil {
+		return err
 	}
+	units, err := readUnits(fs.Args())
+	if err != nil {
+		return err
+	}
+	req := &api.TuneRequest{Profile: *profile, Level: *level, Dy: dys, Units: units}
 	res, rawBody, err := c.Tune(req)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	if *raw {
 		os.Stdout.Write(rawBody)
-		return
+		return nil
 	}
 	api.RenderTuneResult(os.Stdout, res, *top)
+	return nil
 }
 
-func runPareto(c *api.Client, args []string) {
+func runPareto(c *api.Client, args []string) error {
 	fs := flag.NewFlagSet("pareto", flag.ExitOnError)
 	profile := fs.String("profile", "gcc", "compiler profile")
 	level := fs.String("level", "O2", "optimization level")
 	dy := fs.String("dy", "", "Ox-dy sizes, comma separated (default server's)")
 	raw := fs.Bool("raw", false, "print the raw response body")
 	fs.Parse(args)
-	req := &api.TuneRequest{
-		Profile: *profile, Level: *level, Dy: parseDy(*dy), Units: readUnits(fs.Args()),
+	dys, err := parseDy(*dy)
+	if err != nil {
+		return err
 	}
+	units, err := readUnits(fs.Args())
+	if err != nil {
+		return err
+	}
+	req := &api.TuneRequest{Profile: *profile, Level: *level, Dy: dys, Units: units}
 	res, rawBody, err := c.Pareto(req)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	if *raw {
 		os.Stdout.Write(rawBody)
-		return
+		return nil
 	}
 	api.RenderPareto(os.Stdout, fmt.Sprintf(
 		"Pareto (%s-%s) — product metric vs speedup over O0; * = Pareto-optimal",
 		res.Profile, res.Level), res)
+	return nil
 }
 
-func runReport(c *api.Client, args []string) {
+func runReport(c *api.Client, args []string) error {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
 	configs := fs.String("configs", "levels",
 		"difftest matrix: full, levels, or a comma list like gcc-O2,clang-O3*")
 	raw := fs.Bool("raw", false, "print the raw response body")
 	fs.Parse(args)
-	req := &api.ReportRequest{Configs: *configs, Units: readUnits(fs.Args())}
+	units, err := readUnits(fs.Args())
+	if err != nil {
+		return err
+	}
+	req := &api.ReportRequest{Configs: *configs, Units: units}
 	res, rawBody, err := c.Report(req)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	if *raw {
 		os.Stdout.Write(rawBody)
-		return
+		return nil
 	}
 	api.RenderDebugReport(os.Stdout, res)
+	return nil
 }
 
-func runLoad(addr string, args []string) {
+func runLoad(addr string, args []string) error {
 	fs := flag.NewFlagSet("load", flag.ExitOnError)
 	n := fs.Int("n", 1000, "total requests")
 	conc := fs.Int("c", 100, "concurrent workers")
@@ -195,24 +223,20 @@ func runLoad(addr string, args []string) {
 		Profile: *profile, Level: *level,
 	})
 	if err != nil {
-		fail(err)
+		return err
 	}
 	api.RenderLoadReport(os.Stdout, lr)
 	if *out != "" {
 		body, err := api.MarshalEnvelope(&api.Envelope{Kind: "load", Load: lr})
 		if err != nil {
-			fail(err)
+			return err
 		}
 		if err := os.WriteFile(*out, body, 0o644); err != nil {
-			fail(err)
+			return err
 		}
 	}
 	if lr.Errors > 0 {
-		fail(fmt.Errorf("%d of %d requests failed", lr.Errors, lr.Requests))
+		return fmt.Errorf("%d of %d requests failed", lr.Errors, lr.Requests)
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "tunerd-client:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,138 @@
+package dataflow
+
+import "debugtuner/internal/vm"
+
+// BinCFG is the control-flow graph of one function's code range
+// [Start, End), recovered from the linked instruction stream by the
+// classic leader scan: a block starts at the function entry, at every
+// branch target, and after every jump, branch, or return. Successor
+// edges follow the machine's dispatch: OpJmp goes to Imm, OpBr to Imm
+// or fallthrough, OpRet exits, everything else (calls included — they
+// return to the next instruction in this frame) falls through.
+//
+// Node 0 is always the block containing Start, as the solver requires.
+// Branch targets outside the function range are treated as having no
+// edge rather than rejected: the CFG is also built for corrupt or
+// mutated binaries during fuzzing, where containment violations are
+// someone else's rule to report.
+type BinCFG struct {
+	Code       []vm.Instr
+	Start, End int
+
+	blocks  [][2]int // [lo, hi) address ranges, in address order
+	blockOf []int    // addr-Start -> block index
+	succs   [][]int
+	preds   [][]int
+}
+
+// NewBinCFG recovers the CFG of the code range [start, end), clamped
+// to the instruction stream.
+func NewBinCFG(code []vm.Instr, start, end int) *BinCFG {
+	if start < 0 {
+		start = 0
+	}
+	if end > len(code) {
+		end = len(code)
+	}
+	if end < start {
+		end = start
+	}
+	g := &BinCFG{Code: code, Start: start, End: end}
+	n := end - start
+	if n == 0 {
+		return g
+	}
+
+	leader := make([]bool, n)
+	leader[0] = true
+	inRange := func(a int64) bool { return a >= int64(start) && a < int64(end) }
+	for a := start; a < end; a++ {
+		in := &code[a]
+		switch in.Op {
+		case vm.OpJmp, vm.OpBr:
+			if inRange(in.Imm) {
+				leader[int(in.Imm)-start] = true
+			}
+			if a+1 < end {
+				leader[a+1-start] = true
+			}
+		case vm.OpRet:
+			if a+1 < end {
+				leader[a+1-start] = true
+			}
+		}
+	}
+
+	g.blockOf = make([]int, n)
+	lo := start
+	for a := start + 1; a <= end; a++ {
+		if a == end || leader[a-start] {
+			bi := len(g.blocks)
+			g.blocks = append(g.blocks, [2]int{lo, a})
+			for x := lo; x < a; x++ {
+				g.blockOf[x-start] = bi
+			}
+			lo = a
+		}
+	}
+
+	g.succs = make([][]int, len(g.blocks))
+	g.preds = make([][]int, len(g.blocks))
+	addEdge := func(from int, to int64) {
+		if !inRange(to) {
+			return
+		}
+		ti := g.blockOf[int(to)-start]
+		g.succs[from] = append(g.succs[from], ti)
+		g.preds[ti] = append(g.preds[ti], from)
+	}
+	for bi, blk := range g.blocks {
+		last := &code[blk[1]-1]
+		switch last.Op {
+		case vm.OpJmp:
+			addEdge(bi, last.Imm)
+		case vm.OpBr:
+			addEdge(bi, last.Imm)
+			addEdge(bi, int64(blk[1]))
+		case vm.OpRet:
+			// Exit: no successors.
+		default:
+			addEdge(bi, int64(blk[1]))
+		}
+	}
+	return g
+}
+
+// NumNodes implements Graph.
+func (g *BinCFG) NumNodes() int { return len(g.blocks) }
+
+// Succs implements Graph.
+func (g *BinCFG) Succs(n int) []int { return g.succs[n] }
+
+// Preds implements Graph.
+func (g *BinCFG) Preds(n int) []int { return g.preds[n] }
+
+// BlockOf returns the block index containing addr, or -1 when addr is
+// outside the function range.
+func (g *BinCFG) BlockOf(addr int) int {
+	if addr < g.Start || addr >= g.End {
+		return -1
+	}
+	return g.blockOf[addr-g.Start]
+}
+
+// BlockRange returns block n's half-open address range.
+func (g *BinCFG) BlockRange(n int) (lo, hi int) {
+	return g.blocks[n][0], g.blocks[n][1]
+}
+
+// ReachableAddrs returns, per address offset from Start, whether the
+// address is statically reachable from the function entry.
+func (g *BinCFG) ReachableAddrs() []bool {
+	blockReach := Reachable(g)
+	out := make([]bool, g.End-g.Start)
+	for i := range out {
+		out[i] = blockReach[g.blockOf[i]]
+	}
+	return out
+}

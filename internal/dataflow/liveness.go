@@ -1,0 +1,80 @@
+package dataflow
+
+import "debugtuner/internal/vm"
+
+// Liveness is the framework's backward instance: for every address of
+// a function, the set of machine registers that may be read before
+// being overwritten on some path from that address — the registers a
+// clobbering write at that point would actually damage.
+type Liveness struct {
+	cfg  *BinCFG
+	live []*BitSet // per addr-Start: live-in at the address
+}
+
+// NewLiveness solves backward register liveness over the function
+// range's recovered CFG.
+func NewLiveness(code []vm.Instr, start, end int) *Liveness {
+	g := NewBinCFG(code, start, end)
+	lv := &Liveness{cfg: g}
+	sol := Solve(g, Problem{
+		Bits: vm.NumRegs,
+		Dir:  Backward,
+		Meet: Union,
+		Transfer: func(n int, in, out *BitSet) {
+			out.Copy(in)
+			lo, hi := g.BlockRange(n)
+			for a := hi - 1; a >= lo; a-- {
+				stepLiveness(out, &code[a])
+			}
+		},
+	})
+	lv.live = make([]*BitSet, g.End-g.Start)
+	cur := NewBitSet(vm.NumRegs)
+	for n := 0; n < g.NumNodes(); n++ {
+		lo, hi := g.BlockRange(n)
+		cur.Copy(sol.In[n]) // backward: fact at the block's exit
+		for a := hi - 1; a >= lo; a-- {
+			stepLiveness(cur, &code[a])
+			snap := NewBitSet(vm.NumRegs)
+			snap.Copy(cur)
+			lv.live[a-g.Start] = snap
+		}
+	}
+	return lv
+}
+
+// stepLiveness applies one instruction backward: kill its definition,
+// then gen its register uses.
+func stepLiveness(live *BitSet, in *vm.Instr) {
+	switch in.Op {
+	case vm.OpConst, vm.OpMov, vm.OpBin, vm.OpBinImm, vm.OpNeg,
+		vm.OpNot, vm.OpSelect, vm.OpLoadSlot, vm.OpLoadParam,
+		vm.OpGLoad, vm.OpNewArr, vm.OpALoad, vm.OpLen,
+		vm.OpVLoad2, vm.OpVBin, vm.OpCall:
+		live.Clear(int(in.D))
+	}
+	switch in.Op {
+	case vm.OpMov, vm.OpNeg, vm.OpNot, vm.OpStoreSlot, vm.OpGStore,
+		vm.OpNewArr, vm.OpLen, vm.OpArg, vm.OpPrint, vm.OpBr, vm.OpBinImm:
+		live.Set(int(in.A))
+	case vm.OpBin, vm.OpALoad, vm.OpVLoad2, vm.OpVBin:
+		live.Set(int(in.A))
+		live.Set(int(in.B))
+	case vm.OpSelect, vm.OpAStore, vm.OpVStore2:
+		live.Set(int(in.A))
+		live.Set(int(in.B))
+		live.Set(int(in.C))
+	case vm.OpRet:
+		if in.Sub != 0 {
+			live.Set(int(in.A))
+		}
+	}
+}
+
+// LiveIn reports whether register r is live entering addr.
+func (lv *Liveness) LiveIn(addr, r int) bool {
+	if addr < lv.cfg.Start || addr >= lv.cfg.End || r < 0 || r >= vm.NumRegs {
+		return false
+	}
+	return lv.live[addr-lv.cfg.Start].Has(r)
+}

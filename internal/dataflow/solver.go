@@ -1,0 +1,208 @@
+package dataflow
+
+// Graph is the CFG shape the solver iterates over: nodes are dense
+// indices [0, NumNodes), with node 0 the entry (forward boundary).
+// Backward problems treat every node without successors as a boundary
+// node.
+type Graph interface {
+	NumNodes() int
+	Succs(n int) []int
+	Preds(n int) []int
+}
+
+// Direction selects which way facts propagate.
+type Direction int
+
+// Solver directions.
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// Meet selects the confluence operator: union for may-problems
+// (reaching definitions, liveness), intersection for must-problems
+// (availability, anticipability).
+type Meet int
+
+// Meet operators.
+const (
+	Union Meet = iota
+	Intersect
+)
+
+// Problem is one dataflow problem instance over bitsets of width Bits.
+//
+// Boundary initializes the entry fact (forward: node 0's in-state;
+// backward: the out-state of every exit node). Transfer computes a
+// node's out-fact from its in-fact (in flow order; for backward
+// problems "in" is the fact at the node's exit and "out" the fact at
+// its entry); it must fully overwrite out. Transfer must be monotone
+// for the solver to terminate.
+type Problem struct {
+	Bits     int
+	Dir      Direction
+	Meet     Meet
+	Boundary func(s *BitSet)
+	Transfer func(n int, in, out *BitSet)
+}
+
+// Solution holds the fixed point: In[n] is the fact at node n's entry
+// in flow order (for backward problems, the fact at the node's exit),
+// Out[n] the fact after n's transfer.
+type Solution struct {
+	In, Out []*BitSet
+}
+
+// Solve runs the round-robin worklist algorithm to the fixed point.
+// Interior in-facts start at the meet's identity: empty for union
+// (nothing reaches yet), full for intersection (everything available
+// until proven otherwise).
+func Solve(g Graph, p Problem) *Solution {
+	n := g.NumNodes()
+	sol := &Solution{In: make([]*BitSet, n), Out: make([]*BitSet, n)}
+	for i := 0; i < n; i++ {
+		sol.In[i] = NewBitSet(p.Bits)
+		sol.Out[i] = NewBitSet(p.Bits)
+		if p.Meet == Intersect {
+			// Must-problems iterate optimistically down from top, or a
+			// back edge's not-yet-computed out would poison its loop
+			// header to bottom permanently.
+			sol.In[i].Fill(p.Bits)
+			sol.Out[i].Fill(p.Bits)
+		}
+	}
+
+	flowPreds := g.Preds
+	boundary := func(i int) bool { return i == 0 }
+	order := rpo(g, false)
+	if p.Dir == Backward {
+		flowPreds = g.Succs
+		boundary = func(i int) bool { return len(g.Succs(i)) == 0 }
+		order = rpo(g, true)
+	}
+	// The boundary fact enters through a virtual edge so that boundary
+	// nodes with real flow predecessors (e.g. a loop whose back edge
+	// targets the function entry) still meet both.
+	boundaryFact := NewBitSet(p.Bits)
+	if p.Boundary != nil {
+		p.Boundary(boundaryFact)
+	}
+	for i := 0; i < n; i++ {
+		if boundary(i) {
+			sol.In[i].Copy(boundaryFact)
+		}
+	}
+
+	tmp := NewBitSet(p.Bits)
+	inWork := make([]bool, n)
+	var work []int
+	for _, i := range order {
+		work = append(work, i)
+		inWork[i] = true
+	}
+	for len(work) > 0 {
+		i := work[0]
+		work = work[1:]
+		inWork[i] = false
+		if preds := flowPreds(i); len(preds) > 0 || boundary(i) {
+			first := true
+			if boundary(i) {
+				sol.In[i].Copy(boundaryFact)
+				first = false
+			}
+			for _, pr := range preds {
+				if first {
+					sol.In[i].Copy(sol.Out[pr])
+					first = false
+				} else if p.Meet == Union {
+					sol.In[i].UnionWith(sol.Out[pr])
+				} else {
+					sol.In[i].IntersectWith(sol.Out[pr])
+				}
+			}
+		}
+		tmp.Reset()
+		p.Transfer(i, sol.In[i], tmp)
+		if !tmp.Equal(sol.Out[i]) {
+			sol.Out[i].Copy(tmp)
+			for _, s := range flowSuccs(g, p.Dir, i) {
+				if !inWork[s] {
+					inWork[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return sol
+}
+
+func flowSuccs(g Graph, d Direction, i int) []int {
+	if d == Backward {
+		return g.Preds(i)
+	}
+	return g.Succs(i)
+}
+
+// rpo returns nodes in reverse postorder of the forward CFG (or of the
+// reversed CFG when rev is set), with nodes unreachable from the
+// traversal roots appended afterwards in index order so every node is
+// processed at least once.
+func rpo(g Graph, rev bool) []int {
+	n := g.NumNodes()
+	seen := make([]bool, n)
+	var order []int
+	var visit func(i int)
+	visit = func(i int) {
+		seen[i] = true
+		succs := g.Succs(i)
+		if rev {
+			succs = g.Preds(i)
+		}
+		for _, s := range succs {
+			if !seen[s] {
+				visit(s)
+			}
+		}
+		order = append(order, i)
+	}
+	if rev {
+		for i := 0; i < n; i++ {
+			if len(g.Succs(i)) == 0 && !seen[i] {
+				visit(i)
+			}
+		}
+	} else if n > 0 {
+		visit(0)
+	}
+	for l, r := 0, len(order)-1; l < r; l, r = l+1, r-1 {
+		order[l], order[r] = order[r], order[l]
+	}
+	for i := 0; i < n; i++ {
+		if !seen[i] {
+			order = append(order, i)
+		}
+	}
+	return order
+}
+
+// Reachable returns the nodes reachable from node 0 along Succs edges.
+func Reachable(g Graph) []bool {
+	n := g.NumNodes()
+	seen := make([]bool, n)
+	if n == 0 {
+		return seen
+	}
+	stack := []int{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Succs(i) {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}

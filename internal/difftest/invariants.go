@@ -28,9 +28,17 @@ import (
 //     are well-formed, contained, machine-valid, and non-overlapping
 //     per variable;
 //   - loc-witness: register/spill claims have an owner-tag witness in
-//     the covering code (the malformed entry static metrics over-count).
+//     the covering code (the malformed entry static metrics over-count);
+//   - loc-stale / line-unreachable: the dataflow-backed rules — claims
+//     no reaching owner write can make observable, and attributed line
+//     rows on statically unreachable code.
+//
+// Advisory rules (loc-extendable: a range the must-availability
+// analysis proves could be longer) are filtered out: an advisory is an
+// improvement opportunity, not a correctness defect, and must not fail
+// a differential cell.
 func CheckBinary(bin *vm.Binary) []string {
-	if vs := staticdbg.CheckBinary(bin); len(vs) > 0 {
+	if vs := staticdbg.NonAdvisory(staticdbg.CheckBinary(bin)); len(vs) > 0 {
 		return staticdbg.Strings(vs)
 	}
 	return nil

@@ -201,7 +201,12 @@ func Debugify(opts DebugifyOptions) (*DebugifyReport, error) {
 		cs.Vars += int64(r.Final.Vars)
 		cs.TotalLines += int64(r.Total.Lines)
 		cs.TotalVars += int64(r.Total.Vars)
+		// Advisory findings (loc-extendable) are improvement hints, not
+		// defects: they neither fail the run nor count in the scoreboard.
 		for _, v := range r.InitialViolations {
+			if v.Rule.Advisory() {
+				continue
+			}
 			addFinding(cell, "input", v.String())
 		}
 		for _, st := range r.Steps {
@@ -222,9 +227,12 @@ func Debugify(opts DebugifyOptions) (*DebugifyReport, error) {
 			if st.VarsLost > 0 {
 				row.VarsLost += int64(st.VarsLost)
 			}
-			row.Violations += int64(len(st.NewViolations))
 			row.InstrDelta += int64(st.InstrDelta)
 			for _, v := range st.NewViolations {
+				if v.Rule.Advisory() {
+					continue
+				}
+				row.Violations++
 				addFinding(cell, st.Label, v.String())
 			}
 			if st.VerifyErr != "" {

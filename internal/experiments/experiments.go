@@ -302,9 +302,12 @@ func loadSynth(n int) []*synthProgram {
 	return out
 }
 
-// methodScores computes the four methods of §II for one build.
+// methodScores computes the four methods of §II for one build, plus
+// the dataflow-proven variant of the static method (its numerator
+// restricted to claims the owner analysis guarantees materialize).
 type methodScores struct {
 	static, staticDbg, dynamic, hybrid metrics.Scores
+	staticProven                       metrics.Scores
 }
 
 func (sp *synthProgram) measure(cfg pipeline.Config, base *dbgtrace.Trace) (methodScores, error) {
@@ -326,6 +329,7 @@ func (sp *synthProgram) measure(cfg pipeline.Config, base *dbgtrace.Trace) (meth
 	ms.hybrid = metrics.Hybrid(tr, base, sp.dr)
 	ms.static = metrics.Static(table, sp.stmt, sp.dr)
 	ms.staticDbg = metrics.StaticDbg(table, base, sp.dr)
+	ms.staticProven = metrics.StaticProven(bin, table, sp.stmt, sp.dr)
 	return ms, nil
 }
 

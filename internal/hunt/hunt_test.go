@@ -71,6 +71,36 @@ func TestPlantedBugFoundBucketedReduced(t *testing.T) {
 	}
 }
 
+// TestPlantedLocStaleDrill: the binary-level loc-stale plant exercises
+// the mid-chain attribution path — the corruption is invisible to
+// CheckModule and only the per-pass base-options compile inside
+// BuildVerifiedTamper can catch it, so a passing drill proves the
+// flow-sensitive rules participate in find/bucket/reduce end to end.
+func TestPlantedLocStaleDrill(t *testing.T) {
+	dir := t.TempDir()
+	opts := smallOpts()
+	opts.Plant = "loc-stale@dse"
+	opts.CorpusDir = dir
+
+	out, rep := runCampaign(t, opts)
+	if rep.Findings == 0 || rep.NewBuckets == 0 {
+		t.Fatalf("planted loc-stale not found:\n%s", out)
+	}
+	if !strings.Contains(out, "[loc-stale @ dse] count 3") {
+		t.Fatalf("planted loc-stale not bucketed under (loc-stale, dse):\n%s", out)
+	}
+	if !strings.Contains(out, "reduced ") {
+		t.Fatalf("witness not reduced:\n%s", out)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "loc-stale-dse.mc"))
+	if err != nil {
+		t.Fatalf("fixture not committed: %v\n%s", err, out)
+	}
+	if !strings.HasPrefix(string(data), "// hunt witness: [loc-stale @ dse]") {
+		t.Fatalf("fixture missing provenance header:\n%s", data)
+	}
+}
+
 // TestCampaignDeterministicAcrossWorkers: report bytes must not depend
 // on the worker-pool size.
 func TestCampaignDeterministicAcrossWorkers(t *testing.T) {

@@ -24,6 +24,15 @@
 //     additionally marshal in sorted-key order only by convention —
 //     DTOs are map-free by contract.)
 //
+//   - exit-owner: an os.Exit call outside a command's main function
+//     (internal/options, which implements the shared exit-code
+//     machinery, is exempt). The process exit-code contract
+//     (0 ok, 1 failure, 2 usage, 3 findings, 4 interrupted) must have
+//     a single owner per binary; an exit buried in a helper silently
+//     skips the shared runtime's Finish path (telemetry export,
+//     quarantine report) and makes library code untestable. Return an
+//     error and let main map it to a code.
+//
 // Stdlib imports are resolved from source ($GOROOT/src); any package
 // that cannot be loaded degrades to an empty stub and its type errors
 // are tolerated, so the analyzer never needs network access or
@@ -46,7 +55,7 @@ import (
 // Finding is one diagnostic.
 type Finding struct {
 	Pos  token.Position
-	Code string // "config-literal" or "map-range-print"
+	Code string // "config-literal", "map-range-print", "api-marshal", or "exit-owner"
 	Msg  string
 }
 
@@ -241,6 +250,7 @@ func (l *Linter) checkFile(f *ast.File, info *types.Info, dir string) []Finding 
 		out = append(out, Finding{Pos: l.fset.Position(pos), Code: code, Msg: msg})
 	}
 	configExempt := l.pkgPath(dir) == l.modpath+"/internal/pipeline"
+	exitExempt := l.pkgPath(dir) == l.modpath+"/internal/options"
 	// The api-marshal rule applies to command packages. Detection is by
 	// a "cmd" path element of the directory (not the import path) so the
 	// tests' out-of-root scratch dirs can opt in by layout.
@@ -249,6 +259,41 @@ func (l *Linter) checkFile(f *ast.File, info *types.Info, dir string) []Finding 
 		if el == "cmd" {
 			inCmd = true
 			break
+		}
+	}
+	// exit-owner walks per top-level declaration so the one allowed
+	// context — a command's main function, closures included — can be
+	// skipped wholesale.
+	if !exitExempt {
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if isFunc && inCmd && f.Name.Name == "main" &&
+				fd.Recv == nil && fd.Name.Name == "main" {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Exit" {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := info.Uses[id].(*types.PkgName)
+				if !ok || pn.Imported().Path() != "os" {
+					return true
+				}
+				add(call.Pos(), "exit-owner",
+					"os.Exit outside a command's main function: the exit-code "+
+						"contract has a single owner per binary; return an error "+
+						"and let main map it to a code")
+				return true
+			})
 		}
 	}
 	ast.Inspect(f, func(n ast.Node) bool {

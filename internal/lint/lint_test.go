@@ -250,6 +250,74 @@ func roundtrip(data []byte) ([]byte, error) {
 	}
 }
 
+func TestFlagsExitInInternalPackage(t *testing.T) {
+	fs := scratch(t, `package scratch
+
+import "os"
+
+func die() {
+	os.Exit(1)
+}
+`)
+	if len(fs) != 1 || fs[0].Code != "exit-owner" {
+		t.Fatalf("got %v, want one exit-owner finding", fs)
+	}
+	if fs[0].Pos.Line != 6 {
+		t.Errorf("finding at line %d, want 6", fs[0].Pos.Line)
+	}
+}
+
+func TestFlagsExitInCmdHelper(t *testing.T) {
+	fs := cmdScratch(t, `package main
+
+import "os"
+
+func main() {
+	fail()
+}
+
+func fail() {
+	os.Exit(1)
+}
+`)
+	if len(fs) != 1 || fs[0].Code != "exit-owner" {
+		t.Fatalf("got %v, want one exit-owner finding", fs)
+	}
+}
+
+func TestAllowsExitInCmdMainAndClosures(t *testing.T) {
+	fs := cmdScratch(t, `package main
+
+import "os"
+
+func main() {
+	exit := func(code int) {
+		os.Exit(code)
+	}
+	if len(os.Args) > 9 {
+		os.Exit(2)
+	}
+	exit(0)
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("main-owned exits flagged: %v", fs)
+	}
+}
+
+func TestAllowsExitInOptionsPackage(t *testing.T) {
+	// The real package: its interrupt machinery owns exit code 4.
+	fs, err := newLinter(t).CheckDir("../options")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		if f.Code == "exit-owner" {
+			t.Errorf("internal/options not exempt: %s", f)
+		}
+	}
+}
+
 func TestAllowsSliceRangePrinting(t *testing.T) {
 	fs := scratch(t, `package scratch
 

@@ -131,6 +131,18 @@ func StaticDbg(table *debuginfo.Table, baseO0 *dbgtrace.Trace, dr *sema.DefRange
 }
 
 func staticScores(table *debuginfo.Table, baseLines map[int]bool, dr *sema.DefRanges) Scores {
+	return staticScoresVis(table, baseLines, dr,
+		func(symID int, addrs []uint32) bool {
+			return staticVisible(table, symID, addrs)
+		})
+}
+
+// staticScoresVis is the static measurement loop with the per-line
+// claim test abstracted: the plain method accepts any covering claim
+// (staticVisible), the proven variant only claims the dataflow
+// analysis guarantees materialize (see StaticProven).
+func staticScoresVis(table *debuginfo.Table, baseLines map[int]bool,
+	dr *sema.DefRanges, visible func(symID int, addrs []uint32) bool) Scores {
 	// Addresses attributed to each line.
 	lineAddrs := table.BreakAddrs()
 	// Precompute addr extents per line run: a variable covers the line
@@ -157,7 +169,7 @@ func staticScores(table *debuginfo.Table, baseLines map[int]bool, dr *sema.DefRa
 		}
 		hit := 0
 		for _, symID := range expected {
-			if staticVisible(table, symID, lineAddrs[line]) {
+			if visible(symID, lineAddrs[line]) {
 				hit++
 			}
 		}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"testing"
 
 	"debugtuner/internal/dbgtrace"
@@ -8,6 +9,7 @@ import (
 	"debugtuner/internal/debuginfo"
 	"debugtuner/internal/pipeline"
 	"debugtuner/internal/sema"
+	"debugtuner/internal/synth"
 )
 
 const measureSrc = `
@@ -211,5 +213,71 @@ func TestAggregates(t *testing.T) {
 	}
 	if m := Mean([]float64{1, 2, 3}); m != 2 {
 		t.Fatalf("Mean = %v", m)
+	}
+}
+
+// TestStaticProvenLowerBoundsStatic: the proven variant restricts the
+// static numerator to claims the owner dataflow analysis proves must
+// materialize, so under the same line denominator it can never exceed
+// Static — on the measurement program and on generated ones, at every
+// profile and level. At gcc O2/O3 the gap must be real: some surviving
+// claim is not provable, otherwise the proven column of Table 1 would
+// be vacuous.
+func TestStaticProvenLowerBoundsStatic(t *testing.T) {
+	type subject struct {
+		name string
+		src  []byte
+	}
+	subjects := []subject{{"m.mc", []byte(measureSrc)}}
+	for seed := int64(1); seed <= 4; seed++ {
+		name := fmt.Sprintf("synth-%d.mc", seed)
+		subjects = append(subjects, subject{name, []byte(synth.Generate(seed, synth.DefaultOptions()))})
+	}
+	for _, sub := range subjects {
+		info, err := pipeline.Frontend(sub.name, sub.src)
+		if err != nil {
+			t.Fatalf("%s: %v", sub.name, err)
+		}
+		dr := sema.ComputeDefRanges(info)
+		stmt := sema.StatementLines(info)
+		for _, p := range []pipeline.Profile{pipeline.GCC, pipeline.Clang} {
+			for _, l := range pipeline.Levels(p) {
+				cfg := pipeline.MustConfig(p, l)
+				bin, _, err := pipeline.CompileSource(sub.name, sub.src, cfg)
+				if err != nil {
+					t.Fatalf("%s %s/%s: %v", sub.name, p, l, err)
+				}
+				dt, err := debuginfo.Decode(bin.Debug)
+				if err != nil {
+					t.Fatalf("%s %s/%s: %v", sub.name, p, l, err)
+				}
+				st := Static(dt, stmt, dr)
+				pr := StaticProven(bin, dt, stmt, dr)
+				if pr.Avail > st.Avail+1e-9 || pr.Product > st.Product+1e-9 {
+					t.Errorf("%s %s/%s: proven %+v exceeds static %+v", sub.name, p, l, pr, st)
+				}
+				if pr.Avail < 0 || pr.Avail > 1 || pr.Product < 0 || pr.Product > 1 {
+					t.Errorf("%s %s/%s: proven %+v out of [0,1]", sub.name, p, l, pr)
+				}
+			}
+		}
+	}
+	// The gap: on the measurement program at gcc O2 some claim must be
+	// unprovable, or the proven column never says anything new.
+	m := measureSetup(t)
+	stmt := sema.StatementLines(m.info)
+	cfg := pipeline.MustConfig(pipeline.GCC, "O2")
+	bin, _, err := pipeline.CompileSource("m.mc", []byte(measureSrc), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := debuginfo.Decode(bin.Debug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Static(dt, stmt, m.dr)
+	pr := StaticProven(bin, dt, stmt, m.dr)
+	if pr.Avail >= st.Avail {
+		t.Errorf("gcc/O2: proven avail %.4f not below static %.4f", pr.Avail, st.Avail)
 	}
 }

@@ -109,6 +109,32 @@ func BuildVerifiedTamper(ir0 *ir.Program, cfg Config, debugify bool,
 	prevSurv := bl.MeasureIR(work)
 	prevInstrs := countInstrs(work)
 
+	// Mid-chain binary attribution: the flow-sensitive rules (loc-stale,
+	// line-unreachable) only exist at the binary level, so a middle-end
+	// pass that corrupts metadata in a way only those rules catch would
+	// otherwise be invisible until the backend prefix compiles — and the
+	// "codegen" base step would take the blame. After each pass that
+	// actually changed the module (gated by a cheap structural
+	// fingerprint: an unchanged module compiles to the same binary), the
+	// live IR is compiled once at base options and the dataflow-rule
+	// findings diffed against the previous compile's. The input module's
+	// own compile seeds the set, so pre-existing debt charges to the
+	// front-end bucket, and the backend chain below starts from the
+	// mid-chain's final set rather than empty.
+	baseOpts := codegen.Options{
+		OptimisticRanges: cfg.Profile == GCC,
+		ForProfiling:     cfg.ForProfiling,
+	}
+	if cfg.OptimisticOverride != nil {
+		baseOpts.OptimisticRanges = *cfg.OptimisticOverride
+	}
+	lastFP := irFingerprint(work)
+	midSet := map[string]bool{}
+	for _, v := range dataflowRules(staticdbg.CheckBinary(codegen.Compile(work.Clone(), baseOpts))) {
+		midSet[v.String()] = true
+		rep.InitialViolations = append(rep.InitialViolations, v)
+	}
+
 	hook := func(label string, prog *ir.Program) {
 		if tamper != nil {
 			tamper(label, prog)
@@ -124,6 +150,16 @@ func BuildVerifiedTamper(ir0 *ir.Program, cfg Config, debugify bool,
 			}
 		}
 		prevSet = violSet(vs)
+		if fp := irFingerprint(prog); fp != lastFP {
+			lastFP = fp
+			dfv := dataflowRules(staticdbg.CheckBinary(codegen.Compile(prog.Clone(), baseOpts)))
+			for _, v := range dfv {
+				if !midSet[v.String()] {
+					st.NewViolations = append(st.NewViolations, v)
+				}
+			}
+			midSet = violSet(dfv)
+		}
 		surv := bl.MeasureIR(prog)
 		st.LinesLost = prevSurv.Lines - surv.Lines
 		st.VarsLost = prevSurv.Vars - surv.Vars
@@ -153,7 +189,10 @@ func BuildVerifiedTamper(ir0 *ir.Program, cfg Config, debugify bool,
 		}
 		return o
 	}
-	binPrevSet := map[string]bool{}
+	binPrevSet := make(map[string]bool, len(midSet))
+	for s := range midSet {
+		binPrevSet[s] = true
+	}
 	binPrevSurv := prevSurv
 	binPrevCode := 0
 	bin := codegen.Compile(prog.Clone(), mkOpts(0))
@@ -176,7 +215,10 @@ func backendStep(label string, bl *staticdbg.Baseline, bin *vm.Binary,
 	st := VerifyStep{Label: label, Backend: true}
 	vs := staticdbg.CheckBinary(bin)
 	for _, v := range vs {
-		if !(*prevSet)[v.String()] {
+		// Advisories (loc-extendable) are range-improvement hints; a
+		// prefix compile's shorter-than-provable range is not damage to
+		// charge a stage with.
+		if !v.Rule.Advisory() && !(*prevSet)[v.String()] {
 			st.NewViolations = append(st.NewViolations, v)
 		}
 	}
@@ -211,6 +253,81 @@ func backendToggles(cfg Config) []string {
 		names = append(names, e.name)
 	}
 	return names
+}
+
+// dataflowRules keeps only the flow-sensitive non-advisory binary
+// rules — the ones mid-chain attribution compiles for. Structural rules
+// are left to the backend prefix diff, where they originate.
+func dataflowRules(vs []staticdbg.Violation) []staticdbg.Violation {
+	var out []staticdbg.Violation
+	for _, v := range vs {
+		if v.Rule == staticdbg.RuleLocStale || v.Rule == staticdbg.RuleLineUnreachable {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// irFingerprint hashes the module structure that codegen consumes —
+// function shapes, block order and edges, each value's op, operands,
+// line, and bound variable. Two modules with equal fingerprints compile
+// to the same base-options binary, so the mid-chain attribution loop
+// skips recompiling after passes that changed nothing (analysis-only
+// passes, no-op cleanups). Branch probabilities are deliberately
+// excluded: base options enable no frequency-driven backend stage.
+func irFingerprint(prog *ir.Program) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		h ^= x
+		h *= prime64
+	}
+	mixInt := func(x int64) { mix(uint64(x)) }
+	mixStr := func(s string) {
+		for i := 0; i < len(s); i++ {
+			mix(uint64(s[i]))
+		}
+		mix(0xff)
+	}
+	for _, g := range prog.Globals {
+		mixStr(g.Name)
+		mixInt(g.Init)
+		if g.IsArray {
+			mix(1)
+		}
+	}
+	for _, f := range prog.Funcs {
+		mixStr(f.Name)
+		mixInt(int64(f.NParams))
+		mixInt(int64(f.NumSlots))
+		for _, b := range f.Blocks {
+			mixInt(int64(b.ID))
+			for _, s := range b.Succs {
+				mixInt(int64(s.ID))
+			}
+			for _, v := range b.Instrs {
+				mixInt(int64(v.Op))
+				mixInt(int64(v.ID))
+				mixInt(v.AuxInt)
+				mixInt(int64(v.Line))
+				mixStr(v.Aux)
+				if v.Var != nil {
+					mixInt(int64(v.Var.ID))
+				}
+				for _, a := range v.Args {
+					if a != nil {
+						mixInt(int64(a.ID))
+					} else {
+						mix(0xfe)
+					}
+				}
+			}
+		}
+	}
+	return h
 }
 
 func violSet(vs []staticdbg.Violation) map[string]bool {

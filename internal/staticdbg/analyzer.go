@@ -3,6 +3,7 @@ package staticdbg
 import (
 	"fmt"
 
+	"debugtuner/internal/dataflow"
 	"debugtuner/internal/ir"
 )
 
@@ -82,7 +83,7 @@ func checkFunc(prog *ir.Program, f *ir.Func) []Violation {
 				default:
 					if idom == nil {
 						idom = ir.Dominators(f)
-						reach = ir.Reachable(f)
+						reach = dataflow.ReachableBlocks(f)
 					}
 					if !reach[v.Block] || !reach[a.Block] {
 						break // dominance is meaningless off the CFG

@@ -166,8 +166,8 @@ func TestRuleScopeNestingForeignSymbol(t *testing.T) {
 
 func TestRulesListsEveryRuleOnce(t *testing.T) {
 	rules := staticdbg.Rules()
-	if len(rules) != 12 {
-		t.Fatalf("Rules() lists %d rules, want 12", len(rules))
+	if len(rules) != 15 {
+		t.Fatalf("Rules() lists %d rules, want 15", len(rules))
 	}
 	seen := map[staticdbg.Rule]bool{}
 	for _, r := range rules {

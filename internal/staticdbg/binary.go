@@ -30,7 +30,16 @@ import (
 //     covered instruction actually asserts "this register/slot now
 //     holds this variable". A claim with no witness can never
 //     materialize at runtime and is exactly the malformed entry static
-//     metrics over-count.
+//     metrics over-count. The check is syntactic — a witness anywhere
+//     in the covering range is accepted even if a later clobber
+//     invalidates it — which makes it the weak precursor of the
+//     flow-sensitive RuleLocStale below;
+//   - RuleLocStale / RuleLocExtendable / RuleLineUnreachable: the
+//     dataflow-backed rules (see checkBinaryDataflow) — wrong-value
+//     claims whose storage no reaching owner write can make observable,
+//     advisory early-ended ranges the must-availability analysis can
+//     prove extendable, and attributed line rows on statically
+//     unreachable code.
 func CheckBinary(bin *vm.Binary) []Violation {
 	var out []Violation
 	bad := func(rule Rule, fn, entity, format string, args ...any) {
@@ -113,7 +122,7 @@ func CheckBinary(bin *vm.Binary) []Violation {
 			}
 			continue
 		}
-		if int(v.FuncIdx) >= len(table.Funcs) {
+		if v.FuncIdx < 0 || int(v.FuncIdx) >= len(table.Funcs) {
 			bad(RuleLocShape, "", ent,
 				"function index %d outside %d records", v.FuncIdx, len(table.Funcs))
 			continue
@@ -182,6 +191,10 @@ func CheckBinary(bin *vm.Binary) []Violation {
 			}
 		}
 	}
+
+	// Flow-sensitive rules on top of the structurally valid remainder.
+	df, _ := checkBinaryDataflow(bin, table)
+	out = append(out, df...)
 	return out
 }
 

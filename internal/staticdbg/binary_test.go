@@ -21,7 +21,7 @@ func main(): int {
 
 // compileO0 compiles the fixture at gcc-O0: home slots for every local,
 // a dense line table, and a clean debug section to corrupt from.
-func compileO0(t *testing.T) *vm.Binary {
+func compileO0(t testing.TB) *vm.Binary {
 	t.Helper()
 	info, err := pipeline.Frontend("t.mc", []byte(binarySrc))
 	if err != nil {

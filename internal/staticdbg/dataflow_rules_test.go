@@ -1,0 +1,173 @@
+package staticdbg_test
+
+import (
+	"testing"
+
+	"debugtuner/internal/debuginfo"
+	"debugtuner/internal/staticdbg"
+	"debugtuner/internal/vm"
+)
+
+// handBin builds a one-function binary with the given code and debug
+// table skeleton (function record filled in), for seeding dataflow-rule
+// violations at exact addresses.
+func handBin(code []vm.Instr, numSlots int, mutate func(tab *debuginfo.Table)) *vm.Binary {
+	bin := &vm.Binary{
+		Code: code,
+		Funcs: []vm.FuncInfo{
+			{Name: "f", Start: 0, End: len(code), NumSlots: numSlots},
+		},
+	}
+	tab := &debuginfo.Table{
+		Funcs: []debuginfo.FuncDebug{
+			{Name: "f", Start: 0, End: uint32(len(code)), PrologueEnd: 1},
+		},
+	}
+	mutate(tab)
+	bin.Debug = tab.Encode()
+	return bin
+}
+
+func ownReg(r int, symID int32) []vm.OwnerTag {
+	return []vm.OwnerTag{{Reg: int8(r), Slot: -1, Var: symID + 1}}
+}
+
+// exactlyOne asserts the binary yields a single violation with the
+// expected rule and rendered diagnostic.
+func exactlyOne(t *testing.T, bin *vm.Binary, rule staticdbg.Rule, want string) staticdbg.Violation {
+	t.Helper()
+	vs := staticdbg.CheckBinary(bin)
+	if len(vs) != 1 {
+		t.Fatalf("got %d violations %v, want 1", len(vs), staticdbg.Strings(vs))
+	}
+	if vs[0].Rule != rule {
+		t.Errorf("rule = %q, want %q", vs[0].Rule, rule)
+	}
+	if got := vs[0].String(); got != want {
+		t.Errorf("diagnostic:\n got %q\nwant %q", got, want)
+	}
+	return vs[0]
+}
+
+// TestRuleLocStaleClobberedWitness is the loc-witness/loc-stale
+// distinguishing case: the claimed range contains a genuine owner-tag
+// witness, so the syntactic rule is satisfied — but the tag is a
+// post-tag on the range's last covered instruction, so no covered stop
+// ever observes the variable in the register (the preceding anonymous
+// write reaches every covered address). Witness-present-but-stale must
+// fire loc-stale only.
+func TestRuleLocStaleClobberedWitness(t *testing.T) {
+	code := []vm.Instr{
+		{Op: vm.OpProlog},
+		{Op: vm.OpConst, D: 1, Imm: 5},                    // anonymous clobber of r1
+		{Op: vm.OpConst, D: 1, Imm: 7, Own: ownReg(1, 0)}, // witness: post-tag r1 <- sym 0
+		{Op: vm.OpRet, Sub: 1, A: 1},
+	}
+	bin := handBin(code, 0, func(tab *debuginfo.Table) {
+		tab.Vars = []debuginfo.Variable{{
+			SymID: 0, Name: "x", FuncIdx: 0,
+			// Ends at 3: the post-tag's effect is first observable at
+			// address 3, one past the claim.
+			Entries: []debuginfo.LocEntry{
+				{Start: 1, End: 3, Kind: debuginfo.LocReg, Operand: 1},
+			},
+		}}
+	})
+	v := exactlyOne(t, bin, staticdbg.RuleLocStale,
+		"[loc-stale] f var x: register claim is stale: a clobbering write of a different owner reaches every covered address")
+	if v.Rule.Advisory() {
+		t.Error("loc-stale must not be advisory")
+	}
+}
+
+// TestRuleLocStaleUnreachableClaim pins form A of the diagnostic: a
+// claim whose every covered address is statically unreachable.
+func TestRuleLocStaleUnreachableClaim(t *testing.T) {
+	code := []vm.Instr{
+		{Op: vm.OpProlog},
+		{Op: vm.OpConst, D: 1, Imm: 5},
+		{Op: vm.OpRet, Sub: 1, A: 1},
+		{Op: vm.OpConst, D: 2, Imm: 9, Own: ownReg(2, 0)}, // unreachable tail
+		{Op: vm.OpRet, Sub: 1, A: 2},
+	}
+	bin := handBin(code, 0, func(tab *debuginfo.Table) {
+		tab.Vars = []debuginfo.Variable{{
+			SymID: 0, Name: "y", FuncIdx: 0,
+			Entries: []debuginfo.LocEntry{
+				{Start: 3, End: 5, Kind: debuginfo.LocReg, Operand: 2},
+			},
+		}}
+	})
+	exactlyOne(t, bin, staticdbg.RuleLocStale,
+		"[loc-stale] f var y: register claim covers only statically unreachable code")
+}
+
+// TestRuleLocExtendable pins the advisory: the claim is observable, the
+// value provably survives in the register past the claimed end, and no
+// follow-up entry covers it — the recoverable coverage the
+// must-availability analysis proves.
+func TestRuleLocExtendable(t *testing.T) {
+	code := []vm.Instr{
+		{Op: vm.OpProlog},
+		{Op: vm.OpConst, D: 1, Imm: 5, Own: ownReg(1, 0)},
+		{Op: vm.OpMov, D: 2, A: 1}, // r1 untouched: sym 0 survives
+		{Op: vm.OpRet, Sub: 1, A: 1},
+	}
+	bin := handBin(code, 0, func(tab *debuginfo.Table) {
+		tab.Vars = []debuginfo.Variable{{
+			SymID: 0, Name: "x", FuncIdx: 0,
+			Entries: []debuginfo.LocEntry{
+				{Start: 2, End: 3, Kind: debuginfo.LocReg, Operand: 1},
+			},
+		}}
+	})
+	v := exactlyOne(t, bin, staticdbg.RuleLocExtendable,
+		"[loc-extendable] f var x: register claim ends early: the value provably survives past the claimed range end")
+	if !v.Rule.Advisory() {
+		t.Error("loc-extendable must be advisory")
+	}
+	if left := staticdbg.NonAdvisory(staticdbg.CheckBinary(bin)); len(left) != 0 {
+		t.Errorf("NonAdvisory kept the advisory: %v", staticdbg.Strings(left))
+	}
+}
+
+// TestNegativeFuncIdxIsShapeFinding is the regression for a
+// FuzzCheckBinary crasher: FuncIdx == -1 means global, but any other
+// negative index used to reach table.Funcs[v.FuncIdx] and panic. It
+// must be a loc-shape finding instead.
+func TestNegativeFuncIdxIsShapeFinding(t *testing.T) {
+	code := []vm.Instr{
+		{Op: vm.OpProlog},
+		{Op: vm.OpRet, Sub: 1, A: 0},
+	}
+	bin := handBin(code, 0, func(tab *debuginfo.Table) {
+		tab.Vars = []debuginfo.Variable{{
+			SymID: 0, Name: "x", FuncIdx: -25,
+			Entries: []debuginfo.LocEntry{
+				{Start: 0, End: 1, Kind: debuginfo.LocReg, Operand: 1},
+			},
+		}}
+	})
+	exactlyOne(t, bin, staticdbg.RuleLocShape,
+		"[loc-shape] module var x: function index -25 outside 1 records")
+}
+
+// TestRuleLineUnreachable pins the diagnostic for an attributed line
+// row on statically unreachable code.
+func TestRuleLineUnreachable(t *testing.T) {
+	code := []vm.Instr{
+		{Op: vm.OpProlog},
+		{Op: vm.OpConst, D: 1, Imm: 5},
+		{Op: vm.OpRet, Sub: 1, A: 1},
+		{Op: vm.OpConst, D: 2, Imm: 9}, // unreachable tail
+		{Op: vm.OpRet, Sub: 1, A: 2},
+	}
+	bin := handBin(code, 0, func(tab *debuginfo.Table) {
+		tab.Lines = []debuginfo.LineEntry{
+			{Addr: 1, Line: 4},
+			{Addr: 3, Line: 9},
+		}
+	})
+	exactlyOne(t, bin, staticdbg.RuleLineUnreachable,
+		"[line-unreachable] f line 9: is_stmt row attributed to statically unreachable code")
+}

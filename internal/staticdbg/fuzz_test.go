@@ -1,0 +1,79 @@
+package staticdbg_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"debugtuner/internal/staticdbg"
+)
+
+// fuzzSeeds are the in-code seed inputs for FuzzCheckBinary, mirrored
+// on disk under testdata/fuzz/FuzzCheckBinary (see
+// TestWriteFuzzSeedCorpus for regeneration). They cover the decode
+// error paths plus a valid section for the mutator to corrupt from.
+func fuzzSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	valid := append([]byte(nil), compileO0(tb).Debug...)
+	truncated := append([]byte(nil), valid[:len(valid)/2]...)
+	flipped := append([]byte(nil), valid...)
+	if len(flipped) > 8 {
+		flipped[8] ^= 0x40
+	}
+	return [][]byte{
+		valid,
+		truncated,
+		flipped,
+		{},
+		[]byte("not a debug section"),
+	}
+}
+
+// FuzzCheckBinary: the analyzer must never panic, whatever bytes sit in
+// the debug section — mutated tables reach it through the hunt
+// campaign and the difftest matrix, and a panic there would take down a
+// whole campaign instead of producing a section finding.
+func FuzzCheckBinary(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+	}
+	bin := compileO0(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nb := bin.Clone()
+		nb.Debug = data
+		_ = staticdbg.CheckBinary(nb)
+		_ = staticdbg.DataflowVerdicts(nb)
+	})
+}
+
+// TestWriteFuzzSeedCorpus regenerates the committed seed corpus when
+// run with STATICDBG_WRITE_FUZZ_CORPUS=1; otherwise it verifies every
+// in-code seed is present on disk, so the committed corpus cannot
+// silently drift from the seeds the fuzz target actually uses.
+func TestWriteFuzzSeedCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzCheckBinary")
+	write := os.Getenv("STATICDBG_WRITE_FUZZ_CORPUS") == "1"
+	if write {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, seed := range fuzzSeeds(t) {
+		name := filepath.Join(dir, fmt.Sprintf("seed-%d", i))
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+		if write {
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("seed corpus missing (regenerate with STATICDBG_WRITE_FUZZ_CORPUS=1): %v", err)
+		}
+		if string(got) != body {
+			t.Errorf("%s drifted from the in-code seed", name)
+		}
+	}
+}

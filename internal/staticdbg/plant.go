@@ -14,11 +14,16 @@ import (
 // analyzer, attributed to that pass, and survive reduction — an
 // end-to-end self-test of the whole find/bucket/reduce machinery.
 //
-// Only IR-layer rules with a codegen-neutral recipe are supported: the
-// planted entity is a zero-argument dbg.value (codegen emits nothing
-// for an unbound binding), so the corruption is visible to CheckModule
-// at every subsequent step without perturbing the binary or seeding
-// violations of other rules. Unsupported rules return an error.
+// Most recipes are IR-layer and codegen-neutral: the planted entity is
+// a zero-argument dbg.value (codegen emits nothing for an unbound
+// binding), so the corruption is visible to CheckModule at every
+// subsequent step without perturbing the binary or seeding violations
+// of other rules. RuleLocStale is the exception: a flow-sensitive,
+// binary-level rule needs a recipe that survives codegen, so it plants
+// a whole unreachable block whose register claim the verify-each
+// mid-chain compile catches at the tamper step — before any later
+// simplifycfg can sweep the block away. Unsupported rules return an
+// error.
 func Plant(prog *ir.Program, rule Rule) error {
 	if !Plantable(rule) {
 		return fmt.Errorf("staticdbg: no plant recipe for rule %s", rule)
@@ -57,6 +62,26 @@ func Plant(prog *ir.Program, rule Rule) error {
 		d := f.NewValue(b, ir.OpDbgValue, 0, gone)
 		d.Var = tableSymbol(prog)
 		b.Instrs = append([]*ir.Value{d}, b.Instrs...)
+	case RuleLocStale:
+		// An orphan block computing a value and binding it to a fresh
+		// variable: structurally valid IR (ir.Verify tolerates orphan
+		// blocks — passes create them transiently), every line 0 so no
+		// line rule fires, the Ret use keeping the computation alive
+		// through DCE. Codegen lays the block out as an unreachable
+		// straggler at the function end and dutifully opens a register
+		// location entry at the binding, producing exactly the
+		// wrong-value shape loc-stale exists for: a claim no execution
+		// can ever materialize, here because no execution reaches it at
+		// all. The fresh symbol keeps every other variable's claims
+		// untouched.
+		u := f.NewBlock()
+		c := f.NewValue(u, ir.OpConst, 0)
+		c.AuxInt = 7
+		x := f.NewValue(u, ir.OpNeg, 0, c)
+		d := f.NewValue(u, ir.OpDbgValue, 0, x)
+		d.Var = freshSymbol(prog, f)
+		r := f.NewValue(u, ir.OpRet, 0, x)
+		u.Instrs = append(u.Instrs, c, x, d, r)
 	}
 	return nil
 }
@@ -65,10 +90,20 @@ func Plant(prog *ir.Program, rule Rule) error {
 // campaign drivers can reject a bad drill spec at option-parse time.
 func Plantable(rule Rule) bool {
 	switch rule {
-	case RuleLineRange, RuleScopeNesting, RuleDbgOrphan:
+	case RuleLineRange, RuleScopeNesting, RuleDbgOrphan, RuleLocStale:
 		return true
 	}
 	return false
+}
+
+// freshSymbol appends a new local symbol for the function to the module
+// table, so the planted claim belongs to no real variable and seeds no
+// scope-nesting violation.
+func freshSymbol(prog *ir.Program, f *ir.Func) *ast.Symbol {
+	sym := &ast.Symbol{Name: "planted", Type: ast.TypeInt,
+		Kind: ast.SymLocal, Func: f.Name, ID: len(prog.Symbols)}
+	prog.Symbols = append(prog.Symbols, sym)
+	return sym
 }
 
 // tableSymbol returns a symbol-table member for a well-scoped planted

@@ -3,6 +3,7 @@ package staticdbg_test
 import (
 	"testing"
 
+	"debugtuner/internal/codegen"
 	"debugtuner/internal/ir"
 	"debugtuner/internal/staticdbg"
 )
@@ -71,5 +72,36 @@ func TestPlantUnsupportedRule(t *testing.T) {
 	prog, _, _, _ := newModule()
 	if err := staticdbg.Plant(prog, staticdbg.RuleLocOverlap); err == nil {
 		t.Fatal("binary-layer rule accepted by Plant")
+	}
+}
+
+// TestPlantLocStaleSurvivesCodegen: the loc-stale recipe is binary-level
+// — the planted module stays structurally valid and CheckModule-clean,
+// and only after codegen does the analyzer flag it, as exactly one
+// loc-stale claim over the unreachable planted block.
+func TestPlantLocStaleSurvivesCodegen(t *testing.T) {
+	prog, f, b, sym := newModule()
+	c := f.NewValue(b, ir.OpConst, 1)
+	d := f.NewValue(b, ir.OpDbgValue, 0, c)
+	d.Var = sym
+	ret := f.NewValue(b, ir.OpRet, 1, c)
+	b.Instrs = append(b.Instrs, c, d, ret)
+	if err := staticdbg.Plant(prog, staticdbg.RuleLocStale); err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.VerifyProgram(prog); err != nil {
+		t.Fatalf("planted module structurally invalid: %v", err)
+	}
+	if vs := staticdbg.CheckModule(prog); len(vs) != 0 {
+		t.Fatalf("loc-stale plant visible at module layer: %v", staticdbg.Strings(vs))
+	}
+	bin := codegen.Compile(prog, codegen.Options{})
+	vs := staticdbg.CheckBinary(bin)
+	if len(vs) != 1 {
+		t.Fatalf("got %d violations %v, want 1", len(vs), staticdbg.Strings(vs))
+	}
+	want := "[loc-stale] f var planted: register claim covers only statically unreachable code"
+	if got := vs[0].String(); got != want {
+		t.Errorf("diagnostic:\n got %q\nwant %q", got, want)
 	}
 }

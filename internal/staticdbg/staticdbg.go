@@ -67,7 +67,35 @@ const (
 	// RuleLocWitness: a register/spill claim of nonzero length needs an
 	// owner-tag witness in the covering code; an unwitnessed claim can
 	// never materialize at runtime (the static over-count pathology).
+	//
+	// This is the weak, purely syntactic precursor of RuleLocStale: it
+	// accepts a witness anywhere in the covering range even when a later
+	// clobber invalidates it, because it never asks whether the witness
+	// still *reaches* the claimed addresses. A claim can carry a
+	// perfectly good witness and still be wrong at every covered
+	// address — that stronger, flow-sensitive judgment is loc-stale's.
 	RuleLocWitness Rule = "loc-witness"
+	// RuleLocStale: dataflow-backed wrong-value detection. A register or
+	// spill location entry claims storage s for variable v, but the
+	// owner reaching-definitions analysis shows no covered reachable
+	// address where s may still hold v — either the range covers only
+	// statically unreachable code, or a clobbering write of a different
+	// owner reaches every covered address. Reading v there yields some
+	// other value's bits: the wrong-value class dynamic debugger testing
+	// finds at great cost, caught statically.
+	RuleLocStale Rule = "loc-stale"
+	// RuleLocExtendable (advisory): the must-availability analysis
+	// proves v's value survives in its claimed storage past the entry's
+	// end, yet no other entry covers the next address — recoverable
+	// coverage the producer left on the table (Stinnett & Kell's
+	// under-count dual). Advisory: the section is conservative, not
+	// wrong, so clean-build gating and difftest ignore it.
+	RuleLocExtendable Rule = "loc-extendable"
+	// RuleLineUnreachable: a line-table row with source attribution
+	// (Line > 0, the is_stmt analog) marks an address no path from its
+	// function's entry can execute; a breakpoint there never fires and
+	// inflates static line coverage.
+	RuleLineUnreachable Rule = "line-unreachable"
 )
 
 // Rules lists every rule ID, in report order.
@@ -76,7 +104,25 @@ func Rules() []Rule {
 		RuleLineRange, RuleDbgOrphan, RuleDbgDominance, RuleScopeNesting,
 		RuleSection, RuleFuncRecord, RuleLineMonotone, RuleLineContainment,
 		RuleLocShape, RuleLocContainment, RuleLocOverlap, RuleLocWitness,
+		RuleLocStale, RuleLocExtendable, RuleLineUnreachable,
 	}
+}
+
+// Advisory reports whether the rule flags a recommendation rather than
+// a correctness violation. Advisory findings never gate clean builds:
+// difftest, debugify PASS/FAIL, and verify-each attribution all filter
+// them, leaving reports and scoreboards to surface them separately.
+func (r Rule) Advisory() bool { return r == RuleLocExtendable }
+
+// NonAdvisory filters out advisory findings, preserving order.
+func NonAdvisory(vs []Violation) []Violation {
+	out := make([]Violation, 0, len(vs))
+	for _, v := range vs {
+		if !v.Rule.Advisory() {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // Violation is one invariant failure: the rule, the function it occurred
